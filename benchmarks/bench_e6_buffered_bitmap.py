@@ -1,0 +1,98 @@
+"""E6 — Theorem 6: the buffered compressed bitmap index.
+
+* point query: O(T/B + lg n) I/Os — sweep T by key density;
+* updates: amortized O(lg n / b) I/Os — sweep B;
+* space: O(nH0)-style (blocks within a constant of the gap payload).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.bench import ratio
+from repro.core import BufferedBitmapIndex
+from repro.iomodel import Disk
+
+UNIVERSE = 1 << 17
+
+
+def _build(num_keys, per_key, block_bits=1024, seed=0):
+    rng = random.Random(seed)
+    disk = Disk(block_bits=block_bits, mem_blocks=4)
+    initial = [
+        sorted(rng.sample(range(UNIVERSE), per_key)) for _ in range(num_keys)
+    ]
+    return disk, BufferedBitmapIndex(disk, num_keys, initial)
+
+
+def test_e6_point_query_io_vs_T(report, benchmark):
+    rows = []
+    for per_key in [50, 400, 3200]:
+        disk, idx = _build(8, per_key, seed=24)
+        disk.flush_cache()
+        with disk.stats.measure() as m:
+            out = idx.point_query(3)
+        T_over_B = len(idx._chains[3])  # chain blocks = ceil(T/B)
+        bound = T_over_B + math.log2(UNIVERSE)
+        rows.append(
+            [per_key, len(out), T_over_B, m.reads, f"{bound:.1f}",
+             ratio(m.reads, bound)]
+        )
+    report.table(
+        "E6a  Theorem 6 point query: O(T/B + lg n) I/Os",
+        ["positions/key", "|answer|", "chain blocks (T/B)", "block reads",
+         "bound", "ratio"],
+        rows,
+    )
+    disk, idx = _build(8, 400, seed=25)
+    benchmark(lambda: idx.point_query(0))
+
+
+def test_e6_update_cost_vs_block_size(report, benchmark):
+    rows = []
+    ops = 1500
+    for block_bits in [512, 1024, 2048, 4096]:
+        disk, idx = _build(8, 400, block_bits=block_bits, seed=26)
+        rng = random.Random(27)
+        disk.stats.reset()
+        for _ in range(ops):
+            if rng.random() < 0.7:
+                idx.insert(rng.randrange(8), rng.randrange(UNIVERSE))
+            else:
+                idx.delete(rng.randrange(8), rng.randrange(UNIVERSE))
+        per_op = disk.stats.total / ops
+        b = block_bits / math.log2(UNIVERSE)
+        bound = math.log2(UNIVERSE) / b
+        rows.append(
+            [block_bits, f"{b:.0f}", f"{per_op:.3f}", f"{bound:.3f}",
+             ratio(per_op, bound)]
+        )
+    report.table(
+        "E6b  Theorem 6 updates: amortized O(lg n / b) I/Os per op",
+        ["B bits", "b (words)", "I/O per op", "lg n / b", "ratio"],
+        rows,
+        note="cost must fall roughly linearly in b.",
+    )
+    disk, idx = _build(4, 100, seed=28)
+    benchmark(lambda: idx.insert(1, random.randrange(UNIVERSE)))
+
+
+def test_e6_space(report, benchmark):
+    rows = []
+    for per_key in [100, 1000, 4000]:
+        disk, idx = _build(8, per_key, seed=29)
+        blocks_bits = idx._total_blocks() * disk.block_bits
+        rows.append(
+            [per_key, idx.payload_bits, blocks_bits,
+             ratio(blocks_bits, idx.payload_bits), idx.size_bits]
+        )
+    report.table(
+        "E6c  Theorem 6 space: allocated blocks vs gap payload (O(nH0))",
+        ["positions/key", "gap payload bits", "block bits",
+         "block/payload", "total incl. buffers"],
+        rows,
+        note="block/payload <= ~2 is §4.2's re-blocking bound.",
+    )
+    disk, idx = _build(4, 100, seed=30)
+    benchmark(lambda: idx.cardinality(2))

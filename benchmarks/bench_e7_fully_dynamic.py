@@ -1,0 +1,107 @@
+"""E7 — Theorem 7: the fully dynamic secondary index.
+
+* updates (change/append): amortized O(lg n lg lg n / b) I/Os;
+* range queries: O(z lg(n/z)/B + lg n lg lg n) I/Os;
+* convergence: answers equal a fresh static build at every point.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.bench import cold_query, output_bits_bound, ratio, standard_string
+from repro.core import DynamicSecondaryIndex
+
+SIGMA = 64
+N = 1 << 12
+
+
+@pytest.fixture(scope="module")
+def built():
+    x = standard_string("uniform", N, SIGMA, seed=31)
+    return list(x), DynamicSecondaryIndex(x, SIGMA, mem_blocks=8)
+
+
+def test_e7_update_cost(built, report, benchmark):
+    x, idx = built
+    rng = random.Random(32)
+    rows = []
+    for kind in ("change", "append"):
+        ops = 600
+        idx.stats.reset()
+        for _ in range(ops):
+            if kind == "change":
+                i = rng.randrange(len(x))
+                ch = rng.randrange(SIGMA)
+                idx.change(i, ch)
+                x[i] = ch
+            else:
+                ch = rng.randrange(SIGMA)
+                idx.append(ch)
+                x.append(ch)
+        per_op = idx.stats.total / ops
+        lg = math.log2(idx.n)
+        b = idx.disk.block_bits / lg
+        bound = lg * math.log2(max(2, lg)) / b + 2  # + O(1) string R/W
+        rows.append([kind, ops, f"{per_op:.2f}", f"{bound:.2f}", ratio(per_op, bound)])
+    report.table(
+        "E7a  Theorem 7 update cost (amortized block I/Os per op)",
+        ["operation", "ops", "I/O per op", "lg n lg lg n / b + 2", "ratio"],
+        rows,
+        note="each update is 2 buffered ops on each of lg lg n level indexes "
+        "plus the O(1) base-string read/write.",
+    )
+
+    def timed_change():
+        i = rng.randrange(len(x))
+        ch = rng.randrange(SIGMA)
+        idx.change(i, ch)
+        x[i] = ch  # keep the shadow string in sync for the later tests
+
+    benchmark(timed_change)
+
+
+def test_e7_query_cost(built, report, benchmark):
+    x, idx = built
+    rows = []
+    B = idx.disk.block_bits
+    for lo, hi in [(4, 4), (0, 7), (0, 31), (3, 50)]:
+        io = cold_query(idx, lo, hi)
+        lg = math.log2(idx.n)
+        bound = output_bits_bound(idx.n, io["z"]) / B + 2 * lg * math.log2(max(2, lg))
+        rows.append(
+            [f"[{lo},{hi}]", io["z"], io["reads"], f"{bound:.1f}",
+             ratio(io["reads"], bound)]
+        )
+    report.table(
+        "E7b  Theorem 7 query I/O: O(z lg(n/z)/B + lg n lg lg n)",
+        ["range", "z", "block reads", "bound", "ratio"],
+        rows,
+    )
+    benchmark(lambda: idx.range_query(0, 31))
+
+
+def test_e7_equivalence_to_fresh_build(built, report, benchmark):
+    from repro.core import PaghRaoIndex
+
+    x, idx = built
+    fresh = PaghRaoIndex(x, SIGMA)
+    rng = random.Random(33)
+    agreements = 0
+    checks = 12
+    for _ in range(checks):
+        lo = rng.randrange(SIGMA)
+        hi = rng.randrange(lo, SIGMA)
+        if (
+            idx.range_query(lo, hi).positions()
+            == fresh.range_query(lo, hi).positions()
+        ):
+            agreements += 1
+    report.table(
+        "E7c  dynamic answers vs fresh static build after the E7a history",
+        ["checks", "agreements", "rebuilds so far"],
+        [[checks, agreements, idx.rebuilds]],
+    )
+    assert agreements == checks
+    benchmark(lambda: idx.count_range(0, SIGMA - 1))

@@ -1,0 +1,134 @@
+"""E8 — "Beyond B-trees and bitmap indexes": the full structure matrix.
+
+The paper's framing (§1.3): B-trees and bitmap indexes are the two
+extremes of secondary indexing, and every earlier scheme trades space
+against query time; Theorem 2 is simultaneously at both optima (up to
+constants).  This experiment builds every structure on the same strings
+and reports space and query cost across a selectivity sweep — the
+"who wins where" table of the reproduction.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BinnedBitmapIndex,
+    BTreeSecondaryIndex,
+    CompressedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    MultiResolutionBitmapIndex,
+    RangeEncodedBitmapIndex,
+    UncompressedBitmapIndex,
+    WahBitmapIndex,
+)
+from repro.bench import (
+    cold_query,
+    output_bits_bound,
+    prefix_range_for_selectivity,
+    standard_string,
+)
+from repro.core import PaghRaoIndex
+from repro.model.entropy import entropy_bits
+
+N = 1 << 13
+SIGMA = 128
+
+STRUCTURES = [
+    ("PaghRao (Thm 2)", PaghRaoIndex, {}),
+    ("B-tree", BTreeSecondaryIndex, {}),
+    ("bitmap gamma-RLE", CompressedBitmapIndex, {}),
+    ("bitmap plain", UncompressedBitmapIndex, {}),
+    ("binned w=8", BinnedBitmapIndex, {"bin_width": 8}),
+    ("multires w=4", MultiResolutionBitmapIndex, {"bin_width": 4}),
+    ("range-encoded", RangeEncodedBitmapIndex, {}),
+    ("interval-encoded", IntervalEncodedBitmapIndex, {}),
+    ("WAH bitmap", WahBitmapIndex, {}),
+]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    x = standard_string("sequential", N, SIGMA)
+    return x, [(name, cls(x, SIGMA, **kw)) for name, cls, kw in STRUCTURES]
+
+
+def test_e8_space_table(matrix, report, benchmark):
+    x, built = matrix
+    base = entropy_bits(x) + N
+    rows = []
+    for name, idx in built:
+        s = idx.space()
+        rows.append(
+            [name, s.payload_bits, s.directory_bits,
+             f"{s.total_bits / base:.2f}x"]
+        )
+    report.table(
+        "E8a  space of every structure  (n=%d, sigma=%d, sequential; "
+        "baseline nH0+n = %d bits)" % (N, SIGMA, int(base)),
+        ["structure", "payload bits", "directory bits", "vs nH0+n"],
+        rows,
+        note="expected shape: Thm2 ~ O(1)x; gamma bitmap ~ lg sigma/H0 x; "
+        "plain/range/interval ~ sigma-ish x; B-tree ~ lg n x.",
+    )
+    benchmark(lambda: built[0][1].count_range(0, SIGMA - 1))
+
+
+def test_e8_query_io_selectivity_sweep(matrix, report, benchmark):
+    x, built = matrix
+    sels = [1 / 1024, 1 / 128, 1 / 16, 1 / 4, 1 / 2]
+    headers = ["structure"] + [f"sel 1/{round(1/s)}" for s in sels]
+    rows = []
+    for name, idx in built:
+        row = [name]
+        for sel in sels:
+            lo, hi = prefix_range_for_selectivity(x, SIGMA, sel)
+            io = cold_query(idx, lo, hi)
+            row.append(io["reads"])
+        rows.append(row)
+    bound_row = ["(output bound z*lg(n/z)/B)"]
+    for sel in sels:
+        lo, hi = prefix_range_for_selectivity(x, SIGMA, sel)
+        z = len([1 for ch in x if lo <= ch <= hi])
+        bound_row.append(f"{output_bits_bound(N, z) / 1024:.1f}")
+    rows.append(bound_row)
+    report.table(
+        "E8b  query block reads across selectivity (cold cache)",
+        headers,
+        rows,
+        note="the paper's claim: Thm 2 tracks the bottom row within a "
+        "constant at every selectivity; each baseline blows up somewhere "
+        "(B-tree at high sel, bitmap scan at wide ranges, binned on edges).",
+    )
+    benchmark(lambda: built[0][1].range_query(0, 15))
+
+
+def test_e8_crossover_btree_vs_bitmap_vs_ours(matrix, report, benchmark):
+    # The title claim in one table: where each extreme wins, and that
+    # Thm 2 never loses by more than a constant.
+    x, built = matrix
+    ours = dict(built)["PaghRao (Thm 2)"]
+    btree = dict(built)["B-tree"]
+    bitmap = dict(built)["bitmap gamma-RLE"]
+    rows = []
+    for sel in [1 / 4096, 1 / 256, 1 / 64, 1 / 8, 1 / 2]:
+        lo, hi = prefix_range_for_selectivity(x, SIGMA, sel)
+        io_ours = cold_query(ours, lo, hi)
+        io_btree = cold_query(btree, lo, hi)
+        io_bitmap = cold_query(bitmap, lo, hi)
+        winner = min(
+            [("ours", io_ours["reads"]), ("btree", io_btree["reads"]),
+             ("bitmap", io_bitmap["reads"])],
+            key=lambda t: t[1],
+        )[0]
+        rows.append(
+            [f"1/{round(1/sel)}", io_ours["z"], io_btree["reads"],
+             io_bitmap["reads"], io_ours["reads"], winner]
+        )
+    report.table(
+        "E8c  the two extremes vs Theorem 2 (block reads)",
+        ["selectivity", "z", "B-tree", "bitmap scan", "Thm 2", "winner"],
+        rows,
+        note="B-tree wins tiny answers (pure descent), bitmap wins single "
+        "characters; Thm 2 stays within a small constant of the best "
+        "everywhere — the 'no trade-off' headline.",
+    )
+    benchmark(lambda: ours.range_query(0, 63))

@@ -1,0 +1,18 @@
+"""Fixtures shared by the experiment benchmarks."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import Report
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    """A per-module report persisted under benchmarks/results/."""
+    name = os.path.splitext(os.path.basename(request.module.__file__))[0]
+    rep = Report(name, RESULTS_DIR)
+    yield rep
+    rep.save()

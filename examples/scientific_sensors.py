@@ -1,0 +1,107 @@
+"""Scientific data analysis: range queries over sensor readings (§1, [16]).
+
+Bitmap indexes shine on scientific/OLAP data; this example bins a
+floating-point sensor signal into an ordered alphabet, compares the
+paper's index against the classic structures on the same data, and
+shows the selectivity sweep where each one breaks down.
+
+Run:  python examples/scientific_sensors.py
+"""
+
+import math
+import random
+
+from repro import Alphabet, PaghRaoIndex
+from repro.baselines import (
+    BTreeSecondaryIndex,
+    CompressedBitmapIndex,
+    MultiResolutionBitmapIndex,
+    UncompressedBitmapIndex,
+)
+from repro.bench.harness import render_table
+
+N = 8192
+rng = random.Random(42)
+
+# A bursty temperature-like signal: slow drift plus occasional spikes.
+print(f"synthesizing {N} sensor readings...")
+readings = []
+level = 20.0
+for _ in range(N):
+    level += rng.gauss(0, 0.4)
+    level = min(max(level, 0.0), 40.0)
+    spike = rng.random() < 0.01
+    readings.append(round(level + (15 if spike else 0), 0))
+
+# Bin to an ordered alphabet (0.5-degree bins are the distinct values).
+alphabet = Alphabet(readings)
+codes = alphabet.encode(readings)
+sigma = alphabet.sigma
+print(f"alphabet of {sigma} distinct binned values")
+
+structures = {
+    "PaghRao (Thm 2)": PaghRaoIndex(codes, sigma),
+    "B-tree": BTreeSecondaryIndex(codes, sigma),
+    "bitmap gamma-RLE": CompressedBitmapIndex(codes, sigma),
+    "bitmap plain": UncompressedBitmapIndex(codes, sigma),
+    "multires w=4": MultiResolutionBitmapIndex(codes, sigma, bin_width=4),
+}
+
+# ----------------------------------------------------------------------
+# Space.
+# ----------------------------------------------------------------------
+rows = []
+for name, idx in structures.items():
+    s = idx.space()
+    rows.append([name, s.payload_bits, s.directory_bits, s.total_bits])
+print()
+print(render_table("index space (bits)", ["structure", "payload", "directory", "total"], rows))
+
+# ----------------------------------------------------------------------
+# Query cost sweep: "readings in [lo, hi]" at several widths.
+# ----------------------------------------------------------------------
+queries = [
+    ("spike hunt: >= 45", (45.0, 99.0)),
+    ("narrow band 20±1", (19.0, 21.0)),
+    ("wide band 10..30", (10.0, 30.0)),
+    ("everything", (0.0, 99.0)),
+]
+rows = []
+for label, (lo_v, hi_v) in queries:
+    code_range = alphabet.code_range(lo_v, hi_v)
+    if code_range is None:
+        continue
+    row = [label]
+    z = None
+    for name, idx in structures.items():
+        idx.disk.flush_cache()
+        with idx.stats.measure() as m:
+            result = idx.range_query(*code_range)
+        z = result.cardinality
+        row.append(m.reads)
+    row.insert(1, z)
+    rows.append(row)
+print()
+print(
+    render_table(
+        "cold query cost (block reads)",
+        ["query", "z"] + list(structures),
+        rows,
+    )
+)
+print(
+    "\nshape to notice: the plain bitmap pays per value in the range, the\n"
+    "B-tree pays lg(n) bits per matching row, and the Theorem-2 index\n"
+    "tracks z lg(n/z)/B everywhere — %d-bit blocks, n=%d."
+    % (structures["PaghRao (Thm 2)"].disk.block_bits, N)
+)
+
+# Sanity: all structures agree.
+code_range = alphabet.code_range(19.0, 21.0)
+answers = {
+    name: idx.range_query(*code_range).positions()
+    for name, idx in structures.items()
+}
+baseline = next(iter(answers.values()))
+assert all(a == baseline for a in answers.values())
+print(f"\nall {len(structures)} structures agree on the narrow band ✓")

@@ -1,0 +1,76 @@
+"""Reproduction of Pagh & Rao, "Secondary Indexing in One Dimension:
+Beyond B-trees and Bitmap Indexes" (PODS 2009).
+
+The package implements the paper's optimal secondary index (Theorem 2)
+together with every substrate, variant, and baseline its analysis
+touches, all running on a simulated I/O-model block device with exact
+block-transfer accounting.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the measured reproduction of every theorem.
+
+Quickstart::
+
+    from repro import PaghRaoIndex
+    from repro.model import Alphabet
+
+    ages = [33, 41, 33, 27, 58, 33, 41]
+    alphabet = Alphabet(ages)
+    index = PaghRaoIndex(alphabet.encode(ages), alphabet.sigma)
+    lo, hi = alphabet.code_range(30, 45)
+    print(index.range_query(lo, hi).positions())   # rows with age 30..45
+    print(index.stats)                              # block I/Os spent
+"""
+
+from .core import (
+    ApproximatePaghRaoIndex,
+    ApproximateResult,
+    AppendableIndex,
+    BufferedAppendableIndex,
+    BufferedBitmapIndex,
+    DeletableIndex,
+    DynamicSecondaryIndex,
+    PaghRaoIndex,
+    RangeResult,
+    SecondaryIndex,
+    SpaceBreakdown,
+    UniformTreeIndex,
+)
+from .errors import (
+    CodecError,
+    InvalidParameterError,
+    QueryError,
+    ReproError,
+    StorageError,
+    UpdateError,
+)
+from .iomodel import Disk, IOStats
+from .model.alphabet import Alphabet
+from .queries import Table, approximate_factory, default_factory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "ApproximatePaghRaoIndex",
+    "ApproximateResult",
+    "AppendableIndex",
+    "BufferedAppendableIndex",
+    "BufferedBitmapIndex",
+    "CodecError",
+    "DeletableIndex",
+    "Disk",
+    "DynamicSecondaryIndex",
+    "IOStats",
+    "InvalidParameterError",
+    "PaghRaoIndex",
+    "QueryError",
+    "RangeResult",
+    "ReproError",
+    "SecondaryIndex",
+    "SpaceBreakdown",
+    "StorageError",
+    "Table",
+    "UniformTreeIndex",
+    "UpdateError",
+    "approximate_factory",
+    "default_factory",
+]

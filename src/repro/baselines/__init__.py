@@ -1,0 +1,20 @@
+"""Baseline secondary indexes the paper positions itself against."""
+
+from .binned import BinnedBitmapIndex
+from .bitmap_index import CompressedBitmapIndex, UncompressedBitmapIndex
+from .btree_index import BTreeSecondaryIndex
+from .interval_encoded import IntervalEncodedBitmapIndex
+from .multires import MultiResolutionBitmapIndex
+from .range_encoded import RangeEncodedBitmapIndex
+from .wah_index import WahBitmapIndex
+
+__all__ = [
+    "BTreeSecondaryIndex",
+    "BinnedBitmapIndex",
+    "CompressedBitmapIndex",
+    "IntervalEncodedBitmapIndex",
+    "MultiResolutionBitmapIndex",
+    "RangeEncodedBitmapIndex",
+    "UncompressedBitmapIndex",
+    "WahBitmapIndex",
+]

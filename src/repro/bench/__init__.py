@@ -1,0 +1,22 @@
+"""Benchmark harness shared by the experiment suite (see DESIGN.md §3)."""
+
+from .harness import Report, cold_query, fmt, output_bits_bound, ratio, render_table
+from .workloads import (
+    SELECTIVITIES,
+    prefix_range_for_selectivity,
+    random_ranges,
+    standard_string,
+)
+
+__all__ = [
+    "Report",
+    "SELECTIVITIES",
+    "cold_query",
+    "fmt",
+    "output_bits_bound",
+    "prefix_range_for_selectivity",
+    "random_ranges",
+    "ratio",
+    "render_table",
+    "standard_string",
+]

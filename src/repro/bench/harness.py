@@ -1,0 +1,113 @@
+"""Shared machinery for the experiment benchmarks (E1-E10).
+
+The paper has no empirical tables — its evaluation is Theorems 1-7 —
+so every benchmark regenerates the table that *would* have appeared:
+workload, parameters, the theorem's bound, the measured value, and
+their ratio.  :class:`Report` renders those tables, prints them, and
+persists them under ``benchmarks/results/`` so EXPERIMENTS.md can cite
+the exact numbers of the recorded run.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Iterable, Sequence
+
+from ..core.interface import SecondaryIndex
+
+
+def fmt(value: Any) -> str:
+    """Compact human formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [f"== {title} ==", " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+class Report:
+    """Collects an experiment's tables; prints and persists them."""
+
+    def __init__(self, name: str, out_dir: str) -> None:
+        self.name = name
+        self.out_dir = out_dir
+        self._chunks: list[str] = []
+
+    def line(self, text: str) -> None:
+        self._chunks.append(text)
+        print(text)
+
+    def table(
+        self,
+        title: str,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        note: str | None = None,
+    ) -> None:
+        text = render_table(title, headers, rows)
+        if note:
+            text += f"\n   note: {note}"
+        self._chunks.append(text)
+        print("\n" + text)
+
+    def save(self) -> str:
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(self.out_dir, f"{self.name}.txt")
+        with open(path, "w") as f:
+            f.write("\n\n".join(self._chunks) + "\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers
+# ----------------------------------------------------------------------
+
+
+def cold_query(index: SecondaryIndex, char_lo: int, char_hi: int) -> dict[str, int]:
+    """Run one range query with a cold cache; return its I/O cost."""
+    index.disk.flush_cache()
+    with index.stats.measure() as m:
+        result = index.range_query(char_lo, char_hi)
+    return {
+        "reads": m.reads,
+        "bits_read": m.bits_read,
+        "z": result.cardinality,
+    }
+
+
+def output_bits_bound(n: int, z: int) -> float:
+    """``z lg(n/z)`` with the complement convention (the T of §1.4)."""
+    z_eff = min(z, n - z)
+    if z_eff <= 0:
+        return 1.0
+    return z_eff * math.log2(n / z_eff) + 2 * z_eff
+
+
+def ratio(measured: float, bound: float) -> float:
+    """measured / bound, guarding the zero-bound corner."""
+    return measured / max(bound, 1e-9)

@@ -1,0 +1,47 @@
+"""Standard workloads and query mixes for the experiments."""
+
+from __future__ import annotations
+
+import random
+
+from ..model import distributions as dist
+
+
+def standard_string(kind: str, n: int, sigma: int, seed: int = 0, **kwargs) -> list[int]:
+    """Named workload strings used across experiments."""
+    gen = dist.by_name(kind)
+    return gen(n, sigma, seed=seed, **kwargs)
+
+
+def prefix_range_for_selectivity(
+    x: list[int], sigma: int, selectivity: float
+) -> tuple[int, int]:
+    """A character range ``[0, k]`` whose answer is ~``selectivity * n``.
+
+    Exact on ``sequential`` strings; approximate elsewhere (the measured
+    ``z`` is always reported alongside).
+    """
+    n = len(x)
+    target = selectivity * n
+    counts = [0] * sigma
+    for ch in x:
+        counts[ch] += 1
+    acc = 0
+    for k in range(sigma):
+        acc += counts[k]
+        if acc >= target:
+            return (0, k)
+    return (0, sigma - 1)
+
+
+def random_ranges(sigma: int, count: int, seed: int = 0) -> list[tuple[int, int]]:
+    """Reproducible random inclusive code ranges."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        lo = rng.randrange(sigma)
+        out.append((lo, rng.randrange(lo, sigma)))
+    return out
+
+
+SELECTIVITIES = [1 / 4096, 1 / 512, 1 / 64, 1 / 16, 1 / 4, 1 / 2]

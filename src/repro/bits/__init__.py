@@ -1,0 +1,54 @@
+"""Bit-level codecs and bitmap representations."""
+
+from .bitio import BitReader, BitWriter
+from .ebitmap import (
+    GapCompressedBitmap,
+    decode_gaps,
+    encode_gaps,
+    encoded_length,
+    iter_gaps,
+)
+from .gamma import (
+    delta_length,
+    gamma_length,
+    read_delta,
+    read_gamma,
+    write_delta,
+    write_gamma,
+)
+from .ops import (
+    complement_sorted,
+    difference_sorted,
+    intersect_many,
+    intersect_sorted,
+    is_strictly_increasing,
+    union_disjoint_sorted,
+    union_sorted,
+)
+from .plain import PlainBitmap
+from .wah import WahBitmap
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "GapCompressedBitmap",
+    "PlainBitmap",
+    "WahBitmap",
+    "complement_sorted",
+    "decode_gaps",
+    "delta_length",
+    "difference_sorted",
+    "encode_gaps",
+    "encoded_length",
+    "gamma_length",
+    "intersect_many",
+    "intersect_sorted",
+    "is_strictly_increasing",
+    "iter_gaps",
+    "read_delta",
+    "read_gamma",
+    "union_disjoint_sorted",
+    "union_sorted",
+    "write_delta",
+    "write_gamma",
+]

@@ -1,0 +1,176 @@
+"""In-memory bit-stream reader and writer.
+
+All codecs in this package (§1.2's gamma-coded run lengths, the gap
+lists of §4.2, fixed-width directory fields) are built on these two
+classes.  The bit order is MSB-first within each byte: the first bit
+written is the most significant bit of the first byte.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodecError, InvalidParameterError
+
+
+class BitWriter:
+    """Accumulates bits and yields a ``bytes`` payload.
+
+    The writer keeps the logical bit length; :meth:`getvalue` pads the
+    final partial byte with zero bits (the length, not the padding,
+    is what downstream readers consume).
+    """
+
+    __slots__ = ("_bytes", "_acc", "_nacc")
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nacc = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far."""
+        return len(self._bytes) * 8 + self._nacc
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Append the ``nbits``-bit big-endian representation of ``value``."""
+        if nbits < 0:
+            raise InvalidParameterError("nbits must be >= 0")
+        if value < 0 or (nbits < value.bit_length()):
+            raise InvalidParameterError(
+                f"value {value} does not fit in {nbits} bits"
+            )
+        if nbits == 0:
+            return
+        acc = (self._acc << nbits) | value
+        n = self._nacc + nbits
+        out = self._bytes
+        while n >= 8:
+            n -= 8
+            out.append((acc >> n) & 0xFF)
+        self._acc = acc & ((1 << n) - 1)
+        self._nacc = n
+
+    def write_unary(self, zeros: int) -> None:
+        """Append ``zeros`` 0-bits followed by a terminating 1-bit."""
+        if zeros < 0:
+            raise InvalidParameterError("unary argument must be >= 0")
+        # The value 1 in a (zeros+1)-bit field is exactly the unary code.
+        remaining = zeros + 1
+        while remaining > 64:
+            self.write_bits(0, 64)
+            remaining -= 64
+        self.write_bits(1, remaining)
+
+    def extend(self, other: "BitWriter") -> None:
+        """Append all bits of another writer to this one."""
+        reader = BitReader(other.getvalue(), bit_length=other.bit_length)
+        remaining = other.bit_length
+        while remaining > 0:
+            take = min(64, remaining)
+            self.write_bits(reader.read_bits(take), take)
+            remaining -= take
+
+    def getvalue(self) -> bytes:
+        """Return the payload, final partial byte zero-padded."""
+        if self._nacc == 0:
+            return bytes(self._bytes)
+        tail = (self._acc << (8 - self._nacc)) & 0xFF
+        return bytes(self._bytes) + bytes([tail])
+
+
+class BitReader:
+    """Sequential reader over a byte buffer, addressable at bit level.
+
+    Parameters
+    ----------
+    buf:
+        The backing bytes.
+    bit_offset:
+        Absolute bit position (within ``buf``) at which the stream
+        starts.
+    bit_length:
+        Length of the readable window in bits; defaults to the rest of
+        the buffer.
+    """
+
+    __slots__ = ("_buf", "_pos", "_end", "_start")
+
+    def __init__(
+        self, buf: bytes, bit_offset: int = 0, bit_length: int | None = None
+    ) -> None:
+        total = len(buf) * 8
+        if bit_length is None:
+            bit_length = total - bit_offset
+        if bit_offset < 0 or bit_length < 0 or bit_offset + bit_length > total:
+            raise InvalidParameterError("bit window outside the buffer")
+        self._buf = buf
+        self._start = bit_offset
+        self._pos = bit_offset
+        self._end = bit_offset + bit_length
+
+    @property
+    def remaining(self) -> int:
+        """Bits left before the end of the window."""
+        return self._end - self._pos
+
+    def tell(self) -> int:
+        """Current position relative to the start of the window."""
+        return self._pos - self._start
+
+    def seek(self, bit_position: int) -> None:
+        """Jump to ``bit_position`` (relative to the window start)."""
+        target = self._start + bit_position
+        if target < self._start or target > self._end:
+            raise InvalidParameterError("seek outside the bit window")
+        self._pos = target
+
+    def at_end(self) -> bool:
+        """True when every bit of the window has been consumed."""
+        return self._pos >= self._end
+
+    def read_bits(self, nbits: int) -> int:
+        """Consume ``nbits`` bits and return them as an unsigned integer."""
+        if nbits < 0:
+            raise InvalidParameterError("nbits must be >= 0")
+        if nbits == 0:
+            return 0
+        pos = self._pos
+        end = pos + nbits
+        if end > self._end:
+            raise CodecError("bit read past the end of the stream")
+        first = pos >> 3
+        last = (end - 1) >> 3
+        chunk = int.from_bytes(self._buf[first : last + 1], "big")
+        right = ((last + 1) << 3) - end
+        self._pos = end
+        return (chunk >> right) & ((1 << nbits) - 1)
+
+    def peek_bits(self, nbits: int) -> int:
+        """Like :meth:`read_bits` without consuming."""
+        pos = self._pos
+        value = self.read_bits(nbits)
+        self._pos = pos
+        return value
+
+    def read_unary(self) -> int:
+        """Consume a unary code (``q`` zeros then a one); return ``q``."""
+        zeros = 0
+        pos = self._pos
+        buf = self._buf
+        end = self._end
+        while pos < end:
+            take = min(64, end - pos)
+            first = pos >> 3
+            last = (pos + take - 1) >> 3
+            chunk = int.from_bytes(buf[first : last + 1], "big")
+            right = ((last + 1) << 3) - (pos + take)
+            window = (chunk >> right) & ((1 << take) - 1)
+            if window == 0:
+                zeros += take
+                pos += take
+                continue
+            lead = take - window.bit_length()
+            zeros += lead
+            self._pos = pos + lead + 1
+            return zeros
+        raise CodecError("unary code ran past the end of the stream")

@@ -1,0 +1,147 @@
+"""Gap-compressed bitmaps — the paper's compressed bitmap representation.
+
+A bitmap with 1s at positions ``p0 < p1 < ... < p_{m-1}`` in a universe
+of size ``n`` is stored as the gamma codes of ``p0 + 1`` and of the
+successive gaps ``p_i - p_{i-1}`` (§4.2: "the first position ... is
+stored as an absolute value, and all the others are stored relative to
+the previous position").  This is within a constant factor of the
+information-theoretic minimum ``lg C(n, m) = m lg(n/m) + Theta(m)`` bits
+(§1.2), which is the space bound every theorem is stated in terms of.
+
+The cardinality is *not* part of the payload; structures keep it in
+their directory (the paper stores node weights in the tree), so decoding
+takes an explicit ``count``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import CodecError, InvalidParameterError
+from .bitio import BitReader, BitWriter
+from .gamma import gamma_length, read_gamma, write_gamma
+
+
+def encode_gaps(writer: BitWriter, positions: Sequence[int]) -> None:
+    """Append the gap encoding of a strictly increasing position list."""
+    prev = -1
+    for p in positions:
+        gap = p - prev
+        if gap <= 0:
+            raise InvalidParameterError(
+                "positions must be strictly increasing and non-negative"
+            )
+        write_gamma(writer, gap)
+        prev = p
+
+
+def decode_gaps(reader: BitReader, count: int) -> list[int]:
+    """Decode ``count`` gap codes back into absolute positions."""
+    positions: list[int] = []
+    append = positions.append
+    prev = -1
+    for _ in range(count):
+        prev += read_gamma(reader)
+        append(prev)
+    return positions
+
+
+def iter_gaps(reader: BitReader, count: int) -> Iterator[int]:
+    """Lazily decode ``count`` gap codes into absolute positions."""
+    prev = -1
+    for _ in range(count):
+        prev += read_gamma(reader)
+        yield prev
+
+
+def encoded_length(positions: Sequence[int]) -> int:
+    """Exact bit length :func:`encode_gaps` will produce."""
+    total = 0
+    prev = -1
+    for p in positions:
+        gap = p - prev
+        if gap <= 0:
+            raise InvalidParameterError(
+                "positions must be strictly increasing and non-negative"
+            )
+        total += gamma_length(gap)
+        prev = p
+    return total
+
+
+class GapCompressedBitmap:
+    """An immutable compressed bitmap over ``[0, universe)``.
+
+    This is the in-memory form; on-disk structures store only the
+    payload bits and keep ``(offset, nbits, count)`` in their directory.
+    """
+
+    __slots__ = ("payload", "bit_length", "count", "universe")
+
+    def __init__(
+        self, payload: bytes, bit_length: int, count: int, universe: int
+    ) -> None:
+        self.payload = payload
+        self.bit_length = bit_length
+        self.count = count
+        self.universe = universe
+
+    @classmethod
+    def from_positions(
+        cls, positions: Sequence[int], universe: int
+    ) -> "GapCompressedBitmap":
+        """Compress a strictly increasing position list."""
+        if positions and (positions[0] < 0 or positions[-1] >= universe):
+            raise InvalidParameterError("positions outside the universe")
+        writer = BitWriter()
+        encode_gaps(writer, positions)
+        return cls(writer.getvalue(), writer.bit_length, len(positions), universe)
+
+    @property
+    def size_bits(self) -> int:
+        """Payload size in bits (directory not included)."""
+        return self.bit_length
+
+    def positions(self) -> list[int]:
+        """Decompress to the sorted list of 1-positions."""
+        reader = BitReader(self.payload, bit_length=self.bit_length)
+        out = decode_gaps(reader, self.count)
+        if out and out[-1] >= self.universe:
+            raise CodecError("decoded position outside the universe")
+        return out
+
+    def iter_positions(self) -> Iterator[int]:
+        """Lazily decompress the 1-positions in increasing order."""
+        reader = BitReader(self.payload, bit_length=self.bit_length)
+        return iter_gaps(reader, self.count)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GapCompressedBitmap):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.universe == other.universe
+            and self.bit_length == other.bit_length
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.payload, self.bit_length, self.count, self.universe))
+
+    @classmethod
+    def union_disjoint(
+        cls, bitmaps: Iterable["GapCompressedBitmap"], universe: int
+    ) -> "GapCompressedBitmap":
+        """Union of bitmaps with pairwise-disjoint position sets.
+
+        This is the merge the query algorithm of §2 performs on the
+        canonical-subtree bitmaps (their position sets partition the
+        answer).
+        """
+        from .ops import union_disjoint_sorted
+
+        merged = union_disjoint_sorted([b.positions() for b in bitmaps])
+        return cls.from_positions(merged, universe)

@@ -1,0 +1,66 @@
+"""Elias gamma and delta codes (Elias 1975, the paper's reference [12]).
+
+The paper compresses each bitmap by run-length encoding the 0-runs with
+gamma codes (§1.2), and stores position-gap lists with gamma codes in
+the dynamic structures (§4.2).  A gamma code for ``v >= 1`` spends
+``2*floor(lg v) + 1`` bits: the length of ``v`` in unary, then the low
+bits of ``v``.  Delta codes (gamma-coded length) are provided for
+completeness and for the directory fields where values can be large.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from .bitio import BitReader, BitWriter
+
+
+def gamma_length(value: int) -> int:
+    """Bits used by the gamma code of ``value`` (``value >= 1``)."""
+    if value < 1:
+        raise InvalidParameterError("gamma codes are defined for values >= 1")
+    return 2 * value.bit_length() - 1
+
+
+def write_gamma(writer: BitWriter, value: int) -> None:
+    """Append the gamma code of ``value >= 1`` to ``writer``."""
+    if value < 1:
+        raise InvalidParameterError("gamma codes are defined for values >= 1")
+    n = value.bit_length()
+    # Unary length: (n-1) zeros then a 1 -- equivalently the number 1 in n bits.
+    writer.write_unary(n - 1)
+    if n > 1:
+        writer.write_bits(value & ((1 << (n - 1)) - 1), n - 1)
+
+
+def read_gamma(reader: BitReader) -> int:
+    """Consume one gamma code and return its value."""
+    zeros = reader.read_unary()
+    if zeros == 0:
+        return 1
+    return (1 << zeros) | reader.read_bits(zeros)
+
+
+def delta_length(value: int) -> int:
+    """Bits used by the delta code of ``value`` (``value >= 1``)."""
+    if value < 1:
+        raise InvalidParameterError("delta codes are defined for values >= 1")
+    n = value.bit_length()
+    return gamma_length(n) + (n - 1)
+
+
+def write_delta(writer: BitWriter, value: int) -> None:
+    """Append the delta code of ``value >= 1`` to ``writer``."""
+    if value < 1:
+        raise InvalidParameterError("delta codes are defined for values >= 1")
+    n = value.bit_length()
+    write_gamma(writer, n)
+    if n > 1:
+        writer.write_bits(value & ((1 << (n - 1)) - 1), n - 1)
+
+
+def read_delta(reader: BitReader) -> int:
+    """Consume one delta code and return its value."""
+    n = read_gamma(reader)
+    if n == 1:
+        return 1
+    return (1 << (n - 1)) | reader.read_bits(n - 1)

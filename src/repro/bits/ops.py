@@ -1,0 +1,116 @@
+"""Algebra on sorted position lists.
+
+The query algorithms of §2 compute unions of the (pairwise disjoint)
+position sets of canonical subtrees; the RID-intersection application of
+§1 intersects per-dimension answers; the complement trick of §2.1 turns
+a large answer into the complement of two small ones.  These helpers
+implement that algebra on plain sorted ``list[int]`` values, which is
+the decoded form every bitmap class can produce.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+
+def is_strictly_increasing(seq: Sequence[int]) -> bool:
+    """True when ``seq`` is strictly increasing."""
+    return all(a < b for a, b in zip(seq, seq[1:]))
+
+
+def union_disjoint_sorted(lists: Iterable[Sequence[int]]) -> list[int]:
+    """Merge sorted lists with pairwise-disjoint elements.
+
+    This is the k-way merge the paper performs in ``O(1)`` passes given
+    ``M = B(sigma lg n)^Omega(1)`` internal memory (§2.2); no
+    deduplication is needed because canonical subtrees partition the
+    answer.
+    """
+    lists = [lst for lst in lists if lst]
+    if not lists:
+        return []
+    if len(lists) == 1:
+        return list(lists[0])
+    return list(heapq.merge(*lists))
+
+
+def union_sorted(lists: Iterable[Sequence[int]]) -> list[int]:
+    """Union of sorted lists, deduplicating equal elements."""
+    merged = union_disjoint_sorted(lists)
+    if not merged:
+        return []
+    out = [merged[0]]
+    append = out.append
+    last = merged[0]
+    for v in merged:
+        if v != last:
+            append(v)
+            last = v
+    return out
+
+def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Intersection of two sorted duplicate-free lists (two pointers)."""
+    out: list[int] = []
+    append = out.append
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        x, y = a[i], b[j]
+        if x == y:
+            append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def intersect_many(lists: Sequence[Sequence[int]]) -> list[int]:
+    """Intersection of several sorted lists, smallest-first for speed."""
+    if not lists:
+        return []
+    ordered = sorted(lists, key=len)
+    result = list(ordered[0])
+    for other in ordered[1:]:
+        if not result:
+            break
+        result = intersect_sorted(result, other)
+    return result
+
+
+def difference_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Elements of sorted ``a`` not present in sorted ``b``."""
+    out: list[int] = []
+    append = out.append
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la:
+        x = a[i]
+        while j < lb and b[j] < x:
+            j += 1
+        if j >= lb or b[j] != x:
+            append(x)
+        i += 1
+    return out
+
+
+def complement_sorted(positions: Sequence[int], universe: int) -> list[int]:
+    """All elements of ``[0, universe)`` not in sorted ``positions``.
+
+    Realizes the complement trick of §2.1: when a range query matches
+    more than half the string, the structure answers the two flanking
+    queries and returns their complement.
+    """
+    out: list[int] = []
+    append = out.append
+    prev = -1
+    for p in positions:
+        for q in range(prev + 1, p):
+            append(q)
+        prev = p
+    for q in range(prev + 1, universe):
+        append(q)
+    return out

@@ -1,0 +1,146 @@
+"""Uncompressed bitmaps.
+
+The explicit bitmap index of §1.2 stores, for every character, an
+``n``-bit vector.  This class is that vector, plus the bitwise algebra
+the range/interval-encoded baselines need (references [14], [9, 10]).
+Logical operations work on the underlying bytes via Python integers,
+which is the fastest pure-Python route for multi-kilobit vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import InvalidParameterError
+
+
+class PlainBitmap:
+    """A fixed-universe, mutable, uncompressed bitmap."""
+
+    __slots__ = ("universe", "_bytes")
+
+    def __init__(self, universe: int, raw: bytes | bytearray | None = None) -> None:
+        if universe < 0:
+            raise InvalidParameterError("universe must be >= 0")
+        self.universe = universe
+        nbytes = (universe + 7) // 8
+        if raw is None:
+            self._bytes = bytearray(nbytes)
+        else:
+            if len(raw) != nbytes:
+                raise InvalidParameterError("raw buffer has the wrong length")
+            self._bytes = bytearray(raw)
+
+    @classmethod
+    def from_positions(cls, positions: Iterable[int], universe: int) -> "PlainBitmap":
+        bm = cls(universe)
+        for p in positions:
+            bm.set(p)
+        return bm
+
+    # ------------------------------------------------------------------
+    # Single-bit access
+    # ------------------------------------------------------------------
+
+    def _check(self, position: int) -> None:
+        if position < 0 or position >= self.universe:
+            raise InvalidParameterError(
+                f"position {position} outside universe [0, {self.universe})"
+            )
+
+    def set(self, position: int) -> None:
+        """Set the bit at ``position`` to 1."""
+        self._check(position)
+        self._bytes[position >> 3] |= 0x80 >> (position & 7)
+
+    def clear(self, position: int) -> None:
+        """Set the bit at ``position`` to 0."""
+        self._check(position)
+        self._bytes[position >> 3] &= ~(0x80 >> (position & 7)) & 0xFF
+
+    def get(self, position: int) -> bool:
+        """Return whether the bit at ``position`` is 1."""
+        self._check(position)
+        return bool(self._bytes[position >> 3] & (0x80 >> (position & 7)))
+
+    def __contains__(self, position: int) -> bool:
+        return 0 <= position < self.universe and self.get(position)
+
+    # ------------------------------------------------------------------
+    # Whole-bitmap views
+    # ------------------------------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        """Storage footprint: one bit per universe element."""
+        return self.universe
+
+    def count(self) -> int:
+        """Number of set bits (the paper's *cardinality*, §1.4)."""
+        return int.from_bytes(self._bytes, "big").bit_count()
+
+    def positions(self) -> list[int]:
+        """Sorted list of set positions."""
+        return list(self.iter_positions())
+
+    def iter_positions(self) -> Iterator[int]:
+        """Iterate set positions in increasing order."""
+        for byte_index, byte in enumerate(self._bytes):
+            if not byte:
+                continue
+            base = byte_index << 3
+            for bit in range(8):
+                if byte & (0x80 >> bit):
+                    yield base + bit
+
+    def to_bytes(self) -> bytes:
+        """The raw payload (big-endian bit order, zero padding at the end)."""
+        return bytes(self._bytes)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def _as_int(self) -> int:
+        return int.from_bytes(self._bytes, "big")
+
+    def _combine(self, other: "PlainBitmap", value: int) -> "PlainBitmap":
+        nbytes = (self.universe + 7) // 8
+        return PlainBitmap(self.universe, value.to_bytes(nbytes, "big"))
+
+    def _check_compatible(self, other: "PlainBitmap") -> None:
+        if self.universe != other.universe:
+            raise InvalidParameterError("bitmaps have different universes")
+
+    def __or__(self, other: "PlainBitmap") -> "PlainBitmap":
+        self._check_compatible(other)
+        return self._combine(other, self._as_int() | other._as_int())
+
+    def __and__(self, other: "PlainBitmap") -> "PlainBitmap":
+        self._check_compatible(other)
+        return self._combine(other, self._as_int() & other._as_int())
+
+    def __xor__(self, other: "PlainBitmap") -> "PlainBitmap":
+        self._check_compatible(other)
+        return self._combine(other, self._as_int() ^ other._as_int())
+
+    def and_not(self, other: "PlainBitmap") -> "PlainBitmap":
+        """``self AND NOT other`` — the range-decoding primitive of [14]."""
+        self._check_compatible(other)
+        return self._combine(other, self._as_int() & ~other._as_int())
+
+    def complement(self) -> "PlainBitmap":
+        """Flip every bit inside the universe."""
+        n = self.universe
+        nbytes = (n + 7) // 8
+        mask = ((1 << n) - 1) << (nbytes * 8 - n) if n else 0
+        value = (~self._as_int()) & mask
+        return PlainBitmap(n, value.to_bytes(nbytes, "big"))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PlainBitmap):
+            return NotImplemented
+        return self.universe == other.universe and self._bytes == other._bytes
+
+    def __hash__(self) -> int:
+        return hash((self.universe, bytes(self._bytes)))

@@ -1,0 +1,145 @@
+"""Word-Aligned Hybrid (WAH) bitmap compression.
+
+WAH is the practical compression scheme of Wu, Otoo and Shoshani (the
+paper's reference [18]); the paper cites it as the scheme that trades
+some compression ratio for word-aligned decoding speed.  We implement it
+as a comparator payload so that experiment E10 can contrast its size
+against the gamma run-length coding the paper analyzes.
+
+Encoding (32-bit words, 31 payload bits per group):
+
+* literal word — MSB 0, the next 31 bits are a verbatim group;
+* fill word — MSB 1, bit 30 is the fill bit, bits 0..29 count how many
+  consecutive 31-bit groups consist solely of that bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import CodecError, InvalidParameterError
+
+WORD_BITS = 32
+GROUP_BITS = 31
+_MAX_RUN = (1 << 30) - 1
+_LITERAL_ONES = (1 << GROUP_BITS) - 1
+
+
+class WahBitmap:
+    """An immutable WAH-compressed bitmap over ``[0, universe)``."""
+
+    __slots__ = ("words", "universe", "count")
+
+    def __init__(self, words: tuple[int, ...], universe: int, count: int) -> None:
+        self.words = words
+        self.universe = universe
+        self.count = count
+
+    @classmethod
+    def from_positions(cls, positions: Sequence[int], universe: int) -> "WahBitmap":
+        """Compress a strictly increasing position list."""
+        if positions and (positions[0] < 0 or positions[-1] >= universe):
+            raise InvalidParameterError("positions outside the universe")
+        ngroups = (universe + GROUP_BITS - 1) // GROUP_BITS
+        words: list[int] = []
+
+        def emit_fill(bit: int, run: int) -> None:
+            while run > 0:
+                take = min(run, _MAX_RUN)
+                words.append((1 << 31) | (bit << 30) | take)
+                run -= take
+
+        def emit_literal(group: int) -> None:
+            words.append(group)
+
+        # Walk the groups, building literals only where 1s occur.
+        pos_iter = iter(positions)
+        next_pos = next(pos_iter, None)
+        group_index = 0
+        zero_run = 0
+        one_run = 0
+
+        def flush_runs() -> None:
+            nonlocal zero_run, one_run
+            if zero_run:
+                emit_fill(0, zero_run)
+                zero_run = 0
+            if one_run:
+                emit_fill(1, one_run)
+                one_run = 0
+
+        while group_index < ngroups:
+            if next_pos is None or next_pos // GROUP_BITS > group_index:
+                # An all-zero group.
+                if one_run:
+                    emit_fill(1, one_run)
+                    one_run = 0
+                zero_run += 1
+                if next_pos is None:
+                    # All remaining groups are zero; finish in one go.
+                    zero_run += ngroups - group_index - 1
+                    group_index = ngroups
+                    break
+                group_index += 1
+                continue
+            # Collect the 1s of this group.
+            group = 0
+            base = group_index * GROUP_BITS
+            while next_pos is not None and next_pos // GROUP_BITS == group_index:
+                group |= 1 << (GROUP_BITS - 1 - (next_pos - base))
+                next_pos = next(pos_iter, None)
+            if group == _LITERAL_ONES and universe - base >= GROUP_BITS:
+                if zero_run:
+                    emit_fill(0, zero_run)
+                    zero_run = 0
+                one_run += 1
+            else:
+                flush_runs()
+                emit_literal(group)
+            group_index += 1
+        flush_runs()
+        return cls(tuple(words), universe, len(positions))
+
+    @property
+    def size_bits(self) -> int:
+        """Compressed size: 32 bits per WAH word."""
+        return WORD_BITS * len(self.words)
+
+    def positions(self) -> list[int]:
+        """Decompress to the sorted list of 1-positions."""
+        return list(self.iter_positions())
+
+    def iter_positions(self) -> Iterator[int]:
+        """Iterate 1-positions in increasing order."""
+        base = 0
+        for word in self.words:
+            if word >> 31:
+                bit = (word >> 30) & 1
+                run = word & _MAX_RUN
+                if bit:
+                    span = run * GROUP_BITS
+                    for offset in range(span):
+                        p = base + offset
+                        if p < self.universe:
+                            yield p
+                base += run * GROUP_BITS
+            else:
+                if word:
+                    for bit_index in range(GROUP_BITS):
+                        if word & (1 << (GROUP_BITS - 1 - bit_index)):
+                            p = base + bit_index
+                            if p >= self.universe:
+                                raise CodecError("WAH literal outside the universe")
+                            yield p
+                base += GROUP_BITS
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WahBitmap):
+            return NotImplemented
+        return self.universe == other.universe and self.words == other.words
+
+    def __hash__(self) -> int:
+        return hash((self.words, self.universe))

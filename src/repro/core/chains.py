@@ -1,0 +1,178 @@
+"""Appendable compressed bitmaps stored as chains of blocks (§4.1, §4.2).
+
+The static structure concatenates all bitmaps of a level into one
+extent, which cannot grow in place.  The dynamic structures instead
+give each bitmap a *chain* of whole blocks: appending a position writes
+a gamma-coded gap into the last block (one I/O), allocating a fresh
+block when the code does not fit.  Every block opens with an *absolute*
+first code — exactly the resynchronization layout §4.2 prescribes
+("the first position in each block is stored as an absolute value") —
+so each block decodes independently and a split code never straddles a
+boundary.
+
+The paper points out (§4.2) that with ``B >= 4 lg n`` the re-blocked
+representation at most doubles the space; the same argument bounds the
+chain overhead here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..bits.bitio import BitWriter
+from ..bits.ebitmap import decode_gaps
+from ..bits.gamma import gamma_length, write_gamma
+from ..errors import InvalidParameterError, UpdateError
+from ..iomodel.disk import Disk
+
+
+class BlockChain:
+    """A growable gap-encoded position set occupying whole blocks."""
+
+    __slots__ = ("disk", "blocks", "block_counts", "block_used", "count", "last_pos")
+
+    def __init__(self, disk: Disk) -> None:
+        self.disk = disk
+        self.blocks: list[int] = []        # block ids
+        self.block_counts: list[int] = []  # positions encoded per block
+        self.block_used: list[int] = []    # bits used per block
+        self.count = 0
+        self.last_pos = -1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, disk: Disk, positions: Sequence[int]) -> "BlockChain":
+        """Bulk-load a strictly increasing position list."""
+        chain = cls(disk)
+        B = disk.block_bits
+        writer: BitWriter | None = None
+        block_count = 0
+        prev = -1
+        pending_first = True
+
+        def close_block() -> None:
+            nonlocal writer, block_count
+            if writer is None:
+                return
+            block_id = disk.alloc_block() // B
+            disk.write_bytes(block_id * B, writer.getvalue(), writer.bit_length)
+            chain.blocks.append(block_id)
+            chain.block_counts.append(block_count)
+            chain.block_used.append(writer.bit_length)
+            writer = None
+            block_count = 0
+
+        for pos in positions:
+            if pos <= prev:
+                raise InvalidParameterError("positions must be strictly increasing")
+            code = pos + 1 if pending_first else pos - prev
+            need = gamma_length(code)
+            if writer is not None and writer.bit_length + need > B:
+                close_block()
+                pending_first = True
+                code = pos + 1
+                need = gamma_length(code)
+            if writer is None:
+                if need > B:
+                    raise InvalidParameterError(
+                        "block size too small for a single gamma code; "
+                        "need B >= 2 lg n"
+                    )
+                writer = BitWriter()
+            write_gamma(writer, code)
+            block_count += 1
+            pending_first = False
+            prev = pos
+        close_block()
+        chain.count = len(positions)
+        chain.last_pos = prev
+        return chain
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def append(self, pos: int) -> None:
+        """Append one position ``> last_pos`` in O(1) block writes (§4.1)."""
+        if pos <= self.last_pos:
+            raise UpdateError(
+                f"appended position {pos} not beyond last position {self.last_pos}"
+            )
+        B = self.disk.block_bits
+        if self.blocks:
+            gap = pos - self.last_pos
+            need = gamma_length(gap)
+            used = self.block_used[-1]
+            if used + need <= B:
+                self._write_code(self.blocks[-1], used, gap)
+                self.block_used[-1] = used + need
+                self.block_counts[-1] += 1
+                self.count += 1
+                self.last_pos = pos
+                return
+        # Start a fresh block with an absolute first code.
+        code = pos + 1
+        need = gamma_length(code)
+        if need > B:
+            raise UpdateError("block size too small for a single gamma code")
+        block_id = self.disk.alloc_block() // B
+        self._write_code(block_id, 0, code)
+        self.blocks.append(block_id)
+        self.block_used.append(need)
+        self.block_counts.append(1)
+        self.count += 1
+        self.last_pos = pos
+
+    def _write_code(self, block_id: int, bit_offset: int, value: int) -> None:
+        writer = BitWriter()
+        write_gamma(writer, value)
+        data = int.from_bytes(writer.getvalue(), "big") >> (
+            len(writer.getvalue()) * 8 - writer.bit_length
+        )
+        self.disk.write_bits(
+            block_id * self.disk.block_bits + bit_offset, data, writer.bit_length
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read_positions(self) -> list[int]:
+        """Decode the whole chain; charges one read per block."""
+        out: list[int] = []
+        B = self.disk.block_bits
+        for block_id, used, cnt in zip(
+            self.blocks, self.block_used, self.block_counts
+        ):
+            reader = self.disk.reader(block_id * B, used)
+            decoded = decode_gaps(reader, cnt)
+            # Blocks resynchronize with pos+1 absolutes, matching the
+            # decode_gaps convention (first gap relative to -1).
+            out.extend(decoded)
+        return out
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def size_bits(self) -> int:
+        """Allocated footprint: whole blocks."""
+        return len(self.blocks) * self.disk.block_bits
+
+    @property
+    def used_bits(self) -> int:
+        """Bits actually encoding positions (compression-rate numerator)."""
+        return sum(self.block_used)
+
+    @property
+    def directory_bits(self) -> int:
+        """Per-block metadata: O(lg n) bits per block."""
+        return len(self.blocks) * 3 * 48

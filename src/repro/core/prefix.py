@@ -1,0 +1,59 @@
+"""The prefix-count array ``A`` of §2.1.
+
+``A[i]`` stores the cardinality of ``I[a1; ai]`` (with ``A[0] = 0``), so
+the answer cardinality of any range query is ``z = A[r+1] - A[l]`` at
+the cost of two O(1)-I/O array probes.  The query algorithm uses ``z``
+for two decisions before touching any bitmap: switch to the complement
+queries when ``z > n/2``, and (in §3) pick the hash granularity ``j``.
+
+The array lives on disk as fixed-width integers; probes go through the
+block cache, so repeated queries pay for it about once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import InvalidParameterError, QueryError
+from ..iomodel.disk import Disk
+
+
+class PrefixCounts:
+    """Disk-resident cumulative character counts."""
+
+    def __init__(self, disk: Disk, char_offsets: Sequence[int]) -> None:
+        """``char_offsets`` is ``A``: length ``sigma + 1``, increasing."""
+        if len(char_offsets) < 2:
+            raise InvalidParameterError("need at least one character")
+        if any(b < a for a, b in zip(char_offsets, char_offsets[1:])):
+            raise InvalidParameterError("prefix counts must be non-decreasing")
+        self.disk = disk
+        self.sigma = len(char_offsets) - 1
+        self.n = char_offsets[-1]
+        self.entry_bits = max(1, self.n.bit_length())
+        self._offset = disk.alloc((self.sigma + 1) * self.entry_bits)
+        for i, value in enumerate(char_offsets):
+            disk.write_bits(self._offset + i * self.entry_bits, value, self.entry_bits)
+
+    @property
+    def size_bits(self) -> int:
+        """Footprint: ``(sigma + 1) * ceil(lg(n+1))`` bits."""
+        return (self.sigma + 1) * self.entry_bits
+
+    def entry(self, i: int) -> int:
+        """Read ``A[i]`` (one O(1)-block probe)."""
+        if i < 0 or i > self.sigma:
+            raise QueryError(f"prefix index {i} outside [0, {self.sigma}]")
+        return self.disk.read_bits(
+            self._offset + i * self.entry_bits, self.entry_bits
+        )
+
+    def range_count(self, char_lo: int, char_hi: int) -> int:
+        """``z = A[r+1] - A[l]`` for the inclusive code range."""
+        if char_lo < 0 or char_hi >= self.sigma or char_lo > char_hi:
+            raise QueryError(f"invalid character range [{char_lo}, {char_hi}]")
+        return self.entry(char_hi + 1) - self.entry(char_lo)
+
+    def char_count(self, char: int) -> int:
+        """Occurrences of one character."""
+        return self.range_count(char, char)

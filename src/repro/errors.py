@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or method argument is outside its documented domain."""
+
+
+class StorageError(ReproError):
+    """The simulated block device was used incorrectly.
+
+    Typical causes: reading past the end of an allocated extent, or
+    writing to an address that was never allocated.
+    """
+
+
+class CodecError(ReproError):
+    """A bit-level codec was asked to decode malformed data."""
+
+
+class QueryError(ReproError, ValueError):
+    """A query was malformed (e.g. an empty or inverted alphabet range)."""
+
+
+class UpdateError(ReproError):
+    """A dynamic operation (append/change/delete) was invalid.
+
+    Examples: changing a position that does not exist, appending a
+    character outside the index alphabet when growth is disabled, or
+    deleting an already-deleted position.
+    """

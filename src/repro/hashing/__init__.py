@@ -1,0 +1,6 @@
+"""Universal hashing, including the XOR-fold family of §3."""
+
+from .universal import AffineHash, MultiplyShiftHash
+from .xorfold import XorFoldHash
+
+__all__ = ["AffineHash", "MultiplyShiftHash", "XorFoldHash"]

@@ -1,0 +1,85 @@
+"""Universal hash families.
+
+Section 3 needs, for each level ``j``, a function ``g_j`` drawn from a
+universal family mapping the high bits of a position into
+``[2^(2^j)]``.  We provide the classic multiply-shift family (universal
+for power-of-two ranges, which is all §3 uses) and an affine family over
+a prime field for callers that need a non-power-of-two range.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import InvalidParameterError
+
+_WORD_BITS = 64
+_MERSENNE_P = (1 << 61) - 1  # a Mersenne prime comfortably above any position
+
+
+class MultiplyShiftHash:
+    """``h(x) = ((a * x) mod 2^64) >> (64 - out_bits)`` with odd ``a``.
+
+    Dietzfelbinger et al.'s multiply-shift scheme: 2-approximately
+    universal into ``[2^out_bits]``, and fast — one multiply and one
+    shift per evaluation.
+    """
+
+    __slots__ = ("a", "out_bits")
+
+    def __init__(self, a: int, out_bits: int) -> None:
+        if out_bits < 0 or out_bits > _WORD_BITS:
+            raise InvalidParameterError("out_bits must be in [0, 64]")
+        if a % 2 == 0:
+            raise InvalidParameterError("multiplier must be odd")
+        self.a = a & ((1 << _WORD_BITS) - 1)
+        self.out_bits = out_bits
+
+    @classmethod
+    def sample(cls, rng: random.Random, out_bits: int) -> "MultiplyShiftHash":
+        """Draw a random member of the family."""
+        a = rng.getrandbits(_WORD_BITS) | 1
+        return cls(a, out_bits)
+
+    @property
+    def range_size(self) -> int:
+        return 1 << self.out_bits
+
+    def __call__(self, x: int) -> int:
+        if self.out_bits == 0:
+            return 0
+        return ((self.a * x) & ((1 << _WORD_BITS) - 1)) >> (
+            _WORD_BITS - self.out_bits
+        )
+
+
+class AffineHash:
+    """``h(x) = (((a x + b) mod p) mod m)`` — Carter-Wegman universal.
+
+    Used where the range ``m`` is not a power of two.
+    """
+
+    __slots__ = ("a", "b", "m")
+
+    def __init__(self, a: int, b: int, m: int) -> None:
+        if m <= 0:
+            raise InvalidParameterError("range must be positive")
+        if not 1 <= a < _MERSENNE_P:
+            raise InvalidParameterError("need 1 <= a < p")
+        if not 0 <= b < _MERSENNE_P:
+            raise InvalidParameterError("need 0 <= b < p")
+        self.a = a
+        self.b = b
+        self.m = m
+
+    @classmethod
+    def sample(cls, rng: random.Random, m: int) -> "AffineHash":
+        """Draw a random member of the family."""
+        return cls(rng.randrange(1, _MERSENNE_P), rng.randrange(_MERSENNE_P), m)
+
+    @property
+    def range_size(self) -> int:
+        return self.m
+
+    def __call__(self, x: int) -> int:
+        return ((self.a * x + self.b) % _MERSENNE_P) % self.m

@@ -1,0 +1,100 @@
+"""The XOR-fold hash family of §3, with cheap preimage enumeration.
+
+Section 3 describes "a well-known and particularly attractive universal
+family": split ``i`` into ``(i1, i2)`` where ``i2`` is the ``2^j`` least
+significant bits, pick ``g_j`` from a universal family into
+``[2^(2^j)]``, and let ``h_j(i1, i2) = g_j(i1) XOR i2``.
+
+Two properties make this family the right tool for approximate range
+queries:
+
+* it is universal, so the false-positive argument of §3 goes through;
+* the preimage of any hash value ``s`` is ``{(i1, s XOR g_j(i1))}`` —
+  one candidate per value of ``i1`` — so the (large) approximate answer
+  can be *generated* without further I/O, and membership of a given
+  position is testable in O(1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..errors import InvalidParameterError
+from .universal import MultiplyShiftHash
+
+
+class XorFoldHash:
+    """One member ``h(i) = g(i >> fold_bits) XOR (i mod 2^fold_bits)``.
+
+    ``fold_bits`` is the paper's ``2^j``: the output range is
+    ``[2^fold_bits]``, and ``g`` maps the remaining high bits into the
+    same range.
+    """
+
+    __slots__ = ("fold_bits", "g")
+
+    def __init__(self, fold_bits: int, g: MultiplyShiftHash) -> None:
+        if fold_bits < 0:
+            raise InvalidParameterError("fold_bits must be >= 0")
+        if g.out_bits != fold_bits:
+            raise InvalidParameterError(
+                "inner hash must map into the same power-of-two range"
+            )
+        self.fold_bits = fold_bits
+        self.g = g
+
+    @classmethod
+    def sample(cls, rng: random.Random, fold_bits: int) -> "XorFoldHash":
+        """Draw a random member with output range ``[2^fold_bits]``."""
+        return cls(fold_bits, MultiplyShiftHash.sample(rng, fold_bits))
+
+    @property
+    def range_size(self) -> int:
+        """Size of the hash range, ``2^fold_bits``."""
+        return 1 << self.fold_bits
+
+    def __call__(self, i: int) -> int:
+        fold = self.fold_bits
+        low = i & ((1 << fold) - 1)
+        return self.g(i >> fold) ^ low
+
+    # ------------------------------------------------------------------
+    # Preimages
+    # ------------------------------------------------------------------
+
+    def high_parts(self, universe: int) -> int:
+        """Number of distinct ``i1`` values for positions in ``[0, universe)``."""
+        if universe <= 0:
+            return 0
+        return ((universe - 1) >> self.fold_bits) + 1
+
+    def preimage_one(self, s: int, universe: int) -> Iterator[int]:
+        """All ``i`` in ``[0, universe)`` with ``h(i) == s``, increasing."""
+        fold = self.fold_bits
+        for i1 in range(self.high_parts(universe)):
+            i = (i1 << fold) | (s ^ self.g(i1))
+            if i < universe:
+                yield i
+
+    def preimage(self, hashed: set[int], universe: int) -> Iterator[int]:
+        """All ``i`` in ``[0, universe)`` whose hash lies in ``hashed``.
+
+        Yields positions in increasing order: for each ``i1`` block the
+        candidates are ``{(i1 << f) | (s XOR g(i1))}``, which are sorted
+        within the block, and blocks come in increasing ``i1``.
+        """
+        if not hashed:
+            return
+        fold = self.fold_bits
+        g = self.g
+        for i1 in range(self.high_parts(universe)):
+            mask = g(i1)
+            block = sorted((i1 << fold) | (s ^ mask) for s in hashed)
+            for i in block:
+                if i < universe:
+                    yield i
+
+    def preimage_size(self, hashed_count: int, universe: int) -> int:
+        """Upper bound on the number of candidates :meth:`preimage` yields."""
+        return hashed_count * self.high_parts(universe)

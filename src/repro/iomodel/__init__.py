@@ -1,0 +1,16 @@
+"""The I/O-model substrate: a simulated block device with exact accounting."""
+
+from .cache import LRUBlockCache
+from .disk import DEFAULT_BLOCK_BITS, DEFAULT_MEM_BLOCKS, Disk, Extent
+from .stats import IOStats, Measurement, Snapshot
+
+__all__ = [
+    "DEFAULT_BLOCK_BITS",
+    "DEFAULT_MEM_BLOCKS",
+    "Disk",
+    "Extent",
+    "IOStats",
+    "LRUBlockCache",
+    "Measurement",
+    "Snapshot",
+]

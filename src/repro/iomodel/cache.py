@@ -1,0 +1,79 @@
+"""An LRU cache of disk blocks modelling the internal memory ``M``.
+
+The paper assumes an internal memory of ``M`` bits, i.e. ``M / B``
+blocks.  A block access that hits the cache is free (it is an internal
+memory access, not an I/O); a miss costs one block transfer and evicts
+the least recently used resident block.
+
+The cache stores only block *identities* — the simulated disk keeps the
+actual bytes — because the cost model cares about which blocks are
+resident, not about duplicating their content.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import InvalidParameterError
+
+
+class LRUBlockCache:
+    """Tracks which block ids are resident in internal memory.
+
+    Parameters
+    ----------
+    capacity:
+        Number of blocks that fit in internal memory (``M / B``).  A
+        capacity of 0 disables caching entirely: every access is a miss,
+        which models the worst case where queries find nothing resident.
+    """
+
+    __slots__ = ("capacity", "_resident", "hits", "misses")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise InvalidParameterError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._resident
+
+    def access(self, block_id: int) -> bool:
+        """Record an access to ``block_id``.
+
+        Returns ``True`` on a hit (no I/O needed) and ``False`` on a
+        miss (the caller must charge one block transfer).  On a miss the
+        block becomes resident, evicting the LRU block if necessary.
+        """
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        resident = self._resident
+        if block_id in resident:
+            resident.move_to_end(block_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        resident[block_id] = None
+        if len(resident) > self.capacity:
+            resident.popitem(last=False)
+        return False
+
+    def evict(self, block_id: int) -> None:
+        """Drop ``block_id`` from the cache if present."""
+        self._resident.pop(block_id, None)
+
+    def clear(self) -> None:
+        """Empty the cache (e.g. to run a query cold)."""
+        self._resident.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters without evicting anything."""
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,270 @@
+"""A simulated block device for the I/O model.
+
+This is the substrate on which every index in this package stores its
+bits.  The device is a flat, bit-addressed, append-allocated store
+divided into blocks of ``block_bits`` bits (the paper's ``B``, measured
+in bits — see §1.4).  Every read or write touches a range of blocks;
+each touched block that is not resident in the internal-memory LRU cache
+(capacity ``mem_blocks`` blocks, i.e. ``M = mem_blocks * B`` bits) costs
+one block transfer, counted in :class:`repro.iomodel.stats.IOStats`.
+
+The data is *really stored*: reads hand back the actual bytes that were
+written, through a :class:`repro.bits.bitio.BitReader`.  This keeps the
+accounting honest — a structure cannot claim to answer a query without
+reading the blocks its answer lives in.
+
+Design notes
+------------
+* Allocations are byte-aligned (a waste of at most 7 bits per extent)
+  so that bulk writes are plain ``bytearray`` splices.  Block-aligned
+  allocation is available for structures that manage whole blocks, such
+  as the buffered trees of §4.
+* Writes are write-allocate: touching a non-resident block costs one
+  transfer and makes it resident; further reads *and writes* to a
+  resident block are free (the I/O model edits blocks in internal
+  memory).  Structures that the paper allows to keep a block pinned in
+  internal memory (e.g. the root buffer of §4.1.1) simply keep that
+  state in Python objects and never write it to disk, matching the
+  paper's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bits.bitio import BitReader
+from ..errors import InvalidParameterError, StorageError
+from .cache import LRUBlockCache
+from .stats import IOStats
+
+DEFAULT_BLOCK_BITS = 1024
+DEFAULT_MEM_BLOCKS = 64
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous range of bits on the device."""
+
+    offset: int
+    nbits: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbits
+
+
+class Disk:
+    """Bit-addressed block storage with exact I/O accounting.
+
+    Parameters
+    ----------
+    block_bits:
+        Block size ``B`` in bits; must be a positive multiple of 8.
+    mem_blocks:
+        Internal memory size in blocks (``M / B``).  0 disables caching.
+    stats:
+        Optional shared :class:`IOStats`; a fresh one is created if
+        omitted.
+    """
+
+    def __init__(
+        self,
+        block_bits: int = DEFAULT_BLOCK_BITS,
+        mem_blocks: int = DEFAULT_MEM_BLOCKS,
+        stats: IOStats | None = None,
+    ) -> None:
+        if block_bits <= 0 or block_bits % 8 != 0:
+            raise InvalidParameterError("block_bits must be a positive multiple of 8")
+        self.block_bits = block_bits
+        self.stats = stats if stats is not None else IOStats()
+        self.cache = LRUBlockCache(mem_blocks)
+        self._data = bytearray()
+        self._alloc_bits = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        """Total bits allocated so far."""
+        return self._alloc_bits
+
+    @property
+    def size_blocks(self) -> int:
+        """Number of blocks spanned by the allocated region."""
+        return (self._alloc_bits + self.block_bits - 1) // self.block_bits
+
+    def alloc(self, nbits: int, *, align_block: bool = False) -> int:
+        """Reserve ``nbits`` bits and return the starting bit offset.
+
+        Allocations are byte-aligned; with ``align_block=True`` the
+        extent starts on a block boundary (used by structures that
+        manage whole blocks, e.g. buffers and block chains).
+        """
+        if nbits < 0:
+            raise InvalidParameterError("cannot allocate a negative number of bits")
+        if align_block:
+            rem = self._alloc_bits % self.block_bits
+            if rem:
+                self._alloc_bits += self.block_bits - rem
+        else:
+            rem = self._alloc_bits % 8
+            if rem:
+                self._alloc_bits += 8 - rem
+        offset = self._alloc_bits
+        self._alloc_bits += nbits
+        needed = (self._alloc_bits + 7) // 8
+        if needed > len(self._data):
+            self._data.extend(b"\x00" * (needed - len(self._data)))
+        return offset
+
+    def alloc_block(self) -> int:
+        """Reserve one whole block; returns its starting bit offset."""
+        return self.alloc(self.block_bits, align_block=True)
+
+    def block_of(self, bit_offset: int) -> int:
+        """The block id containing ``bit_offset``."""
+        return bit_offset // self.block_bits
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _touch(self, first_block: int, last_block: int, *, write: bool) -> None:
+        # Cache-resident blocks absorb both reads and writes: the I/O
+        # model edits an in-memory block for free and pays one transfer
+        # to bring it in / flush it out.  We charge on the miss (write-
+        # allocate); with mem_blocks=0 every access is a transfer.
+        stats = self.stats
+        cache = self.cache
+        if write:
+            for bid in range(first_block, last_block + 1):
+                if not cache.access(bid):
+                    stats.writes += 1
+        else:
+            for bid in range(first_block, last_block + 1):
+                if not cache.access(bid):
+                    stats.reads += 1
+
+    def touch_range(self, offset: int, nbits: int, *, write: bool = False) -> None:
+        """Charge the I/O cost of touching ``[offset, offset+nbits)``.
+
+        Used for directory structures whose cost must be counted even
+        when the caller keeps a decoded copy (e.g. tree-node records
+        visited during a root-to-leaf descent).
+        """
+        if nbits <= 0:
+            return
+        B = self.block_bits
+        self._touch(offset // B, (offset + nbits - 1) // B, write=write)
+        if write:
+            self.stats.bits_written += nbits
+        else:
+            self.stats.bits_read += nbits
+
+    def touch_block(self, block_id: int, *, write: bool = False) -> None:
+        """Charge the cost of touching one whole block by id."""
+        self._touch(block_id, block_id, write=write)
+        if write:
+            self.stats.bits_written += self.block_bits
+        else:
+            self.stats.bits_read += self.block_bits
+
+    def flush_cache(self) -> None:
+        """Evict everything from internal memory (run the next query cold)."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # Bulk byte-aligned I/O
+    # ------------------------------------------------------------------
+
+    def write_bytes(self, offset: int, data: bytes, nbits: int) -> None:
+        """Write ``nbits`` bits of ``data`` at byte-aligned ``offset``."""
+        if offset % 8 != 0:
+            raise StorageError("write_bytes requires a byte-aligned offset")
+        if offset + nbits > self._alloc_bits:
+            raise StorageError("write past the end of the allocated region")
+        nbytes = (nbits + 7) // 8
+        if len(data) < nbytes:
+            raise StorageError("data shorter than the declared bit length")
+        if nbits == 0:
+            return
+        start = offset // 8
+        self._data[start : start + nbytes] = data[:nbytes]
+        B = self.block_bits
+        self._touch(offset // B, (offset + nbits - 1) // B, write=True)
+        self.stats.bits_written += nbits
+
+    def store(self, data: bytes, nbits: int, *, align_block: bool = False) -> Extent:
+        """Allocate space for ``nbits`` bits, write them, return the extent."""
+        offset = self.alloc(nbits, align_block=align_block)
+        self.write_bytes(offset, data, nbits)
+        return Extent(offset, nbits)
+
+    def reader(self, offset: int, nbits: int) -> BitReader:
+        """Read ``[offset, offset+nbits)`` and return a bit reader over it.
+
+        The whole extent is charged up front (the query algorithms in the
+        paper always consume entire compressed bitmaps or whole blocks).
+        """
+        if nbits < 0 or offset < 0 or offset + nbits > self._alloc_bits:
+            raise StorageError(
+                f"read [{offset}, {offset + nbits}) outside allocated "
+                f"region of {self._alloc_bits} bits"
+            )
+        if nbits:
+            B = self.block_bits
+            self._touch(offset // B, (offset + nbits - 1) // B, write=False)
+            self.stats.bits_read += nbits
+        return BitReader(bytes(self._data), bit_offset=offset, bit_length=nbits)
+
+    def read_extent(self, extent: Extent) -> BitReader:
+        """Shorthand for :meth:`reader` on an :class:`Extent`."""
+        return self.reader(extent.offset, extent.nbits)
+
+    # ------------------------------------------------------------------
+    # Sub-byte random access
+    # ------------------------------------------------------------------
+
+    def read_bits(self, offset: int, nbits: int) -> int:
+        """Read ``nbits`` bits at any bit offset as an unsigned integer."""
+        if nbits == 0:
+            return 0
+        if offset < 0 or offset + nbits > self._alloc_bits:
+            raise StorageError("read outside the allocated region")
+        B = self.block_bits
+        self._touch(offset // B, (offset + nbits - 1) // B, write=False)
+        self.stats.bits_read += nbits
+        first = offset >> 3
+        end = offset + nbits
+        last = (end - 1) >> 3
+        chunk = int.from_bytes(self._data[first : last + 1], "big")
+        right = ((last + 1) << 3) - end
+        return (chunk >> right) & ((1 << nbits) - 1)
+
+    def write_bits(self, offset: int, value: int, nbits: int) -> None:
+        """Write ``value`` into ``nbits`` bits at any bit offset.
+
+        Performs a read-modify-write of the covering bytes; the I/O
+        charge is one transfer per touched non-resident block (see
+        ``_touch``).
+        """
+        if nbits == 0:
+            return
+        if value < 0 or value >> nbits:
+            raise StorageError("value does not fit in the declared bit width")
+        if offset < 0 or offset + nbits > self._alloc_bits:
+            raise StorageError("write outside the allocated region")
+        first = offset >> 3
+        end = offset + nbits
+        last = (end - 1) >> 3
+        width = last - first + 1
+        chunk = int.from_bytes(self._data[first : last + 1], "big")
+        right = ((last + 1) << 3) - end
+        mask = ((1 << nbits) - 1) << right
+        chunk = (chunk & ~mask) | (value << right)
+        self._data[first : last + 1] = chunk.to_bytes(width, "big")
+        B = self.block_bits
+        self._touch(offset // B, (end - 1) // B, write=True)
+        self.stats.bits_written += nbits

@@ -1,0 +1,137 @@
+"""I/O statistics for the simulated block device.
+
+The paper analyzes every data structure in the I/O model of Aggarwal and
+Vitter: the cost of an operation is the number of memory blocks read and
+written, where a block holds ``B`` bits.  This module provides the
+counters that realize that cost model.  Every block transfer performed by
+:class:`repro.iomodel.disk.Disk` increments these counters, so a query's
+measured cost is exactly the quantity bounded by the paper's theorems.
+
+Use :meth:`IOStats.measure` to capture the cost of a region of code::
+
+    with disk.stats.measure() as m:
+        index.range_query(3, 17)
+    print(m.reads, m.writes)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class Snapshot:
+    """An immutable copy of the counters at one instant."""
+
+    reads: int = 0
+    writes: int = 0
+    bits_read: int = 0
+    bits_written: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total block transfers (reads plus writes)."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "Snapshot") -> "Snapshot":
+        return Snapshot(
+            reads=self.reads - other.reads,
+            writes=self.writes - other.writes,
+            bits_read=self.bits_read - other.bits_read,
+            bits_written=self.bits_written - other.bits_written,
+        )
+
+
+class Measurement:
+    """The result of a :meth:`IOStats.measure` region.
+
+    Attributes are populated when the ``with`` block exits; reading them
+    earlier reflects the counters so far.
+    """
+
+    def __init__(self, stats: "IOStats") -> None:
+        self._stats = stats
+        self._start = stats.snapshot()
+        self._end: Snapshot | None = None
+
+    def _finish(self) -> None:
+        self._end = self._stats.snapshot()
+
+    def _delta(self) -> Snapshot:
+        end = self._end if self._end is not None else self._stats.snapshot()
+        return end - self._start
+
+    @property
+    def reads(self) -> int:
+        """Blocks read during the measured region."""
+        return self._delta().reads
+
+    @property
+    def writes(self) -> int:
+        """Blocks written during the measured region."""
+        return self._delta().writes
+
+    @property
+    def total(self) -> int:
+        """Blocks transferred (read + written) during the region."""
+        return self._delta().total
+
+    @property
+    def bits_read(self) -> int:
+        """Payload bits requested by reads during the region.
+
+        This is the amount of *useful* data the caller asked for; the
+        block counters also charge for the unused remainder of each
+        touched block, exactly as the I/O model does.
+        """
+        return self._delta().bits_read
+
+    @property
+    def bits_written(self) -> int:
+        """Payload bits covered by writes during the region."""
+        return self._delta().bits_written
+
+
+class IOStats:
+    """Mutable block-transfer counters shared by one simulated disk."""
+
+    __slots__ = ("reads", "writes", "bits_read", "bits_written")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bits_read = 0
+        self.bits_written = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.bits_read = 0
+        self.bits_written = 0
+
+    def snapshot(self) -> Snapshot:
+        """Return an immutable copy of the current counters."""
+        return Snapshot(self.reads, self.writes, self.bits_read, self.bits_written)
+
+    @property
+    def total(self) -> int:
+        """Total block transfers so far."""
+        return self.reads + self.writes
+
+    @contextmanager
+    def measure(self) -> Iterator[Measurement]:
+        """Context manager capturing the I/O cost of the enclosed code."""
+        m = Measurement(self)
+        try:
+            yield m
+        finally:
+            m._finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IOStats(reads={self.reads}, writes={self.writes}, "
+            f"bits_read={self.bits_read}, bits_written={self.bits_written})"
+        )

@@ -1,0 +1,41 @@
+"""Alphabets, entropy bounds, and workload generators."""
+
+from .alphabet import Alphabet
+from .distributions import (
+    DISTRIBUTIONS,
+    by_name,
+    clustered,
+    heavy_hitter,
+    markov_runs,
+    sequential,
+    uniform,
+    zipf,
+)
+from .entropy import (
+    char_counts,
+    entropy_bits,
+    h0,
+    h0_from_counts,
+    lg_binomial,
+    output_bound_bits,
+    set_bound_bits,
+)
+
+__all__ = [
+    "Alphabet",
+    "DISTRIBUTIONS",
+    "by_name",
+    "char_counts",
+    "clustered",
+    "entropy_bits",
+    "h0",
+    "h0_from_counts",
+    "heavy_hitter",
+    "lg_binomial",
+    "markov_runs",
+    "output_bound_bits",
+    "sequential",
+    "set_bound_bits",
+    "uniform",
+    "zipf",
+]

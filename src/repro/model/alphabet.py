@@ -1,0 +1,95 @@
+"""Mapping arbitrary ordered values onto the dense alphabet ``[0, sigma)``.
+
+The paper assumes without loss of generality that ``sigma <= n``: "if it
+is larger, use a dictionary to map to a smaller alphabet" (§1.1).  This
+module is that dictionary.  Indexes operate on dense integer codes; user
+queries arrive in value space and are translated with the floor/ceiling
+semantics a secondary index needs (a range ``[lo, hi]`` in value space
+covers every *occurring* value within it, whether or not the endpoints
+occur).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Hashable, Iterable, Sequence, TypeVar
+
+from ..errors import InvalidParameterError, QueryError
+
+V = TypeVar("V", bound=Hashable)
+
+
+class Alphabet(Generic[V]):
+    """A bijection between occurring values and codes ``0..sigma-1``.
+
+    Values must be mutually comparable (a totally ordered domain such as
+    ints, floats, strings, dates).
+    """
+
+    __slots__ = ("_values", "_code_of")
+
+    def __init__(self, values: Iterable[V]) -> None:
+        distinct = sorted(set(values))
+        if not distinct:
+            raise InvalidParameterError("alphabet cannot be empty")
+        self._values: list[V] = distinct
+        self._code_of = {v: c for c, v in enumerate(distinct)}
+
+    @classmethod
+    def from_string(cls, x: Sequence[V]) -> "Alphabet[V]":
+        """Build the alphabet of the values occurring in ``x``."""
+        return cls(x)
+
+    @property
+    def sigma(self) -> int:
+        """Alphabet size."""
+        return len(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: V) -> bool:
+        return value in self._code_of
+
+    def code(self, value: V) -> int:
+        """The dense code of an occurring value."""
+        try:
+            return self._code_of[value]
+        except KeyError:
+            raise QueryError(f"value {value!r} does not occur") from None
+
+    def value(self, code: int) -> V:
+        """The value a dense code stands for."""
+        if code < 0 or code >= len(self._values):
+            raise QueryError(f"code {code} outside [0, {len(self._values)})")
+        return self._values[code]
+
+    def encode(self, x: Iterable[V]) -> list[int]:
+        """Encode a sequence of occurring values into codes."""
+        code_of = self._code_of
+        try:
+            return [code_of[v] for v in x]
+        except KeyError as exc:
+            raise QueryError(f"value {exc.args[0]!r} does not occur") from None
+
+    def decode(self, codes: Iterable[int]) -> list[V]:
+        """Decode a sequence of codes back into values."""
+        return [self.value(c) for c in codes]
+
+    def code_range(self, lo: V, hi: V) -> tuple[int, int] | None:
+        """Translate a value range ``[lo, hi]`` into a code range.
+
+        Returns ``None`` when no occurring value falls inside the range
+        (the query answer is empty); otherwise the inclusive code pair.
+        """
+        if hi < lo:  # type: ignore[operator]
+            raise QueryError("range upper bound below lower bound")
+        left = bisect.bisect_left(self._values, lo)
+        right = bisect.bisect_right(self._values, hi) - 1
+        if left > right:
+            return None
+        return left, right
+
+    def values(self) -> list[V]:
+        """All occurring values in increasing order."""
+        return list(self._values)

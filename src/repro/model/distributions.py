@@ -1,0 +1,148 @@
+"""Workload string generators.
+
+The paper motivates its structures with OLAP, information-retrieval and
+scientific workloads (§1): attributes with uniform, skewed (Zipf),
+clustered, and run-heavy distributions.  These generators produce the
+strings every experiment indexes; all take a ``seed`` so the benchmark
+tables are reproducible run to run.
+
+Every generator returns a list of dense character codes in
+``[0, sigma)`` of length ``n``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Callable
+
+from ..errors import InvalidParameterError
+
+Generator = Callable[..., list[int]]
+
+
+def _check(n: int, sigma: int) -> None:
+    if n < 0:
+        raise InvalidParameterError("n must be >= 0")
+    if sigma <= 0:
+        raise InvalidParameterError("sigma must be >= 1")
+
+
+def uniform(n: int, sigma: int, seed: int = 0) -> list[int]:
+    """Each position drawn independently and uniformly from the alphabet."""
+    _check(n, sigma)
+    rng = random.Random(seed)
+    return [rng.randrange(sigma) for _ in range(n)]
+
+
+def zipf(n: int, sigma: int, theta: float = 1.0, seed: int = 0) -> list[int]:
+    """Zipf-distributed characters: ``P(code k) ∝ 1 / (k+1)^theta``.
+
+    ``theta = 0`` degenerates to uniform; larger ``theta`` concentrates
+    mass on low codes, driving ``H0`` well below ``lg sigma`` — the
+    regime where Theorem 2's entropy-bounded space separates from the
+    ``O(n lg^2 sigma)`` bound of Theorem 1.
+    """
+    _check(n, sigma)
+    if theta < 0:
+        raise InvalidParameterError("theta must be >= 0")
+    rng = random.Random(seed)
+    weights = [1.0 / (k + 1) ** theta for k in range(sigma)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+    out = []
+    for _ in range(n):
+        r = rng.random() * total
+        out.append(bisect.bisect_left(cumulative, r))
+    return out
+
+
+def heavy_hitter(
+    n: int, sigma: int, fraction: float = 0.6, hot: int = 0, seed: int = 0
+) -> list[int]:
+    """One character receives ``fraction`` of all positions.
+
+    Exercises the heavy-character handling of §2.2 ("no character has
+    more than n/2 occurrences ... otherwise expand the alphabet"): with
+    ``fraction > 0.5`` a single character dominates the string.
+    """
+    _check(n, sigma)
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParameterError("fraction must be in [0, 1]")
+    if not 0 <= hot < sigma:
+        raise InvalidParameterError("hot character outside the alphabet")
+    rng = random.Random(seed)
+    others = [c for c in range(sigma) if c != hot] or [hot]
+    return [
+        hot if rng.random() < fraction else rng.choice(others) for _ in range(n)
+    ]
+
+
+def clustered(n: int, sigma: int, seed: int = 0) -> list[int]:
+    """A sorted string with noise-free contiguous runs per character.
+
+    Models a clustered attribute (e.g. data loaded in key order), the
+    best case for run-length-compressed bitmaps.
+    """
+    _check(n, sigma)
+    rng = random.Random(seed)
+    # Random cut points split [0, n) into sigma contiguous (possibly
+    # empty) runs, one per character in order.
+    cuts = sorted(rng.randrange(n + 1) for _ in range(sigma - 1))
+    bounds = [0, *cuts, n]
+    out: list[int] = []
+    for code in range(sigma):
+        out.extend([code] * (bounds[code + 1] - bounds[code]))
+    return out
+
+
+def markov_runs(
+    n: int, sigma: int, stay: float = 0.9, seed: int = 0
+) -> list[int]:
+    """A two-state-per-symbol Markov chain: repeat with probability ``stay``.
+
+    Produces bursty strings whose per-character bitmaps have long runs —
+    the workload where run-length encoding shines (§1.2).
+    """
+    _check(n, sigma)
+    if not 0.0 <= stay < 1.0:
+        raise InvalidParameterError("stay probability must be in [0, 1)")
+    rng = random.Random(seed)
+    out: list[int] = []
+    current = rng.randrange(sigma)
+    for _ in range(n):
+        if rng.random() >= stay:
+            current = rng.randrange(sigma)
+        out.append(current)
+    return out
+
+
+def sequential(n: int, sigma: int, seed: int = 0) -> list[int]:
+    """Round-robin characters: position ``i`` holds ``i mod sigma``.
+
+    The exactly-uniform workload of §1.2's lower-bound example (each
+    character occurs ``n / sigma`` times).
+    """
+    _check(n, sigma)
+    return [i % sigma for i in range(n)]
+
+
+DISTRIBUTIONS: dict[str, Generator] = {
+    "uniform": uniform,
+    "zipf": zipf,
+    "heavy_hitter": heavy_hitter,
+    "clustered": clustered,
+    "markov_runs": markov_runs,
+    "sequential": sequential,
+}
+
+
+def by_name(name: str) -> Generator:
+    """Look up a generator by its registry name."""
+    try:
+        return DISTRIBUTIONS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown distribution {name!r}; choose from {sorted(DISTRIBUTIONS)}"
+        ) from None

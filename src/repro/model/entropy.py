@@ -1,0 +1,88 @@
+"""Information-theoretic yardsticks used throughout the paper.
+
+Every space bound in the paper is stated against one of two baselines:
+
+* ``n * H0(x)`` — the 0th-order empirical entropy of the string
+  (Theorems 2-7);
+* ``lg C(n, m)`` — the minimum space for a bitmap of cardinality ``m``
+  over a universe of ``n`` (§1.2), which the gap/gamma coding matches
+  within a constant factor.
+
+Benchmarks report measured sizes as ratios against these quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import InvalidParameterError
+
+_LN2 = math.log(2.0)
+
+
+def char_counts(x: Iterable[int]) -> Counter[int]:
+    """Occurrence counts per character code."""
+    return Counter(x)
+
+
+def h0_from_counts(counts: Mapping[int, int] | Sequence[int]) -> float:
+    """0th-order entropy in bits per symbol from occurrence counts."""
+    if isinstance(counts, Mapping):
+        values = [c for c in counts.values() if c]
+    else:
+        values = [c for c in counts if c]
+    n = sum(values)
+    if n == 0:
+        return 0.0
+    if any(c < 0 for c in values):
+        raise InvalidParameterError("counts must be non-negative")
+    h = 0.0
+    for c in values:
+        p = c / n
+        h -= p * math.log2(p)
+    return h
+
+
+def h0(x: Sequence[int]) -> float:
+    """0th-order entropy of a string, in bits per symbol."""
+    return h0_from_counts(char_counts(x))
+
+
+def entropy_bits(x: Sequence[int]) -> float:
+    """``n * H0(x)`` — the paper's space baseline in total bits."""
+    return len(x) * h0(x)
+
+
+def lg_binomial(n: int, m: int) -> float:
+    """``lg C(n, m)`` computed stably via ``lgamma``.
+
+    This is the information-theoretic minimum number of bits to
+    represent a set of ``m`` elements out of ``n`` (§1.2).
+    """
+    if m < 0 or n < 0 or m > n:
+        raise InvalidParameterError("need 0 <= m <= n")
+    if m == 0 or m == n:
+        return 0.0
+    return (
+        math.lgamma(n + 1) - math.lgamma(m + 1) - math.lgamma(n - m + 1)
+    ) / _LN2
+
+
+def set_bound_bits(n: int, m: int) -> float:
+    """``m lg(n/m) + Theta(m)`` — the sparse-bitmap bound of §1.2.
+
+    Uses the exact binomial, which the asymptotic expression stands for.
+    """
+    return lg_binomial(n, m)
+
+
+def output_bound_bits(n: int, z: int) -> float:
+    """Minimum bits for a query answer of cardinality ``z`` (§1.1).
+
+    The paper's structures answer with ``O(lg C(n, z))`` bits; query
+    I/O optimality is measured against this divided by ``B``.
+    """
+    z = min(z, n - z) if n else 0  # complement trick: answer or its complement
+    return lg_binomial(n, max(z, 0))

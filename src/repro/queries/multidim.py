@@ -1,0 +1,256 @@
+"""The general query families of §1, built from one-dimensional indexes.
+
+Beyond plain conjunctions, the paper argues (§1) that a collection of
+one-dimensional secondary indexes answers queries no practical
+multi-dimensional structure handles at high ``d``:
+
+* **approximate range search** — "find points that are in the range in
+  at least ``d1`` out of ``d`` dimensions";
+* **partial match** — "find points that match range conditions in
+  ``d1`` given dimensions, where ``d1 << d``";
+* arbitrary boolean combinations of range conditions (the
+  union-intersection expressions of reference [5]).
+
+Each function runs in two modes: *exact* (one Theorem-2 range query per
+dimension, then set algebra) and *approximate* (one Theorem-3 filter
+per dimension, candidates generated from a preimage and cross-checked
+in O(1) per dimension; §3 notes intersections of approximate results
+are "easy: simply compute the preimage of the intersection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..bits.ops import (
+    complement_sorted,
+    intersect_sorted,
+    union_sorted,
+)
+from ..core.approximate import ApproximatePaghRaoIndex, ApproximateResult
+from ..core.interface import RangeResult, SecondaryIndex
+from ..errors import QueryError
+
+
+# ----------------------------------------------------------------------
+# Per-dimension answers
+# ----------------------------------------------------------------------
+
+
+def _exact_positions(
+    index: SecondaryIndex, code_range: tuple[int, int]
+) -> list[int]:
+    return index.range_query(*code_range).positions()
+
+
+def _filter(
+    index: ApproximatePaghRaoIndex,
+    code_range: tuple[int, int],
+    eps: float,
+) -> "ApproximateResult | RangeResult":
+    return index.approx_range_query(*code_range, eps)
+
+
+def _might_contain(answer, position: int) -> bool:
+    if isinstance(answer, ApproximateResult):
+        return answer.might_contain(position)
+    return position in answer
+
+
+# ----------------------------------------------------------------------
+# At-least-k matching (approximate range search, §1)
+# ----------------------------------------------------------------------
+
+
+def at_least_k_exact(
+    indexes: Sequence[SecondaryIndex],
+    code_ranges: Sequence[tuple[int, int]],
+    k: int,
+) -> list[int]:
+    """Positions inside the range in at least ``k`` of ``d`` dimensions.
+
+    Exact evaluation: one range query per dimension, then a counting
+    merge over the sorted per-dimension answers.
+    """
+    d = len(indexes)
+    if len(code_ranges) != d:
+        raise QueryError("one code range per index required")
+    if not 1 <= k <= d:
+        raise QueryError(f"need 1 <= k <= {d}")
+    counts: dict[int, int] = {}
+    for index, code_range in zip(indexes, code_ranges):
+        for p in _exact_positions(index, code_range):
+            counts[p] = counts.get(p, 0) + 1
+    return sorted(p for p, c in counts.items() if c >= k)
+
+
+def at_least_k_approximate(
+    indexes: Sequence[ApproximatePaghRaoIndex],
+    code_ranges: Sequence[tuple[int, int]],
+    k: int,
+    eps: float,
+) -> list[int]:
+    """Approximate at-least-k: a superset of the exact answer.
+
+    Candidates are generated from the union of the d filters'
+    candidate streams and kept when at least ``k`` filters accept them.
+    A position inside the range in only ``j < k`` dimensions survives
+    with probability at most ``C(d-j, k-j) * eps^(k-j)``.
+    """
+    d = len(indexes)
+    if len(code_ranges) != d:
+        raise QueryError("one code range per index required")
+    if not 1 <= k <= d:
+        raise QueryError(f"need 1 <= k <= {d}")
+    answers = [
+        _filter(index, code_range, eps)
+        for index, code_range in zip(indexes, code_ranges)
+    ]
+    # Candidate pool: positions some filter might contain.  Exact
+    # answers contribute their positions; approximate ones their
+    # preimage candidates.
+    pool: set[int] = set()
+    for answer in answers:
+        if isinstance(answer, ApproximateResult):
+            pool.update(answer.iter_candidates())
+        else:
+            pool.update(answer.positions())
+    out = [
+        p
+        for p in pool
+        if sum(1 for a in answers if _might_contain(a, p)) >= k
+    ]
+    out.sort()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Partial match (§1)
+# ----------------------------------------------------------------------
+
+
+def partial_match_exact(
+    indexes: Mapping[int, SecondaryIndex],
+    code_ranges: Mapping[int, tuple[int, int]],
+) -> list[int]:
+    """Conjunction over a chosen subset of dimensions (exact)."""
+    if not code_ranges:
+        raise QueryError("partial match requires at least one dimension")
+    result: list[int] | None = None
+    for dim, code_range in code_ranges.items():
+        try:
+            index = indexes[dim]
+        except KeyError:
+            raise QueryError(f"no index for dimension {dim}") from None
+        positions = _exact_positions(index, code_range)
+        result = positions if result is None else intersect_sorted(result, positions)
+        if not result:
+            return []
+    assert result is not None
+    return result
+
+
+def partial_match_approximate(
+    indexes: Mapping[int, ApproximatePaghRaoIndex],
+    code_ranges: Mapping[int, tuple[int, int]],
+    eps: float,
+) -> list[int]:
+    """Conjunction over a subset of dimensions via Theorem-3 filters.
+
+    Enumerates the candidate stream of the most selective filter and
+    keeps positions every other filter accepts (false survivors die off
+    as ``eps`` per additional dimension).
+    """
+    if not code_ranges:
+        raise QueryError("partial match requires at least one dimension")
+    answers = {}
+    for dim, code_range in code_ranges.items():
+        try:
+            index = indexes[dim]
+        except KeyError:
+            raise QueryError(f"no index for dimension {dim}") from None
+        answers[dim] = _filter(index, code_range, eps)
+    # Seed: the exact answer with fewest positions, else the filter
+    # with the smallest candidate bound.
+    exact = {
+        d: a for d, a in answers.items() if not isinstance(a, ApproximateResult)
+    }
+    if exact:
+        seed_dim = min(exact, key=lambda d: exact[d].cardinality)
+        seed = exact[seed_dim].positions()
+    else:
+        seed_dim = min(answers, key=lambda d: answers[d].candidate_bound)
+        seed = list(answers[seed_dim].iter_candidates())
+    rest = [a for d, a in answers.items() if d != seed_dim]
+    return [p for p in seed if all(_might_contain(a, p) for a in rest)]
+
+
+# ----------------------------------------------------------------------
+# Boolean plans (union-intersection expressions, reference [5])
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A leaf condition: dimension and inclusive code range."""
+
+    dim: int
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class And:
+    parts: tuple  # of expressions
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Not:
+    part: object
+
+
+def evaluate_expression(
+    expr,
+    indexes: Mapping[int, SecondaryIndex],
+    universe: int,
+) -> list[int]:
+    """Exactly evaluate an And/Or/Not tree over Cond leaves.
+
+    Leaves cost one range query each; the combination is sorted-set
+    algebra, mirroring how a query plan ANDs RID lists (§1's
+    "RID intersection ... common in OLAP").
+    """
+    if isinstance(expr, Cond):
+        try:
+            index = indexes[expr.dim]
+        except KeyError:
+            raise QueryError(f"no index for dimension {expr.dim}") from None
+        return index.range_query(expr.lo, expr.hi).positions()
+    if isinstance(expr, And):
+        if not expr.parts:
+            raise QueryError("empty And")
+        out = evaluate_expression(expr.parts[0], indexes, universe)
+        for part in expr.parts[1:]:
+            if not out:
+                break
+            out = intersect_sorted(
+                out, evaluate_expression(part, indexes, universe)
+            )
+        return out
+    if isinstance(expr, Or):
+        if not expr.parts:
+            raise QueryError("empty Or")
+        return union_sorted(
+            [evaluate_expression(p, indexes, universe) for p in expr.parts]
+        )
+    if isinstance(expr, Not):
+        return complement_sorted(
+            evaluate_expression(expr.part, indexes, universe), universe
+        )
+    raise QueryError(f"unknown expression node {type(expr).__name__}")

@@ -1,0 +1,181 @@
+"""Multi-attribute tables queried by RID intersection (§1, §3).
+
+The paper's motivating application: "in a database of people we may
+want to find all married men of age 33", answered by intersecting the
+results of one secondary index per attribute.  This module provides
+
+* :class:`Table` — named columns over arbitrary ordered values, each
+  carrying an :class:`~repro.model.alphabet.Alphabet` and a secondary
+  index (any :class:`~repro.core.interface.SecondaryIndex` factory);
+* exact conjunctive range queries via sorted-list intersection;
+* approximate conjunctive queries via Theorem 3: each dimension returns
+  a compressed hashed filter; candidates are generated from the first
+  filter's preimage and cross-checked in O(1) per dimension, so a row
+  matching only ``k`` of ``d`` conditions survives with probability at
+  most ``eps^(d-k)``; survivors are finally verified against the base
+  table ("false positives can be filtered away when accessing the
+  associated data", §1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.approximate import ApproximatePaghRaoIndex, ApproximateResult
+from ..core.interface import SecondaryIndex
+from ..core.static_index import PaghRaoIndex
+from ..bits.ops import intersect_many
+from ..errors import InvalidParameterError, QueryError
+from ..model.alphabet import Alphabet
+
+IndexFactory = Callable[[Sequence[int], int], SecondaryIndex]
+
+
+def default_factory(codes: Sequence[int], sigma: int) -> SecondaryIndex:
+    """Theorem-2 index, the package default."""
+    return PaghRaoIndex(codes, sigma)
+
+
+def approximate_factory(seed: int = 0) -> IndexFactory:
+    """Factory producing Theorem-3 indexes (needed for approximate mode)."""
+
+    def make(codes: Sequence[int], sigma: int) -> SecondaryIndex:
+        return ApproximatePaghRaoIndex(codes, sigma, seed=seed)
+
+    return make
+
+
+class Column:
+    """One attribute: values, their alphabet, and a secondary index."""
+
+    def __init__(
+        self, name: str, values: Sequence[Any], factory: IndexFactory
+    ) -> None:
+        if not values:
+            raise InvalidParameterError(f"column {name!r} is empty")
+        self.name = name
+        self.values = list(values)
+        self.alphabet = Alphabet(values)
+        self.codes = self.alphabet.encode(values)
+        self.index = factory(self.codes, self.alphabet.sigma)
+
+    def code_range(self, lo: Any, hi: Any) -> tuple[int, int] | None:
+        return self.alphabet.code_range(lo, hi)
+
+
+class Table:
+    """Columns of equal length with one secondary index each."""
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence[Any]],
+        factory: IndexFactory = default_factory,
+    ) -> None:
+        if not columns:
+            raise InvalidParameterError("a table needs at least one column")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise InvalidParameterError("columns must have equal length")
+        self.num_rows = lengths.pop()
+        self.columns: dict[str, Column] = {
+            name: Column(name, values, factory)
+            for name, values in columns.items()
+        }
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise QueryError(f"unknown column {name!r}") from None
+
+    def row(self, rid: int) -> dict[str, Any]:
+        """Fetch one row's attribute values (the "associated data")."""
+        if rid < 0 or rid >= self.num_rows:
+            raise QueryError(f"row id {rid} outside [0, {self.num_rows})")
+        return {name: col.values[rid] for name, col in self.columns.items()}
+
+    # ------------------------------------------------------------------
+    # Exact RID intersection
+    # ------------------------------------------------------------------
+
+    def select(self, conditions: Mapping[str, tuple[Any, Any]]) -> list[int]:
+        """Row ids matching every ``column: (lo, hi)`` range condition.
+
+        One alphabet range query per dimension, then a sorted-list
+        intersection — the RID-intersection plan of §1.
+        """
+        if not conditions:
+            raise QueryError("select requires at least one condition")
+        per_dim: list[list[int]] = []
+        for name, (lo, hi) in conditions.items():
+            col = self.column(name)
+            code_range = col.code_range(lo, hi)
+            if code_range is None:
+                return []
+            result = col.index.range_query(*code_range)
+            per_dim.append(result.positions())
+        return intersect_many(per_dim)
+
+    # ------------------------------------------------------------------
+    # Approximate RID intersection (§3)
+    # ------------------------------------------------------------------
+
+    def select_approximate(
+        self,
+        conditions: Mapping[str, tuple[Any, Any]],
+        eps: float,
+        verify: bool = True,
+    ) -> list[int]:
+        """Candidate row ids via Theorem-3 filters.
+
+        Every dimension answers with a hashed filter read in
+        ``O(z lg(1/eps))`` bits; candidates enumerate the smallest
+        filter's preimage and must pass every other filter.  With
+        ``verify=True`` the survivors are checked against the base
+        table, yielding the exact answer (the paper's final filtering
+        during data access).
+        """
+        if not conditions:
+            raise QueryError("select requires at least one condition")
+        filters: list[ApproximateResult] = []
+        exact_dims: list[list[int]] = []
+        for name, (lo, hi) in conditions.items():
+            col = self.column(name)
+            index = col.index
+            if not isinstance(index, ApproximatePaghRaoIndex):
+                raise QueryError(
+                    f"column {name!r} does not carry an approximate index; "
+                    "build the Table with approximate_factory()"
+                )
+            code_range = col.code_range(lo, hi)
+            if code_range is None:
+                return []
+            answer = index.approx_range_query(*code_range, eps)
+            if isinstance(answer, ApproximateResult):
+                filters.append(answer)
+            else:
+                exact_dims.append(answer.positions())
+        if filters:
+            seed_filter = min(filters, key=lambda f: f.candidate_bound)
+            rest = [f for f in filters if f is not seed_filter]
+            candidates = [
+                p
+                for p in seed_filter.iter_candidates()
+                if all(f.might_contain(p) for f in rest)
+            ]
+            if exact_dims:
+                candidates = intersect_many([candidates, *exact_dims])
+        else:
+            candidates = intersect_many(exact_dims)
+        if not verify:
+            return candidates
+        return [rid for rid in candidates if self._matches(rid, conditions)]
+
+    def _matches(
+        self, rid: int, conditions: Mapping[str, tuple[Any, Any]]
+    ) -> bool:
+        for name, (lo, hi) in conditions.items():
+            value = self.columns[name].values[rid]
+            if not (lo <= value <= hi):
+                return False
+        return True

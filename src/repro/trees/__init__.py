@@ -1,0 +1,22 @@
+"""Tree substrates: weight-balanced trees, blocked layout, B-trees, buffers."""
+
+from .blocked_layout import TreeLayout, default_record_bits
+from .btree import BTree
+from .buffers import NodeBuffer
+from .weighted import (
+    DEFAULT_BRANCHING,
+    WeightedTree,
+    WNode,
+    materialized_level_set,
+)
+
+__all__ = [
+    "BTree",
+    "DEFAULT_BRANCHING",
+    "NodeBuffer",
+    "TreeLayout",
+    "WNode",
+    "WeightedTree",
+    "default_record_bits",
+    "materialized_level_set",
+]

@@ -1,0 +1,117 @@
+"""Blocked on-disk layout of the tree directory (§2.2).
+
+The paper lays the tree structure out "such that any root-to-leaf path
+can be traversed using O(lg_b n) I/Os": the top ``Theta(lg b)`` levels
+of a subtree share one block, with pointers to the subtrees hanging
+below, recursively.  This module reproduces that layout: it assigns
+every node a directory block, and a query charges one block transfer
+per *distinct* block its descent touches (through the disk's cache and
+counters).
+
+Each node record holds its character range, weight, level, bitmap
+extent pointer and child pointers — ``record_bits`` in total; a block
+holds ``block_bits / record_bits`` records.  Fragments are carved by
+breadth-first expansion from a subtree top until the block is full, so
+a fragment always contains complete top levels of its subtree and a
+descent through it advances ``Theta(lg b)`` levels per block.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..iomodel.disk import Disk
+from .weighted import WeightedTree, WNode
+
+
+def default_record_bits(n: int, sigma: int) -> int:
+    """Directory record width: O(lg n) bits per node (§2.2).
+
+    Char range (2 lg sigma) + occurrence range (2 lg n) + bitmap extent
+    pointer (2 lg n) + child pointer (lg n) + bookkeeping.
+    """
+    lg_n = max(1, (max(n, 2) - 1).bit_length())
+    lg_sigma = max(1, (max(sigma, 2) - 1).bit_length())
+    return 2 * lg_sigma + 5 * lg_n + 16
+
+
+class TreeLayout:
+    """Maps tree nodes onto directory blocks and charges descent I/Os."""
+
+    def __init__(
+        self,
+        tree: WeightedTree,
+        disk: Disk,
+        record_bits: int | None = None,
+    ) -> None:
+        if record_bits is None:
+            record_bits = default_record_bits(tree.n, tree.sigma)
+        if record_bits <= 0:
+            raise InvalidParameterError("record_bits must be positive")
+        self.tree = tree
+        self.disk = disk
+        self.record_bits = record_bits
+        self.records_per_block = max(1, disk.block_bits // record_bits)
+        self.block_of_node: dict[int, int] = {}
+        self.num_blocks = 0
+        self._base_block = 0
+        self._pack()
+        self._reserve()
+
+    def _pack(self) -> None:
+        """Carve the tree into connected fragments of <= records_per_block
+        nodes by breadth-first expansion from each fragment top."""
+        cap = self.records_per_block
+        fragment_tops = [self.tree.root]
+        block_id = 0
+        while fragment_tops:
+            next_tops: list[WNode] = []
+            for top in fragment_tops:
+                members: list[WNode] = []
+                frontier = [top]
+                while frontier and len(members) < cap:
+                    take = min(cap - len(members), len(frontier))
+                    layer, frontier = frontier[:take], frontier[take:]
+                    members.extend(layer)
+                    expansion: list[WNode] = []
+                    for v in layer:
+                        expansion.extend(v.children)
+                    # Children of accepted nodes join the frontier after
+                    # the current layer (BFS keeps fragments level-complete).
+                    frontier = frontier + expansion
+                for v in members:
+                    self.block_of_node[v.node_id] = block_id
+                # Whatever did not fit starts new fragments below.
+                next_tops.extend(frontier)
+                block_id += 1
+            fragment_tops = next_tops
+        self.num_blocks = block_id
+
+    def _reserve(self) -> None:
+        """Allocate the directory extent on disk (space accounting)."""
+        first = self.disk.alloc(self.num_blocks * self.disk.block_bits, align_block=True)
+        self._base_block = first // self.disk.block_bits
+
+    @property
+    def size_bits(self) -> int:
+        """Directory footprint: whole blocks, as the paper stores them."""
+        return self.num_blocks * self.disk.block_bits
+
+    def touch_nodes(self, nodes: list[WNode], *, write: bool = False) -> None:
+        """Charge the I/O for visiting ``nodes`` (deduplicating blocks)."""
+        seen: set[int] = set()
+        for v in nodes:
+            bid = self.block_of_node[v.node_id]
+            if bid not in seen:
+                seen.add(bid)
+                self.disk.touch_block(self._base_block + bid, write=write)
+
+    def descent_blocks(self, node: WNode) -> int:
+        """Number of distinct blocks on the root-to-node path."""
+        blocks = {
+            self.block_of_node[v.node_id] for v in self.tree.path_to(node)
+        }
+        return len(blocks)
+
+    def max_descent_blocks(self) -> int:
+        """Worst root-to-leaf path length in blocks (should be O(lg_b n))."""
+        return max((self.descent_blocks(leaf) for leaf in self.tree.leaves), default=1)

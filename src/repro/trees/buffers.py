@@ -1,0 +1,110 @@
+"""B-bit node buffers for the buffered structures of §4.
+
+Sections 4.1.1 and 4.2 attach a buffer of ``B`` bits to every internal
+tree node: updates trickle down in batches of ``Theta(b)``, so each
+update pays amortized ``O(lg(n)/b)`` I/Os instead of a full root-to-leaf
+write per operation (the buffer-tree idea of Arge, reference [3]).
+
+A buffer owns one disk block for space/IO accounting.  The pending
+operations are kept as Python tuples alongside; their number is capped
+by the block capacity ``block_bits // op_bits``, so the accounting is
+identical to serializing them (the content is a fixed-width record
+list; see DESIGN.md substitution note 4).
+
+Flushing policy, per §4.1.1: when a buffer fills, pick the child that
+is the destination of the most pending operations ("a child v of u on
+which at least a (fixed) constant fraction of these updates have to be
+performed" — with bounded degree, the busiest child qualifies) and move
+exactly those operations down.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Sequence
+
+from ..errors import InvalidParameterError
+from ..iomodel.disk import Disk
+
+
+class NodeBuffer:
+    """A block-sized buffer of pending update operations."""
+
+    __slots__ = ("disk", "block", "op_bits", "capacity", "ops")
+
+    def __init__(self, disk: Disk, op_bits: int) -> None:
+        if op_bits <= 0:
+            raise InvalidParameterError("op_bits must be positive")
+        if op_bits > disk.block_bits:
+            raise InvalidParameterError("an operation must fit in one block")
+        self.disk = disk
+        self.op_bits = op_bits
+        self.capacity = disk.block_bits // op_bits
+        self.block = disk.alloc_block() // disk.block_bits
+        self.ops: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.ops) >= self.capacity
+
+    @property
+    def size_bits(self) -> int:
+        """Footprint: the whole reserved block (§4.1.1's space term)."""
+        return self.disk.block_bits
+
+    def append(self, op: tuple, *, charge: bool = True) -> None:
+        """Add one operation; charges one block write unless ``charge=False``.
+
+        The root buffer is "always kept in the internal memory" (§4.1.1),
+        so the structure passes ``charge=False`` for it.
+        """
+        if len(self.ops) >= self.capacity:
+            raise InvalidParameterError("buffer overflow: flush before appending")
+        self.ops.append(op)
+        if charge:
+            self.disk.touch_block(self.block, write=True)
+
+    def extend(self, ops: Sequence[tuple], *, charge: bool = True) -> None:
+        """Add a batch arriving from a parent flush: one write total."""
+        if len(self.ops) + len(ops) > self.capacity:
+            raise InvalidParameterError("buffer overflow: flush before extending")
+        self.ops.extend(ops)
+        if charge and ops:
+            self.disk.touch_block(self.block, write=True)
+
+    def read(self, *, charge: bool = True) -> list[tuple]:
+        """Return the pending operations; charges one block read."""
+        if charge:
+            self.disk.touch_block(self.block, write=False)
+        return list(self.ops)
+
+    def take_for_child(
+        self, child_of: Callable[[tuple], Hashable]
+    ) -> tuple[Hashable, list[tuple]]:
+        """Remove and return the ops of the busiest destination child.
+
+        ``child_of`` maps an operation to a routing token identifying
+        the child it must descend into.  Charges one write (the buffer
+        block is rewritten without the removed batch).
+        """
+        if not self.ops:
+            raise InvalidParameterError("cannot flush an empty buffer")
+        by_child: dict[Hashable, list[tuple]] = defaultdict(list)
+        for op in self.ops:
+            by_child[child_of(op)].append(op)
+        target = max(by_child, key=lambda k: len(by_child[k]))
+        batch = by_child[target]
+        batch_set = set(map(id, batch))
+        self.ops = [op for op in self.ops if id(op) not in batch_set]
+        self.disk.touch_block(self.block, write=True)
+        return target, batch
+
+    def clear(self, *, charge: bool = True) -> list[tuple]:
+        """Empty the buffer (used by rebuilds); returns what it held."""
+        ops, self.ops = self.ops, []
+        if charge and ops:
+            self.disk.touch_block(self.block, write=True)
+        return ops

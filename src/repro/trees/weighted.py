@@ -1,0 +1,450 @@
+"""The pruned weight-balanced tree of §2.2.
+
+The optimal structure replaces §2.1's complete binary tree over the
+alphabet with a *weight-balanced* tree over the multiset of characters
+occurring in ``x``: conceptually one leaf per occurrence, ordered
+primarily by character and secondarily by position, built with
+branching parameter ``c > 4`` so that a node ``i`` levels below the
+root has weight ``Theta(n / c^i)``.  The tree is then *pruned*: a
+maximal subtree whose leaves all carry the same character collapses
+into a single (mono-character) leaf.  After pruning each character
+contributes O(1) leaves per level, so the tree has ``O(sigma lg n)``
+nodes.
+
+This module builds that tree *statically* (a bottom-up rebuild is also
+how the dynamic versions of §4 restore balance), computes the canonical
+decomposition of an alphabet range into ``O(lg n)`` disjoint subtrees,
+and resolves the *materialized frontier* — the nearest descendants that
+carry explicitly-stored bitmaps (§2.2's space improvement keeps bitmaps
+only on levels ``1, 2, 4, 8, ...`` and at the leaves).
+
+Representation choice: instead of materializing ``n`` conceptual
+leaves, nodes store half-open ranges ``[occ_lo, occ_hi)`` into the
+occurrence array (all positions of ``x`` sorted by ``(character,
+position)``).  A node's bitmap is exactly the sorted set of positions
+in its range.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator, Sequence
+
+from ..errors import InvalidParameterError, QueryError
+
+DEFAULT_BRANCHING = 8
+
+
+class WNode:
+    """One node of the pruned weight-balanced tree.
+
+    Attributes
+    ----------
+    level:
+        Depth from the root; the root is at level 1 (paper convention).
+    char_lo, char_hi:
+        Inclusive range of character codes covered by the subtree.
+        Equal on mono-character leaves.
+    occ_lo, occ_hi:
+        Half-open range into the occurrence array.  ``weight`` is its
+        length — the cardinality of the node's bitmap.
+    children:
+        Child nodes in left-to-right (character, position) order; empty
+        for leaves.
+    """
+
+    __slots__ = (
+        "level",
+        "char_lo",
+        "char_hi",
+        "occ_lo",
+        "occ_hi",
+        "children",
+        "parent",
+        "node_id",
+    )
+
+    def __init__(
+        self,
+        level: int,
+        char_lo: int,
+        char_hi: int,
+        occ_lo: int,
+        occ_hi: int,
+    ) -> None:
+        self.level = level
+        self.char_lo = char_lo
+        self.char_hi = char_hi
+        self.occ_lo = occ_lo
+        self.occ_hi = occ_hi
+        self.children: list["WNode"] = []
+        self.parent: "WNode | None" = None
+        self.node_id = -1
+
+    @property
+    def weight(self) -> int:
+        """Number of occurrences below this node (the paper's weight)."""
+        return self.occ_hi - self.occ_lo
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for pruned (mono-character) leaves."""
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"deg{len(self.children)}"
+        return (
+            f"WNode(id={self.node_id}, lvl={self.level}, "
+            f"chars=[{self.char_lo},{self.char_hi}], w={self.weight}, {kind})"
+        )
+
+
+def materialized_level_set(height: int) -> frozenset[int]:
+    """Levels ``1, 2, 4, 8, ...`` up to ``height`` (§2.2's O(lg h) levels)."""
+    levels = set()
+    j = 1
+    while j <= height:
+        levels.add(j)
+        j *= 2
+    levels.add(1)
+    return frozenset(levels)
+
+
+class WeightedTree:
+    """The pruned weight-balanced tree over a string's character multiset."""
+
+    def __init__(
+        self,
+        root: WNode,
+        char_offsets: list[int],
+        occ_positions: list[int],
+        branching: int,
+        sigma: int,
+    ) -> None:
+        self.root = root
+        # char_offsets[c] = first occurrence-array index of character c;
+        # char_offsets[sigma] = n.  Doubles as the prefix-count array A
+        # of §2.1 (A[c] = char_offsets[c]).
+        self.char_offsets = char_offsets
+        self.occ_positions = occ_positions
+        self.branching = branching
+        self.sigma = sigma
+        self.nodes: list[WNode] = []
+        self.levels: list[list[WNode]] = []
+        self.leaves: list[WNode] = []
+        self._index_nodes()
+        self.materialized_levels = materialized_level_set(self.height)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        x: Sequence[int],
+        sigma: int,
+        branching: int = DEFAULT_BRANCHING,
+        split_heavy: bool = True,
+    ) -> "WeightedTree":
+        """Build the tree for string ``x`` over alphabet ``[0, sigma)``.
+
+        The paper requires a constant branching parameter ``c > 4``.
+        With ``split_heavy=False`` a character heavier than the
+        per-child budget stays a single leaf instead of being split
+        into chunks; the fully dynamic structure of §4.3 uses this so
+        that each character maps to exactly one leaf (weight balance
+        degrades gracefully for heavy characters — see DESIGN.md).
+        """
+        if branching <= 4:
+            raise InvalidParameterError("branching parameter must exceed 4 (§2.2)")
+        if sigma <= 0:
+            raise InvalidParameterError("sigma must be >= 1")
+        counts = [0] * sigma
+        for ch in x:
+            if ch < 0 or ch >= sigma:
+                raise InvalidParameterError(
+                    f"character {ch} outside alphabet [0, {sigma})"
+                )
+            counts[ch] += 1
+        char_offsets = [0] * (sigma + 1)
+        for c in range(sigma):
+            char_offsets[c + 1] = char_offsets[c] + counts[c]
+        # Occurrence array: positions sorted by (character, position).
+        occ_positions = [0] * len(x)
+        cursor = char_offsets[:-1].copy()
+        for pos, ch in enumerate(x):
+            occ_positions[cursor[ch]] = pos
+            cursor[ch] += 1
+        root = _build_subtree(char_offsets, 0, len(x), 1, branching, split_heavy)
+        return cls(root, char_offsets, occ_positions, branching, sigma)
+
+    def _index_nodes(self) -> None:
+        """Assign BFS ids, collect per-level node lists and the leaves."""
+        self.nodes = []
+        self.levels = [[]]  # level 0 unused; levels are 1-based
+        self.leaves = []
+        queue = [self.root]
+        while queue:
+            next_queue: list[WNode] = []
+            for node in queue:
+                node.node_id = len(self.nodes)
+                self.nodes.append(node)
+                while len(self.levels) <= node.level:
+                    self.levels.append([])
+                self.levels[node.level].append(node)
+                if node.is_leaf:
+                    self.leaves.append(node)
+                else:
+                    next_queue.extend(node.children)
+            queue = next_queue
+        # Leaves in left-to-right order: BFS collects them per level; we
+        # need (char, position) order instead.
+        self.leaves.sort(key=lambda v: v.occ_lo)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """String length."""
+        return self.char_offsets[-1]
+
+    @property
+    def height(self) -> int:
+        """Deepest level (root = 1)."""
+        return len(self.levels) - 1
+
+    def node_positions(self, node: WNode) -> list[int]:
+        """The sorted position set of a node (its bitmap's 1s)."""
+        chunk = self.occ_positions[node.occ_lo : node.occ_hi]
+        # Within one character the occurrence array is position-sorted;
+        # across characters it is not, so sort the (short) slice.
+        if node.char_lo != node.char_hi:
+            chunk.sort()
+        return chunk
+
+    def char_count(self, char: int) -> int:
+        """Occurrences of ``char`` (from the prefix array)."""
+        return self.char_offsets[char + 1] - self.char_offsets[char]
+
+    def range_count(self, char_lo: int, char_hi: int) -> int:
+        """`|I[al;ar]|` from the prefix-count array (§2.1's array A)."""
+        if char_lo < 0 or char_hi >= self.sigma or char_lo > char_hi:
+            raise QueryError(f"invalid character range [{char_lo}, {char_hi}]")
+        return self.char_offsets[char_hi + 1] - self.char_offsets[char_lo]
+
+    def char_of_occ(self, occ_index: int) -> int:
+        """Character of the ``occ_index``-th entry of the occurrence array."""
+        return bisect.bisect_right(self.char_offsets, occ_index) - 1
+
+    # ------------------------------------------------------------------
+    # Query-side navigation
+    # ------------------------------------------------------------------
+
+    def canonical_cover(
+        self, char_lo: int, char_hi: int
+    ) -> tuple[list[WNode], list[WNode]]:
+        """Decompose ``[char_lo, char_hi]`` into canonical subtrees.
+
+        Returns ``(canonical, visited)``: the maximal nodes whose
+        character range lies inside the query (their position sets
+        partition the answer), and the straddling nodes expanded along
+        the way (the two root-to-boundary paths, whose directory blocks
+        a query must touch).  The paper shows there are O(1) canonical
+        nodes per level, hence O(lg n) in total.
+        """
+        if char_lo < 0 or char_hi >= self.sigma or char_lo > char_hi:
+            raise QueryError(f"invalid character range [{char_lo}, {char_hi}]")
+        canonical: list[WNode] = []
+        visited: list[WNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.char_lo > char_hi or node.char_hi < char_lo:
+                continue
+            if char_lo <= node.char_lo and node.char_hi <= char_hi:
+                canonical.append(node)
+                continue
+            # A straddling node is never a leaf: a leaf's range is a
+            # single character, which cannot partially overlap a range.
+            visited.append(node)
+            stack.extend(reversed(node.children))
+        canonical.sort(key=lambda v: v.occ_lo)
+        return canonical, visited
+
+    def materialized_frontier(
+        self, node: WNode, is_materialized: Callable[[WNode], bool] | None = None
+    ) -> tuple[list[WNode], list[WNode]]:
+        """Nearest materialized descendants of ``node`` (§2.2 queries).
+
+        Returns ``(frontier, skipped)``: the materialized nodes whose
+        bitmaps together represent ``node``'s position set, in
+        left-to-right order, and the non-materialized internal nodes
+        between ``node`` and the frontier (Theorem 5 queries must read
+        the buffers of those).  If ``node`` itself is materialized the
+        frontier is ``[node]``.
+        """
+        if is_materialized is None:
+            mat = self.materialized_levels
+
+            def is_materialized(v: WNode) -> bool:
+                return v.is_leaf or v.level in mat
+
+        frontier: list[WNode] = []
+        skipped: list[WNode] = []
+        stack = [node]
+        while stack:
+            v = stack.pop()
+            if is_materialized(v):
+                frontier.append(v)
+            else:
+                skipped.append(v)
+                stack.extend(reversed(v.children))
+        frontier.sort(key=lambda v: v.occ_lo)
+        return frontier, skipped
+
+    def iter_nodes(self) -> Iterator[WNode]:
+        """All nodes in BFS (level) order."""
+        return iter(self.nodes)
+
+    def leaf_for_char_last(self, char: int) -> WNode:
+        """The leaf holding the *last* occurrence chunk of ``char``.
+
+        Appends of ``char`` land here (§4.1 keeps per-character pointer
+        arrays for exactly this purpose).
+        """
+        end = self.char_offsets[char + 1]
+        if end == self.char_offsets[char]:
+            raise QueryError(f"character {char} does not occur")
+        # The leaf containing occurrence index end-1.
+        node = self.root
+        while not node.is_leaf:
+            for child in node.children:
+                if child.occ_lo <= end - 1 < child.occ_hi:
+                    node = child
+                    break
+            else:  # pragma: no cover - structural invariant
+                raise QueryError("occurrence index not covered by any child")
+        return node
+
+    def path_to(self, node: WNode) -> list[WNode]:
+        """Root-to-node path, inclusive."""
+        path = []
+        v: WNode | None = node
+        while v is not None:
+            path.append(v)
+            v = v.parent
+        path.reverse()
+        return path
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises ``AssertionError``.
+
+        Used by the property-based tests:
+
+        * children partition the parent's occurrence range, in order;
+        * character ranges are consistent and ordered;
+        * leaves are mono-character (pruning happened);
+        * no internal node has a single child;
+        * node weights decay geometrically with depth (weight balance):
+          a node at level ``i`` has weight <= n / (c/4)^(i-1).
+        """
+        n = self.n
+        c = self.branching
+        stack = [self.root]
+        assert self.root.occ_lo == 0 and self.root.occ_hi == n
+        while stack:
+            v = stack.pop()
+            assert 0 <= v.char_lo <= v.char_hi < self.sigma
+            if v.is_leaf:
+                assert v.char_lo == v.char_hi, "leaf spans several characters"
+                assert v.weight > 0
+            else:
+                assert len(v.children) >= 2, "internal node with < 2 children"
+                assert len(v.children) <= 4 * c + 2, "degree above 4c"
+                cursor = v.occ_lo
+                for ch in v.children:
+                    assert ch.occ_lo == cursor, "children do not partition parent"
+                    assert ch.parent is v
+                    assert ch.level == v.level + 1
+                    assert v.char_lo <= ch.char_lo <= ch.char_hi <= v.char_hi
+                    cursor = ch.occ_hi
+                assert cursor == v.occ_hi
+                for a, b in zip(v.children, v.children[1:]):
+                    assert a.char_hi <= b.char_lo, "children out of character order"
+                stack.extend(v.children)
+            if v.level > 1:
+                bound = n / ((c / 4.0) ** (v.level - 1))
+                assert v.weight <= max(1.0, 2.0 * bound), (
+                    f"weight {v.weight} too large at level {v.level}"
+                )
+
+
+def _build_subtree(
+    char_offsets: list[int],
+    occ_lo: int,
+    occ_hi: int,
+    level: int,
+    branching: int,
+    split_heavy: bool = True,
+) -> WNode:
+    """Recursively build a weight-balanced subtree over an occurrence range."""
+    char_lo = bisect.bisect_right(char_offsets, occ_lo) - 1
+    char_hi = bisect.bisect_right(char_offsets, occ_hi - 1) - 1
+    node = WNode(level, char_lo, char_hi, occ_lo, occ_hi)
+    weight = occ_hi - occ_lo
+    if char_lo == char_hi:
+        return node  # pruned mono-character leaf
+    target = -(-weight // branching)  # ceil(weight / c): per-child budget
+
+    groups: list[tuple[int, int]] = []
+    cur_start = occ_lo
+    cur_weight = 0
+    for ch in range(char_lo, char_hi + 1):
+        start = max(occ_lo, char_offsets[ch])
+        end = min(occ_hi, char_offsets[ch + 1])
+        clen = end - start
+        if clen == 0:
+            continue
+        if clen > target:
+            # Heavy character: close the running group, then either
+            # split the chunk into near-equal mono-character pieces of
+            # <= target, or keep it whole (one leaf per character).
+            if cur_weight:
+                groups.append((cur_start, start))
+            if split_heavy:
+                npieces = -(-clen // target)
+                piece = -(-clen // npieces)
+                at = start
+                while at < end:
+                    piece_end = min(end, at + piece)
+                    groups.append((at, piece_end))
+                    at = piece_end
+            else:
+                groups.append((start, end))
+            cur_start = end
+            cur_weight = 0
+        else:
+            if cur_weight and cur_weight + clen > target:
+                groups.append((cur_start, start))
+                cur_start = start
+                cur_weight = 0
+            cur_weight += clen
+    if cur_weight:
+        groups.append((cur_start, occ_hi))
+
+    if len(groups) == 1:
+        # Cannot happen for multi-character nodes given target < weight,
+        # but guard against a degenerate split producing a unary chain.
+        lo, hi = groups[0]
+        mid_char = (char_lo + char_hi) // 2
+        split = min(max(char_offsets[mid_char + 1], lo + 1), hi - 1)
+        groups = [(lo, split), (split, hi)]
+
+    for lo, hi in groups:
+        child = _build_subtree(char_offsets, lo, hi, level + 1, branching, split_heavy)
+        child.parent = node
+        node.children.append(child)
+    return node

@@ -1,0 +1,20 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+
+def brute_range(x, lo, hi):
+    """The oracle: positions of characters in [lo, hi]."""
+    return [i for i, ch in enumerate(x) if lo <= ch <= hi]
+
+
+def random_ranges(rng, sigma, count):
+    """Random inclusive code ranges plus the standard edge cases."""
+    out = []
+    for _ in range(count):
+        lo = rng.randrange(sigma)
+        out.append((lo, rng.randrange(lo, sigma)))
+    out.extend([(0, sigma - 1), (0, 0), (sigma - 1, sigma - 1)])
+    if sigma > 2:
+        out.append((1, sigma - 2))
+    return out

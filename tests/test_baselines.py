@@ -1,0 +1,175 @@
+"""Tests for every baseline index (B1-B7) and their cost signatures."""
+
+import random
+
+import pytest
+
+from tests.conftest import brute_range, random_ranges
+from repro.baselines import (
+    BinnedBitmapIndex,
+    BTreeSecondaryIndex,
+    CompressedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    MultiResolutionBitmapIndex,
+    RangeEncodedBitmapIndex,
+    UncompressedBitmapIndex,
+    WahBitmapIndex,
+)
+from repro.errors import QueryError
+from repro.model import distributions as dist
+
+ALL_BASELINES = [
+    BTreeSecondaryIndex,
+    CompressedBitmapIndex,
+    UncompressedBitmapIndex,
+    BinnedBitmapIndex,
+    MultiResolutionBitmapIndex,
+    RangeEncodedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    WahBitmapIndex,
+]
+
+
+class TestCorrectnessMatrix:
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    @pytest.mark.parametrize("name", ["uniform", "zipf", "clustered"])
+    def test_matches_brute_force(self, cls, name):
+        sigma = 20
+        x = dist.by_name(name)(900, sigma, seed=5)
+        idx = cls(x, sigma)
+        rng = random.Random(0)
+        for lo, hi in random_ranges(rng, sigma, 15):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi), (
+                cls.__name__,
+                lo,
+                hi,
+            )
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_odd_sigma(self, cls):
+        sigma = 13
+        x = dist.uniform(500, sigma, seed=6)
+        idx = cls(x, sigma)
+        rng = random.Random(1)
+        for lo, hi in random_ranges(rng, sigma, 10):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_sigma_two(self, cls):
+        x = [0, 1, 1, 0, 1]
+        idx = cls(x, 2)
+        assert idx.range_query(0, 0).positions() == [0, 3]
+        assert idx.range_query(1, 1).positions() == [1, 2, 4]
+        assert idx.range_query(0, 1).positions() == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES)
+    def test_invalid_range_rejected(self, cls):
+        idx = cls([0, 1], 2)
+        with pytest.raises(QueryError):
+            idx.range_query(1, 0)
+
+
+class TestCostSignatures:
+    """Each baseline's characteristic cost, as §1.2-§1.3 describe it."""
+
+    def setup_method(self):
+        self.sigma = 64
+        self.n = 4096
+        self.x = dist.sequential(self.n, self.sigma)
+
+    def _cold_reads(self, idx, lo, hi):
+        idx.disk.flush_cache()
+        idx.stats.reset()
+        idx.range_query(lo, hi)
+        return idx.stats.reads
+
+    def test_compressed_bitmap_scans_whole_range(self):
+        # Reading l bitmaps costs Omega(l) character decodes: bits read
+        # grow with range length even though output is proportional.
+        idx = CompressedBitmapIndex(self.x, self.sigma)
+        idx.disk.flush_cache()
+        idx.stats.reset()
+        idx.range_query(0, 31)
+        wide_bits = idx.stats.bits_read
+        idx.disk.flush_cache()
+        idx.stats.reset()
+        idx.range_query(0, 0)
+        narrow_bits = idx.stats.bits_read
+        assert wide_bits >= 16 * narrow_bits
+
+    def test_range_encoded_constant_scans(self):
+        idx = RangeEncodedBitmapIndex(self.x, self.sigma)
+        narrow = self._cold_reads(idx, 10, 12)
+        wide = self._cold_reads(idx, 1, 60)
+        # Always exactly <= 2 bitmap scans: cost independent of width.
+        assert abs(narrow - wide) <= 2
+
+    def test_interval_encoded_at_most_two_scans(self):
+        idx = IntervalEncodedBitmapIndex(self.x, self.sigma)
+        n_bits_per_bitmap = self.n
+        for lo, hi in [(0, 0), (5, 30), (0, 62), (10, 63), (40, 50)]:
+            idx.disk.flush_cache()
+            idx.stats.reset()
+            idx.range_query(lo, hi)
+            assert idx.stats.bits_read <= 4 * n_bits_per_bitmap + 64
+
+    def test_range_encoding_space_is_n_sigma(self):
+        idx = RangeEncodedBitmapIndex(self.x, self.sigma)
+        assert idx.space().payload_bits == self.n * self.sigma
+
+    def test_interval_encoding_half_the_space(self):
+        rng_idx = RangeEncodedBitmapIndex(self.x, self.sigma)
+        int_idx = IntervalEncodedBitmapIndex(self.x, self.sigma)
+        assert int_idx.space().payload_bits <= 0.6 * rng_idx.space().payload_bits
+
+    def test_binned_candidate_checks_on_edges(self):
+        idx = BinnedBitmapIndex(self.x, self.sigma, bin_width=8)
+        idx.candidate_checks = 0
+        idx.range_query(3, 20)  # partial bins at both ends
+        assert idx.candidate_checks > 0
+        idx.candidate_checks = 0
+        idx.range_query(8, 23)  # exactly aligned: no checks
+        assert idx.candidate_checks == 0
+
+    def test_multires_levels(self):
+        idx = MultiResolutionBitmapIndex(self.x, self.sigma, bin_width=4)
+        assert idx.num_levels == 4  # 64 -> 16 -> 4 -> 1
+
+    def test_multires_space_grows_with_levels(self):
+        flat = CompressedBitmapIndex(self.x, self.sigma)
+        multi = MultiResolutionBitmapIndex(self.x, self.sigma, bin_width=4)
+        assert multi.space().payload_bits > flat.space().payload_bits
+
+    def test_multires_reads_fewer_bitmaps_than_flat_scan(self):
+        flat = CompressedBitmapIndex(self.x, self.sigma)
+        multi = MultiResolutionBitmapIndex(self.x, self.sigma, bin_width=4)
+        flat_reads = self._cold_reads(flat, 0, 47)
+        multi_reads = self._cold_reads(multi, 0, 47)
+        assert multi_reads <= flat_reads
+
+    def test_btree_reads_lg_n_bits_per_result(self):
+        idx = BTreeSecondaryIndex(self.x, self.sigma)
+        gamma = CompressedBitmapIndex(self.x, self.sigma)
+        lo, hi = 0, 31  # half the alphabet: z = n/2
+        idx.disk.flush_cache()
+        idx.stats.reset()
+        idx.range_query(lo, hi)
+        btree_bits = idx.stats.bits_read
+        gamma.disk.flush_cache()
+        gamma.stats.reset()
+        gamma.range_query(lo, hi)
+        gamma_bits = gamma.stats.bits_read
+        # Explicit (char,pos) entries are wider than gap codes.
+        assert btree_bits > 1.5 * gamma_bits
+
+    def test_btree_append(self):
+        idx = BTreeSecondaryIndex([0, 1, 2], 4)
+        idx.insert_append(2)
+        assert idx.range_query(2, 2).positions() == [2, 3]
+        assert idx.n == 4
+
+    def test_wah_payload_at_least_gamma(self):
+        x = dist.uniform(4096, 64, seed=7)
+        wah = WahBitmapIndex(x, 64)
+        gamma = CompressedBitmapIndex(x, 64)
+        assert wah.space().payload_bits >= gamma.space().payload_bits

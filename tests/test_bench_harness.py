@@ -1,0 +1,101 @@
+"""Unit tests for the benchmark harness and workload helpers."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    Report,
+    cold_query,
+    fmt,
+    output_bits_bound,
+    prefix_range_for_selectivity,
+    random_ranges,
+    ratio,
+    render_table,
+    standard_string,
+)
+from repro.core import PaghRaoIndex
+from repro.errors import InvalidParameterError
+
+
+class TestFormatting:
+    def test_fmt_variants(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+        assert fmt(0.0) == "0"
+        assert fmt(3.14159) == "3.142"
+        assert fmt(42.7) == "42.7"
+        assert fmt(123456.0) == "123,456"
+        assert fmt(123456) == "123,456"
+        assert fmt(7) == "7"
+        assert fmt("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        # All data lines have equal width.
+        assert len(lines[2]) == len(lines[3]) == len(lines[4])
+        assert "333" in lines[4]
+
+    def test_render_table_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert "== T ==" in text
+
+
+class TestReport:
+    def test_save_roundtrip(self, tmp_path):
+        rep = Report("exp", str(tmp_path))
+        rep.line("hello")
+        rep.table("tbl", ["h"], [[1]], note="n")
+        path = rep.save()
+        assert os.path.exists(path)
+        content = open(path).read()
+        assert "hello" in content
+        assert "== tbl ==" in content
+        assert "note: n" in content
+
+
+class TestMeasurement:
+    def test_cold_query_counts(self):
+        x = standard_string("uniform", 500, 16, seed=1)
+        idx = PaghRaoIndex(x, 16)
+        io = cold_query(idx, 3, 9)
+        assert io["reads"] >= 1
+        assert io["z"] == sum(1 for c in x if 3 <= c <= 9)
+        # Cold again: same cost (deterministic).
+        assert cold_query(idx, 3, 9)["reads"] == io["reads"]
+
+    def test_output_bits_bound_complement(self):
+        assert output_bits_bound(100, 99) == output_bits_bound(100, 1)
+        assert output_bits_bound(100, 0) == 1.0
+        assert output_bits_bound(1024, 32) > 32 * 5
+
+    def test_ratio_guards_zero(self):
+        assert ratio(5, 0) > 0
+        assert ratio(10, 5) == 2.0
+
+
+class TestWorkloads:
+    def test_standard_string_dispatch(self):
+        x = standard_string("zipf", 200, 8, seed=2, theta=1.0)
+        assert len(x) == 200
+        with pytest.raises(InvalidParameterError):
+            standard_string("nope", 10, 4)
+
+    def test_prefix_range_hits_target(self):
+        x = standard_string("sequential", 1024, 64)
+        lo, hi = prefix_range_for_selectivity(x, 64, 1 / 4)
+        z = sum(1 for c in x if lo <= c <= hi)
+        assert lo == 0
+        assert abs(z - 256) <= 1024 // 64  # within one character's mass
+
+    def test_prefix_range_full(self):
+        x = standard_string("sequential", 128, 8)
+        assert prefix_range_for_selectivity(x, 8, 1.0) == (0, 7)
+
+    def test_random_ranges_reproducible(self):
+        assert random_ranges(16, 5, seed=3) == random_ranges(16, 5, seed=3)
+        for lo, hi in random_ranges(16, 20, seed=4):
+            assert 0 <= lo <= hi < 16

@@ -1,0 +1,148 @@
+"""Unit tests for the bit-stream reader/writer."""
+
+import pytest
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.errors import CodecError, InvalidParameterError
+
+
+class TestBitWriter:
+    def test_empty_writer(self):
+        w = BitWriter()
+        assert w.bit_length == 0
+        assert w.getvalue() == b""
+
+    def test_single_bit(self):
+        w = BitWriter()
+        w.write_bits(1, 1)
+        assert w.bit_length == 1
+        assert w.getvalue() == b"\x80"
+
+    def test_msb_first_order(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bits(0b00001, 5)
+        assert w.getvalue() == bytes([0b10100001])
+
+    def test_crosses_byte_boundary(self):
+        w = BitWriter()
+        w.write_bits(0xABC, 12)
+        assert w.bit_length == 12
+        assert w.getvalue() == bytes([0xAB, 0xC0])
+
+    def test_wide_value(self):
+        w = BitWriter()
+        w.write_bits((1 << 100) - 1, 100)
+        assert w.bit_length == 100
+        assert w.getvalue()[:12] == b"\xff" * 12
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.bit_length == 0
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            w.write_bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            w.write_bits(-1, 4)
+
+    def test_negative_width_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            w.write_bits(0, -1)
+
+    def test_unary(self):
+        w = BitWriter()
+        w.write_unary(0)
+        w.write_unary(3)
+        # 1 | 0001 -> 10001...
+        assert w.getvalue() == bytes([0b10001000])
+        assert w.bit_length == 5
+
+    def test_long_unary(self):
+        w = BitWriter()
+        w.write_unary(200)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert r.read_unary() == 200
+
+    def test_extend(self):
+        a = BitWriter()
+        a.write_bits(0b101, 3)
+        b = BitWriter()
+        b.write_bits(0b11, 2)
+        a.extend(b)
+        assert a.bit_length == 5
+        r = BitReader(a.getvalue(), bit_length=5)
+        assert r.read_bits(5) == 0b10111
+
+
+class TestBitReader:
+    def test_roundtrip_mixed_widths(self):
+        w = BitWriter()
+        values = [(5, 3), (0, 1), (1023, 10), (1, 1), (77, 7)]
+        for v, nb in values:
+            w.write_bits(v, nb)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        for v, nb in values:
+            assert r.read_bits(nb) == v
+        assert r.at_end()
+
+    def test_window_offset(self):
+        # A reader can start mid-buffer at any bit offset.
+        r = BitReader(bytes([0b11110000, 0b10101010]), bit_offset=4, bit_length=8)
+        assert r.read_bits(8) == 0b00001010
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff", bit_length=4)
+        r.read_bits(4)
+        with pytest.raises(CodecError):
+            r.read_bits(1)
+
+    def test_peek_does_not_consume(self):
+        r = BitReader(b"\xa0")
+        assert r.peek_bits(3) == 0b101
+        assert r.read_bits(3) == 0b101
+
+    def test_tell_and_seek(self):
+        r = BitReader(b"\xff\x00")
+        r.read_bits(5)
+        assert r.tell() == 5
+        r.seek(0)
+        assert r.read_bits(8) == 0xFF
+
+    def test_seek_outside_window_raises(self):
+        r = BitReader(b"\xff", bit_length=8)
+        with pytest.raises(InvalidParameterError):
+            r.seek(9)
+
+    def test_remaining(self):
+        r = BitReader(b"\xff\xff", bit_length=12)
+        r.read_bits(5)
+        assert r.remaining == 7
+
+    def test_unary_spanning_many_bytes(self):
+        w = BitWriter()
+        w.write_unary(70)
+        w.write_bits(0b1011, 4)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert r.read_unary() == 70
+        assert r.read_bits(4) == 0b1011
+
+    def test_unary_missing_terminator_raises(self):
+        r = BitReader(b"\x00", bit_length=8)
+        with pytest.raises(CodecError):
+            r.read_unary()
+
+    def test_window_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BitReader(b"\x00", bit_offset=4, bit_length=8)
+
+    def test_zero_bit_read(self):
+        r = BitReader(b"", bit_length=0)
+        assert r.read_bits(0) == 0
+        assert r.at_end()

@@ -1,0 +1,168 @@
+"""Unit tests for the external-memory B-tree."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.iomodel import Disk
+from repro.trees.btree import BTree
+
+
+def make_disk():
+    return Disk(block_bits=512, mem_blocks=0)
+
+
+class TestBulkBuild:
+    def test_roundtrip_range(self):
+        disk = make_disk()
+        items = [(k, k * 10) for k in range(0, 500, 2)]
+        t = BTree.bulk_build(disk, items, key_bits=16, payload_bits=16)
+        assert len(t) == 250
+        assert t.range_query(100, 120) == [(k, k * 10) for k in range(100, 121, 2)]
+        t.check_invariants()
+
+    def test_empty(self):
+        t = BTree.bulk_build(make_disk(), [], key_bits=16)
+        assert len(t) == 0
+        assert t.range_query(0, 100) == []
+        assert t.rank(5) == 0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BTree.bulk_build(make_disk(), [(2, 0), (1, 0)], key_bits=8)
+
+    def test_duplicate_keys_supported(self):
+        items = [(5, i) for i in range(30)]
+        t = BTree.bulk_build(make_disk(), items, key_bits=8, payload_bits=8)
+        assert len(t.range_query(5, 5)) == 30
+        t.check_invariants()
+
+    def test_fill_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BTree.bulk_build(make_disk(), [], key_bits=8, fill=0.01)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.disk = make_disk()
+        self.keys = sorted(random.Random(1).sample(range(10_000), 800))
+        self.t = BTree.bulk_build(
+            self.disk, [(k, 0) for k in self.keys], key_bits=16
+        )
+
+    def test_contains(self):
+        assert self.t.contains(self.keys[0])
+        assert self.t.contains(self.keys[-1])
+        missing = next(k for k in range(10_000) if k not in set(self.keys))
+        assert not self.t.contains(missing)
+
+    def test_range_query_matches_brute_force(self):
+        for lo, hi in [(0, 9999), (100, 200), (5000, 5000), (9990, 9999)]:
+            expect = [k for k in self.keys if lo <= k <= hi]
+            assert [k for k, _ in self.t.range_query(lo, hi)] == expect
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            self.t.range_query(5, 4)
+
+    def test_rank(self):
+        import bisect
+
+        for probe in [0, 500, 5000, 9999, self.keys[0], self.keys[-1]]:
+            assert self.t.rank(probe) == bisect.bisect_right(self.keys, probe)
+
+    def test_select(self):
+        for k in [0, 1, 100, 799]:
+            assert self.t.select(k) == self.keys[k]
+        with pytest.raises(InvalidParameterError):
+            self.t.select(800)
+        with pytest.raises(InvalidParameterError):
+            self.t.select(-1)
+
+    def test_keys_iterates_sorted(self):
+        assert list(self.t.keys()) == self.keys
+
+    def test_range_query_io_cost(self):
+        # Descent O(lg_b n) + leaf scan O(z/b): reading everything must
+        # touch roughly len/leaf_capacity blocks, not one per key.
+        self.disk.stats.reset()
+        out = self.t.range_query(0, 9999)
+        assert len(out) == 800
+        leaf_blocks = 800 / (self.t.leaf_capacity * 0.8) + self.t.height + 2
+        assert self.disk.stats.reads <= 2 * leaf_blocks
+
+
+class TestUpdates:
+    def test_insert_then_query(self):
+        t = BTree(make_disk(), key_bits=16)
+        rng = random.Random(2)
+        keys = rng.sample(range(5000), 600)
+        for k in keys:
+            t.insert(k)
+        t.check_invariants()
+        assert list(t.keys()) == sorted(keys)
+        assert len(t) == 600
+
+    def test_insert_maintains_rank(self):
+        t = BTree(make_disk(), key_bits=16)
+        inserted = []
+        rng = random.Random(3)
+        import bisect
+
+        for _ in range(300):
+            k = rng.randrange(2000)
+            t.insert(k)
+            bisect.insort(inserted, k)
+        for probe in [0, 100, 1999]:
+            assert t.rank(probe) == bisect.bisect_right(inserted, probe)
+
+    def test_delete(self):
+        t = BTree(make_disk(), key_bits=16)
+        for k in range(100):
+            t.insert(k)
+        assert t.delete(50)
+        assert not t.delete(50)
+        assert not t.contains(50)
+        assert len(t) == 99
+        t.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        t = BTree(make_disk(), key_bits=16)
+        rng = random.Random(4)
+        shadow: list[int] = []
+        import bisect
+
+        for step in range(500):
+            if shadow and rng.random() < 0.3:
+                k = rng.choice(shadow)
+                assert t.delete(k)
+                shadow.remove(k)
+            else:
+                k = rng.randrange(3000)
+                t.insert(k)
+                bisect.insort(shadow, k)
+        assert list(t.keys()) == shadow
+        t.check_invariants()
+
+    def test_insert_amortized_io_logarithmic(self):
+        disk = make_disk()
+        t = BTree(disk, key_bits=16)
+        for k in range(500):
+            t.insert(k)
+        disk.stats.reset()
+        for k in range(500, 600):
+            t.insert(k)
+        per_insert = disk.stats.total / 100
+        # O(lg_b n) reads + writes per insert; generous constant.
+        assert per_insert <= 6 * t.height
+
+    def test_size_bits_counts_nodes(self):
+        disk = make_disk()
+        t = BTree.bulk_build(disk, [(k, 0) for k in range(1000)], key_bits=16)
+        assert t.size_bits >= 1000 * 16  # at least the keys
+        assert t.size_bits % disk.block_bits == 0
+
+    def test_field_width_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BTree(make_disk(), key_bits=0)

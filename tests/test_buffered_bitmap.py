@@ -1,0 +1,147 @@
+"""Tests for Theorem 6 (§4.2) — the buffered compressed bitmap index."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import BufferedBitmapIndex
+from repro.errors import InvalidParameterError
+from repro.iomodel import Disk
+
+
+def make(num_keys=16, block_bits=512, seed=0, max_pos=5000, density=100):
+    rng = random.Random(seed)
+    disk = Disk(block_bits=block_bits, mem_blocks=0)
+    initial = [
+        sorted(rng.sample(range(max_pos), rng.randrange(0, density)))
+        for _ in range(num_keys)
+    ]
+    return disk, initial, BufferedBitmapIndex(disk, num_keys, initial)
+
+
+class TestCorrectness:
+    def test_bulk_load_roundtrip(self):
+        _, initial, idx = make(seed=1)
+        for k, positions in enumerate(initial):
+            assert idx.point_query(k) == positions
+        idx.check_invariants()
+
+    def test_empty_keys_supported(self):
+        disk = Disk(block_bits=512, mem_blocks=0)
+        idx = BufferedBitmapIndex(disk, 4, [[], [5], [], []])
+        assert idx.point_query(0) == []
+        assert idx.point_query(1) == [5]
+
+    def test_mixed_updates_match_shadow(self):
+        rng = random.Random(2)
+        _, initial, idx = make(seed=2)
+        shadow = [set(p) for p in initial]
+        for step in range(4000):
+            k = rng.randrange(16)
+            if shadow[k] and rng.random() < 0.45:
+                p = rng.choice(sorted(shadow[k]))
+                idx.delete(k, p)
+                shadow[k].discard(p)
+            else:
+                p = rng.randrange(20000)
+                idx.insert(k, p)
+                shadow[k].add(p)
+            if step % 400 == 0:
+                for kk in range(16):
+                    assert idx.point_query(kk) == sorted(shadow[kk]), (step, kk)
+                idx.check_invariants()
+        idx.flush_all()
+        idx.check_invariants()
+        for kk in range(16):
+            assert idx.point_query(kk) == sorted(shadow[kk])
+
+    def test_insert_then_delete_same_position(self):
+        disk = Disk(block_bits=512, mem_blocks=0)
+        idx = BufferedBitmapIndex(disk, 2, [[1, 2], []])
+        idx.insert(0, 99)
+        idx.delete(0, 99)
+        assert idx.point_query(0) == [1, 2]
+        idx.insert(1, 7)
+        idx.delete(1, 7)
+        idx.insert(1, 7)
+        assert idx.point_query(1) == [7]
+
+    def test_duplicate_insert_idempotent(self):
+        disk = Disk(block_bits=512, mem_blocks=0)
+        idx = BufferedBitmapIndex(disk, 1, [[3]])
+        idx.insert(0, 3)
+        idx.insert(0, 3)
+        assert idx.point_query(0) == [3]
+
+    def test_delete_absent_noop(self):
+        disk = Disk(block_bits=512, mem_blocks=0)
+        idx = BufferedBitmapIndex(disk, 1, [[3]])
+        idx.delete(0, 4)
+        assert idx.point_query(0) == [3]
+
+    def test_block_splits_on_growth(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        idx = BufferedBitmapIndex(disk, 1, [[]])
+        for p in range(0, 2000, 3):
+            idx.insert(0, p)
+        idx.flush_all()
+        assert idx._total_blocks() > 1
+        assert idx.point_query(0) == list(range(0, 2000, 3))
+
+    def test_cardinality(self):
+        _, initial, idx = make(seed=3)
+        assert idx.cardinality(0) == len(initial[0])
+
+    def test_validation(self):
+        disk = Disk(block_bits=512, mem_blocks=0)
+        with pytest.raises(InvalidParameterError):
+            BufferedBitmapIndex(disk, 0)
+        with pytest.raises(InvalidParameterError):
+            BufferedBitmapIndex(disk, 2, [[1]])
+        with pytest.raises(InvalidParameterError):
+            BufferedBitmapIndex(disk, 1, [[2, 1]])
+        idx = BufferedBitmapIndex(disk, 1, [[1]])
+        with pytest.raises(InvalidParameterError):
+            idx.insert(1, 0)
+        with pytest.raises(InvalidParameterError):
+            idx.insert(0, -1)
+        with pytest.raises(InvalidParameterError):
+            idx.point_query(5)
+
+
+class TestIOBounds:
+    def test_update_amortized_sublinear_io(self):
+        # Theorem 6: amortized O(lg n / b) I/Os per update — below one
+        # I/O per operation (a direct per-op leaf rewrite costs >= 2).
+        disk = Disk(block_bits=2048, mem_blocks=0)
+        rng = random.Random(4)
+        initial = [sorted(rng.sample(range(50000), 400)) for _ in range(8)]
+        idx = BufferedBitmapIndex(disk, 8, initial)
+        disk.stats.reset()
+        ops = 2000
+        for _ in range(ops):
+            idx.insert(rng.randrange(8), rng.randrange(100000))
+        per_op = disk.stats.total / ops
+        assert per_op < 1.0
+
+    def test_point_query_io_T_over_B_plus_lg(self):
+        disk = Disk(block_bits=1024, mem_blocks=0)
+        rng = random.Random(5)
+        initial = [sorted(rng.sample(range(100000), 2000)) for _ in range(8)]
+        idx = BufferedBitmapIndex(disk, 8, initial)
+        disk.flush_cache()
+        disk.stats.reset()
+        out = idx.point_query(3)
+        chain_blocks = len(idx._chains[3])
+        # T/B term = chain blocks; + O(lg) buffers.
+        assert disk.stats.reads <= chain_blocks + 4 * math.log2(len(out) * 8) + 8
+
+    def test_space_near_payload(self):
+        # O(nH0): allocated blocks within a constant of used gap bits.
+        disk = Disk(block_bits=1024, mem_blocks=0)
+        rng = random.Random(6)
+        initial = [sorted(rng.sample(range(100000), 3000)) for _ in range(4)]
+        idx = BufferedBitmapIndex(disk, 4, initial)
+        blocks_bits = idx._total_blocks() * 1024
+        assert blocks_bits <= 2 * idx.payload_bits + 4 * 1024

@@ -1,0 +1,104 @@
+"""Tests for Theorem 5 (§4.1.1) — buffered appends."""
+
+import random
+
+import pytest
+
+from tests.conftest import brute_range, random_ranges
+from repro.core import AppendableIndex, BufferedAppendableIndex
+from repro.model import distributions as dist
+
+
+class TestCorrectness:
+    def test_appends_match_oracle_with_buffers_in_flight(self):
+        # Query between appends so answers must merge buffered ops.
+        sigma = 24
+        x0 = dist.uniform(600, sigma, seed=1)
+        idx = BufferedAppendableIndex(x0, sigma, rebuild_factor=4.0)
+        x = list(x0)
+        rng = random.Random(0)
+        for step in range(1000):
+            ch = rng.randrange(sigma)
+            idx.append(ch)
+            x.append(ch)
+            if step % 83 == 0:
+                lo, hi = sorted((rng.randrange(sigma), rng.randrange(sigma)))
+                got = idx.range_query(lo, hi).positions()
+                assert got == brute_range(x, lo, hi), (step, lo, hi)
+        for lo, hi in random_ranges(rng, sigma, 10):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_ops_actually_buffer(self):
+        sigma = 16
+        idx = BufferedAppendableIndex(
+            dist.uniform(2000, sigma, seed=2), sigma, rebuild_factor=8.0
+        )
+        for ch in range(10):
+            idx.append(ch % sigma)
+        assert idx.pending_ops > 0
+
+    def test_query_sees_op_in_every_buffer_depth(self):
+        # Append enough to force cascaded flushes, querying throughout.
+        sigma = 8
+        idx = BufferedAppendableIndex(
+            dist.uniform(1500, sigma, seed=3), sigma, rebuild_factor=16.0
+        )
+        x = list(dist.uniform(1500, sigma, seed=3))
+        rng = random.Random(2)
+        for _ in range(2500):
+            ch = rng.randrange(sigma)
+            idx.append(ch)
+            x.append(ch)
+        for lo, hi in random_ranges(rng, sigma, 8):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_complement_with_pending_ops(self):
+        sigma = 4
+        idx = BufferedAppendableIndex([0, 1, 2, 3] * 100, sigma, rebuild_factor=8.0)
+        x = [0, 1, 2, 3] * 100
+        for _ in range(30):
+            idx.append(2)
+            x.append(2)
+        r = idx.range_query(0, 2)  # > half: complemented
+        assert r.positions() == brute_range(x, 0, 2)
+
+    def test_single_character_alphabet(self):
+        idx = BufferedAppendableIndex([0] * 20, 1)
+        for _ in range(15):
+            idx.append(0)
+        assert idx.range_query(0, 0).positions() == list(range(35))
+
+
+class TestIOBounds:
+    def test_buffered_appends_cheaper_than_direct(self):
+        # Theorem 5 vs Theorem 4: O(lg n / b) vs O(lg lg n) per append.
+        # The buffers only pay off when internal memory cannot hold the
+        # tail block of every per-node chain, so run with a small M.
+        sigma = 32
+        x0 = dist.uniform(4000, sigma, seed=4)
+        rng = random.Random(3)
+        appends = [rng.randrange(sigma) for _ in range(600)]
+
+        direct = AppendableIndex(x0, sigma, rebuild_factor=8.0, mem_blocks=4)
+        direct.stats.reset()
+        for ch in appends:
+            direct.append(ch)
+        direct_io = direct.stats.total
+
+        buffered = BufferedAppendableIndex(
+            x0, sigma, rebuild_factor=8.0, mem_blocks=4
+        )
+        buffered.stats.reset()
+        for ch in appends:
+            buffered.append(ch)
+        buffered_io = buffered.stats.total
+
+        assert buffered_io < direct_io
+
+    def test_space_includes_buffers(self):
+        sigma = 16
+        x = dist.uniform(1000, sigma, seed=5)
+        plain = AppendableIndex(x, sigma)
+        buf = BufferedAppendableIndex(x, sigma)
+        # Theorem 5 trades space: sigma lg n * B extra bits of buffers.
+        assert buf.space().directory_bits > plain.space().directory_bits

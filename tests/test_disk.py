@@ -1,0 +1,219 @@
+"""Unit tests for the simulated block device and its accounting."""
+
+import pytest
+
+from repro.bits.ebitmap import decode_gaps, encode_gaps
+from repro.bits.bitio import BitWriter
+from repro.errors import InvalidParameterError, StorageError
+from repro.iomodel import Disk, IOStats
+from repro.iomodel.cache import LRUBlockCache
+
+
+class TestAllocation:
+    def test_alloc_is_byte_aligned(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        a = d.alloc(3)
+        b = d.alloc(3)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 3
+
+    def test_alloc_block_aligned(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        d.alloc(10)
+        off = d.alloc(10, align_block=True)
+        assert off % 256 == 0
+
+    def test_alloc_block(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        off = d.alloc_block()
+        assert off % 256 == 0
+        assert d.size_bits >= 256
+
+    def test_negative_alloc_rejected(self):
+        d = Disk()
+        with pytest.raises(InvalidParameterError):
+            d.alloc(-1)
+
+    def test_block_size_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Disk(block_bits=100)  # not a multiple of 8
+        with pytest.raises(InvalidParameterError):
+            Disk(block_bits=0)
+
+    def test_size_blocks(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        d.alloc(257)
+        assert d.size_blocks == 2
+
+
+class TestDataIntegrity:
+    def test_store_and_read_roundtrip(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        positions = [1, 5, 6, 900, 901]
+        w = BitWriter()
+        encode_gaps(w, positions)
+        ext = d.store(w.getvalue(), w.bit_length)
+        r = d.read_extent(ext)
+        assert decode_gaps(r, len(positions)) == positions
+
+    def test_many_extents_do_not_interfere(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        extents = []
+        for k in range(20):
+            w = BitWriter()
+            encode_gaps(w, [k, 100 + k])
+            extents.append(d.store(w.getvalue(), w.bit_length))
+        for k, ext in enumerate(extents):
+            assert decode_gaps(d.read_extent(ext), 2) == [k, 100 + k]
+
+    def test_read_bits_write_bits_subbyte(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        off = d.alloc(64)
+        d.write_bits(off + 3, 0b1011, 4)
+        assert d.read_bits(off + 3, 4) == 0b1011
+        # Neighbours untouched.
+        assert d.read_bits(off, 3) == 0
+        assert d.read_bits(off + 7, 8) == 0
+
+    def test_write_bits_across_block_boundary(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        d.alloc(512)
+        d.write_bits(250, (1 << 12) - 1, 12)
+        assert d.read_bits(250, 12) == (1 << 12) - 1
+
+    def test_out_of_region_read_rejected(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        d.alloc(16)
+        with pytest.raises(StorageError):
+            d.read_bits(8, 16)
+
+    def test_out_of_region_write_rejected(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        with pytest.raises(StorageError):
+            d.write_bits(0, 1, 1)
+
+    def test_unaligned_write_bytes_rejected(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        d.alloc(64)
+        with pytest.raises(StorageError):
+            d.write_bytes(4, b"\xff", 8)
+
+    def test_value_too_wide_rejected(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        d.alloc(8)
+        with pytest.raises(StorageError):
+            d.write_bits(0, 256, 8)
+
+
+class TestAccounting:
+    def test_read_counts_blocks_touched(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        off = d.alloc(1024)
+        d.stats.reset()
+        d.read_bits(off, 1)
+        assert d.stats.reads == 1
+        d.read_bits(off + 200, 100)  # crosses into block 1
+        assert d.stats.reads == 3
+
+    def test_write_counts_blocks(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        off = d.alloc(512)
+        d.stats.reset()
+        d.write_bits(off + 252, 0xFF, 8)  # spans blocks 0 and 1
+        assert d.stats.writes == 2
+
+    def test_cache_absorbs_repeated_reads(self):
+        d = Disk(block_bits=256, mem_blocks=4)
+        off = d.alloc(256)
+        d.flush_cache()
+        d.stats.reset()
+        d.read_bits(off, 8)
+        d.read_bits(off, 8)
+        d.read_bits(off + 100, 8)
+        assert d.stats.reads == 1  # one miss, then hits
+
+    def test_flush_cache_makes_reads_cold(self):
+        d = Disk(block_bits=256, mem_blocks=4)
+        off = d.alloc(256)
+        d.flush_cache()
+        d.stats.reset()
+        d.read_bits(off, 8)
+        d.flush_cache()
+        d.read_bits(off, 8)
+        assert d.stats.reads == 2
+
+    def test_zero_capacity_cache_never_hits(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        off = d.alloc(256)
+        d.stats.reset()
+        d.read_bits(off, 8)
+        d.read_bits(off, 8)
+        assert d.stats.reads == 2
+
+    def test_touch_range_and_block(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        d.alloc(1024)
+        d.stats.reset()
+        d.touch_range(0, 600)
+        assert d.stats.reads == 3
+        d.touch_block(3, write=True)
+        assert d.stats.writes == 1
+
+    def test_bits_read_tracks_payload(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        off = d.alloc(64)
+        d.stats.reset()
+        d.read_bits(off, 10)
+        assert d.stats.bits_read == 10
+
+    def test_measure_context(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        off = d.alloc(256)
+        with d.stats.measure() as m:
+            d.read_bits(off, 8)
+        assert m.reads == 1
+        assert m.total == 1
+        # Counters outside the region are unaffected by measuring.
+        assert d.stats.reads >= 1
+
+    def test_shared_stats_object(self):
+        stats = IOStats()
+        d1 = Disk(block_bits=256, mem_blocks=0, stats=stats)
+        d2 = Disk(block_bits=256, mem_blocks=0, stats=stats)
+        o1, o2 = d1.alloc(256), d2.alloc(256)
+        stats.reset()
+        d1.read_bits(o1, 8)
+        d2.read_bits(o2, 8)
+        assert stats.reads == 2
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        c = LRUBlockCache(2)
+        assert not c.access(1)
+        assert not c.access(2)
+        assert c.access(1)      # refresh 1
+        assert not c.access(3)  # evicts 2
+        assert not c.access(2)  # 2 was evicted
+        assert c.access(3)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LRUBlockCache(-1)
+
+    def test_counters(self):
+        c = LRUBlockCache(2)
+        c.access(1)
+        c.access(1)
+        assert (c.hits, c.misses) == (1, 1)
+        c.reset_counters()
+        assert (c.hits, c.misses) == (0, 0)
+
+    def test_clear_and_evict(self):
+        c = LRUBlockCache(4)
+        c.access(1)
+        c.access(2)
+        c.evict(1)
+        assert 1 not in c and 2 in c
+        c.clear()
+        assert len(c) == 0

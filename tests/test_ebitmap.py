@@ -1,0 +1,121 @@
+"""Unit tests for gap-compressed bitmaps."""
+
+import math
+
+import pytest
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.ebitmap import (
+    GapCompressedBitmap,
+    decode_gaps,
+    encode_gaps,
+    encoded_length,
+    iter_gaps,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestGapCodec:
+    def test_roundtrip_simple(self):
+        positions = [0, 1, 5, 100, 101, 4095]
+        w = BitWriter()
+        encode_gaps(w, positions)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert decode_gaps(r, len(positions)) == positions
+
+    def test_empty(self):
+        w = BitWriter()
+        encode_gaps(w, [])
+        assert w.bit_length == 0
+        r = BitReader(b"", bit_length=0)
+        assert decode_gaps(r, 0) == []
+
+    def test_position_zero(self):
+        # Gap of p0 + 1 handles position 0 (gamma needs values >= 1).
+        w = BitWriter()
+        encode_gaps(w, [0])
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert decode_gaps(r, 1) == [0]
+
+    def test_duplicates_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            encode_gaps(w, [3, 3])
+
+    def test_unsorted_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            encode_gaps(w, [5, 2])
+
+    def test_negative_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            encode_gaps(w, [-1, 2])
+
+    def test_encoded_length_matches(self):
+        positions = [2, 3, 17, 200, 10000]
+        w = BitWriter()
+        encode_gaps(w, positions)
+        assert w.bit_length == encoded_length(positions)
+
+    def test_iter_gaps_lazy(self):
+        positions = list(range(0, 1000, 7))
+        w = BitWriter()
+        encode_gaps(w, positions)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert list(iter_gaps(r, len(positions))) == positions
+
+
+class TestGapCompressedBitmap:
+    def test_roundtrip(self):
+        positions = [1, 2, 3, 500, 777]
+        bm = GapCompressedBitmap.from_positions(positions, 1000)
+        assert bm.positions() == positions
+        assert bm.count == len(positions)
+        assert len(bm) == len(positions)
+        assert bm.universe == 1000
+
+    def test_iter_positions(self):
+        positions = [0, 9, 10, 999]
+        bm = GapCompressedBitmap.from_positions(positions, 1000)
+        assert list(bm.iter_positions()) == positions
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GapCompressedBitmap.from_positions([1000], 1000)
+
+    def test_equality_and_hash(self):
+        a = GapCompressedBitmap.from_positions([1, 2], 10)
+        b = GapCompressedBitmap.from_positions([1, 2], 10)
+        c = GapCompressedBitmap.from_positions([1, 3], 10)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_union_disjoint(self):
+        a = GapCompressedBitmap.from_positions([1, 5, 9], 100)
+        b = GapCompressedBitmap.from_positions([2, 6], 100)
+        c = GapCompressedBitmap.from_positions([50], 100)
+        u = GapCompressedBitmap.union_disjoint([a, b, c], 100)
+        assert u.positions() == [1, 2, 5, 6, 9, 50]
+
+    def test_dense_set_size_near_information_bound(self):
+        # §1.2: a bitmap with m ones in [n] needs ~ lg C(n, m) bits;
+        # gamma gap coding is within a constant factor.
+        n, m = 4096, 256
+        positions = list(range(0, n, n // m))
+        bm = GapCompressedBitmap.from_positions(positions, n)
+        bound = m * math.log2(n / m) + 2 * m
+        assert bm.size_bits <= 2 * bound
+
+    def test_sparse_much_smaller_than_plain(self):
+        n = 1 << 16
+        positions = [17, 4000, 60000]
+        bm = GapCompressedBitmap.from_positions(positions, n)
+        assert bm.size_bits < 100 < n
+
+    def test_size_grows_with_cardinality(self):
+        n = 1 << 12
+        small = GapCompressedBitmap.from_positions(list(range(0, n, 64)), n)
+        large = GapCompressedBitmap.from_positions(list(range(0, n, 8)), n)
+        assert small.size_bits < large.size_bits

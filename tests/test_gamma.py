@@ -1,0 +1,98 @@
+"""Unit tests for Elias gamma/delta codes."""
+
+import pytest
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.gamma import (
+    delta_length,
+    gamma_length,
+    read_delta,
+    read_gamma,
+    write_delta,
+    write_gamma,
+)
+from repro.errors import InvalidParameterError
+
+
+def roundtrip_gamma(values):
+    w = BitWriter()
+    for v in values:
+        write_gamma(w, v)
+    r = BitReader(w.getvalue(), bit_length=w.bit_length)
+    return [read_gamma(r) for _ in values], w.bit_length
+
+
+def roundtrip_delta(values):
+    w = BitWriter()
+    for v in values:
+        write_delta(w, v)
+    r = BitReader(w.getvalue(), bit_length=w.bit_length)
+    return [read_delta(r) for _ in values], w.bit_length
+
+
+class TestGamma:
+    def test_known_codewords(self):
+        # gamma(1) = "1", gamma(2) = "010", gamma(3) = "011".
+        w = BitWriter()
+        write_gamma(w, 1)
+        assert (w.getvalue(), w.bit_length) == (b"\x80", 1)
+        w = BitWriter()
+        write_gamma(w, 2)
+        assert (w.getvalue()[0] >> 5, w.bit_length) == (0b010, 3)
+        w = BitWriter()
+        write_gamma(w, 3)
+        assert (w.getvalue()[0] >> 5, w.bit_length) == (0b011, 3)
+
+    def test_roundtrip_small(self):
+        values = list(range(1, 200))
+        decoded, _ = roundtrip_gamma(values)
+        assert decoded == values
+
+    def test_roundtrip_powers(self):
+        values = [1 << k for k in range(40)] + [(1 << k) - 1 for k in range(1, 40)]
+        decoded, _ = roundtrip_gamma(values)
+        assert decoded == values
+
+    def test_length_formula(self):
+        for v in [1, 2, 3, 4, 7, 8, 100, 65535, 1 << 30]:
+            w = BitWriter()
+            write_gamma(w, v)
+            assert w.bit_length == gamma_length(v)
+            assert gamma_length(v) == 2 * v.bit_length() - 1
+
+    def test_paper_length_bound(self):
+        # §1.2: run length x encoded in 2*floor(lg(x+1)) + 2 bits suffices;
+        # our gamma code for x uses 2*floor(lg x) + 1 <= that bound.
+        import math
+
+        for x in range(1, 2000):
+            assert gamma_length(x) <= 2 * math.floor(math.log2(x + 1)) + 2
+
+    def test_zero_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            write_gamma(w, 0)
+        with pytest.raises(InvalidParameterError):
+            gamma_length(0)
+
+
+class TestDelta:
+    def test_roundtrip(self):
+        values = list(range(1, 300)) + [1 << 20, (1 << 33) + 7]
+        decoded, _ = roundtrip_delta(values)
+        assert decoded == values
+
+    def test_length_formula(self):
+        for v in [1, 2, 3, 15, 16, 1000, 1 << 25]:
+            w = BitWriter()
+            write_delta(w, v)
+            assert w.bit_length == delta_length(v)
+
+    def test_delta_shorter_for_large_values(self):
+        big = 1 << 40
+        assert delta_length(big) < gamma_length(big)
+
+    def test_zero_rejected(self):
+        w = BitWriter()
+        with pytest.raises(InvalidParameterError):
+            write_delta(w, 0)

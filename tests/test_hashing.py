@@ -1,0 +1,151 @@
+"""Unit tests for universal hashing and the XOR-fold family of §3."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.hashing import AffineHash, MultiplyShiftHash, XorFoldHash
+
+
+class TestMultiplyShift:
+    def test_range(self):
+        rng = random.Random(0)
+        h = MultiplyShiftHash.sample(rng, 8)
+        assert h.range_size == 256
+        for x in range(1000):
+            assert 0 <= h(x) < 256
+
+    def test_deterministic_given_params(self):
+        h1 = MultiplyShiftHash(12345, 10)
+        h2 = MultiplyShiftHash(12345, 10)
+        assert [h1(x) for x in range(50)] == [h2(x) for x in range(50)]
+
+    def test_zero_out_bits(self):
+        h = MultiplyShiftHash(3, 0)
+        assert h(123) == 0
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MultiplyShiftHash(2, 8)
+
+    def test_out_bits_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MultiplyShiftHash(3, 65)
+
+    def test_collision_rate_near_universal(self):
+        # Empirical pairwise collision probability should be ~ 2/m for
+        # multiply-shift (2-approximate universality).
+        rng = random.Random(42)
+        m_bits = 10
+        pairs = [(rng.randrange(1 << 30), rng.randrange(1 << 30)) for _ in range(300)]
+        pairs = [(x, y) for x, y in pairs if x != y]
+        collisions = 0
+        trials = 200
+        for _ in range(trials):
+            h = MultiplyShiftHash.sample(rng, m_bits)
+            collisions += sum(1 for x, y in pairs if h(x) == h(y))
+        rate = collisions / (trials * len(pairs))
+        assert rate <= 4.0 / (1 << m_bits)
+
+
+class TestAffine:
+    def test_range(self):
+        rng = random.Random(1)
+        h = AffineHash.sample(rng, 1000)
+        assert h.range_size == 1000
+        assert all(0 <= h(x) < 1000 for x in range(500))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AffineHash(0, 0, 10)
+        with pytest.raises(InvalidParameterError):
+            AffineHash(1, 0, 0)
+
+
+class TestXorFold:
+    def test_range(self):
+        rng = random.Random(2)
+        h = XorFoldHash.sample(rng, 6)
+        assert h.range_size == 64
+        assert all(0 <= h(i) < 64 for i in range(4096))
+
+    def test_inner_range_must_match(self):
+        with pytest.raises(InvalidParameterError):
+            XorFoldHash(4, MultiplyShiftHash(3, 5))
+
+    def test_preimage_one_exactly_inverts(self):
+        rng = random.Random(3)
+        h = XorFoldHash.sample(rng, 5)
+        universe = 1000
+        for s in [0, 7, 31]:
+            pre = list(h.preimage_one(s, universe))
+            # Exactly the positions hashing to s.
+            brute = [i for i in range(universe) if h(i) == s]
+            assert pre == brute
+
+    def test_preimage_set(self):
+        rng = random.Random(4)
+        h = XorFoldHash.sample(rng, 4)
+        universe = 300
+        hashed = {1, 9, 14}
+        pre = list(h.preimage(hashed, universe))
+        brute = [i for i in range(universe) if h(i) in hashed]
+        assert pre == brute
+
+    def test_preimage_sorted(self):
+        rng = random.Random(5)
+        h = XorFoldHash.sample(rng, 3)
+        pre = list(h.preimage({0, 1, 5}, 500))
+        assert pre == sorted(pre)
+
+    def test_preimage_empty(self):
+        rng = random.Random(6)
+        h = XorFoldHash.sample(rng, 3)
+        assert list(h.preimage(set(), 100)) == []
+
+    def test_preimage_size_bound(self):
+        rng = random.Random(7)
+        h = XorFoldHash.sample(rng, 4)
+        universe = 1000
+        hashed = {2, 3}
+        assert len(list(h.preimage(hashed, universe))) <= h.preimage_size(
+            len(hashed), universe
+        )
+
+    def test_membership_consistency(self):
+        # i in preimage(S)  <=>  h(i) in S — the filtering identity the
+        # approximate index relies on.
+        rng = random.Random(8)
+        h = XorFoldHash.sample(rng, 6)
+        universe = 2000
+        hashed = {h(i) for i in [17, 450, 1999]}
+        pre = set(h.preimage(hashed, universe))
+        for i in range(universe):
+            assert (i in pre) == (h(i) in hashed)
+
+    def test_false_positive_rate_universal(self):
+        # For i not in S, Pr[h(i) in h(S)] <= |S| / 2^fold  over the
+        # family draw (§3's universality argument).
+        universe = 1 << 14
+        S = list(range(0, universe, 1024))  # 16 members
+        probe = [i for i in range(0, universe, 97) if i not in set(S)][:100]
+        fold = 10
+        trials = 150
+        fp = 0
+        rng = random.Random(9)
+        for _ in range(trials):
+            h = XorFoldHash.sample(rng, fold)
+            hashed = {h(i) for i in S}
+            fp += sum(1 for i in probe if h(i) in hashed)
+        rate = fp / (trials * len(probe))
+        # Universality bound |S|/2^fold = 16/1024; allow 3x slack for the
+        # 2-approximate family and sampling noise.
+        assert rate <= 3 * len(S) / (1 << fold)
+
+    def test_high_parts(self):
+        rng = random.Random(10)
+        h = XorFoldHash.sample(rng, 4)
+        assert h.high_parts(0) == 0
+        assert h.high_parts(16) == 1
+        assert h.high_parts(17) == 2

@@ -1,0 +1,186 @@
+"""Cross-structure integration tests.
+
+Every index in the package answers the same queries on the same
+strings; these tests pin them against each other and against the
+brute-force oracle, and check the global cost relationships the paper
+establishes between them.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import brute_range, random_ranges
+from repro.baselines import (
+    BinnedBitmapIndex,
+    BTreeSecondaryIndex,
+    CompressedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    MultiResolutionBitmapIndex,
+    RangeEncodedBitmapIndex,
+    UncompressedBitmapIndex,
+    WahBitmapIndex,
+)
+from repro.core import (
+    AppendableIndex,
+    ApproximatePaghRaoIndex,
+    BufferedAppendableIndex,
+    DynamicSecondaryIndex,
+    PaghRaoIndex,
+    UniformTreeIndex,
+)
+from repro.model import distributions as dist
+from repro.model.entropy import entropy_bits
+
+EVERY_INDEX = [
+    UniformTreeIndex,
+    PaghRaoIndex,
+    ApproximatePaghRaoIndex,
+    AppendableIndex,
+    BufferedAppendableIndex,
+    DynamicSecondaryIndex,
+    BTreeSecondaryIndex,
+    CompressedBitmapIndex,
+    UncompressedBitmapIndex,
+    BinnedBitmapIndex,
+    MultiResolutionBitmapIndex,
+    RangeEncodedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    WahBitmapIndex,
+]
+
+
+class TestAllStructuresAgree:
+    @pytest.mark.parametrize("theta", [0.0, 1.2])
+    def test_same_answers_everywhere(self, theta):
+        sigma = 24
+        x = dist.zipf(800, sigma, theta=theta, seed=11)
+        indexes = [cls(x, sigma) for cls in EVERY_INDEX]
+        rng = random.Random(4)
+        for lo, hi in random_ranges(rng, sigma, 12):
+            want = brute_range(x, lo, hi)
+            for idx in indexes:
+                got = idx.range_query(lo, hi).positions()
+                assert got == want, (type(idx).__name__, lo, hi)
+
+    def test_exact_answers_have_no_false_positives(self):
+        sigma = 16
+        x = dist.uniform(500, sigma, seed=12)
+        idx = PaghRaoIndex(x, sigma)
+        result = idx.range_query(3, 9)
+        assert result.is_exact
+        for p in result.positions():
+            assert 3 <= x[p] <= 9
+
+    def test_result_membership_protocol(self):
+        sigma = 8
+        x = dist.uniform(300, sigma, seed=13)
+        idx = PaghRaoIndex(x, sigma)
+        result = idx.range_query(2, 5)
+        want = set(brute_range(x, 2, 5))
+        for p in range(300):
+            assert (p in result) == (p in want)
+        assert len(result) == len(want)
+
+
+class TestCostRelationships:
+    """The paper's comparative claims, measured."""
+
+    def setup_method(self):
+        self.sigma = 64
+        self.n = 4096
+        self.x = dist.sequential(self.n, self.sigma)
+
+    def _bits_read_cold(self, idx, lo, hi):
+        idx.disk.flush_cache()
+        idx.stats.reset()
+        idx.range_query(lo, hi)
+        return idx.stats.bits_read
+
+    def test_pagh_rao_beats_bitmap_scan_on_wide_ranges(self):
+        # §1.2's example: l = sigma/2 on a uniform string; the bitmap
+        # index reads a lg(sigma)/lg(sigma/l) factor more than optimal.
+        ours = PaghRaoIndex(self.x, self.sigma)
+        bitmap = CompressedBitmapIndex(self.x, self.sigma)
+        lo, hi = 0, self.sigma // 2 - 1
+        assert self._bits_read_cold(ours, lo, hi) < self._bits_read_cold(
+            bitmap, lo, hi
+        )
+
+    def test_pagh_rao_beats_btree_on_bits(self):
+        # §1.3: explicit position lists cost a lg(n) factor.
+        ours = PaghRaoIndex(self.x, self.sigma)
+        btree = BTreeSecondaryIndex(self.x, self.sigma)
+        lo, hi = 0, 15
+        assert self._bits_read_cold(ours, lo, hi) < self._bits_read_cold(
+            btree, lo, hi
+        )
+
+    def test_space_ordering(self):
+        # entropy-bounded < n lg sigma bitmap family << n sigma family.
+        ours = PaghRaoIndex(self.x, self.sigma)
+        gamma = CompressedBitmapIndex(self.x, self.sigma)
+        rangeenc = RangeEncodedBitmapIndex(self.x, self.sigma)
+        assert ours.space().payload_bits <= 4 * gamma.space().payload_bits
+        assert gamma.space().payload_bits < rangeenc.space().payload_bits / 4
+
+    def test_no_time_space_tradeoff(self):
+        # §1.3's central claim: Theorem 2 is simultaneously within a
+        # constant of the best space AND the best bits-read among the
+        # trade-off structures (multires at two bin widths).
+        ours = PaghRaoIndex(self.x, self.sigma)
+        coarse = MultiResolutionBitmapIndex(self.x, self.sigma, bin_width=8)
+        fine = MultiResolutionBitmapIndex(self.x, self.sigma, bin_width=2)
+        lo, hi = 3, 44  # unaligned, wide
+        our_bits = self._bits_read_cold(ours, lo, hi)
+        our_space = ours.space().payload_bits
+        for other in (coarse, fine):
+            bits = self._bits_read_cold(other, lo, hi)
+            space = other.space().payload_bits
+            assert our_bits <= 4 * bits + 4096
+            assert our_space <= 2 * space
+
+    def test_entropy_adaptivity_unique_to_ours(self):
+        # On a skewed string, Theorem 2's payload tracks nH0 while the
+        # uncompressed family stays at n*sigma.
+        skew = dist.zipf(self.n, self.sigma, theta=1.8, seed=14)
+        ours = PaghRaoIndex(skew, self.sigma)
+        plain = UncompressedBitmapIndex(skew, self.sigma)
+        h_bits = entropy_bits(skew)
+        assert ours.space().payload_bits <= 6 * (h_bits + self.n)
+        assert plain.space().payload_bits == self.n * self.sigma
+
+
+class TestDynamicConvergence:
+    def test_dynamic_equals_static_after_same_history(self):
+        # Build static on final string; dynamic via appends: answers and
+        # (post-rebuild) spaces must agree.
+        sigma = 16
+        x = dist.uniform(1200, sigma, seed=15)
+        static = PaghRaoIndex(x, sigma)
+        dyn = AppendableIndex(x[:600], sigma)
+        for ch in x[600:]:
+            dyn.append(ch)
+        rng = random.Random(5)
+        for lo, hi in random_ranges(rng, sigma, 10):
+            assert (
+                dyn.range_query(lo, hi).positions()
+                == static.range_query(lo, hi).positions()
+            )
+
+    def test_change_sequence_equivalent_to_fresh_build(self):
+        sigma = 12
+        x = list(dist.uniform(500, sigma, seed=16))
+        dyn = DynamicSecondaryIndex(x, sigma)
+        rng = random.Random(6)
+        for _ in range(300):
+            i = rng.randrange(len(x))
+            ch = rng.randrange(sigma)
+            dyn.change(i, ch)
+            x[i] = ch
+        fresh = PaghRaoIndex(x, sigma)
+        for lo, hi in random_ranges(rng, sigma, 10):
+            assert (
+                dyn.range_query(lo, hi).positions()
+                == fresh.range_query(lo, hi).positions()
+            )

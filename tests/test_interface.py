@@ -1,0 +1,71 @@
+"""Tests for the query-result protocol and space accounting types."""
+
+import pytest
+
+from repro.core.interface import RangeResult, SpaceBreakdown
+from repro.model.entropy import lg_binomial
+
+
+class TestRangeResult:
+    def test_plain_result(self):
+        r = RangeResult([2, 5, 9], universe=20)
+        assert r.positions() == [2, 5, 9]
+        assert r.cardinality == 3
+        assert len(r) == 3
+        assert 5 in r and 6 not in r
+        assert r.is_exact
+
+    def test_complemented_result(self):
+        # Stored = the complement; reported = everything else.
+        r = RangeResult([0, 1], universe=6, complemented=True)
+        assert r.cardinality == 4
+        assert r.positions() == [2, 3, 4, 5]
+        assert 0 not in r and 3 in r
+        assert r.stored_positions() == [0, 1]
+
+    def test_out_of_universe_membership(self):
+        r = RangeResult([1], universe=4)
+        assert -1 not in r
+        assert 4 not in r
+        rc = RangeResult([1], universe=4, complemented=True)
+        assert -1 not in rc
+        assert 4 not in rc
+
+    def test_empty(self):
+        r = RangeResult.empty(10)
+        assert r.cardinality == 0
+        assert r.positions() == []
+        assert r.compressed_size_bits == 0
+
+    def test_compressed_size_small_for_complement(self):
+        # A nearly-full answer stored as a tiny complement costs little.
+        full = RangeResult(list(range(999)), universe=1000)
+        comp = RangeResult([999], universe=1000, complemented=True)
+        assert comp.cardinality == 999
+        assert comp.compressed_size_bits < full.compressed_size_bits / 50
+
+    def test_information_bound(self):
+        r = RangeResult([1, 2, 3], universe=100)
+        assert r.information_bound_bits == pytest.approx(lg_binomial(100, 3))
+
+    def test_compressed_size_above_information_bound(self):
+        positions = list(range(0, 1000, 7))
+        r = RangeResult(positions, universe=1000)
+        assert r.compressed_size_bits >= r.information_bound_bits
+
+
+class TestSpaceBreakdown:
+    def test_total(self):
+        s = SpaceBreakdown(payload_bits=10, directory_bits=5)
+        assert s.total_bits == 15
+
+    def test_add(self):
+        a = SpaceBreakdown(1, 2)
+        b = SpaceBreakdown(10, 20)
+        c = a + b
+        assert (c.payload_bits, c.directory_bits) == (11, 22)
+
+    def test_frozen(self):
+        s = SpaceBreakdown(1, 2)
+        with pytest.raises(AttributeError):
+            s.payload_bits = 5

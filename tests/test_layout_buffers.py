@@ -1,0 +1,126 @@
+"""Unit tests for the blocked tree layout and node buffers."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.iomodel import Disk
+from repro.model import distributions as dist
+from repro.trees.blocked_layout import TreeLayout, default_record_bits
+from repro.trees.buffers import NodeBuffer
+from repro.trees.weighted import WeightedTree
+
+
+class TestTreeLayout:
+    def setup_method(self):
+        self.disk = Disk(block_bits=2048, mem_blocks=0)
+        x = dist.uniform(8000, 128, seed=1)
+        self.tree = WeightedTree.build(x, 128)
+        self.layout = TreeLayout(self.tree, self.disk)
+
+    def test_every_node_assigned(self):
+        assert set(self.layout.block_of_node) == {
+            v.node_id for v in self.tree.iter_nodes()
+        }
+
+    def test_block_count_bounded(self):
+        per_block = self.layout.records_per_block
+        lower = math.ceil(len(self.tree.nodes) / per_block)
+        assert lower <= self.layout.num_blocks <= 3 * lower + len(self.tree.nodes)
+
+    def test_descent_faster_than_one_block_per_level(self):
+        # The point of the layout: O(lg_b n) blocks per root-to-leaf
+        # path, strictly fewer than the tree height when b is large.
+        max_blocks = self.layout.max_descent_blocks()
+        assert max_blocks <= self.tree.height
+        if self.layout.records_per_block >= 8:
+            assert max_blocks < self.tree.height
+
+    def test_touch_nodes_deduplicates_blocks(self):
+        path = self.tree.path_to(self.tree.leaves[0])
+        self.disk.stats.reset()
+        self.layout.touch_nodes(path)
+        assert self.disk.stats.reads == self.layout.descent_blocks(
+            self.tree.leaves[0]
+        )
+
+    def test_size_bits(self):
+        assert self.layout.size_bits == self.layout.num_blocks * 2048
+
+    def test_record_bits_default(self):
+        assert default_record_bits(1 << 16, 256) > 0
+
+    def test_record_bits_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TreeLayout(self.tree, self.disk, record_bits=0)
+
+
+class TestNodeBuffer:
+    def setup_method(self):
+        self.disk = Disk(block_bits=512, mem_blocks=0)
+
+    def test_capacity_from_block(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        assert buf.capacity == 8
+
+    def test_append_and_read(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        buf.append((1, 2))
+        buf.append((3, 4))
+        assert buf.read() == [(1, 2), (3, 4)]
+        assert len(buf) == 2
+
+    def test_append_charges_write(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        self.disk.stats.reset()
+        buf.append((1, 2))
+        assert self.disk.stats.writes == 1
+        buf.append((5, 6), charge=False)  # pinned root buffer
+        assert self.disk.stats.writes == 1
+
+    def test_overflow_rejected(self):
+        buf = NodeBuffer(self.disk, op_bits=256)  # capacity 2
+        buf.append((1,))
+        buf.append((2,))
+        assert buf.is_full
+        with pytest.raises(InvalidParameterError):
+            buf.append((3,))
+
+    def test_extend_batch(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        self.disk.stats.reset()
+        buf.extend([(1,), (2,), (3,)])
+        assert self.disk.stats.writes == 1
+        with pytest.raises(InvalidParameterError):
+            buf.extend([(0,)] * 10)
+
+    def test_take_for_child_picks_busiest(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        for op in [("a", 1), ("b", 2), ("a", 3), ("a", 4), ("c", 5)]:
+            buf.append(op)
+        child, batch = buf.take_for_child(lambda op: op[0])
+        assert child == "a"
+        assert [op[1] for op in batch] == [1, 3, 4]
+        assert [op[0] for op in buf.ops] == ["b", "c"]
+
+    def test_take_for_child_empty_rejected(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        with pytest.raises(InvalidParameterError):
+            buf.take_for_child(lambda op: 0)
+
+    def test_clear(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        buf.append((1,))
+        assert buf.clear() == [(1,)]
+        assert len(buf) == 0
+
+    def test_op_bits_validation(self):
+        with pytest.raises(InvalidParameterError):
+            NodeBuffer(self.disk, op_bits=0)
+        with pytest.raises(InvalidParameterError):
+            NodeBuffer(self.disk, op_bits=1024)
+
+    def test_size_bits_is_one_block(self):
+        buf = NodeBuffer(self.disk, op_bits=64)
+        assert buf.size_bits == 512

@@ -1,0 +1,184 @@
+"""Unit tests for alphabets, entropy bounds, and workload generators."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError, QueryError
+from repro.model import (
+    Alphabet,
+    by_name,
+    char_counts,
+    clustered,
+    entropy_bits,
+    h0,
+    h0_from_counts,
+    heavy_hitter,
+    lg_binomial,
+    markov_runs,
+    output_bound_bits,
+    sequential,
+    uniform,
+    zipf,
+)
+
+
+class TestAlphabet:
+    def test_dense_codes_in_value_order(self):
+        a = Alphabet(["pear", "apple", "fig", "apple"])
+        assert a.sigma == 3
+        assert a.values() == ["apple", "fig", "pear"]
+        assert a.code("apple") == 0
+        assert a.value(2) == "pear"
+
+    def test_encode_decode_roundtrip(self):
+        x = [5, 1, 5, 9, 1]
+        a = Alphabet(x)
+        codes = a.encode(x)
+        assert a.decode(codes) == x
+
+    def test_unknown_value_rejected(self):
+        a = Alphabet([1, 2])
+        with pytest.raises(QueryError):
+            a.code(3)
+        with pytest.raises(QueryError):
+            a.encode([1, 3])
+
+    def test_code_out_of_range_rejected(self):
+        a = Alphabet([1])
+        with pytest.raises(QueryError):
+            a.value(1)
+
+    def test_code_range_inclusive(self):
+        a = Alphabet([10, 20, 30, 40])
+        assert a.code_range(20, 30) == (1, 2)
+
+    def test_code_range_snaps_to_occurring_values(self):
+        a = Alphabet([10, 20, 30, 40])
+        # 15..35 covers occurring values 20, 30.
+        assert a.code_range(15, 35) == (1, 2)
+
+    def test_code_range_empty(self):
+        a = Alphabet([10, 40])
+        assert a.code_range(15, 35) is None
+
+    def test_code_range_inverted_rejected(self):
+        a = Alphabet([1, 2])
+        with pytest.raises(QueryError):
+            a.code_range(2, 1)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Alphabet([])
+
+    def test_contains(self):
+        a = Alphabet([1, 2])
+        assert 1 in a and 3 not in a
+
+
+class TestEntropy:
+    def test_uniform_entropy_is_lg_sigma(self):
+        x = sequential(1024, 16)
+        assert h0(x) == pytest.approx(4.0)
+
+    def test_single_character_entropy_zero(self):
+        assert h0([3] * 100) == 0.0
+
+    def test_empty_string(self):
+        assert h0([]) == 0.0
+        assert entropy_bits([]) == 0.0
+
+    def test_h0_from_counts_mapping_and_sequence(self):
+        assert h0_from_counts({0: 2, 1: 2}) == pytest.approx(1.0)
+        assert h0_from_counts([2, 2]) == pytest.approx(1.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            h0_from_counts([-1, 2])
+
+    def test_entropy_bits_scales(self):
+        x = sequential(512, 4)
+        assert entropy_bits(x) == pytest.approx(512 * 2.0)
+
+    def test_lg_binomial_small_cases(self):
+        assert lg_binomial(4, 2) == pytest.approx(math.log2(6))
+        assert lg_binomial(10, 0) == 0.0
+        assert lg_binomial(10, 10) == 0.0
+
+    def test_lg_binomial_symmetry(self):
+        assert lg_binomial(100, 30) == pytest.approx(lg_binomial(100, 70))
+
+    def test_lg_binomial_validation(self):
+        with pytest.raises(InvalidParameterError):
+            lg_binomial(5, 6)
+
+    def test_output_bound_uses_complement(self):
+        # Answers above n/2 are measured against their complement (§2.1).
+        assert output_bound_bits(100, 99) == pytest.approx(
+            output_bound_bits(100, 1)
+        )
+
+    def test_char_counts(self):
+        assert char_counts([1, 1, 2]) == {1: 2, 2: 1}
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "gen", [uniform, clustered, markov_runs, sequential]
+    )
+    def test_basic_contract(self, gen):
+        x = gen(500, 16, seed=3)
+        assert len(x) == 500
+        assert all(0 <= c < 16 for c in x)
+
+    def test_zipf_contract_and_skew(self):
+        x = zipf(5000, 64, theta=1.5, seed=1)
+        assert len(x) == 5000
+        assert all(0 <= c < 64 for c in x)
+        counts = char_counts(x)
+        # Code 0 must dominate under strong skew.
+        assert counts[0] > counts.get(10, 0)
+
+    def test_zipf_theta_zero_is_uniformish(self):
+        x = zipf(20000, 4, theta=0.0, seed=2)
+        counts = char_counts(x)
+        for c in range(4):
+            assert abs(counts[c] - 5000) < 600
+
+    def test_heavy_hitter_fraction(self):
+        x = heavy_hitter(10000, 16, fraction=0.7, hot=3, seed=4)
+        counts = char_counts(x)
+        assert counts[3] > 6500
+
+    def test_sequential_deterministic(self):
+        assert sequential(6, 3) == [0, 1, 2, 0, 1, 2]
+
+    def test_seed_reproducibility(self):
+        assert uniform(100, 8, seed=9) == uniform(100, 8, seed=9)
+        assert uniform(100, 8, seed=9) != uniform(100, 8, seed=10)
+
+    def test_markov_runs_are_bursty(self):
+        x = markov_runs(5000, 16, stay=0.95, seed=5)
+        changes = sum(1 for a, b in zip(x, x[1:]) if a != b)
+        assert changes < 1000  # far fewer changes than uniform's ~4700
+
+    def test_clustered_is_sorted(self):
+        x = clustered(1000, 16, seed=6)
+        assert x == sorted(x)
+
+    def test_registry(self):
+        assert by_name("uniform") is uniform
+        with pytest.raises(InvalidParameterError):
+            by_name("nope")
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            uniform(-1, 4)
+        with pytest.raises(InvalidParameterError):
+            uniform(4, 0)
+        with pytest.raises(InvalidParameterError):
+            zipf(4, 4, theta=-1)
+        with pytest.raises(InvalidParameterError):
+            heavy_hitter(4, 4, fraction=1.5)
+        with pytest.raises(InvalidParameterError):
+            markov_runs(4, 4, stay=1.0)

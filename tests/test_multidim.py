@@ -1,0 +1,172 @@
+"""Tests for the general §1 query families (at-least-k, partial match,
+boolean expression plans)."""
+
+import random
+
+import pytest
+
+from repro.core import ApproximatePaghRaoIndex, PaghRaoIndex
+from repro.errors import QueryError
+from repro.queries import (
+    And,
+    Cond,
+    Not,
+    Or,
+    at_least_k_approximate,
+    at_least_k_exact,
+    evaluate_expression,
+    partial_match_approximate,
+    partial_match_exact,
+)
+
+D = 4
+N = 800
+SIGMA = 16
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = random.Random(3)
+    points = [[rng.randrange(SIGMA) for _ in range(D)] for _ in range(N)]
+    columns = [[points[i][d] for i in range(N)] for d in range(D)]
+    exact = [PaghRaoIndex(columns[d], SIGMA) for d in range(D)]
+    approx = [ApproximatePaghRaoIndex(columns[d], SIGMA, seed=d) for d in range(D)]
+    return points, exact, approx
+
+
+BOX = [(3, 7), (2, 9), (5, 12), (0, 4)]
+
+
+def dims_inside(points, i):
+    return sum(1 for d in range(D) if BOX[d][0] <= points[i][d] <= BOX[d][1])
+
+
+class TestAtLeastK:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_exact_matches_brute_force(self, data, k):
+        points, exact, _ = data
+        want = [i for i in range(N) if dims_inside(points, i) >= k]
+        assert at_least_k_exact(exact, BOX, k) == want
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_approximate_is_superset(self, data, k):
+        points, _, approx = data
+        want = set(i for i in range(N) if dims_inside(points, i) >= k)
+        got = set(at_least_k_approximate(approx, BOX, k, eps=1 / 8))
+        assert want <= got
+
+    def test_k_equals_d_is_intersection(self, data):
+        points, exact, _ = data
+        got = at_least_k_exact(exact, BOX, D)
+        want = [i for i in range(N) if dims_inside(points, i) == D]
+        assert got == want
+
+    def test_validation(self, data):
+        _, exact, _ = data
+        with pytest.raises(QueryError):
+            at_least_k_exact(exact, BOX, 0)
+        with pytest.raises(QueryError):
+            at_least_k_exact(exact, BOX, D + 1)
+        with pytest.raises(QueryError):
+            at_least_k_exact(exact, BOX[:2], 1)
+
+
+class TestPartialMatch:
+    def test_exact_subset_of_dims(self, data):
+        points, exact, _ = data
+        indexes = dict(enumerate(exact))
+        conds = {0: BOX[0], 2: BOX[2]}
+        want = [
+            i
+            for i in range(N)
+            if all(lo <= points[i][d] <= hi for d, (lo, hi) in conds.items())
+        ]
+        assert partial_match_exact(indexes, conds) == want
+
+    def test_single_dimension(self, data):
+        points, exact, _ = data
+        got = partial_match_exact({1: exact[1]}, {1: (4, 4)})
+        want = [i for i in range(N) if points[i][1] == 4]
+        assert got == want
+
+    def test_approximate_superset(self, data):
+        points, _, approx = data
+        indexes = dict(enumerate(approx))
+        conds = {0: BOX[0], 1: BOX[1], 3: BOX[3]}
+        want = {
+            i
+            for i in range(N)
+            if all(lo <= points[i][d] <= hi for d, (lo, hi) in conds.items())
+        }
+        got = set(partial_match_approximate(indexes, conds, eps=1 / 8))
+        assert want <= got
+
+    def test_validation(self, data):
+        _, exact, _ = data
+        with pytest.raises(QueryError):
+            partial_match_exact(dict(enumerate(exact)), {})
+        with pytest.raises(QueryError):
+            partial_match_exact({0: exact[0]}, {5: (0, 1)})
+
+
+class TestExpressions:
+    def brute(self, points, predicate):
+        return [i for i in range(N) if predicate(points[i])]
+
+    def test_and(self, data):
+        points, exact, _ = data
+        indexes = dict(enumerate(exact))
+        expr = And((Cond(0, 3, 7), Cond(1, 2, 9)))
+        want = self.brute(points, lambda p: 3 <= p[0] <= 7 and 2 <= p[1] <= 9)
+        assert evaluate_expression(expr, indexes, N) == want
+
+    def test_or(self, data):
+        points, exact, _ = data
+        indexes = dict(enumerate(exact))
+        expr = Or((Cond(0, 0, 1), Cond(2, 14, 15)))
+        want = self.brute(points, lambda p: p[0] <= 1 or p[2] >= 14)
+        assert evaluate_expression(expr, indexes, N) == want
+
+    def test_not(self, data):
+        points, exact, _ = data
+        indexes = dict(enumerate(exact))
+        expr = Not(Cond(3, 0, 7))
+        want = self.brute(points, lambda p: not (p[3] <= 7))
+        assert evaluate_expression(expr, indexes, N) == want
+
+    def test_nested(self, data):
+        points, exact, _ = data
+        indexes = dict(enumerate(exact))
+        # (d0 in [3,7] AND NOT d1 in [0,4]) OR d2 == 9
+        expr = Or(
+            (
+                And((Cond(0, 3, 7), Not(Cond(1, 0, 4)))),
+                Cond(2, 9, 9),
+            )
+        )
+        want = self.brute(
+            points,
+            lambda p: (3 <= p[0] <= 7 and not p[1] <= 4) or p[2] == 9,
+        )
+        assert evaluate_expression(expr, indexes, N) == want
+
+    def test_de_morgan(self, data):
+        # NOT(a OR b) == NOT a AND NOT b — through the evaluator.
+        points, exact, _ = data
+        indexes = dict(enumerate(exact))
+        a, b = Cond(0, 2, 5), Cond(1, 8, 12)
+        left = evaluate_expression(Not(Or((a, b))), indexes, N)
+        right = evaluate_expression(And((Not(a), Not(b))), indexes, N)
+        assert left == right
+
+    def test_validation(self, data):
+        _, exact, _ = data
+        indexes = dict(enumerate(exact))
+        with pytest.raises(QueryError):
+            evaluate_expression(And(()), indexes, N)
+        with pytest.raises(QueryError):
+            evaluate_expression(Or(()), indexes, N)
+        with pytest.raises(QueryError):
+            evaluate_expression(Cond(9, 0, 1), indexes, N)
+        with pytest.raises(QueryError):
+            evaluate_expression("nope", indexes, N)

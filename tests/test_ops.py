@@ -1,0 +1,83 @@
+"""Unit tests for sorted-set algebra."""
+
+from repro.bits.ops import (
+    complement_sorted,
+    difference_sorted,
+    intersect_many,
+    intersect_sorted,
+    is_strictly_increasing,
+    union_disjoint_sorted,
+    union_sorted,
+)
+
+
+class TestUnion:
+    def test_union_disjoint(self):
+        assert union_disjoint_sorted([[1, 4], [2, 3], [5]]) == [1, 2, 3, 4, 5]
+
+    def test_union_disjoint_empty_inputs(self):
+        assert union_disjoint_sorted([]) == []
+        assert union_disjoint_sorted([[], []]) == []
+
+    def test_union_disjoint_single_list_copies(self):
+        src = [1, 2]
+        out = union_disjoint_sorted([src])
+        assert out == src
+        out.append(3)
+        assert src == [1, 2]
+
+    def test_union_dedupes(self):
+        assert union_sorted([[1, 2, 5], [2, 3], [5]]) == [1, 2, 3, 5]
+
+    def test_union_of_identical_lists(self):
+        assert union_sorted([[1, 2], [1, 2]]) == [1, 2]
+
+
+class TestIntersection:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5, 7], [3, 4, 5]) == [3, 5]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+
+    def test_empty(self):
+        assert intersect_sorted([], [1]) == []
+        assert intersect_sorted([1], []) == []
+
+    def test_many_smallest_first(self):
+        lists = [list(range(0, 100)), list(range(0, 100, 2)), [4, 8, 50, 99]]
+        assert intersect_many(lists) == [4, 8, 50]
+
+    def test_many_empty_cases(self):
+        assert intersect_many([]) == []
+        assert intersect_many([[1, 2], []]) == []
+
+
+class TestDifferenceComplement:
+    def test_difference(self):
+        assert difference_sorted([1, 2, 3, 4], [2, 4]) == [1, 3]
+
+    def test_difference_no_overlap(self):
+        assert difference_sorted([1, 2], [5]) == [1, 2]
+
+    def test_complement(self):
+        assert complement_sorted([1, 3], 5) == [0, 2, 4]
+
+    def test_complement_empty_set(self):
+        assert complement_sorted([], 3) == [0, 1, 2]
+
+    def test_complement_full_set(self):
+        assert complement_sorted([0, 1, 2], 3) == []
+
+    def test_complement_involution(self):
+        s = [0, 4, 5, 9]
+        assert complement_sorted(complement_sorted(s, 10), 10) == s
+
+
+class TestPredicates:
+    def test_strictly_increasing(self):
+        assert is_strictly_increasing([])
+        assert is_strictly_increasing([5])
+        assert is_strictly_increasing([1, 2, 9])
+        assert not is_strictly_increasing([1, 1])
+        assert not is_strictly_increasing([2, 1])

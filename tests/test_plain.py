@@ -1,0 +1,78 @@
+"""Unit tests for uncompressed bitmaps."""
+
+import pytest
+
+from repro.bits.plain import PlainBitmap
+from repro.errors import InvalidParameterError
+
+
+class TestPlainBitmap:
+    def test_set_get_clear(self):
+        bm = PlainBitmap(20)
+        bm.set(0)
+        bm.set(19)
+        assert bm.get(0) and bm.get(19)
+        assert not bm.get(10)
+        bm.clear(0)
+        assert not bm.get(0)
+
+    def test_contains(self):
+        bm = PlainBitmap.from_positions([3], 10)
+        assert 3 in bm
+        assert 4 not in bm
+        assert -1 not in bm
+        assert 10 not in bm
+
+    def test_bounds_checked(self):
+        bm = PlainBitmap(8)
+        with pytest.raises(InvalidParameterError):
+            bm.set(8)
+        with pytest.raises(InvalidParameterError):
+            bm.get(-1)
+
+    def test_from_positions_roundtrip(self):
+        positions = [0, 7, 8, 9, 63, 64]
+        bm = PlainBitmap.from_positions(positions, 100)
+        assert bm.positions() == positions
+        assert bm.count() == len(positions)
+
+    def test_size_bits_is_universe(self):
+        assert PlainBitmap(12345).size_bits == 12345
+
+    def test_or_and_xor(self):
+        a = PlainBitmap.from_positions([1, 3, 5], 10)
+        b = PlainBitmap.from_positions([3, 4], 10)
+        assert (a | b).positions() == [1, 3, 4, 5]
+        assert (a & b).positions() == [3]
+        assert (a ^ b).positions() == [1, 4, 5]
+
+    def test_and_not(self):
+        a = PlainBitmap.from_positions([1, 3, 5], 10)
+        b = PlainBitmap.from_positions([3], 10)
+        assert a.and_not(b).positions() == [1, 5]
+
+    def test_complement_respects_padding(self):
+        # Universe 10 occupies 2 bytes; the 6 padding bits must stay 0.
+        bm = PlainBitmap.from_positions([0, 9], 10)
+        comp = bm.complement()
+        assert comp.positions() == list(range(1, 9))
+        assert comp.complement() == bm
+
+    def test_incompatible_universes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PlainBitmap(8) | PlainBitmap(16)
+
+    def test_zero_universe(self):
+        bm = PlainBitmap(0)
+        assert bm.count() == 0
+        assert bm.positions() == []
+        assert bm.complement().count() == 0
+
+    def test_raw_roundtrip(self):
+        bm = PlainBitmap.from_positions([2, 4], 16)
+        again = PlainBitmap(16, bm.to_bytes())
+        assert again == bm
+
+    def test_raw_wrong_length_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PlainBitmap(16, b"\x00")

@@ -1,0 +1,126 @@
+"""Unit tests for the prefix-count array (§2.1) and block chains (§4.1)."""
+
+import pytest
+
+from repro.core.chains import BlockChain
+from repro.core.prefix import PrefixCounts
+from repro.errors import InvalidParameterError, QueryError, UpdateError
+from repro.iomodel import Disk
+
+
+class TestPrefixCounts:
+    def make(self, counts, block_bits=256):
+        disk = Disk(block_bits=block_bits, mem_blocks=0)
+        offsets = [0]
+        for c in counts:
+            offsets.append(offsets[-1] + c)
+        return disk, PrefixCounts(disk, offsets)
+
+    def test_range_count(self):
+        _, pc = self.make([5, 0, 3, 7])
+        assert pc.range_count(0, 3) == 15
+        assert pc.range_count(1, 1) == 0
+        assert pc.range_count(2, 3) == 10
+        assert pc.char_count(3) == 7
+
+    def test_entries_on_disk(self):
+        disk, pc = self.make([5, 3])
+        disk.stats.reset()
+        assert pc.entry(0) == 0
+        assert pc.entry(2) == 8
+        assert disk.stats.reads >= 1  # probes really hit the device
+
+    def test_o1_probes_per_query(self):
+        disk, pc = self.make([10] * 64)
+        disk.flush_cache()
+        disk.stats.reset()
+        pc.range_count(5, 40)
+        assert disk.stats.reads <= 2  # two probes, at most two blocks
+
+    def test_validation(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        with pytest.raises(InvalidParameterError):
+            PrefixCounts(disk, [0])
+        with pytest.raises(InvalidParameterError):
+            PrefixCounts(disk, [0, 5, 3])
+        _, pc = self.make([1, 1])
+        with pytest.raises(QueryError):
+            pc.range_count(1, 0)
+        with pytest.raises(QueryError):
+            pc.entry(3)
+
+    def test_size_bits(self):
+        _, pc = self.make([100] * 10)
+        assert pc.size_bits == 11 * (1000).bit_length()
+
+
+class TestBlockChain:
+    def test_build_and_read(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        positions = list(range(0, 3000, 7))
+        chain = BlockChain.build(disk, positions)
+        assert chain.read_positions() == positions
+        assert chain.count == len(positions)
+        assert chain.last_pos == positions[-1]
+
+    def test_empty_chain(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        chain = BlockChain.build(disk, [])
+        assert chain.read_positions() == []
+        assert chain.num_blocks == 0
+
+    def test_append_grows(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        chain = BlockChain.build(disk, [1, 5])
+        for p in [9, 10, 500, 501]:
+            chain.append(p)
+        assert chain.read_positions() == [1, 5, 9, 10, 500, 501]
+
+    def test_append_from_empty(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        chain = BlockChain(disk)
+        chain.append(0)
+        chain.append(7)
+        assert chain.read_positions() == [0, 7]
+
+    def test_append_allocates_blocks_when_full(self):
+        disk = Disk(block_bits=64, mem_blocks=0)  # tiny blocks
+        chain = BlockChain(disk)
+        for p in range(0, 400, 3):
+            chain.append(p)
+        assert chain.num_blocks > 1
+        assert chain.read_positions() == list(range(0, 400, 3))
+
+    def test_append_io_is_constant(self):
+        disk = Disk(block_bits=1024, mem_blocks=0)
+        chain = BlockChain.build(disk, list(range(100)))
+        disk.stats.reset()
+        chain.append(100)
+        assert disk.stats.writes <= 2  # last block (+ a fresh one at worst)
+        assert disk.stats.reads == 0
+
+    def test_non_increasing_append_rejected(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        chain = BlockChain.build(disk, [10])
+        with pytest.raises(UpdateError):
+            chain.append(10)
+        with pytest.raises(UpdateError):
+            chain.append(3)
+
+    def test_unsorted_build_rejected(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        with pytest.raises(InvalidParameterError):
+            BlockChain.build(disk, [5, 4])
+
+    def test_read_io_proportional_to_blocks(self):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        chain = BlockChain.build(disk, list(range(0, 5000, 3)))
+        disk.stats.reset()
+        chain.read_positions()
+        assert disk.stats.reads == chain.num_blocks
+
+    def test_space_at_most_double_used(self):
+        # §4.2: re-blocking at most doubles the space for B >= 4 lg n.
+        disk = Disk(block_bits=1024, mem_blocks=0)
+        chain = BlockChain.build(disk, list(range(0, 60000, 4)))
+        assert chain.size_bits <= 2 * chain.used_bits + disk.block_bits

@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on codecs, bitmaps, trees, indexes."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.bitio import BitReader, BitWriter
+from repro.bits.ebitmap import GapCompressedBitmap, decode_gaps, encode_gaps
+from repro.bits.gamma import (
+    read_delta,
+    read_gamma,
+    write_delta,
+    write_gamma,
+)
+from repro.bits.ops import (
+    complement_sorted,
+    difference_sorted,
+    intersect_sorted,
+    union_sorted,
+)
+from repro.bits.plain import PlainBitmap
+from repro.bits.wah import WahBitmap
+from repro.core import BufferedBitmapIndex, PaghRaoIndex
+from repro.hashing import XorFoldHash
+from repro.iomodel import Disk
+from repro.trees.weighted import WeightedTree
+
+positive_ints = st.integers(min_value=1, max_value=1 << 48)
+position_sets = st.sets(st.integers(min_value=0, max_value=4000), max_size=250)
+small_strings = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=1, max_size=400
+)
+
+
+class TestCodecs:
+    @given(st.lists(positive_ints, max_size=60))
+    def test_gamma_roundtrip(self, values):
+        w = BitWriter()
+        for v in values:
+            write_gamma(w, v)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert [read_gamma(r) for _ in values] == values
+        assert r.at_end() or r.remaining < 8
+
+    @given(st.lists(positive_ints, max_size=60))
+    def test_delta_roundtrip(self, values):
+        w = BitWriter()
+        for v in values:
+            write_delta(w, v)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert [read_delta(r) for _ in values] == values
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 30) - 1),
+                st.integers(min_value=1, max_value=30),
+            ),
+            max_size=40,
+        )
+    )
+    def test_bitio_mixed_roundtrip(self, fields):
+        w = BitWriter()
+        payload = [(v & ((1 << nb) - 1), nb) for v, nb in fields]
+        for v, nb in payload:
+            w.write_bits(v, nb)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert [r.read_bits(nb) for _, nb in payload] == [v for v, _ in payload]
+
+    @given(position_sets)
+    def test_gap_roundtrip(self, s):
+        positions = sorted(s)
+        w = BitWriter()
+        encode_gaps(w, positions)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        assert decode_gaps(r, len(positions)) == positions
+
+    @given(position_sets)
+    def test_gap_bitmap_roundtrip(self, s):
+        positions = sorted(s)
+        bm = GapCompressedBitmap.from_positions(positions, 4001)
+        assert bm.positions() == positions
+
+    @given(position_sets)
+    def test_wah_roundtrip(self, s):
+        positions = sorted(s)
+        bm = WahBitmap.from_positions(positions, 4001)
+        assert bm.positions() == positions
+
+    @given(position_sets)
+    def test_plain_roundtrip_and_count(self, s):
+        positions = sorted(s)
+        bm = PlainBitmap.from_positions(positions, 4001)
+        assert bm.positions() == positions
+        assert bm.count() == len(positions)
+
+
+class TestSetAlgebra:
+    @given(position_sets, position_sets)
+    def test_ops_match_python_sets(self, a, b):
+        sa, sb = sorted(a), sorted(b)
+        assert union_sorted([sa, sb]) == sorted(a | b)
+        assert intersect_sorted(sa, sb) == sorted(a & b)
+        assert difference_sorted(sa, sb) == sorted(a - b)
+
+    @given(position_sets)
+    def test_complement_involution(self, a):
+        sa = sorted(a)
+        assert complement_sorted(complement_sorted(sa, 4001), 4001) == sa
+
+    @given(position_sets, position_sets)
+    def test_plain_bitmap_algebra(self, a, b):
+        ba = PlainBitmap.from_positions(sorted(a), 4001)
+        bb = PlainBitmap.from_positions(sorted(b), 4001)
+        assert (ba | bb).positions() == sorted(a | b)
+        assert (ba & bb).positions() == sorted(a & b)
+        assert ba.and_not(bb).positions() == sorted(a - b)
+        assert (ba ^ bb).positions() == sorted(a ^ b)
+
+
+class TestHashing:
+    @settings(deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=4000),
+        st.integers(min_value=1, max_value=10),
+        st.integers(),
+    )
+    def test_xorfold_membership_identity(self, i, fold_bits, seed):
+        h = XorFoldHash.sample(random.Random(seed), fold_bits)
+        universe = (i + 1) * 2
+        hashed = {h(i)}
+        assert i in set(h.preimage(hashed, universe))
+
+
+class TestTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(small_strings)
+    def test_invariants_hold(self, x):
+        tree = WeightedTree.build(x, 16)
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_strings, st.integers(0, 15), st.integers(0, 15))
+    def test_canonical_cover_is_exact(self, x, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = WeightedTree.build(x, 16)
+        canonical, _ = tree.canonical_cover(lo, hi)
+        got = sorted(p for v in canonical for p in tree.node_positions(v))
+        assert got == [i for i, ch in enumerate(x) if lo <= ch <= hi]
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_strings)
+    def test_split_heavy_false_one_leaf_per_char(self, x):
+        tree = WeightedTree.build(x, 16, split_heavy=False)
+        seen = set()
+        for leaf in tree.leaves:
+            assert leaf.char_lo not in seen, "character split across leaves"
+            seen.add(leaf.char_lo)
+
+
+class TestIndexProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(small_strings, st.integers(0, 15), st.integers(0, 15))
+    def test_static_index_matches_oracle(self, x, a, b):
+        lo, hi = min(a, b), max(a, b)
+        idx = PaghRaoIndex(x, 16, block_bits=256)
+        got = idx.range_query(lo, hi).positions()
+        assert got == [i for i, ch in enumerate(x) if lo <= ch <= hi]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),              # key
+                st.integers(0, 500),            # position
+                st.booleans(),                  # insert?
+            ),
+            max_size=120,
+        )
+    )
+    def test_buffered_bitmap_matches_shadow(self, ops):
+        disk = Disk(block_bits=256, mem_blocks=0)
+        idx = BufferedBitmapIndex(disk, 4, [[], [], [], []])
+        shadow = [set(), set(), set(), set()]
+        for key, pos, is_insert in ops:
+            if is_insert:
+                idx.insert(key, pos)
+                shadow[key].add(pos)
+            else:
+                idx.delete(key, pos)
+                shadow[key].discard(pos)
+        for key in range(4):
+            assert idx.point_query(key) == sorted(shadow[key])

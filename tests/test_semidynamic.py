@@ -1,0 +1,120 @@
+"""Tests for Theorem 4 (§4.1) — append-only dynamization."""
+
+import math
+import random
+
+import pytest
+
+from tests.conftest import brute_range, random_ranges
+from repro.core import AppendableIndex
+from repro.errors import InvalidParameterError
+from repro.model import distributions as dist
+
+
+class TestCorrectness:
+    def test_appends_match_oracle(self):
+        sigma = 24
+        x0 = dist.uniform(500, sigma, seed=1)
+        idx = AppendableIndex(x0, sigma)
+        x = list(x0)
+        rng = random.Random(0)
+        for step in range(900):
+            ch = rng.randrange(sigma)
+            idx.append(ch)
+            x.append(ch)
+            if step % 111 == 0:
+                lo, hi = sorted((rng.randrange(sigma), rng.randrange(sigma)))
+                assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+        for lo, hi in random_ranges(rng, sigma, 10):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_append_to_empty(self):
+        idx = AppendableIndex([], 4)
+        for ch in [2, 0, 2, 3]:
+            idx.append(ch)
+        assert idx.range_query(2, 2).positions() == [0, 2]
+        assert idx.n == 4
+
+    def test_unseen_character_triggers_rebuild(self):
+        idx = AppendableIndex([0] * 100, 4)
+        before = idx.rebuilds
+        idx.append(3)  # 3 never occurred
+        assert idx.rebuilds == before + 1
+        assert idx.range_query(3, 3).positions() == [100]
+
+    def test_rebuild_on_doubling(self):
+        idx = AppendableIndex([0, 1] * 50, 2, rebuild_factor=2.0)
+        for _ in range(110):
+            idx.append(0)
+        assert idx.rebuilds >= 1
+        assert idx.n == 210
+
+    def test_count_range_tracks_appends(self):
+        sigma = 8
+        idx = AppendableIndex(dist.uniform(200, sigma, seed=2), sigma)
+        x = list(dist.uniform(200, sigma, seed=2))
+        for ch in [3, 3, 3, 7]:
+            idx.append(ch)
+            x.append(ch)
+        assert idx.count_range(3, 3) == x.count(3)
+        assert idx.count_range(0, 7) == len(x)
+
+    def test_complement_after_appends(self):
+        sigma = 4
+        idx = AppendableIndex([0, 1, 2, 3] * 50, sigma)
+        x = [0, 1, 2, 3] * 50
+        for _ in range(60):
+            idx.append(1)
+            x.append(1)
+        r = idx.range_query(0, 2)
+        assert r.positions() == brute_range(x, 0, 2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            AppendableIndex([0], 1, rebuild_factor=1.0)
+        with pytest.raises(InvalidParameterError):
+            AppendableIndex([5], 4)
+        idx = AppendableIndex([0], 2)
+        with pytest.raises(InvalidParameterError):
+            idx.append(2)
+
+
+class TestIOBounds:
+    def test_append_io_near_lg_lg_n(self):
+        # Theorem 4: amortized O(lg lg n) I/Os per append.  Between
+        # rebuilds each append writes one block per materialized level.
+        sigma = 32
+        n0 = 4000
+        idx = AppendableIndex(
+            dist.uniform(n0, sigma, seed=3), sigma, rebuild_factor=4.0
+        )
+        idx.stats.reset()
+        appends = 400
+        rng = random.Random(1)
+        for _ in range(appends):
+            idx.append(rng.randrange(sigma))
+        per_append = idx.stats.writes / appends
+        # lg lg n ~ 3.6; materialized levels + leaf => a few writes.
+        assert per_append <= 3 * (math.log2(math.log2(idx.n)) + 2)
+
+    def test_query_io_matches_static_shape(self):
+        # Queries after appends stay within a constant of the static
+        # structure's cost on the same string.
+        from repro.core import PaghRaoIndex
+
+        sigma = 32
+        x = dist.uniform(3000, sigma, seed=4)
+        dyn = AppendableIndex(x[:2000], sigma, rebuild_factor=10.0)
+        for ch in x[2000:]:
+            dyn.append(ch)
+        static = PaghRaoIndex(x, sigma)
+        for lo, hi in [(3, 3), (4, 11), (0, 15)]:
+            dyn.disk.flush_cache()
+            dyn.stats.reset()
+            dyn.range_query(lo, hi)
+            dyn_reads = dyn.stats.reads
+            static.disk.flush_cache()
+            static.stats.reset()
+            static.range_query(lo, hi)
+            static_reads = static.stats.reads
+            assert dyn_reads <= 12 * static_reads + 64

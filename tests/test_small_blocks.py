@@ -1,0 +1,150 @@
+"""Every structure under extreme block-size and alphabet regimes.
+
+The theorems assume ``B >= lg n`` and ``b >= 2`` (§1.4); these tests pin
+behaviour near those floors and at generous block sizes, plus non-
+integer alphabets through the full stack.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import brute_range, random_ranges
+from repro.baselines import CompressedBitmapIndex
+from repro.core import (
+    AppendableIndex,
+    BufferedAppendableIndex,
+    BufferedBitmapIndex,
+    DynamicSecondaryIndex,
+    PaghRaoIndex,
+    UniformTreeIndex,
+)
+from repro.iomodel import Disk
+from repro.model import Alphabet
+from repro.model import distributions as dist
+
+
+class TestTinyBlocks:
+    """B = 128 bits — near the B >= 4 lg n floor of §4.2."""
+
+    @pytest.mark.parametrize(
+        "cls",
+        [UniformTreeIndex, PaghRaoIndex, CompressedBitmapIndex],
+    )
+    def test_static_structures(self, cls):
+        sigma = 16
+        x = dist.uniform(600, sigma, seed=1)
+        idx = cls(x, sigma, block_bits=128, mem_blocks=2)
+        rng = random.Random(0)
+        for lo, hi in random_ranges(rng, sigma, 10):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_appendable(self):
+        sigma = 8
+        x = dist.uniform(300, sigma, seed=2)
+        idx = AppendableIndex(x, sigma, block_bits=128, mem_blocks=2)
+        x = list(x)
+        rng = random.Random(1)
+        for _ in range(200):
+            ch = rng.randrange(sigma)
+            idx.append(ch)
+            x.append(ch)
+        for lo, hi in random_ranges(rng, sigma, 6):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_buffered_appendable(self):
+        sigma = 8
+        x = dist.uniform(300, sigma, seed=3)
+        idx = BufferedAppendableIndex(x, sigma, block_bits=128, mem_blocks=2)
+        x = list(x)
+        rng = random.Random(2)
+        for _ in range(200):
+            ch = rng.randrange(sigma)
+            idx.append(ch)
+            x.append(ch)
+        for lo, hi in random_ranges(rng, sigma, 6):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_buffered_bitmap(self):
+        disk = Disk(block_bits=128, mem_blocks=2)
+        idx = BufferedBitmapIndex(disk, 4, [[], [], [], []])
+        shadow = [set() for _ in range(4)]
+        rng = random.Random(3)
+        for _ in range(600):
+            k = rng.randrange(4)
+            if shadow[k] and rng.random() < 0.4:
+                p = rng.choice(sorted(shadow[k]))
+                idx.delete(k, p)
+                shadow[k].discard(p)
+            else:
+                p = rng.randrange(4000)
+                idx.insert(k, p)
+                shadow[k].add(p)
+        for k in range(4):
+            assert idx.point_query(k) == sorted(shadow[k])
+        idx.check_invariants()
+
+    def test_fully_dynamic(self):
+        sigma = 8
+        x = dist.uniform(250, sigma, seed=4)
+        idx = DynamicSecondaryIndex(x, sigma, block_bits=128, mem_blocks=2)
+        x = list(x)
+        rng = random.Random(4)
+        for _ in range(300):
+            if rng.random() < 0.5:
+                i = rng.randrange(len(x))
+                ch = rng.randrange(sigma)
+                idx.change(i, ch)
+                x[i] = ch
+            else:
+                ch = rng.randrange(sigma)
+                idx.append(ch)
+                x.append(ch)
+        for lo, hi in random_ranges(rng, sigma, 6):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+
+class TestLargeBlocks:
+    def test_whole_index_in_one_block_region(self):
+        # B = 64K bits: everything fits in a handful of blocks; queries
+        # cost O(1) reads.
+        sigma = 16
+        x = dist.uniform(500, sigma, seed=5)
+        idx = PaghRaoIndex(x, sigma, block_bits=65536, mem_blocks=0)
+        idx.disk.flush_cache()
+        idx.stats.reset()
+        assert idx.range_query(3, 9).positions() == brute_range(x, 3, 9)
+        assert idx.stats.reads <= 6
+
+
+class TestValueAlphabets:
+    """Non-integer ordered values through the full stack."""
+
+    def test_string_values(self):
+        values = ["cherry", "apple", "fig", "apple", "date", "cherry"] * 30
+        alphabet = Alphabet(values)
+        idx = PaghRaoIndex(alphabet.encode(values), alphabet.sigma)
+        lo, hi = alphabet.code_range("banana", "date")
+        got = idx.range_query(lo, hi).positions()
+        want = [i for i, v in enumerate(values) if "banana" <= v <= "date"]
+        assert got == want
+
+    def test_float_values(self):
+        rng = random.Random(6)
+        values = [round(rng.uniform(0, 10), 1) for _ in range(400)]
+        alphabet = Alphabet(values)
+        idx = PaghRaoIndex(alphabet.encode(values), alphabet.sigma)
+        code_range = alphabet.code_range(2.05, 7.95)
+        assert code_range is not None
+        got = idx.range_query(*code_range).positions()
+        want = [i for i, v in enumerate(values) if 2.05 <= v <= 7.95]
+        assert got == want
+
+    def test_negative_ints(self):
+        values = [-5, 3, -2, 0, -5, 7, -2] * 20
+        alphabet = Alphabet(values)
+        idx = PaghRaoIndex(alphabet.encode(values), alphabet.sigma)
+        lo, hi = alphabet.code_range(-3, 3)
+        got = idx.range_query(lo, hi).positions()
+        want = [i for i, v in enumerate(values) if -3 <= v <= 3]
+        assert got == want

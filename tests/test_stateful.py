@@ -1,0 +1,129 @@
+"""Stateful (model-based) hypothesis tests for the dynamic structures.
+
+Each machine drives a dynamic index through arbitrary operation
+sequences while maintaining a plain-Python model, checking equivalence
+after every step block.  These catch ordering and buffering bugs that
+fixed scenarios miss.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import (
+    BufferedAppendableIndex,
+    BufferedBitmapIndex,
+    DynamicSecondaryIndex,
+)
+from repro.iomodel import Disk
+
+SIGMA = 8
+
+
+class BufferedBitmapMachine(RuleBasedStateMachine):
+    """BufferedBitmapIndex vs a list of Python sets."""
+
+    @initialize()
+    def setup(self):
+        self.disk = Disk(block_bits=256, mem_blocks=2)
+        self.idx = BufferedBitmapIndex(self.disk, 4, [[], [5, 9], [], [0]])
+        self.model = [set(), {5, 9}, set(), {0}]
+
+    @rule(key=st.integers(0, 3), pos=st.integers(0, 300))
+    def insert(self, key, pos):
+        self.idx.insert(key, pos)
+        self.model[key].add(pos)
+
+    @rule(key=st.integers(0, 3), pos=st.integers(0, 300))
+    def delete(self, key, pos):
+        self.idx.delete(key, pos)
+        self.model[key].discard(pos)
+
+    @rule()
+    def flush(self):
+        self.idx.flush_all()
+
+    @invariant()
+    def matches_model(self):
+        for key in range(4):
+            assert self.idx.point_query(key) == sorted(self.model[key])
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    """DynamicSecondaryIndex vs a plain list."""
+
+    @initialize()
+    def setup(self):
+        self.x = [0, 3, 1, 7, 2, 5, 0, 4, 6, 1, 2, 3]
+        self.idx = DynamicSecondaryIndex(
+            self.x, SIGMA, block_bits=256, mem_blocks=4
+        )
+
+    @rule(ch=st.integers(0, SIGMA - 1))
+    def append(self, ch):
+        self.idx.append(ch)
+        self.x.append(ch)
+
+    @rule(data=st.data())
+    def change(self, data):
+        i = data.draw(st.integers(0, len(self.x) - 1))
+        ch = data.draw(st.integers(0, SIGMA - 1))
+        self.idx.change(i, ch)
+        self.x[i] = ch
+
+    @rule(data=st.data())
+    def query(self, data):
+        lo = data.draw(st.integers(0, SIGMA - 1))
+        hi = data.draw(st.integers(lo, SIGMA - 1))
+        got = self.idx.range_query(lo, hi).positions()
+        want = [i for i, c in enumerate(self.x) if lo <= c <= hi]
+        assert got == want
+
+    @invariant()
+    def count_consistent(self):
+        assert self.idx.count_range(0, SIGMA - 1) == len(self.x)
+
+
+class BufferedAppendMachine(RuleBasedStateMachine):
+    """BufferedAppendableIndex (Theorem 5) vs a plain list."""
+
+    @initialize()
+    def setup(self):
+        self.x = [0, 1, 2, 3, 4, 5, 6, 7] * 4
+        self.idx = BufferedAppendableIndex(
+            self.x, SIGMA, block_bits=256, mem_blocks=4, rebuild_factor=3.0
+        )
+
+    @rule(ch=st.integers(0, SIGMA - 1))
+    def append(self, ch):
+        self.idx.append(ch)
+        self.x.append(ch)
+
+    @rule(data=st.data())
+    def query(self, data):
+        lo = data.draw(st.integers(0, SIGMA - 1))
+        hi = data.draw(st.integers(lo, SIGMA - 1))
+        got = self.idx.range_query(lo, hi).positions()
+        want = [i for i, c in enumerate(self.x) if lo <= c <= hi]
+        assert got == want
+
+
+TestBufferedBitmapMachine = BufferedBitmapMachine.TestCase
+TestBufferedBitmapMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+
+TestDynamicIndexMachine = DynamicIndexMachine.TestCase
+TestDynamicIndexMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)
+
+TestBufferedAppendMachine = BufferedAppendMachine.TestCase
+TestBufferedAppendMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,160 @@
+"""Tests for the Theorem 2 structure (§2.2) — the headline contribution."""
+
+import math
+import random
+
+import pytest
+
+from tests.conftest import brute_range, random_ranges
+from repro.core import PaghRaoIndex
+from repro.errors import InvalidParameterError, QueryError
+from repro.model import distributions as dist
+from repro.model.entropy import entropy_bits
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name,theta",
+        [("uniform", None), ("zipf", 0.5), ("zipf", 1.5), ("clustered", None),
+         ("markov_runs", None), ("sequential", None)],
+    )
+    def test_matches_brute_force(self, name, theta):
+        gen = dist.by_name(name)
+        kwargs = {"theta": theta} if theta is not None else {}
+        x = gen(1500, 32, seed=3, **kwargs)
+        idx = PaghRaoIndex(x, 32)
+        rng = random.Random(0)
+        for lo, hi in random_ranges(rng, 32, 30):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_heavy_hitter_string(self):
+        # One character with 70% of positions exercises heavy splitting
+        # and the complement trick simultaneously.
+        x = dist.heavy_hitter(1200, 16, fraction=0.7, hot=5, seed=4)
+        idx = PaghRaoIndex(x, 16)
+        rng = random.Random(1)
+        for lo, hi in random_ranges(rng, 16, 25):
+            assert idx.range_query(lo, hi).positions() == brute_range(x, lo, hi)
+
+    def test_single_character(self):
+        idx = PaghRaoIndex([0] * 64, 1)
+        assert idx.range_query(0, 0).positions() == list(range(64))
+
+    def test_two_characters(self):
+        x = [0, 1] * 50
+        idx = PaghRaoIndex(x, 2)
+        assert idx.range_query(0, 0).positions() == list(range(0, 100, 2))
+        assert idx.range_query(1, 1).positions() == list(range(1, 100, 2))
+
+    def test_complement_trick(self):
+        x = dist.uniform(1000, 8, seed=5)
+        idx = PaghRaoIndex(x, 8)
+        result = idx.range_query(0, 6)
+        assert result.complemented
+        assert result.positions() == brute_range(x, 0, 6)
+        assert result.cardinality == len(brute_range(x, 0, 6))
+
+    def test_missing_characters(self):
+        x = [0, 7] * 200
+        idx = PaghRaoIndex(x, 8)
+        assert idx.range_query(2, 5).positions() == []
+        assert idx.range_query(0, 6).positions() == list(range(0, 400, 2))
+
+    def test_materialization_all_matches(self):
+        x = dist.zipf(900, 32, theta=1.0, seed=6)
+        exp = PaghRaoIndex(x, 32, materialization="exponential")
+        full = PaghRaoIndex(x, 32, materialization="all")
+        rng = random.Random(2)
+        for lo, hi in random_ranges(rng, 32, 15):
+            assert (
+                exp.range_query(lo, hi).positions()
+                == full.range_query(lo, hi).positions()
+            )
+
+    def test_count_range_matches(self):
+        x = dist.zipf(900, 32, theta=0.8, seed=7)
+        idx = PaghRaoIndex(x, 32)
+        rng = random.Random(3)
+        for lo, hi in random_ranges(rng, 32, 15):
+            assert idx.count_range(lo, hi) == len(brute_range(x, lo, hi))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PaghRaoIndex([0], 1, materialization="some")
+        idx = PaghRaoIndex([0, 1], 2)
+        with pytest.raises(QueryError):
+            idx.range_query(1, 0)
+        with pytest.raises(QueryError):
+            idx.range_query(-1, 0)
+
+    def test_branching_parameter_sweep(self):
+        x = dist.uniform(700, 16, seed=8)
+        for c in (5, 8, 16):
+            idx = PaghRaoIndex(x, 16, branching=c)
+            assert idx.range_query(3, 11).positions() == brute_range(x, 3, 11)
+
+
+class TestSpaceBounds:
+    def test_space_tracks_entropy(self):
+        # Theorem 2: O(nH0 + n + sigma lg^2 n) bits.  Payload within a
+        # constant of nH0 + n across skews.
+        n, sigma = 8192, 64
+        for theta in (0.0, 1.0, 2.0):
+            x = dist.zipf(n, sigma, theta=theta, seed=9)
+            idx = PaghRaoIndex(x, sigma)
+            bound = entropy_bits(x) + n
+            assert idx.space().payload_bits <= 6 * bound
+
+    def test_skew_shrinks_space(self):
+        n, sigma = 8192, 64
+        flat = PaghRaoIndex(dist.zipf(n, sigma, 0.0, seed=1), sigma)
+        skew = PaghRaoIndex(dist.zipf(n, sigma, 2.0, seed=1), sigma)
+        assert skew.space().payload_bits < flat.space().payload_bits
+
+    def test_exponential_materialization_beats_all_levels(self):
+        x = dist.uniform(4096, 64, seed=2)
+        exp = PaghRaoIndex(x, 64, materialization="exponential")
+        full = PaghRaoIndex(x, 64, materialization="all")
+        assert exp.space().payload_bits <= full.space().payload_bits
+
+    def test_space_beats_explicit_positions(self):
+        # §1.3: the explicit representation stores (char, pos) pairs of
+        # lg(sigma) + lg(n) bits each; the entropy-bounded payload must
+        # undercut it.
+        n, sigma = 8192, 128
+        x = dist.uniform(n, sigma, seed=3)
+        idx = PaghRaoIndex(x, sigma)
+        explicit = n * (math.log2(n) + math.log2(sigma))
+        assert idx.space().payload_bits < explicit
+
+
+class TestQueryIOBounds:
+    def setup_method(self):
+        self.n, self.sigma = 8192, 128
+        self.x = dist.uniform(self.n, self.sigma, seed=4)
+        self.idx = PaghRaoIndex(self.x, self.sigma)
+
+    def _cold_query_reads(self, lo, hi):
+        self.idx.disk.flush_cache()
+        self.idx.stats.reset()
+        self.idx.range_query(lo, hi)
+        return self.idx.stats.reads
+
+    def test_io_scales_with_output(self):
+        B = self.idx.disk.block_bits
+        for lo, hi in [(0, 0), (0, 7), (0, 31), (0, 63)]:
+            z = len(brute_range(self.x, lo, hi))
+            z_eff = max(1, min(z, self.n - z))
+            bound = z_eff * math.log2(self.n / z_eff) / B
+            overhead = math.log2(self.n) + math.log2(math.log2(self.n)) + 8
+            assert self._cold_query_reads(lo, hi) <= 6 * (bound + overhead)
+
+    def test_small_answer_small_io(self):
+        reads = self._cold_query_reads(5, 5)
+        # One character: descent + O(1) bitmaps.
+        assert reads <= 3 * math.log2(self.n)
+
+    def test_full_range_uses_complement(self):
+        # z = n: complement is empty; nearly free after the count.
+        reads = self._cold_query_reads(0, self.sigma - 1)
+        assert reads <= 10

@@ -1,0 +1,121 @@
+"""Tests for the RID-intersection query layer (§1's application)."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError, QueryError
+from repro.queries import Table, approximate_factory
+
+
+def people_table(rows=600, seed=0, factory=None):
+    rng = random.Random(seed)
+    columns = {
+        "age": [rng.randrange(18, 80) for _ in range(rows)],
+        "sex": [rng.choice(["f", "m"]) for _ in range(rows)],
+        "status": [
+            rng.choice(["divorced", "married", "single", "widowed"])
+            for _ in range(rows)
+        ],
+    }
+    if factory is None:
+        return columns, Table(columns)
+    return columns, Table(columns, factory=factory)
+
+
+def oracle(columns, conditions):
+    rows = len(next(iter(columns.values())))
+    out = []
+    for rid in range(rows):
+        if all(lo <= columns[c][rid] <= hi for c, (lo, hi) in conditions.items()):
+            out.append(rid)
+    return out
+
+
+class TestExactSelect:
+    def test_married_men_of_33(self):
+        # The paper's §1 example query.
+        columns, table = people_table()
+        conds = {
+            "age": (33, 33),
+            "sex": ("m", "m"),
+            "status": ("married", "married"),
+        }
+        assert table.select(conds) == oracle(columns, conds)
+
+    def test_range_conditions(self):
+        columns, table = people_table(seed=1)
+        conds = {"age": (30, 45), "status": ("married", "single")}
+        assert table.select(conds) == oracle(columns, conds)
+
+    def test_single_condition(self):
+        columns, table = people_table(seed=2)
+        conds = {"age": (50, 60)}
+        assert table.select(conds) == oracle(columns, conds)
+
+    def test_unmatched_value_range_empty(self):
+        columns, table = people_table(seed=3)
+        assert table.select({"age": (200, 300)}) == []
+
+    def test_value_range_snapping(self):
+        # Bounds need not be occurring values.
+        columns, table = people_table(seed=4)
+        conds = {"age": (32.5, 45.5)}
+        want = oracle(columns, {"age": (33, 45)})
+        assert table.select(conds) == want
+
+    def test_row_access(self):
+        columns, table = people_table(seed=5)
+        row = table.row(7)
+        assert row["age"] == columns["age"][7]
+        with pytest.raises(QueryError):
+            table.row(10_000)
+
+    def test_validation(self):
+        columns, table = people_table(seed=6)
+        with pytest.raises(QueryError):
+            table.select({})
+        with pytest.raises(QueryError):
+            table.select({"nope": (0, 1)})
+        with pytest.raises(InvalidParameterError):
+            Table({"a": [1, 2], "b": [1]})
+        with pytest.raises(InvalidParameterError):
+            Table({})
+
+
+class TestApproximateSelect:
+    def test_verified_equals_exact(self):
+        columns, table = people_table(factory=approximate_factory(seed=1))
+        conds = {
+            "age": (33, 33),
+            "sex": ("m", "m"),
+            "status": ("married", "married"),
+        }
+        assert table.select_approximate(conds, eps=1 / 16) == oracle(
+            columns, conds
+        )
+
+    def test_candidates_superset_of_truth(self):
+        columns, table = people_table(factory=approximate_factory(seed=2))
+        conds = {"age": (40, 42), "sex": ("f", "f")}
+        truth = set(oracle(columns, conds))
+        cands = set(table.select_approximate(conds, eps=1 / 8, verify=False))
+        assert truth <= cands
+
+    def test_requires_approximate_indexes(self):
+        columns, table = people_table()  # exact factory
+        with pytest.raises(QueryError):
+            table.select_approximate({"age": (30, 31)}, eps=1 / 8)
+
+    def test_multi_dim_filtering_shrinks_candidates(self):
+        # eps^(d-k) survival: more dimensions -> fewer false candidates.
+        columns, table = people_table(rows=1200, factory=approximate_factory(seed=3))
+        one = {"age": (33, 33)}
+        three = {
+            "age": (33, 33),
+            "sex": ("m", "m"),
+            "status": ("married", "married"),
+        }
+        c1 = table.select_approximate(one, eps=1 / 4, verify=False)
+        c3 = table.select_approximate(three, eps=1 / 4, verify=False)
+        assert len(c3) <= len(c1)

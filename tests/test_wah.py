@@ -1,0 +1,83 @@
+"""Unit tests for WAH-compressed bitmaps."""
+
+from repro.bits.wah import GROUP_BITS, WahBitmap
+
+
+class TestWahBitmap:
+    def test_empty(self):
+        bm = WahBitmap.from_positions([], 1000)
+        assert bm.positions() == []
+        assert bm.count == 0
+        # A single zero-fill word suffices for an empty bitmap.
+        assert len(bm.words) <= 1
+
+    def test_single_position(self):
+        bm = WahBitmap.from_positions([500], 10_000)
+        assert bm.positions() == [500]
+
+    def test_dense_roundtrip(self):
+        positions = list(range(0, 300, 2))
+        bm = WahBitmap.from_positions(positions, 300)
+        assert bm.positions() == positions
+
+    def test_long_zero_run_compresses(self):
+        n = 31 * 100_000
+        bm = WahBitmap.from_positions([0, n - 1], n)
+        # two literals + one zero fill word: far below n bits.
+        assert bm.size_bits <= 5 * 32
+
+    def test_all_ones_run_compresses(self):
+        n = 31 * 1000
+        positions = list(range(n))
+        bm = WahBitmap.from_positions(positions, n)
+        assert bm.size_bits <= 3 * 32
+        assert bm.positions() == positions
+
+    def test_mixed_fills_and_literals(self):
+        positions = (
+            list(range(0, 62))           # two all-ones groups
+            + [100]                       # literal
+            + list(range(31 * 50, 31 * 52))  # ones after a zero fill
+        )
+        positions = sorted(set(positions))
+        bm = WahBitmap.from_positions(positions, 31 * 60)
+        assert bm.positions() == positions
+
+    def test_universe_not_multiple_of_group(self):
+        n = GROUP_BITS * 3 + 7
+        positions = [0, GROUP_BITS * 3 + 6]
+        bm = WahBitmap.from_positions(positions, n)
+        assert bm.positions() == positions
+
+    def test_trailing_partial_group_of_ones_is_literal(self):
+        # The last 7 positions all set; group is partial so it must be a
+        # literal, not an all-ones fill.
+        n = GROUP_BITS + 7
+        positions = list(range(GROUP_BITS, n))
+        bm = WahBitmap.from_positions(positions, n)
+        assert bm.positions() == positions
+
+    def test_equality(self):
+        a = WahBitmap.from_positions([1, 2], 100)
+        b = WahBitmap.from_positions([1, 2], 100)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iter_matches_positions(self):
+        positions = [0, 30, 31, 61, 62, 1000, 2000]
+        bm = WahBitmap.from_positions(positions, 2048)
+        assert list(bm.iter_positions()) == positions
+
+    def test_wah_larger_than_gamma_on_sparse_random(self):
+        # WAH trades compression for alignment: on scattered positions it
+        # spends >= 32 bits per run, gamma-RLE spends ~2 lg(gap).
+        import random
+
+        from repro.bits.ebitmap import GapCompressedBitmap
+
+        rng = random.Random(7)
+        n = 1 << 16
+        positions = sorted(rng.sample(range(n), 400))
+        wah = WahBitmap.from_positions(positions, n)
+        gamma = GapCompressedBitmap.from_positions(positions, n)
+        assert wah.size_bits > gamma.size_bits

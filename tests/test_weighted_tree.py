@@ -1,0 +1,232 @@
+"""Unit tests for the pruned weight-balanced tree of §2.2."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError, QueryError
+from repro.model import distributions as dist
+from repro.trees.weighted import (
+    WeightedTree,
+    materialized_level_set,
+)
+
+
+def brute_force(x, lo, hi):
+    return [i for i, ch in enumerate(x) if lo <= ch <= hi]
+
+
+class TestConstruction:
+    def test_invariants_uniform(self):
+        x = dist.uniform(2000, 32, seed=1)
+        tree = WeightedTree.build(x, 32)
+        tree.check_invariants()
+
+    def test_invariants_zipf(self):
+        x = dist.zipf(2000, 64, theta=1.2, seed=2)
+        tree = WeightedTree.build(x, 64)
+        tree.check_invariants()
+
+    def test_invariants_heavy_hitter(self):
+        # One character owns 70% of positions: exercises heavy splitting.
+        x = dist.heavy_hitter(1500, 16, fraction=0.7, seed=3)
+        tree = WeightedTree.build(x, 16)
+        tree.check_invariants()
+
+    def test_single_character_string(self):
+        tree = WeightedTree.build([0] * 50, 1)
+        assert tree.root.is_leaf
+        assert tree.root.weight == 50
+        assert tree.height == 1
+
+    def test_two_characters(self):
+        tree = WeightedTree.build([0, 1, 0, 1], 2)
+        tree.check_invariants()
+        assert not tree.root.is_leaf
+
+    def test_missing_characters_allowed(self):
+        # sigma may exceed the number of occurring characters.
+        x = [0, 5, 0, 5, 5]
+        tree = WeightedTree.build(x, 8)
+        tree.check_invariants()
+        assert tree.range_count(0, 7) == 5
+
+    def test_height_logarithmic(self):
+        n = 4096
+        x = dist.uniform(n, 64, seed=4)
+        tree = WeightedTree.build(x, 64, branching=8)
+        # Height should be ~ log_c(n) + pruning slack, far below lg n.
+        assert tree.height <= 2 * math.log(n, 8) + 4
+
+    def test_node_count_near_sigma_lg_n(self):
+        # §2.2: the pruned tree has O(sigma lg n) nodes.
+        n, sigma = 4096, 32
+        x = dist.uniform(n, sigma, seed=5)
+        tree = WeightedTree.build(x, sigma)
+        assert len(tree.nodes) <= 4 * sigma * math.log2(n)
+
+    def test_branching_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedTree.build([0, 1], 2, branching=4)
+
+    def test_alphabet_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedTree.build([3], 2)
+        with pytest.raises(InvalidParameterError):
+            WeightedTree.build([0], 0)
+
+    def test_weight_decay(self):
+        # Node at level i has weight O(n / (c/4)^(i-1)) — geometric decay.
+        x = dist.uniform(8000, 128, seed=6)
+        tree = WeightedTree.build(x, 128, branching=8)
+        for node in tree.iter_nodes():
+            assert node.weight <= max(1, 2 * 8000 / (2 ** (node.level - 1)))
+
+
+class TestCounts:
+    def test_range_count_matches_brute_force(self):
+        x = dist.zipf(1000, 16, theta=1.0, seed=7)
+        tree = WeightedTree.build(x, 16)
+        for lo, hi in [(0, 15), (3, 7), (5, 5), (0, 0), (15, 15)]:
+            assert tree.range_count(lo, hi) == len(brute_force(x, lo, hi))
+
+    def test_range_count_validation(self):
+        tree = WeightedTree.build([0, 1], 2)
+        with pytest.raises(QueryError):
+            tree.range_count(1, 0)
+        with pytest.raises(QueryError):
+            tree.range_count(0, 2)
+
+    def test_char_count(self):
+        x = [0, 0, 1, 2, 2, 2]
+        tree = WeightedTree.build(x, 3)
+        assert [tree.char_count(c) for c in range(3)] == [2, 1, 3]
+
+    def test_char_of_occ(self):
+        x = [0, 0, 1, 2]
+        tree = WeightedTree.build(x, 3)
+        assert [tree.char_of_occ(k) for k in range(4)] == [0, 0, 1, 2]
+
+
+class TestNodePositions:
+    def test_root_positions_are_everything(self):
+        x = dist.uniform(300, 8, seed=8)
+        tree = WeightedTree.build(x, 8)
+        assert tree.node_positions(tree.root) == list(range(300))
+
+    def test_leaf_positions_single_character(self):
+        x = dist.uniform(300, 8, seed=9)
+        tree = WeightedTree.build(x, 8)
+        for leaf in tree.leaves:
+            ch = leaf.char_lo
+            for p in tree.node_positions(leaf):
+                assert x[p] == ch
+
+    def test_children_partition_positions(self):
+        x = dist.zipf(500, 16, theta=0.8, seed=10)
+        tree = WeightedTree.build(x, 16)
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                continue
+            merged = sorted(
+                p for ch in node.children for p in tree.node_positions(ch)
+            )
+            assert merged == tree.node_positions(node)
+
+
+class TestCanonicalCover:
+    @pytest.mark.parametrize("theta", [0.0, 1.0, 2.0])
+    def test_cover_partitions_answer(self, theta):
+        x = dist.zipf(800, 32, theta=theta, seed=11)
+        tree = WeightedTree.build(x, 32)
+        for lo, hi in [(0, 31), (4, 20), (7, 7), (30, 31), (0, 1)]:
+            canonical, _ = tree.canonical_cover(lo, hi)
+            merged = sorted(
+                p for v in canonical for p in tree.node_positions(v)
+            )
+            assert merged == brute_force(x, lo, hi)
+
+    def test_cover_is_disjoint(self):
+        x = dist.uniform(800, 32, seed=12)
+        tree = WeightedTree.build(x, 32)
+        canonical, _ = tree.canonical_cover(3, 29)
+        seen = set()
+        for v in canonical:
+            ps = set(tree.node_positions(v))
+            assert not (ps & seen)
+            seen |= ps
+
+    def test_cover_size_logarithmic(self):
+        x = dist.uniform(8000, 256, seed=13)
+        tree = WeightedTree.build(x, 256, branching=8)
+        canonical, visited = tree.canonical_cover(1, 254)
+        # O(1) canonical nodes per level, O(lg n) levels; degree <= 4c.
+        assert len(canonical) <= 2 * 4 * 8 * tree.height
+        assert len(visited) <= 2 * tree.height + 1
+
+    def test_cover_validation(self):
+        tree = WeightedTree.build([0, 1], 2)
+        with pytest.raises(QueryError):
+            tree.canonical_cover(1, 0)
+
+
+class TestMaterialization:
+    def test_level_set(self):
+        assert materialized_level_set(1) == {1}
+        assert materialized_level_set(9) == {1, 2, 4, 8}
+        assert materialized_level_set(8) == {1, 2, 4, 8}
+
+    def test_frontier_of_materialized_node_is_itself(self):
+        x = dist.uniform(500, 16, seed=14)
+        tree = WeightedTree.build(x, 16)
+        frontier, skipped = tree.materialized_frontier(tree.root)
+        assert frontier == [tree.root]
+        assert skipped == []
+
+    def test_frontier_covers_node(self):
+        x = dist.uniform(4000, 64, seed=15)
+        tree = WeightedTree.build(x, 64)
+        for node in tree.iter_nodes():
+            frontier, skipped = tree.materialized_frontier(node)
+            merged = sorted(
+                p for v in frontier for p in tree.node_positions(v)
+            )
+            assert merged == tree.node_positions(node)
+            for s in skipped:
+                assert not s.is_leaf
+                assert s.level not in tree.materialized_levels
+
+    def test_frontier_left_to_right(self):
+        x = dist.uniform(4000, 64, seed=16)
+        tree = WeightedTree.build(x, 64)
+        for node in tree.levels[3] if len(tree.levels) > 3 else []:
+            frontier, _ = tree.materialized_frontier(node)
+            los = [v.occ_lo for v in frontier]
+            assert los == sorted(los)
+
+
+class TestNavigation:
+    def test_leaf_for_char_last(self):
+        x = dist.zipf(600, 16, theta=1.0, seed=17)
+        tree = WeightedTree.build(x, 16)
+        for ch in range(16):
+            if tree.char_count(ch) == 0:
+                continue
+            leaf = tree.leaf_for_char_last(ch)
+            assert leaf.char_lo == ch
+            last_pos = max(i for i, c in enumerate(x) if c == ch)
+            assert last_pos in tree.node_positions(leaf)
+
+    def test_leaf_for_missing_char_raises(self):
+        tree = WeightedTree.build([0, 0, 2], 3)
+        with pytest.raises(QueryError):
+            tree.leaf_for_char_last(1)
+
+    def test_path_to(self):
+        x = dist.uniform(500, 16, seed=18)
+        tree = WeightedTree.build(x, 16)
+        leaf = tree.leaves[0]
+        path = tree.path_to(leaf)
+        assert path[0] is tree.root
+        assert path[-1] is leaf
+        assert [v.level for v in path] == list(range(1, leaf.level + 1))
