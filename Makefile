@@ -1,0 +1,20 @@
+# Convenience targets mirroring the commands CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench
+
+# The tier-1 suite (ROADMAP.md's verify command).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# A fast engine-benchmark smoke run: proves the advisor/caching claims
+# end-to-end (asserts inside the benchmark) in well under a minute.
+bench-smoke:
+	timeout 60 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py -q \
+		-p no:cacheprovider --benchmark-disable
+
+# The full experiment matrix (slow; regenerates benchmarks/results/).
+bench:
+	$(PYTHON) -m pytest benchmarks -q -p no:cacheprovider

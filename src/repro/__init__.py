@@ -34,6 +34,13 @@ from .core import (
     SpaceBreakdown,
     UniformTreeIndex,
 )
+from .engine import (
+    Advisor,
+    CostModel,
+    IndexSpec,
+    QueryEngine,
+    WorkloadStats,
+)
 from .errors import (
     CodecError,
     InvalidParameterError,
@@ -49,6 +56,7 @@ from .queries import Table, approximate_factory, default_factory
 __version__ = "1.0.0"
 
 __all__ = [
+    "Advisor",
     "Alphabet",
     "ApproximatePaghRaoIndex",
     "ApproximateResult",
@@ -56,12 +64,15 @@ __all__ = [
     "BufferedAppendableIndex",
     "BufferedBitmapIndex",
     "CodecError",
+    "CostModel",
     "DeletableIndex",
     "Disk",
     "DynamicSecondaryIndex",
     "IOStats",
+    "IndexSpec",
     "InvalidParameterError",
     "PaghRaoIndex",
+    "QueryEngine",
     "QueryError",
     "RangeResult",
     "ReproError",
@@ -71,6 +82,7 @@ __all__ = [
     "Table",
     "UniformTreeIndex",
     "UpdateError",
+    "WorkloadStats",
     "approximate_factory",
     "default_factory",
 ]

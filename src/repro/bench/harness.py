@@ -10,6 +10,7 @@ the exact numbers of the recorded run.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from typing import Any, Iterable, Sequence
@@ -51,15 +52,36 @@ def render_table(
 
 
 class Report:
-    """Collects an experiment's tables; prints and persists them."""
+    """Collects an experiment's tables; prints and persists them.
+
+    Tables are kept twice: rendered (for the ``.txt`` humans read) and
+    structured (for the ``.json`` other tools consume).  ``save``
+    writes both; :meth:`load` reconstructs a report from the JSON, so a
+    write -> reload round-trip reproduces every table cell exactly —
+    the stability contract ``tests/test_bench_harness.py`` pins down.
+    """
 
     def __init__(self, name: str, out_dir: str) -> None:
         self.name = name
         self.out_dir = out_dir
-        self._chunks: list[str] = []
+        # Ordered structured entries are the single source of truth;
+        # the rendered .txt is derived from them at save time.
+        self.entries: list[dict[str, Any]] = []
+
+    @property
+    def lines(self) -> list[str]:
+        return [e["text"] for e in self.entries if e["kind"] == "line"]
+
+    @property
+    def tables(self) -> list[dict[str, Any]]:
+        return [
+            {k: v for k, v in e.items() if k != "kind"}
+            for e in self.entries
+            if e["kind"] == "table"
+        ]
 
     def line(self, text: str) -> None:
-        self._chunks.append(text)
+        self.entries.append({"kind": "line", "text": text})
         print(text)
 
     def table(
@@ -69,18 +91,56 @@ class Report:
         rows: Iterable[Sequence[Any]],
         note: str | None = None,
     ) -> None:
-        text = render_table(title, headers, rows)
-        if note:
-            text += f"\n   note: {note}"
-        self._chunks.append(text)
-        print("\n" + text)
+        # Cells go through fmt() immediately so the stored form mirrors
+        # the printed table (and stays JSON-serializable whatever the
+        # caller passed in); fmt() is idempotent on strings, so
+        # re-rendering after a reload produces identical text.
+        entry = {
+            "kind": "table",
+            "title": title,
+            "headers": list(headers),
+            "rows": [[fmt(cell) for cell in row] for row in rows],
+            "note": note,
+        }
+        self.entries.append(entry)
+        print("\n" + self._render_entry(entry))
+
+    @staticmethod
+    def _render_entry(entry: dict[str, Any]) -> str:
+        if entry["kind"] == "line":
+            return entry["text"]
+        text = render_table(entry["title"], entry["headers"], entry["rows"])
+        if entry["note"]:
+            text += f"\n   note: {entry['note']}"
+        return text
 
     def save(self) -> str:
         os.makedirs(self.out_dir, exist_ok=True)
         path = os.path.join(self.out_dir, f"{self.name}.txt")
+        chunks = [self._render_entry(e) for e in self.entries]
         with open(path, "w") as f:
-            f.write("\n\n".join(self._chunks) + "\n")
+            f.write("\n\n".join(chunks) + "\n")
+        with open(self.json_path(self.out_dir, self.name), "w") as f:
+            json.dump(
+                {"name": self.name, "entries": self.entries},
+                f,
+                indent=2,
+                sort_keys=True,
+            )
         return path
+
+    @staticmethod
+    def json_path(out_dir: str, name: str) -> str:
+        return os.path.join(out_dir, f"{name}.json")
+
+    @classmethod
+    def load(cls, out_dir: str, name: str) -> "Report":
+        """Reconstruct a saved report from its JSON file."""
+        with open(cls.json_path(out_dir, name)) as f:
+            data = json.load(f)
+        report = cls(data["name"], out_dir)
+        report.entries = [dict(e) for e in data["entries"]]
+        return report
 
 
 # ----------------------------------------------------------------------

@@ -69,7 +69,15 @@ def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
 
 
 def intersect_many(lists: Sequence[Sequence[int]]) -> list[int]:
-    """Intersection of several sorted lists, smallest-first for speed."""
+    """Intersection of several sorted duplicate-free lists.
+
+    Inputs carry the same precondition as :func:`intersect_sorted`
+    (sorted, duplicate-free) at every arity.  Zero input lists
+    intersect to the empty list: callers hold no universe here, so the
+    empty conjunction cannot materialize "all positions" and the query
+    layers are responsible for rejecting condition-free selects.  The
+    result is always a fresh list, never an alias of an input.
+    """
     if not lists:
         return []
     ordered = sorted(lists, key=len)

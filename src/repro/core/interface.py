@@ -41,6 +41,17 @@ class RangeResult:
         universe: int,
         complemented: bool = False,
     ) -> None:
+        # `stored` is contractually sorted, so bounds-checking its ends
+        # is O(1).  Without this, a complemented result over a small or
+        # empty universe silently produced positions outside [0,
+        # universe) and negative cardinalities.
+        if universe < 0:
+            raise QueryError(f"universe must be >= 0, got {universe}")
+        if stored and (stored[0] < 0 or stored[-1] >= universe):
+            raise QueryError(
+                f"stored positions [{stored[0]}, {stored[-1]}] fall "
+                f"outside universe [0, {universe})"
+            )
         self._stored = stored
         self.universe = universe
         self.complemented = complemented

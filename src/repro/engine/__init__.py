@@ -1,0 +1,45 @@
+"""Index selection and serving layer on top of the paper's structures.
+
+The paper's interface — alphabet range queries over ``x ∈ Sigma^n`` —
+admits many structures with different space/time trade-offs (B-trees,
+bitmap variants, the Theorem 2/3/5/7 indexes).  This subsystem makes
+the choice instead of the caller:
+
+* :mod:`registry` enumerates every :class:`~repro.core.interface.\
+SecondaryIndex` implementation with its declared cost profile;
+* :mod:`advisor` picks a backend per column from measured workload
+  statistics under an explicit, overridable cost model;
+* :mod:`engine` serves batched conjunctive range queries through an
+  LRU result cache with a ``plan()``/``explain()`` API.
+
+See README.md in this directory for the architecture and the registry
+contract.
+"""
+
+from .advisor import Advisor, CostModel, WorkloadStats
+from .cache import LRUCache
+from .engine import EngineColumn, QueryEngine, QueryPlan
+from .registry import (
+    CostProfile,
+    IndexSpec,
+    all_specs,
+    get_spec,
+    register,
+    specs,
+)
+
+__all__ = [
+    "Advisor",
+    "CostModel",
+    "CostProfile",
+    "EngineColumn",
+    "IndexSpec",
+    "LRUCache",
+    "QueryEngine",
+    "QueryPlan",
+    "WorkloadStats",
+    "all_specs",
+    "get_spec",
+    "register",
+    "specs",
+]

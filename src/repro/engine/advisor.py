@@ -1,0 +1,170 @@
+"""Backend selection from measured workload statistics.
+
+The paper's message (§1.3) is that the right structure depends on the
+column: low-cardinality attributes want bitmap variants, high-entropy
+attributes want the entropy-bounded Theorem-2 structure, and update
+patterns dictate the static/semidynamic/fully-dynamic axis.  The
+advisor makes that choice explicit:
+
+* :class:`WorkloadStats` measures a column (length, cardinality,
+  ``H0`` via :mod:`repro.model.entropy`, update pattern, expected
+  selectivity);
+* :class:`CostModel` turns a registered backend's declared estimators
+  into one comparable score — every weight is a constructor argument,
+  so callers can re-balance space against query traffic or pin the
+  block size;
+* :class:`Advisor` filters the registry by hard requirements (dynamism,
+  deletions, exactness) and returns the cheapest backend, with a
+  ranked table available from :meth:`Advisor.explain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..errors import InvalidParameterError
+from ..model.entropy import h0 as _h0
+from . import registry
+from .registry import IndexSpec
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """What the advisor knows about one column's workload."""
+
+    n: int
+    sigma: int
+    h0: float
+    dynamism: str = "static"
+    expected_selectivity: float = 0.1
+    require_exact: bool = True
+    require_delete: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 0:
+            raise InvalidParameterError("n must be >= 0")
+        if self.sigma <= 0:
+            raise InvalidParameterError("sigma must be >= 1")
+        if not 0.0 < self.expected_selectivity <= 1.0:
+            raise InvalidParameterError(
+                "expected_selectivity must be in (0, 1]"
+            )
+        if self.dynamism not in registry.DYNAMISM_LEVELS:
+            raise InvalidParameterError(
+                f"dynamism must be one of {registry.DYNAMISM_LEVELS}, "
+                f"got {self.dynamism!r}"
+            )
+
+    @property
+    def expected_z(self) -> int:
+        """Expected answer cardinality for one range query."""
+        return max(1, round(self.expected_selectivity * self.n))
+
+    @classmethod
+    def measure(
+        cls,
+        codes: Sequence[int],
+        sigma: int | None = None,
+        **overrides,
+    ) -> "WorkloadStats":
+        """Measure a column of dense codes.
+
+        ``sigma`` defaults to ``max(codes) + 1`` (the dense-alphabet
+        convention); keyword overrides pass through to the constructor.
+        """
+        if sigma is None:
+            sigma = (max(codes) + 1) if len(codes) else 1
+        return cls(n=len(codes), sigma=sigma, h0=_h0(codes), **overrides)
+
+    def with_(self, **overrides) -> "WorkloadStats":
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weights turning a :class:`~repro.engine.registry.CostProfile`
+    into one score.
+
+    ``score = space_weight * space_bits
+            + queries_per_build * query_cost(expected_z)``
+
+    with both terms in bits; ``queries_per_build`` is how many range
+    queries the column is expected to serve per (re)build — raise it
+    for hot read paths, lower it for archival columns.  The model is a
+    frozen dataclass: pass a replacement to :class:`Advisor` (or
+    ``QueryEngine``) to override the economics globally.
+    """
+
+    space_weight: float = 1.0
+    queries_per_build: float = 64.0
+    block_bits: int = 1024
+
+    def score(self, spec: IndexSpec, stats: WorkloadStats) -> float:
+        space = spec.cost.space_bits(stats.n, stats.sigma, stats.h0)
+        query = spec.cost.query_cost(
+            stats.n, stats.sigma, stats.h0, stats.expected_z
+        )
+        return self.space_weight * space + self.queries_per_build * query
+
+
+class Advisor:
+    """Ranks registered backends for a workload and picks the cheapest."""
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        candidates: Sequence[IndexSpec] | None = None,
+    ) -> None:
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._candidates = (
+            tuple(candidates) if candidates is not None else None
+        )
+
+    def _pool(self) -> tuple[IndexSpec, ...]:
+        if self._candidates is not None:
+            return self._candidates
+        return registry.all_specs()
+
+    def rank(self, stats: WorkloadStats) -> list[tuple[IndexSpec, float]]:
+        """Eligible backends with scores, cheapest first."""
+        scored = [
+            (spec, self.cost_model.score(spec, stats))
+            for spec in self._pool()
+            if spec.serves(stats.dynamism, stats.require_delete)
+            and (spec.exact or not stats.require_exact)
+        ]
+        scored.sort(key=lambda pair: (pair[1], pair[0].name))
+        return scored
+
+    def pick(self, stats: WorkloadStats) -> IndexSpec:
+        """The cheapest eligible backend for this workload."""
+        ranked = self.rank(stats)
+        if not ranked:
+            raise InvalidParameterError(
+                f"no registered index serves dynamism={stats.dynamism!r} "
+                f"require_delete={stats.require_delete} "
+                f"require_exact={stats.require_exact}"
+            )
+        return ranked[0][0]
+
+    def explain(self, stats: WorkloadStats) -> str:
+        """A human-readable ranking for this workload."""
+        lines = [
+            f"workload: n={stats.n} sigma={stats.sigma} "
+            f"H0={stats.h0:.3f} dynamism={stats.dynamism} "
+            f"sel={stats.expected_selectivity:g} "
+            f"(expected z={stats.expected_z})"
+        ]
+        ranked = self.rank(stats)
+        for rank, (spec, score) in enumerate(ranked, start=1):
+            marker = "->" if rank == 1 else "  "
+            lines.append(
+                f"{marker} #{rank} {spec.name} [{spec.family}] "
+                f"score={score:,.0f}  space: {spec.cost.space_bound}; "
+                f"query: {spec.cost.query_bound}"
+            )
+        if not ranked:
+            lines.append("   (no eligible backend)")
+        return "\n".join(lines)

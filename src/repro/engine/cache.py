@@ -1,0 +1,73 @@
+"""A small LRU cache for query results.
+
+Keys are ``(column, version, lo, hi)`` tuples: the engine bumps a
+column's version on every update, so entries written under an older
+version can never be returned again.  :meth:`LRUCache.invalidate`
+additionally evicts them eagerly, keeping capacity for live entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from ..errors import InvalidParameterError
+
+
+class LRUCache:
+    """Least-recently-used mapping with hit/miss accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise InvalidParameterError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the oldest entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(
+        self, predicate: Callable[[Hashable], bool] | None = None
+    ) -> int:
+        """Drop entries matching ``predicate`` (all when ``None``)."""
+        if predicate is None:
+            dropped = len(self._data)
+            self._data.clear()
+            return dropped
+        doomed = [k for k in self._data if predicate(k)]
+        for k in doomed:
+            del self._data[k]
+        return len(doomed)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

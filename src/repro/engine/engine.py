@@ -1,0 +1,308 @@
+"""The query engine: advisor-built columns behind one cached front door.
+
+``QueryEngine`` owns a set of named columns.  Each column is built by
+the :class:`~repro.engine.advisor.Advisor` (or pinned to a registry
+backend by name), serves alphabet range queries through a shared
+:class:`~repro.engine.cache.LRUCache`, and exposes the update verbs its
+backend supports (``append``/``change``/``delete``), every one of which
+bumps the column's version and so invalidates its cached results.
+
+Batched conjunctive queries (:meth:`QueryEngine.select`) run one range
+query per dimension — each individually cacheable — and intersect the
+sorted RID lists, the §1 query plan.  :meth:`QueryEngine.plan` and
+:meth:`QueryEngine.explain` report which backend serves a query and
+which of the paper's bounds applies, without executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.interface import RangeResult, SecondaryIndex
+from ..bits.ops import intersect_many
+from ..errors import InvalidParameterError, QueryError, UpdateError
+from .advisor import Advisor, CostModel, WorkloadStats
+from .cache import LRUCache
+from .registry import IndexSpec, get_spec
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """How one range query will be served (produced without running it)."""
+
+    column: str
+    char_lo: int
+    char_hi: int
+    spec: IndexSpec
+    estimated_cost_bits: float
+    cached: bool
+
+    def describe(self) -> str:
+        via = "cache" if self.cached else f"index {self.spec.name!r}"
+        return (
+            f"{self.column}[{self.char_lo}..{self.char_hi}] via {via} "
+            f"[{self.spec.family}/{self.spec.dynamism}"
+            f"{'' if self.spec.exact else '/approx'}]  "
+            f"space: {self.spec.cost.space_bound};  "
+            f"query: {self.spec.cost.query_bound};  "
+            f"est {self.estimated_cost_bits:,.0f} bits"
+        )
+
+
+class EngineColumn:
+    """One engine-managed column: codes, stats, backend, version.
+
+    ``codes`` mirrors the backend's logical string through every
+    update: deleted positions hold ``None`` until the backend compacts
+    its position space, at which point the mirror compacts with it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        codes: Sequence[int],
+        spec: IndexSpec,
+        index: SecondaryIndex,
+        stats: WorkloadStats,
+    ) -> None:
+        self.name = name
+        self.codes = list(codes)
+        self.spec = spec
+        self.index = index
+        self.stats = stats
+        self.version = 0
+
+    @property
+    def sigma(self) -> int:
+        return self.index.sigma
+
+    @property
+    def n(self) -> int:
+        return self.index.n
+
+    def _bump(self) -> None:
+        self.version += 1
+
+    def append(self, ch: int) -> None:
+        if not hasattr(self.index, "append"):
+            raise UpdateError(
+                f"column {self.name!r} uses static backend "
+                f"{self.spec.name!r}; declare dynamism='semidynamic' or "
+                "stronger when adding the column"
+            )
+        self.index.append(ch)
+        self.codes.append(ch)
+        self._bump()
+
+    def change(self, pos: int, ch: int) -> None:
+        if not hasattr(self.index, "change"):
+            raise UpdateError(
+                f"column {self.name!r} uses backend {self.spec.name!r} "
+                "without change support; declare dynamism='fully_dynamic'"
+            )
+        self.index.change(pos, ch)
+        self.codes[pos] = ch
+        self._bump()
+
+    def delete(self, pos: int) -> None:
+        if not hasattr(self.index, "delete"):
+            raise UpdateError(
+                f"column {self.name!r} uses backend {self.spec.name!r} "
+                "without delete support; declare require_delete=True"
+            )
+        compactions_before = getattr(self.index, "compactions", None)
+        self.index.delete(pos)
+        self.codes[pos] = None
+        if (
+            compactions_before is not None
+            and self.index.compactions != compactions_before
+        ):
+            # The backend rewrote its position space; drop the deleted
+            # slots so the mirror's positions match the new RIDs.
+            self.codes = [c for c in self.codes if c is not None]
+        self._bump()
+
+
+class QueryEngine:
+    """Builds, serves, and caches every column's secondary index."""
+
+    def __init__(
+        self,
+        advisor: Advisor | None = None,
+        cost_model: CostModel | None = None,
+        cache_size: int = 1024,
+    ) -> None:
+        if advisor is not None and cost_model is not None:
+            raise InvalidParameterError(
+                "pass either an advisor or a cost_model, not both"
+            )
+        if advisor is None:
+            advisor = Advisor(cost_model=cost_model)
+        self.advisor = advisor
+        self.cache = LRUCache(cache_size)
+        self.columns: dict[str, EngineColumn] = {}
+
+    # ------------------------------------------------------------------
+    # Column management
+    # ------------------------------------------------------------------
+
+    def add_column(
+        self,
+        name: str,
+        codes: Sequence[int],
+        sigma: int | None = None,
+        dynamism: str = "static",
+        expected_selectivity: float = 0.1,
+        require_delete: bool = False,
+        backend: str | None = None,
+    ) -> EngineColumn:
+        """Build a column, letting the advisor choose the backend.
+
+        ``backend`` pins a registry entry by name, bypassing the
+        advisor (the explicit override of the cost model's verdict).
+        """
+        if name in self.columns:
+            raise InvalidParameterError(f"column {name!r} already exists")
+        if not len(codes):
+            raise InvalidParameterError(f"column {name!r} is empty")
+        stats = WorkloadStats.measure(
+            codes,
+            sigma=sigma,
+            dynamism=dynamism,
+            expected_selectivity=expected_selectivity,
+            require_delete=require_delete,
+        )
+        if backend is not None:
+            spec = get_spec(backend)
+            if not spec.serves(dynamism, require_delete):
+                raise InvalidParameterError(
+                    f"backend {backend!r} cannot serve dynamism="
+                    f"{dynamism!r} require_delete={require_delete}"
+                )
+        else:
+            spec = self.advisor.pick(stats)
+        index = spec.build(list(codes), stats.sigma)
+        column = EngineColumn(name, codes, spec, index, stats)
+        self.columns[name] = column
+        return column
+
+    def column(self, name: str) -> EngineColumn:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise QueryError(f"unknown column {name!r}") from None
+
+    def drop_column(self, name: str) -> None:
+        self.column(name)  # raise on unknown
+        del self.columns[name]
+        self.cache.invalidate(lambda key: key[0] == name)
+
+    # ------------------------------------------------------------------
+    # Updates (all invalidate the column's cached results)
+    # ------------------------------------------------------------------
+
+    def append(self, name: str, ch: int) -> None:
+        col = self.column(name)
+        col.append(ch)
+        self._invalidate(name)
+
+    def change(self, name: str, pos: int, ch: int) -> None:
+        col = self.column(name)
+        col.change(pos, ch)
+        self._invalidate(name)
+
+    def delete(self, name: str, pos: int) -> None:
+        col = self.column(name)
+        col.delete(pos)
+        self._invalidate(name)
+
+    def _invalidate(self, name: str) -> None:
+        # Version bumps already make stale keys unreachable; eager
+        # eviction keeps them from squatting on cache capacity.
+        self.cache.invalidate(lambda key: key[0] == name)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def plan(self, name: str, char_lo: int, char_hi: int) -> QueryPlan:
+        """Report how a query would be served, without executing it."""
+        col = self.column(name)
+        stats = col.stats
+        est = col.spec.cost.query_cost(
+            col.n, col.sigma, stats.h0, stats.expected_z
+        )
+        key = (name, col.version, char_lo, char_hi)
+        return QueryPlan(
+            column=name,
+            char_lo=char_lo,
+            char_hi=char_hi,
+            spec=col.spec,
+            estimated_cost_bits=est,
+            cached=key in self.cache,
+        )
+
+    def query(self, name: str, char_lo: int, char_hi: int) -> RangeResult:
+        """One alphabet range query through the LRU cache."""
+        col = self.column(name)
+        key = (name, col.version, char_lo, char_hi)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        result = col.index.range_query(char_lo, char_hi)
+        self.cache.put(key, result)
+        return result
+
+    def select(
+        self, conditions: Mapping[str, tuple[int, int]]
+    ) -> list[int]:
+        """Batched conjunctive range query: RIDs matching every range.
+
+        Conditions are ``{column: (char_lo, char_hi)}`` in code space.
+        Each dimension runs (or is served from cache) independently;
+        the sorted RID lists are then intersected smallest-first.
+        """
+        if not conditions:
+            raise QueryError("select requires at least one condition")
+        per_dim: list[list[int]] = []
+        for name, (lo, hi) in conditions.items():
+            result = self.query(name, lo, hi)
+            if result.cardinality == 0:
+                return []
+            per_dim.append(result.positions())
+        return intersect_many(per_dim)
+
+    def explain(
+        self,
+        name: str | None = None,
+        char_lo: int | None = None,
+        char_hi: int | None = None,
+    ) -> str:
+        """Human-readable report: one column's plan, or every column.
+
+        With a range, describes the concrete :class:`QueryPlan`; with a
+        column only, reprints the advisor's ranked verdict; with no
+        arguments, summarizes every column and the cache.
+        """
+        if name is not None and char_lo is not None and char_hi is not None:
+            return self.plan(name, char_lo, char_hi).describe()
+        if name is not None:
+            col = self.column(name)
+            header = (
+                f"column {name!r}: backend {col.spec.name!r} "
+                f"({col.spec.theorem or col.spec.family}), "
+                f"version {col.version}"
+            )
+            return header + "\n" + self.advisor.explain(col.stats)
+        lines = [
+            f"engine: {len(self.columns)} column(s), cache "
+            f"{len(self.cache)}/{self.cache.capacity} entries, "
+            f"hit rate {self.cache.hit_rate:.1%}"
+        ]
+        for col in self.columns.values():
+            lines.append(
+                f"  {col.name}: n={col.n} sigma={col.sigma} -> "
+                f"{col.spec.name} [{col.spec.family}/{col.spec.dynamism}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,401 @@
+"""The index registry: every backend, one contract, declared costs.
+
+Each :class:`IndexSpec` names one :class:`~repro.core.interface.\
+SecondaryIndex` implementation from :mod:`repro.core` or
+:mod:`repro.baselines` together with
+
+* a uniform builder ``(codes, sigma) -> SecondaryIndex``;
+* its *family* (``pagh-rao``, ``bitmap``, ``btree``, ``tree``) — the
+  coarse taxonomy of §1.3;
+* its *dynamism* level (``static`` < ``semidynamic`` <
+  ``fully_dynamic``) and whether it supports deletions;
+* whether answers are exact (Theorem 3's filters are the exception);
+* a :class:`CostProfile`: the paper's stated space/query bounds as
+  strings for ``explain()``, plus evaluable estimators the advisor's
+  cost model scores.
+
+The registry contract (also in README.md): a backend listed here must
+(1) build from dense codes in ``[0, sigma)`` via ``spec.build``,
+(2) answer ``range_query`` exactly like the brute-force oracle, and
+(3) report ``space()``.  ``tests/test_conformance.py`` enforces (2)
+for every entry, so registering a new backend buys it oracle coverage
+for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..baselines import (
+    BinnedBitmapIndex,
+    BTreeSecondaryIndex,
+    CompressedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    MultiResolutionBitmapIndex,
+    RangeEncodedBitmapIndex,
+    UncompressedBitmapIndex,
+    WahBitmapIndex,
+)
+from ..core import (
+    ApproximatePaghRaoIndex,
+    AppendableIndex,
+    BufferedAppendableIndex,
+    DeletableIndex,
+    DynamicSecondaryIndex,
+    PaghRaoIndex,
+    SecondaryIndex,
+    UniformTreeIndex,
+)
+from ..errors import InvalidParameterError
+
+Builder = Callable[[Sequence[int], int], SecondaryIndex]
+
+#: Dynamism levels, weakest to strongest; a backend at level k serves
+#: every workload requiring level <= k.
+DYNAMISM_LEVELS = ("static", "semidynamic", "fully_dynamic")
+
+
+def _lg(v: float) -> float:
+    return math.log2(max(v, 2.0))
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Declared bounds (for humans) plus estimators (for the advisor).
+
+    ``space_bits(n, sigma, h0)`` estimates the structure's footprint;
+    ``query_cost(n, sigma, h0, z)`` estimates one range query answering
+    ``z`` positions, in bits transferred (the I/O model's currency,
+    divided by ``B`` downstream).  Estimators are deliberately coarse —
+    they only need the *ordering* between backends right, and the cost
+    model's weights are overridable when they are not.
+    """
+
+    space_bound: str
+    query_bound: str
+    space_bits: Callable[[int, int, float], float]
+    query_cost: Callable[[int, int, float, int], float]
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """One registered backend and everything the advisor knows about it."""
+
+    name: str
+    family: str
+    dynamism: str
+    exact: bool
+    build: Builder
+    cost: CostProfile
+    theorem: str | None = None
+    supports_delete: bool = False
+
+    @property
+    def dynamism_level(self) -> int:
+        return DYNAMISM_LEVELS.index(self.dynamism)
+
+    def serves(self, required_dynamism: str, require_delete: bool = False) -> bool:
+        """True when this backend can host the required update pattern."""
+        if require_delete and not self.supports_delete:
+            return False
+        required = DYNAMISM_LEVELS.index(required_dynamism)
+        return self.dynamism_level >= required
+
+
+_REGISTRY: dict[str, IndexSpec] = {}
+
+
+def register(spec: IndexSpec) -> IndexSpec:
+    """Add a backend to the registry (name must be unique)."""
+    if spec.name in _REGISTRY:
+        raise InvalidParameterError(f"index {spec.name!r} already registered")
+    if spec.dynamism not in DYNAMISM_LEVELS:
+        raise InvalidParameterError(
+            f"dynamism must be one of {DYNAMISM_LEVELS}, got {spec.dynamism!r}"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> IndexSpec:
+    """Look up one backend by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown index {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_specs() -> tuple[IndexSpec, ...]:
+    """Every registered backend, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def specs(
+    family: str | None = None,
+    dynamism: str | None = None,
+    exact: bool | None = None,
+) -> list[IndexSpec]:
+    """Registered backends filtered by family / required dynamism / exactness."""
+    out = []
+    for spec in _REGISTRY.values():
+        if family is not None and spec.family != family:
+            continue
+        if dynamism is not None and not spec.serves(dynamism):
+            continue
+        if exact is not None and spec.exact != exact:
+            continue
+        out.append(spec)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Cost estimators
+#
+# All in bits; n = string length, sigma = alphabet size, h0 = empirical
+# entropy (bits/symbol), z = answer cardinality.  The output term
+# z lg(n/z) is shared by every structure that emits compressed answers.
+# ----------------------------------------------------------------------
+
+
+def _output_bits(n: int, z: int) -> float:
+    z = min(z, max(n - z, 0))
+    if z <= 0 or n <= 0:
+        return 1.0
+    return z * _lg(n / z) + 2 * z
+
+
+def _pagh_rao_space(n: int, sigma: int, h0: float) -> float:
+    # Theorem 2: nH0 + O(n) payload + O(sigma lg^2 n) directory.
+    return n * (h0 + 2.0) + sigma * _lg(n) ** 2
+
+
+def _pagh_rao_query(n: int, sigma: int, h0: float, z: int) -> float:
+    # O(z lg(n/z)/B + lg_b n + lg lg n) I/Os; directory descent charged
+    # as lg n block touches.
+    return _output_bits(n, z) + _lg(n) * 64
+
+
+def _uniform_tree_space(n: int, sigma: int, h0: float) -> float:
+    # Theorem 1: O(n lg^2 sigma) regardless of entropy.
+    return n * max(_lg(sigma), 1.0) ** 2 + sigma * _lg(n)
+
+
+def _bitmap_scan_query(n: int, sigma: int, h0: float, z: int) -> float:
+    # One compressed bitmap per character in the range; a range of
+    # width w decodes w bitmaps, each costing a directory touch on top
+    # of the emitted positions.  Expected width for z matches under a
+    # roughly uniform character distribution: w ~ z * sigma / n.
+    width = max(1.0, z * sigma / max(n, 1))
+    return _output_bits(n, z) + width * 64
+
+
+@dataclass(frozen=True)
+class _B:
+    """Shorthand container so the table below stays readable."""
+
+    name: str
+    family: str
+    dynamism: str
+    build: Builder
+    space_bound: str
+    query_bound: str
+    space_bits: Callable[[int, int, float], float]
+    query_cost: Callable[[int, int, float, int], float]
+    theorem: str | None = None
+    exact: bool = True
+    supports_delete: bool = False
+
+
+_BUILTINS = [
+    # ------------------------------------------------------ core (the paper)
+    _B(
+        "pagh-rao",
+        "pagh-rao",
+        "static",
+        lambda codes, sigma: PaghRaoIndex(codes, sigma),
+        "nH0 + O(n) + O(sigma lg^2 n)",
+        "O(z lg(n/z)/B + lg_b n + lg lg n)",
+        _pagh_rao_space,
+        _pagh_rao_query,
+        theorem="Theorem 2",
+    ),
+    _B(
+        "uniform-tree",
+        "tree",
+        "static",
+        lambda codes, sigma: UniformTreeIndex(codes, sigma),
+        "O(n lg^2 sigma)",
+        "O(z lg(n/z)/B + lg sigma)",
+        _uniform_tree_space,
+        lambda n, sigma, h0, z: _output_bits(n, z) + _lg(sigma) * 64,
+        theorem="Theorem 1",
+    ),
+    _B(
+        "pagh-rao-approx",
+        "pagh-rao",
+        "static",
+        lambda codes, sigma: ApproximatePaghRaoIndex(codes, sigma),
+        "nH0 + O(n) + hash directories",
+        "O(z lg(1/eps)/B) approximate / Thm-2 exact",
+        lambda n, sigma, h0: _pagh_rao_space(n, sigma, h0) * 1.25,
+        _pagh_rao_query,
+        theorem="Theorem 3",
+        exact=False,
+    ),
+    _B(
+        "appendable",
+        "pagh-rao",
+        "semidynamic",
+        lambda codes, sigma: AppendableIndex(codes, sigma),
+        "O(nH0 + n) with doubling rebuilds",
+        "Thm-2 query; append O(lg n) amortized",
+        lambda n, sigma, h0: _pagh_rao_space(n, sigma, h0) * 1.5,
+        lambda n, sigma, h0, z: _pagh_rao_query(n, sigma, h0, z) * 1.2,
+        theorem="Theorem 4 (semidynamic)",
+    ),
+    _B(
+        "buffered-appendable",
+        "pagh-rao",
+        "semidynamic",
+        lambda codes, sigma: BufferedAppendableIndex(codes, sigma),
+        "Thm-4 + O(sigma lg n (B + lg n)) buffers",
+        "Thm-2 query; append O(lg n / b) amortized",
+        lambda n, sigma, h0: _pagh_rao_space(n, sigma, h0) * 1.5
+        + sigma * _lg(n) * 64,
+        lambda n, sigma, h0, z: _pagh_rao_query(n, sigma, h0, z) * 1.3,
+        theorem="Theorem 5",
+    ),
+    _B(
+        "fully-dynamic",
+        "pagh-rao",
+        "fully_dynamic",
+        lambda codes, sigma: DynamicSecondaryIndex(codes, sigma),
+        "O(nH0 + n) with global rebuilds",
+        "Thm-2 query x O(1); change/append O(lg n) amortized",
+        lambda n, sigma, h0: _pagh_rao_space(n, sigma, h0) * 2.5,
+        lambda n, sigma, h0, z: _pagh_rao_query(n, sigma, h0, z) * 1.6,
+        theorem="Theorem 7",
+    ),
+    _B(
+        "deletable",
+        "pagh-rao",
+        "fully_dynamic",
+        lambda codes, sigma: DeletableIndex(codes, sigma),
+        "Thm-7 over Sigma+{inf} + deletion tracker",
+        "Thm-7 query + deletion filter",
+        lambda n, sigma, h0: _pagh_rao_space(n, sigma + 1, h0) * 2.5 + n,
+        lambda n, sigma, h0, z: _pagh_rao_query(n, sigma, h0, z) * 1.8,
+        theorem="Theorem 7 + deletions",
+        supports_delete=True,
+    ),
+    # ------------------------------------------------------ baselines (§1.3)
+    _B(
+        "btree",
+        "btree",
+        "static",
+        lambda codes, sigma: BTreeSecondaryIndex(codes, sigma),
+        "O(n lg n) key/rid pairs",
+        "O(lg_B n + z lg n / B)",
+        lambda n, sigma, h0: n * (_lg(n) + _lg(sigma)) + sigma * _lg(n),
+        lambda n, sigma, h0, z: z * _lg(n) + _lg(n) * 64,
+    ),
+    _B(
+        "bitmap-gamma",
+        "bitmap",
+        "static",
+        lambda codes, sigma: CompressedBitmapIndex(codes, sigma),
+        "nH0 + O(n) (gamma-RLE per character)",
+        "O(z lg(n/z)/B + w) for range width w",
+        lambda n, sigma, h0: n * (h0 + 2.0) + sigma * _lg(n),
+        _bitmap_scan_query,
+    ),
+    _B(
+        "bitmap-plain",
+        "bitmap",
+        "static",
+        lambda codes, sigma: UncompressedBitmapIndex(codes, sigma),
+        "n * sigma verbatim bitmaps",
+        "O(w n / B) for range width w",
+        lambda n, sigma, h0: float(n) * sigma,
+        # w raw bitmaps of n bits each are scanned end to end.
+        lambda n, sigma, h0, z: max(1.0, z * sigma / max(n, 1)) * n,
+    ),
+    _B(
+        "bitmap-binned",
+        "bitmap",
+        "static",
+        lambda codes, sigma: BinnedBitmapIndex(codes, sigma),
+        "~ n(H0(bins) + 2) + base-data probe bits",
+        "covered bins + O(edge candidates) probes",
+        lambda n, sigma, h0: n * (max(h0 - 3.0, 0.5) + 2.0) + sigma * _lg(n),
+        # Two edge bins of ~ bin_width*n/sigma candidates, each verified
+        # with a random-access base-data read (charged a partial block).
+        lambda n, sigma, h0, z: _output_bits(n, z)
+        + 2 * (8.0 * n / max(sigma, 1)) * 128,
+    ),
+    _B(
+        "bitmap-multires",
+        "bitmap",
+        "static",
+        lambda codes, sigma: MultiResolutionBitmapIndex(codes, sigma),
+        "O(nH0 log_w sigma)",
+        "O(z lg(n/z)/B + w log_w sigma)",
+        lambda n, sigma, h0: n * (h0 + 2.0) * max(_lg(sigma) / 2.0, 1.0),
+        lambda n, sigma, h0, z: _output_bits(n, z) + 4 * _lg(sigma) * 32,
+    ),
+    _B(
+        "bitmap-range-encoded",
+        "bitmap",
+        "static",
+        lambda codes, sigma: RangeEncodedBitmapIndex(codes, sigma),
+        "O(n sigma) cumulative bitmaps",
+        "<= 2 bitmap reads per query",
+        lambda n, sigma, h0: float(n) * sigma / 2,
+        # The two cumulative bitmaps each hold up to n positions.
+        lambda n, sigma, h0, z: _output_bits(n, z) + 2.0 * n,
+    ),
+    _B(
+        "bitmap-interval-encoded",
+        "bitmap",
+        "static",
+        lambda codes, sigma: IntervalEncodedBitmapIndex(codes, sigma),
+        "~ n sigma / 2 interval bitmaps",
+        "<= 2 bitmap reads per query",
+        lambda n, sigma, h0: float(n) * sigma / 2,
+        lambda n, sigma, h0, z: _output_bits(n, z) + 2.0 * n,
+    ),
+    _B(
+        "bitmap-wah",
+        "bitmap",
+        "static",
+        lambda codes, sigma: WahBitmapIndex(codes, sigma),
+        "word-aligned-hybrid RLE per character",
+        "O(runs in range / B)",
+        lambda n, sigma, h0: n * (h0 + 4.0) + sigma * _lg(n),
+        _bitmap_scan_query,
+    ),
+]
+
+for _b in _BUILTINS:
+    register(
+        IndexSpec(
+            name=_b.name,
+            family=_b.family,
+            dynamism=_b.dynamism,
+            exact=_b.exact,
+            build=_b.build,
+            cost=CostProfile(
+                space_bound=_b.space_bound,
+                query_bound=_b.query_bound,
+                space_bits=_b.space_bits,
+                query_cost=_b.query_cost,
+            ),
+            theorem=_b.theorem,
+            supports_delete=_b.supports_delete,
+        )
+    )
+del _b

@@ -25,6 +25,7 @@ from ..core.approximate import ApproximatePaghRaoIndex, ApproximateResult
 from ..core.interface import SecondaryIndex
 from ..core.static_index import PaghRaoIndex
 from ..bits.ops import intersect_many
+from ..engine import QueryEngine
 from ..errors import InvalidParameterError, QueryError
 from ..model.alphabet import Alphabet
 
@@ -32,7 +33,7 @@ IndexFactory = Callable[[Sequence[int], int], SecondaryIndex]
 
 
 def default_factory(codes: Sequence[int], sigma: int) -> SecondaryIndex:
-    """Theorem-2 index, the package default."""
+    """Theorem-2 index, the legacy fixed default (pre-engine)."""
     return PaghRaoIndex(codes, sigma)
 
 
@@ -46,39 +47,73 @@ def approximate_factory(seed: int = 0) -> IndexFactory:
 
 
 class Column:
-    """One attribute: values, their alphabet, and a secondary index."""
+    """One attribute: values, their alphabet, and a secondary index.
+
+    The index comes either from an explicit ``factory`` (the legacy
+    path, still used for approximate mode) or from a
+    :class:`~repro.engine.engine.QueryEngine`, which lets the advisor
+    pick the backend per column from the measured codes.
+    """
 
     def __init__(
-        self, name: str, values: Sequence[Any], factory: IndexFactory
+        self,
+        name: str,
+        values: Sequence[Any],
+        factory: IndexFactory | None = None,
+        engine: QueryEngine | None = None,
     ) -> None:
         if not values:
             raise InvalidParameterError(f"column {name!r} is empty")
+        if (factory is None) == (engine is None):
+            raise InvalidParameterError(
+                "a column needs exactly one of factory or engine"
+            )
         self.name = name
         self.values = list(values)
         self.alphabet = Alphabet(values)
         self.codes = self.alphabet.encode(values)
-        self.index = factory(self.codes, self.alphabet.sigma)
+        if engine is not None:
+            self.index = engine.add_column(
+                name, self.codes, self.alphabet.sigma
+            ).index
+        else:
+            self.index = factory(self.codes, self.alphabet.sigma)
 
     def code_range(self, lo: Any, hi: Any) -> tuple[int, int] | None:
         return self.alphabet.code_range(lo, hi)
 
 
 class Table:
-    """Columns of equal length with one secondary index each."""
+    """Columns of equal length with one secondary index each.
+
+    By default the table builds through a :class:`QueryEngine`: the
+    advisor picks each column's backend and repeated range conditions
+    are served from the engine's LRU result cache.  Passing ``factory``
+    pins every column to one structure, exactly as before the engine
+    existed.
+    """
 
     def __init__(
         self,
         columns: Mapping[str, Sequence[Any]],
-        factory: IndexFactory = default_factory,
+        factory: IndexFactory | None = None,
+        engine: QueryEngine | None = None,
     ) -> None:
         if not columns:
             raise InvalidParameterError("a table needs at least one column")
+        if factory is not None and engine is not None:
+            raise InvalidParameterError(
+                "pass either a factory or an engine, not both"
+            )
         lengths = {len(v) for v in columns.values()}
         if len(lengths) != 1:
             raise InvalidParameterError("columns must have equal length")
         self.num_rows = lengths.pop()
+        if factory is None and engine is None:
+            engine = QueryEngine()
+        self.engine = engine
         self.columns: dict[str, Column] = {
-            name: Column(name, values, factory)
+            name: Column(name, values, factory=factory, engine=engine)
             for name, values in columns.items()
         }
 
@@ -106,14 +141,20 @@ class Table:
         """
         if not conditions:
             raise QueryError("select requires at least one condition")
-        per_dim: list[list[int]] = []
+        code_conditions: dict[str, tuple[int, int]] = {}
         for name, (lo, hi) in conditions.items():
-            col = self.column(name)
-            code_range = col.code_range(lo, hi)
+            code_range = self.column(name).code_range(lo, hi)
             if code_range is None:
                 return []
-            result = col.index.range_query(*code_range)
-            per_dim.append(result.positions())
+            code_conditions[name] = code_range
+        if self.engine is not None:
+            # The engine caches per-dimension results and short-circuits
+            # as soon as one dimension comes back empty.
+            return self.engine.select(code_conditions)
+        per_dim = [
+            self.columns[name].index.range_query(*code_range).positions()
+            for name, code_range in code_conditions.items()
+        ]
         return intersect_many(per_dim)
 
     # ------------------------------------------------------------------

@@ -57,6 +57,45 @@ class TestReport:
         assert "note: n" in content
 
 
+class TestReportJsonRoundTrip:
+    def test_write_reload_identical_tables(self, tmp_path):
+        rep = Report("exp", str(tmp_path))
+        rep.line("preamble")
+        rep.table(
+            "space",
+            ["structure", "bits", "ratio"],
+            [["pagh-rao", 12345, 1.07], ["btree", 99999, 8.5]],
+            note="smaller is better",
+        )
+        rep.table("empty", ["h"], [])
+        rep.save()
+
+        loaded = Report.load(str(tmp_path), "exp")
+        assert loaded.name == rep.name
+        assert loaded.lines == rep.lines
+        assert loaded.tables == rep.tables
+
+    def test_reload_of_reload_is_stable(self, tmp_path):
+        # Save -> load -> save again: neither the JSON nor the rendered
+        # text may drift, so recorded benchmark numbers stay citable.
+        rep = Report("exp", str(tmp_path))
+        rep.line("preamble")
+        rep.table("t", ["a"], [[1.23456], [7]], note="n")
+        txt_path = rep.save()
+        first_json = open(Report.json_path(str(tmp_path), "exp")).read()
+        first_txt = open(txt_path).read()
+
+        loaded = Report.load(str(tmp_path), "exp")
+        loaded.save()
+        assert open(Report.json_path(str(tmp_path), "exp")).read() == first_json
+        assert open(txt_path).read() == first_txt
+
+    def test_cells_formatted_like_rendered_table(self, tmp_path):
+        rep = Report("exp", str(tmp_path))
+        rep.table("t", ["v"], [[123456.0], [True]])
+        assert rep.tables[0]["rows"] == [["123,456"], ["yes"]]
+
+
 class TestMeasurement:
     def test_cold_query_counts(self):
         x = standard_string("uniform", 500, 16, seed=1)

@@ -1,0 +1,125 @@
+"""Universal differential conformance: every registry backend vs the oracle.
+
+One parametrized harness runs *every* index listed in
+``repro.engine.registry`` against the brute-force oracle on randomized
+workloads — uniform, Zipf, runs-heavy, degenerate alphabets (sigma=1,
+sigma=2) — and on the structural edge queries: empty ranges, the
+full-universe range, and complement-threshold answers with ``z > n/2``
+(§2.1's trick).  A backend registered tomorrow gets this coverage for
+free; a backend that diverges from the oracle anywhere fails here
+before any engine test can be misled by it.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.engine import all_specs
+from repro.model.distributions import markov_runs, uniform, zipf
+
+from tests.conftest import brute_range, random_ranges
+
+N = 400
+
+WORKLOADS = [
+    ("uniform", lambda: uniform(N, 32, seed=11), 32),
+    ("zipf", lambda: zipf(N, 32, theta=1.2, seed=12), 32),
+    ("runs_heavy", lambda: markov_runs(N, 16, stay=0.95, seed=13), 16),
+    ("sigma_1", lambda: [0] * N, 1),
+    ("sigma_2", lambda: uniform(N, 2, seed=14), 2),
+]
+
+SPECS = all_specs()
+
+
+def spec_id(spec):
+    return spec.name
+
+
+@pytest.fixture(scope="module")
+def built_indexes():
+    """Every (spec, workload) pair built once for the whole module."""
+    cache = {}
+    for wname, gen, sigma in WORKLOADS:
+        x = gen()
+        for spec in SPECS:
+            cache[(spec.name, wname)] = (x, sigma, spec.build(x, sigma))
+    return cache
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=spec_id)
+@pytest.mark.parametrize("wname", [w[0] for w in WORKLOADS])
+class TestConformance:
+    def test_random_ranges_match_oracle(self, built_indexes, spec, wname):
+        x, sigma, idx = built_indexes[(spec.name, wname)]
+        rng = random.Random(zlib.crc32(f"{spec.name}:{wname}".encode()))
+        for lo, hi in random_ranges(rng, sigma, 12):
+            expected = brute_range(x, lo, hi)
+            result = idx.range_query(lo, hi)
+            assert result.positions() == expected, (
+                f"{spec.name} on {wname}: [{lo},{hi}]"
+            )
+            assert result.cardinality == len(expected)
+
+    def test_full_universe_range(self, built_indexes, spec, wname):
+        x, sigma, idx = built_indexes[(spec.name, wname)]
+        result = idx.range_query(0, sigma - 1)
+        assert result.positions() == list(range(len(x)))
+        assert result.cardinality == len(x)
+
+    def test_empty_answer_ranges(self, built_indexes, spec, wname):
+        x, sigma, idx = built_indexes[(spec.name, wname)]
+        # A character that never occurs yields an empty exact answer.
+        missing = [c for c in range(sigma) if c not in set(x)]
+        if not missing:
+            pytest.skip("every character occurs in this workload")
+        c = missing[0]
+        result = idx.range_query(c, c)
+        assert result.positions() == []
+        assert result.cardinality == 0
+
+    def test_complement_threshold_answers(self, built_indexes, spec, wname):
+        # Ranges whose z exceeds n/2: structures using §2.1's complement
+        # trick must still report exactly the oracle's positions.
+        x, sigma, idx = built_indexes[(spec.name, wname)]
+        n = len(x)
+        hits = []
+        for lo in range(sigma):
+            for hi in range(lo, sigma):
+                z = len(brute_range(x, lo, hi))
+                if z > n // 2 and z < n:
+                    hits.append((lo, hi))
+        if not hits:
+            pytest.skip("no strict majority range in this workload")
+        for lo, hi in hits[:8]:
+            expected = brute_range(x, lo, hi)
+            result = idx.range_query(lo, hi)
+            assert result.positions() == expected
+            assert result.cardinality == len(expected) > n // 2
+            # The membership view must agree with the materialized one.
+            probe = random.Random(lo * 31 + hi).sample(range(n), min(20, n))
+            member = set(expected)
+            for p in probe:
+                assert (p in result) == (p in member)
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=spec_id)
+def test_space_reported(spec):
+    """Registry contract: every backend reports a space breakdown."""
+    x = uniform(128, 8, seed=5)
+    idx = spec.build(x, 8)
+    space = idx.space()
+    assert space.total_bits > 0
+    assert space.payload_bits >= 0 and space.directory_bits >= 0
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=spec_id)
+def test_invalid_ranges_rejected(spec):
+    from repro.errors import QueryError
+
+    x = uniform(64, 8, seed=6)
+    idx = spec.build(x, 8)
+    for lo, hi in [(-1, 3), (2, 8), (5, 4)]:
+        with pytest.raises(QueryError):
+            idx.range_query(lo, hi)

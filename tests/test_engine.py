@@ -1,0 +1,383 @@
+"""Unit tests for the index registry, advisor, and query engine."""
+
+import pytest
+
+from repro.baselines import CompressedBitmapIndex
+from repro.core import PaghRaoIndex, SecondaryIndex
+from repro.engine import (
+    Advisor,
+    CostModel,
+    CostProfile,
+    IndexSpec,
+    LRUCache,
+    QueryEngine,
+    WorkloadStats,
+    all_specs,
+    get_spec,
+    specs,
+)
+from repro.engine import registry as registry_mod
+from repro.errors import InvalidParameterError, QueryError, UpdateError
+from repro.model.distributions import uniform, zipf
+from repro.queries import Table
+
+from tests.conftest import brute_range
+
+
+class TestRegistry:
+    def test_every_spec_builds_a_secondary_index(self):
+        x = uniform(64, 8, seed=0)
+        for spec in all_specs():
+            idx = spec.build(x, 8)
+            assert isinstance(idx, SecondaryIndex)
+            assert idx.n == 64 and idx.sigma == 8
+
+    def test_known_members_present(self):
+        names = {s.name for s in all_specs()}
+        assert {"pagh-rao", "btree", "bitmap-gamma", "fully-dynamic",
+                "appendable", "deletable"} <= names
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            get_spec("nope")
+
+    def test_register_rejects_duplicates(self):
+        spec = get_spec("pagh-rao")
+        with pytest.raises(InvalidParameterError):
+            registry_mod.register(spec)
+
+    def test_specs_filters(self):
+        assert all(s.family == "bitmap" for s in specs(family="bitmap"))
+        assert len(specs(family="bitmap")) >= 6
+        dyn = specs(dynamism="fully_dynamic")
+        assert {s.name for s in dyn} == {"fully-dynamic", "deletable"}
+        semi = {s.name for s in specs(dynamism="semidynamic")}
+        assert "appendable" in semi and "fully-dynamic" in semi
+        assert all(not s.exact for s in specs(exact=False))
+
+    def test_serves_delete(self):
+        assert get_spec("deletable").serves("fully_dynamic", True)
+        assert not get_spec("fully-dynamic").serves("static", True)
+
+    def test_cost_estimators_positive(self):
+        for spec in all_specs():
+            assert spec.cost.space_bits(1000, 16, 3.5) > 0
+            assert spec.cost.query_cost(1000, 16, 3.5, 50) > 0
+
+
+class TestWorkloadStats:
+    def test_measure(self):
+        stats = WorkloadStats.measure([0, 1, 1, 3])
+        assert stats.n == 4 and stats.sigma == 4
+        assert 0 < stats.h0 <= 2.0
+        assert stats.expected_z == max(1, round(0.1 * 4))
+
+    def test_measure_with_overrides(self):
+        stats = WorkloadStats.measure(
+            [0, 1], sigma=8, dynamism="semidynamic", expected_selectivity=0.5
+        )
+        assert stats.sigma == 8
+        assert stats.dynamism == "semidynamic"
+        assert stats.expected_z == 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadStats(n=10, sigma=0, h0=1.0)
+        with pytest.raises(InvalidParameterError):
+            WorkloadStats(n=10, sigma=4, h0=1.0, expected_selectivity=0.0)
+        with pytest.raises(InvalidParameterError):
+            WorkloadStats(n=10, sigma=4, h0=1.0, dynamism="sometimes")
+
+
+class TestAdvisor:
+    def test_low_cardinality_picks_bitmap_family(self):
+        # The acceptance workload: a handful of distinct values.
+        x = uniform(4096, 4, seed=1)
+        pick = Advisor().pick(WorkloadStats.measure(x, 4))
+        assert pick.family == "bitmap"
+
+    def test_high_entropy_picks_pagh_rao_family(self):
+        # Near-maximal entropy over a large alphabet: the Theorem-2
+        # structure's nH0-bounded space plus directory wins.
+        x = uniform(4096, 512, seed=2)
+        pick = Advisor().pick(WorkloadStats.measure(x, 512))
+        assert pick.family == "pagh-rao"
+
+    def test_dynamism_constrains_candidates(self):
+        x = uniform(1024, 16, seed=3)
+        adv = Advisor()
+        assert adv.pick(
+            WorkloadStats.measure(x, 16, dynamism="fully_dynamic")
+        ).name == "fully-dynamic"
+        assert adv.pick(
+            WorkloadStats.measure(
+                x, 16, dynamism="fully_dynamic", require_delete=True
+            )
+        ).name == "deletable"
+        semi = adv.pick(WorkloadStats.measure(x, 16, dynamism="semidynamic"))
+        assert semi.dynamism in ("semidynamic", "fully_dynamic")
+
+    def test_rank_sorted_and_exactness_filter(self):
+        x = zipf(512, 32, theta=1.0, seed=4)
+        stats = WorkloadStats.measure(x, 32)
+        ranked = Advisor().rank(stats)
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores)
+        assert all(spec.exact for spec, _ in ranked)
+        relaxed = Advisor().rank(stats.with_(require_exact=False))
+        assert len(relaxed) == len(ranked) + 1  # + pagh-rao-approx
+
+    def test_cost_model_override_changes_verdict(self):
+        # With queries essentially free, space alone decides; with
+        # queries enormously weighted, query cost decides.  The two
+        # models must be able to disagree on some workload.
+        x = uniform(2048, 64, seed=5)
+        stats = WorkloadStats.measure(x, 64)
+        space_only = Advisor(CostModel(queries_per_build=0.0))
+        query_mad = Advisor(CostModel(queries_per_build=1e9))
+        assert space_only.pick(stats).name != query_mad.pick(stats).name
+
+    def test_restricted_candidate_pool(self):
+        x = uniform(256, 8, seed=6)
+        adv = Advisor(candidates=[get_spec("btree")])
+        assert adv.pick(WorkloadStats.measure(x, 8)).name == "btree"
+
+    def test_no_eligible_backend_raises(self):
+        adv = Advisor(candidates=[get_spec("pagh-rao")])
+        stats = WorkloadStats(n=10, sigma=4, h0=1.0, dynamism="fully_dynamic")
+        with pytest.raises(InvalidParameterError):
+            adv.pick(stats)
+
+    def test_explain_mentions_winner_and_bounds(self):
+        x = uniform(512, 4, seed=7)
+        stats = WorkloadStats.measure(x, 4)
+        text = Advisor().explain(stats)
+        winner = Advisor().pick(stats)
+        assert winner.name in text
+        assert "#1" in text and "H0=" in text
+
+
+class TestLRUCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+
+    def test_invalidate_predicate(self):
+        cache = LRUCache(8)
+        cache.put(("x", 0), 1)
+        cache.put(("y", 0), 2)
+        assert cache.invalidate(lambda k: k[0] == "x") == 1
+        assert ("x", 0) not in cache and ("y", 0) in cache
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+
+class TestQueryEngine:
+    def make(self, **kw):
+        # sigma must be well below n for the Pagh-Rao directory term
+        # (sigma lg^2 n) to amortize; at sigma ~ n the b-tree wins.
+        engine = QueryEngine(**kw)
+        engine.add_column("low", uniform(2048, 4, seed=8), 4)
+        engine.add_column("high", uniform(2048, 512, seed=9), 512)
+        return engine
+
+    def test_plan_families_match_acceptance(self):
+        engine = self.make()
+        assert engine.plan("low", 0, 1).spec.family == "bitmap"
+        assert engine.plan("high", 0, 99).spec.family == "pagh-rao"
+
+    def test_plan_reports_cache_state_without_executing(self):
+        engine = self.make()
+        assert engine.plan("low", 1, 2).cached is False
+        engine.query("low", 1, 2)
+        assert engine.plan("low", 1, 2).cached is True
+        text = engine.plan("low", 1, 2).describe()
+        assert "cache" in text
+
+    def test_query_results_match_oracle_and_cache(self):
+        engine = QueryEngine()
+        x = uniform(500, 16, seed=10)
+        engine.add_column("c", x, 16)
+        first = engine.query("c", 3, 9)
+        assert first.positions() == brute_range(x, 3, 9)
+        again = engine.query("c", 3, 9)
+        assert again is first  # served from cache
+        assert engine.cache.hits == 1
+
+    def test_select_matches_brute_force(self):
+        engine = QueryEngine()
+        a = uniform(600, 8, seed=11)
+        b = uniform(600, 8, seed=12)
+        engine.add_column("a", a, 8)
+        engine.add_column("b", b, 8)
+        got = engine.select({"a": (2, 5), "b": (0, 3)})
+        want = [
+            i for i in range(600) if 2 <= a[i] <= 5 and 0 <= b[i] <= 3
+        ]
+        assert got == want
+
+    def test_select_requires_conditions(self):
+        engine = self.make()
+        with pytest.raises(QueryError):
+            engine.select({})
+
+    def test_select_short_circuits_empty_dimension(self):
+        engine = QueryEngine()
+        engine.add_column("c", [1, 1, 1, 3], 4)
+        assert engine.select({"c": (0, 0)}) == []
+
+    def test_updates_invalidate_cache(self):
+        engine = QueryEngine()
+        engine.add_column(
+            "d", [0, 1, 2, 3, 0, 1], 4, dynamism="fully_dynamic"
+        )
+        before = engine.query("d", 0, 0).positions()
+        assert before == [0, 4]
+        engine.change("d", 1, 0)
+        after = engine.query("d", 0, 0).positions()
+        assert after == [0, 1, 4]
+        engine.append("d", 0)
+        assert engine.query("d", 0, 0).positions() == [0, 1, 4, 6]
+        # Eager invalidation: no stale-version keys left behind.
+        col = engine.columns["d"]
+        assert all(
+            key[1] == col.version for key in engine.cache._data
+            if key[0] == "d"
+        )
+
+    def test_static_column_rejects_updates(self):
+        engine = self.make()
+        with pytest.raises(UpdateError):
+            engine.append("low", 1)
+        with pytest.raises(UpdateError):
+            engine.change("low", 0, 1)
+        with pytest.raises(UpdateError):
+            engine.delete("low", 0)
+
+    def test_delete_path(self):
+        engine = QueryEngine()
+        engine.add_column(
+            "d", [0, 1, 2, 3], 4,
+            dynamism="fully_dynamic", require_delete=True,
+        )
+        assert engine.columns["d"].spec.name == "deletable"
+        assert engine.query("d", 1, 1).positions() == [1]
+        engine.delete("d", 1)
+        assert engine.query("d", 1, 1).positions() == []
+
+    def test_delete_keeps_code_mirror_honest(self):
+        engine = QueryEngine()
+        codes = [0, 1, 2, 3, 0, 1, 2, 3]
+        engine.add_column(
+            "d", codes, 4, dynamism="fully_dynamic", require_delete=True
+        )
+        col = engine.columns["d"]
+        engine.delete("d", 1)
+        # Regression: the mirror used to keep the deleted value.
+        assert col.codes[1] is None
+        # Drive the backend through compaction: the mirror must follow
+        # the rewritten position space and stay oracle-consistent.
+        while col.index.compactions == 0:
+            live = next(i for i, c in enumerate(col.codes) if c is not None)
+            engine.delete("d", live)
+        assert None not in col.codes
+        assert len(col.codes) == col.index.n
+        for lo in range(4):
+            want = [i for i, c in enumerate(col.codes) if c == lo]
+            assert engine.query("d", lo, lo).positions() == want
+
+    def test_backend_pin_overrides_advisor(self):
+        engine = QueryEngine()
+        col = engine.add_column(
+            "c", uniform(256, 4, seed=13), 4, backend="pagh-rao"
+        )
+        assert isinstance(col.index, PaghRaoIndex)
+        with pytest.raises(InvalidParameterError):
+            engine.add_column(
+                "c2", [0, 1], 2, dynamism="fully_dynamic", backend="pagh-rao"
+            )
+
+    def test_column_name_rules(self):
+        engine = self.make()
+        with pytest.raises(InvalidParameterError):
+            engine.add_column("low", [0, 1], 2)
+        with pytest.raises(InvalidParameterError):
+            engine.add_column("empty", [], 2)
+        with pytest.raises(QueryError):
+            engine.query("missing", 0, 1)
+
+    def test_drop_column_clears_cache(self):
+        engine = self.make()
+        engine.query("low", 0, 1)
+        engine.drop_column("low")
+        assert "low" not in engine.columns
+        assert all(key[0] != "low" for key in engine.cache._data)
+
+    def test_explain_variants(self):
+        engine = self.make()
+        overview = engine.explain()
+        assert "2 column(s)" in overview and "low" in overview
+        per_column = engine.explain("high")
+        assert "pagh-rao" in per_column and "#1" in per_column
+        per_query = engine.explain("low", 0, 1)
+        assert "low[0..1]" in per_query
+
+    def test_advisor_and_cost_model_mutually_exclusive(self):
+        with pytest.raises(InvalidParameterError):
+            QueryEngine(advisor=Advisor(), cost_model=CostModel())
+
+
+class TestTableIntegration:
+    def test_default_table_is_engine_backed(self):
+        table = Table({"age": [33, 41, 33, 27], "city": list("abca")})
+        assert table.engine is not None
+        assert set(table.engine.columns) == {"age", "city"}
+        assert table.select({"age": (30, 40)}) == [0, 2]
+
+    def test_repeated_selects_hit_cache(self):
+        table = Table({"v": [5, 1, 5, 2, 5]})
+        table.select({"v": (5, 5)})
+        hits_before = table.engine.cache.hits
+        table.select({"v": (5, 5)})
+        assert table.engine.cache.hits == hits_before + 1
+
+    def test_explicit_factory_bypasses_engine(self):
+        table = Table(
+            {"v": [1, 2, 3]},
+            factory=lambda codes, sigma: CompressedBitmapIndex(codes, sigma),
+        )
+        assert table.engine is None
+        assert isinstance(table.columns["v"].index, CompressedBitmapIndex)
+        assert table.select({"v": (2, 3)}) == [1, 2]
+
+    def test_factory_and_engine_conflict(self):
+        with pytest.raises(InvalidParameterError):
+            Table(
+                {"v": [1]},
+                factory=lambda c, s: PaghRaoIndex(c, s),
+                engine=QueryEngine(),
+            )
+
+    def test_shared_engine_across_tables_rejects_name_clash(self):
+        engine = QueryEngine()
+        Table({"v": [1, 2]}, engine=engine)
+        with pytest.raises(InvalidParameterError):
+            Table({"v": [3, 4]}, engine=engine)

@@ -1,0 +1,119 @@
+"""Stateful tests for engine cache invalidation.
+
+The engine's contract: a cached result is never served after an update
+to its column.  The machines below interleave appends/changes on
+``fully_dynamic`` and ``semidynamic`` columns with repeated (and so
+cache-hitting) queries, checking every answer against a plain-Python
+model — in the style of ``tests/test_stateful.py``.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.engine import QueryEngine
+
+SIGMA = 8
+
+
+class EngineCacheMachine(RuleBasedStateMachine):
+    """A fully-dynamic and a semidynamic column behind one shared cache."""
+
+    @initialize()
+    def setup(self):
+        self.engine = QueryEngine(cache_size=32)
+        self.dyn = [0, 3, 1, 7, 2, 5, 0, 4]
+        self.app = [1, 1, 2, 6, 3, 0, 7, 5]
+        self.engine.add_column(
+            "dyn", self.dyn, SIGMA, dynamism="fully_dynamic"
+        )
+        self.engine.add_column(
+            "app", self.app, SIGMA, dynamism="semidynamic"
+        )
+
+    @rule(ch=st.integers(0, SIGMA - 1))
+    def append_dynamic(self, ch):
+        self.engine.append("dyn", ch)
+        self.dyn.append(ch)
+
+    @rule(data=st.data())
+    def change_dynamic(self, data):
+        pos = data.draw(st.integers(0, len(self.dyn) - 1))
+        ch = data.draw(st.integers(0, SIGMA - 1))
+        self.engine.change("dyn", pos, ch)
+        self.dyn[pos] = ch
+
+    @rule(ch=st.integers(0, SIGMA - 1))
+    def append_semidynamic(self, ch):
+        self.engine.append("app", ch)
+        self.app.append(ch)
+
+    @rule(data=st.data())
+    def query_twice(self, data):
+        # Ask the same range twice in a row: the second answer comes
+        # from the cache and must still match the model.
+        name, model = data.draw(
+            st.sampled_from([("dyn", self.dyn), ("app", self.app)])
+        )
+        lo = data.draw(st.integers(0, SIGMA - 1))
+        hi = data.draw(st.integers(lo, SIGMA - 1))
+        want = [i for i, c in enumerate(model) if lo <= c <= hi]
+        assert self.engine.query(name, lo, hi).positions() == want
+        assert self.engine.query(name, lo, hi).positions() == want
+
+    @invariant()
+    def cached_entries_current(self):
+        # No cache key may reference a stale column version.
+        for key in list(self.engine.cache._data):
+            name, version = key[0], key[1]
+            assert version == self.engine.columns[name].version
+
+    @invariant()
+    def full_range_matches(self):
+        for name, model in (("dyn", self.dyn), ("app", self.app)):
+            got = self.engine.query(name, 0, SIGMA - 1).positions()
+            assert got == list(range(len(model)))
+
+
+class EngineThrashingCacheMachine(RuleBasedStateMachine):
+    """A capacity-2 cache: constant eviction must never corrupt answers."""
+
+    @initialize()
+    def setup(self):
+        self.engine = QueryEngine(cache_size=2)
+        self.x = [5, 2, 7, 1, 0, 3]
+        self.engine.add_column("c", self.x, SIGMA, dynamism="fully_dynamic")
+
+    @rule(data=st.data())
+    def update(self, data):
+        pos = data.draw(st.integers(0, len(self.x) - 1))
+        ch = data.draw(st.integers(0, SIGMA - 1))
+        self.engine.change("c", pos, ch)
+        self.x[pos] = ch
+
+    @rule(data=st.data())
+    def query(self, data):
+        lo = data.draw(st.integers(0, SIGMA - 1))
+        hi = data.draw(st.integers(lo, SIGMA - 1))
+        want = [i for i, c in enumerate(self.x) if lo <= c <= hi]
+        assert self.engine.query("c", lo, hi).positions() == want
+
+    @invariant()
+    def cache_within_capacity(self):
+        assert len(self.engine.cache) <= 2
+
+
+TestEngineCacheMachine = EngineCacheMachine.TestCase
+TestEngineCacheMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)
+
+TestEngineThrashingCacheMachine = EngineThrashingCacheMachine.TestCase
+TestEngineThrashingCacheMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)

@@ -19,6 +19,7 @@ SCRIPTS = [
     "scientific_sensors.py",
     "dynamic_log.py",
     "approximate_multidim.py",
+    "engine_autopick.py",
 ]
 
 

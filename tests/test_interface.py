@@ -53,6 +53,33 @@ class TestRangeResult:
         r = RangeResult(positions, universe=1000)
         assert r.compressed_size_bits >= r.information_bound_bits
 
+    def test_empty_universe(self):
+        r = RangeResult([], universe=0)
+        assert r.cardinality == 0
+        assert r.positions() == []
+        assert 0 not in r
+
+    def test_empty_universe_complemented(self):
+        # Regression: the complement over an empty universe is empty,
+        # never negative-cardinality garbage.
+        r = RangeResult([], universe=0, complemented=True)
+        assert r.cardinality == 0
+        assert r.positions() == []
+
+    def test_rejects_stored_outside_universe(self):
+        # Regression: a complemented result over a too-small universe
+        # used to fabricate positions that were never in the string.
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            RangeResult([5], universe=3, complemented=True)
+        with pytest.raises(QueryError):
+            RangeResult([0], universe=0)
+        with pytest.raises(QueryError):
+            RangeResult([-1, 2], universe=5)
+        with pytest.raises(QueryError):
+            RangeResult([], universe=-1)
+
 
 class TestSpaceBreakdown:
     def test_total(self):

@@ -52,6 +52,21 @@ class TestIntersection:
         assert intersect_many([]) == []
         assert intersect_many([[1, 2], []]) == []
 
+    def test_many_single_list_copies(self):
+        # Regression: the one-list fast path used to hand back a value
+        # the caller could mutate into the source sequence.
+        src = [1, 2, 3]
+        out = intersect_many([src])
+        assert out == src
+        out.append(99)
+        assert src == [1, 2, 3]
+
+    def test_many_single_list_matches_self_intersection(self):
+        # One list behaves exactly like intersecting it with itself —
+        # no special-cased semantics at arity one.
+        src = [2, 5, 9]
+        assert intersect_many([src]) == intersect_many([src, src])
+
 
 class TestDifferenceComplement:
     def test_difference(self):
