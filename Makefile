@@ -9,10 +9,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	$(PYTHON) -m pytest -x -q
 
-# A fast engine-benchmark smoke run: proves the advisor/caching claims
-# end-to-end (asserts inside the benchmark) in well under a minute.
+# A fast benchmark smoke run: proves the advisor/caching claims (E11)
+# and the sharded scatter-gather/shared-cache/migration claims (E12)
+# end-to-end (asserts inside the benchmarks) in well under a minute.
 bench-smoke:
-	timeout 60 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py -q \
+	timeout 60 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
+		benchmarks/bench_e12_cluster.py -q \
 		-p no:cacheprovider --benchmark-disable
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).

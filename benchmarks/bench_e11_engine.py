@@ -16,6 +16,7 @@ import pytest
 from repro.bench import cold_query, prefix_range_for_selectivity, standard_string
 from repro.engine import (
     Advisor,
+    CostModel,
     QueryEngine,
     WorkloadStats,
     specs,
@@ -56,16 +57,28 @@ def measured_cost(x, sigma, idx):
     return space + QUERIES_PER_BUILD * query_bits
 
 
-def test_e11a_advisor_rank_in_fixed_matrix(workloads, report, benchmark):
+@pytest.fixture(scope="module")
+def measured_matrix(workloads):
+    """Measured cost of every static exact backend on every workload,
+    built once and shared by E11a (ranking) and E11e (calibration)."""
     fixed = specs(dynamism="static", exact=True)
+    matrix = {}
+    for name, x, sigma in workloads:
+        for spec in fixed:
+            idx = spec.build(x, sigma)
+            matrix[(name, spec.name)] = measured_cost(x, sigma, idx)
+    return fixed, matrix
+
+
+def test_e11a_advisor_rank_in_fixed_matrix(
+    workloads, measured_matrix, report, benchmark
+):
+    fixed, matrix = measured_matrix
     rows = []
     for name, x, sigma in workloads:
         stats = WorkloadStats.measure(x, sigma)
         pick = Advisor().pick(stats)
-        costs = {}
-        for spec in fixed:
-            idx = spec.build(x, sigma)
-            costs[spec.name] = measured_cost(x, sigma, idx)
+        costs = {spec.name: matrix[(name, spec.name)] for spec in fixed}
         ranked = sorted(costs, key=costs.get)
         best, worst = ranked[0], ranked[-1]
         rank = ranked.index(pick.name) + 1
@@ -171,6 +184,59 @@ def test_e11c_cache_hot_vs_cold(workloads, report, benchmark):
         "result cache and invalidates on the update paths (E11d).",
     )
     benchmark(run_hot)
+
+
+def test_e11e_calibration_table_fits_family_weights(
+    workloads, measured_matrix, report, benchmark
+):
+    """Record estimated vs measured cost per backend — the calibration
+    table ``CostModel.from_reports`` fits per-family weights from —
+    then prove the round-trip on this very report."""
+    fixed, matrix = measured_matrix
+    model = CostModel(queries_per_build=QUERIES_PER_BUILD)
+    stats_by_workload = {
+        name: [
+            WorkloadStats.measure(x, sigma, expected_selectivity=sel)
+            for sel in SELS
+        ]
+        for name, x, sigma in workloads
+    }
+    rows = []
+    for spec in fixed:
+        est = measured = 0.0
+        for name, x, sigma in workloads:
+            stats_per_sel = stats_by_workload[name]
+            est += sum(model.score(spec, s) for s in stats_per_sel) / len(SELS)
+            measured += matrix[(name, spec.name)]
+        rows.append([spec.name, spec.family, est, measured])
+    report.table(
+        "E11e  calibration: estimated vs measured cost "
+        f"(summed over {len(workloads)} workloads)",
+        ["backend", "family", "est_bits", "measured_bits"],
+        rows,
+        note="CostModel.from_reports() fits family weights as "
+        "measured/estimated ratios from exactly this table.",
+    )
+    # Round-trip: save what we have so far and fit weights from it.
+    report.save()
+    path = report.json_path(report.out_dir, report.name)
+    calibrated = CostModel.from_reports([path])
+    families = {spec.family for spec in fixed}
+    for family in families:
+        weight = calibrated.family_weight(family)
+        assert 0.0 < weight < float("inf")
+        assert weight != 1.0  # a measured ratio, not the neutral default
+    # The calibrated model must not degrade the advisor's verdict: its
+    # pick still lands in the better half of the measured matrix.
+    for name, x, sigma in workloads:
+        stats = WorkloadStats.measure(x, sigma)
+        pick = Advisor(calibrated).pick(stats)
+        costs = {spec.name: matrix[(name, spec.name)] for spec in fixed}
+        ranked = sorted(costs, key=costs.get)
+        assert ranked.index(pick.name) + 1 <= len(ranked) // 2, (
+            f"calibrated advisor picked {pick.name} on {name}"
+        )
+    benchmark(lambda: CostModel.from_reports([path]))
 
 
 def test_e11d_invalidation_keeps_answers_exact(workloads, report, benchmark):

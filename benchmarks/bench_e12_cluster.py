@@ -1,0 +1,220 @@
+"""E12 — the cluster: scatter-gather scaling, shared cache, migration.
+
+Three claims to pin down.  (a) Sharding is *exact*: whatever the shard
+count and executor, scatter-gather ``select`` returns byte-identical
+RID sets, and the wall-clock is recorded for 1/4/16 shards under the
+serial and threaded executors.  With the simulated block device doing
+pure in-process CPU work the GIL bounds the threaded speedup — the
+recorded ratio is the honest number for this substrate; the same code
+path overlaps real latencies on backends that release the GIL.
+(b) The shared result cache serves a hot query batch *without touching
+any shard index*: the per-shard block-transfer counters must not move.
+(c) Online migration re-fits shards to their data: a cold append
+column frozen to static gets re-advised per shard, and a column whose
+halves differ statistically lands on different backends per shard.
+"""
+
+import pytest
+
+from repro.bench import best_of, standard_string
+from repro.bench.workloads import random_ranges
+from repro.cluster import (
+    ClusterEngine,
+    InMemorySharedCache,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+
+N = 1 << 12
+SIGMA = 32
+NUM_QUERIES = 24
+
+SHARD_COUNTS = [1, 4, 16]
+
+
+@pytest.fixture(scope="module")
+def columns():
+    return {
+        "a": standard_string("zipf", N, SIGMA, seed=31, theta=1.2),
+        "b": standard_string("uniform", N, SIGMA, seed=32),
+    }
+
+
+@pytest.fixture(scope="module")
+def query_batch():
+    ranges_a = random_ranges(SIGMA, NUM_QUERIES, seed=33)
+    ranges_b = random_ranges(SIGMA, NUM_QUERIES, seed=34)
+    return list(zip(ranges_a, ranges_b))
+
+
+def build_cluster(columns, num_shards, executor, shared_capacity, cache_size):
+    cluster = ClusterEngine(
+        num_shards=num_shards,
+        executor=executor,
+        shared_cache=InMemorySharedCache(shared_capacity),
+        cache_size=cache_size,
+    )
+    for name, codes in columns.items():
+        cluster.add_column(name, codes, SIGMA)
+    return cluster
+
+
+def run_batch(cluster, query_batch):
+    out = []
+    for (a_lo, a_hi), (b_lo, b_hi) in query_batch:
+        out.append(
+            cluster.select({"a": (a_lo, a_hi), "b": (b_lo, b_hi)})
+        )
+    return out
+
+
+def shard_index_reads(cluster):
+    """Total bits read from any shard's index so far.
+
+    ``bits_read`` is charged on *every* index access, resident block
+    or not — the strictest available "did anything touch an index"
+    counter (block transfers can legitimately be zero once an index
+    sits in its disk's internal-memory cache).
+    """
+    total = 0
+    for name in cluster.columns:
+        for shard_id in range(cluster.num_shards):
+            total += cluster.shard_column(name, shard_id).index.stats.bits_read
+    return total
+
+
+def test_e12a_scatter_gather_scaling(columns, query_batch, report, benchmark):
+    # Caches off at both tiers: this measures the scatter-gather path
+    # itself, not result reuse (E12b prices the cache).
+    reference = None
+    baseline_s = None
+    rows = []
+    pool = ThreadedExecutor(8)
+    for num_shards in SHARD_COUNTS:
+        for label, executor in [("serial", SerialExecutor()), ("threaded", pool)]:
+            cluster = build_cluster(
+                columns, num_shards, executor,
+                shared_capacity=0, cache_size=0,
+            )
+            seconds, results = best_of(
+                lambda: run_batch(cluster, query_batch), repeats=3
+            )
+            if reference is None:
+                reference = results
+                baseline_s = seconds
+            # Exactness before speed: every configuration returns the
+            # identical global RID sets.
+            assert results == reference
+            rows.append(
+                [
+                    num_shards,
+                    label,
+                    " | ".join(sorted(set(cluster.backends("a")))),
+                    f"{seconds:.4f}",
+                    f"{baseline_s / seconds:.2f}x",
+                ]
+            )
+    pool.close()
+    report.table(
+        f"E12a  scatter-gather select: {NUM_QUERIES} conjunctive queries, "
+        f"n={N}, caches off",
+        ["shards", "executor", "backends(a)", "seconds", "speedup vs 1/serial"],
+        rows,
+        note="identical RID sets asserted across all configurations; "
+        "threaded speedup is GIL-bounded on the simulated in-process "
+        "block device.",
+    )
+    cluster = build_cluster(
+        columns, 4, SerialExecutor(), shared_capacity=0, cache_size=0
+    )
+    benchmark(lambda: run_batch(cluster, query_batch))
+
+
+def test_e12b_shared_cache_hot_vs_cold(columns, query_batch, report, benchmark):
+    # Per-shard engine caches off: every hit below comes from the
+    # shared tier, the one that survives process boundaries.
+    cluster = build_cluster(
+        columns, 8, SerialExecutor(), shared_capacity=4096, cache_size=0
+    )
+    cold_s, cold_results = best_of(
+        lambda: run_batch(cluster, query_batch), repeats=1
+    )
+    reads_after_cold = shard_index_reads(cluster)
+    hot_s, hot_results = best_of(
+        lambda: run_batch(cluster, query_batch), repeats=3
+    )
+    reads_after_hot = shard_index_reads(cluster)
+    assert hot_results == cold_results
+    assert reads_after_cold > 0  # the cold pass really did index work
+    # The acceptance claim: a hot batch is served entirely from the
+    # shared cache — not one bit read from any shard's index.
+    assert reads_after_hot == reads_after_cold, (
+        f"hot batch touched shard indexes: {reads_after_cold} -> "
+        f"{reads_after_hot} bits read"
+    )
+    report.table(
+        f"E12b  shared result cache: {NUM_QUERIES} conjunctive queries "
+        "x 8 shards (per-shard engine caches disabled)",
+        ["mode", "seconds", "speedup", "shard index bits read",
+         "shared hit rate"],
+        [
+            ["cold (first batch)", f"{cold_s:.4f}", "1.0x",
+             reads_after_cold, "-"],
+            ["hot (same batch again)", f"{hot_s:.4f}",
+             f"{cold_s / max(hot_s, 1e-9):.0f}x",
+             reads_after_hot - reads_after_cold,
+             f"{cluster.shared_cache.hit_rate:.0%}"],
+        ],
+        note="0 extra bits read on the hot pass: every per-shard "
+        "answer came from the versioned shared cache.",
+    )
+    benchmark(lambda: run_batch(cluster, query_batch))
+
+
+def test_e12c_online_backend_migration(columns, report, benchmark):
+    # A split-personality column: low-cardinality first half,
+    # high-entropy second half -> per-shard advisor verdicts differ.
+    low = standard_string("uniform", N // 2, 4, seed=35)
+    high = [4 + v for v in standard_string("uniform", N // 2, 200, seed=36)]
+    split = ClusterEngine(num_shards=2)
+    split.add_column("split", low + high, 204)
+    split_backends = split.backends("split")
+    assert len(set(split_backends)) > 1, (
+        "shards with different statistics should land on different "
+        f"backends, got {split_backends}"
+    )
+
+    # An append-heavy log column that went cold: freezing it re-opens
+    # the static pool and every shard is rebuilt online.
+    log = ClusterEngine(num_shards=4, drift_window=None)
+    codes = standard_string("zipf", N, 8, seed=37, theta=1.3)
+    log.add_column("log", codes, 8, dynamism="semidynamic")
+    before = log.backends("log")
+    model = list(codes)
+    for i in range(64):
+        log.append("log", i % 8)
+        model.append(i % 8)
+    want = [i for i, c in enumerate(model) if 1 <= c <= 3]
+    assert log.query("log", 1, 3).positions() == want
+    seconds, migrations = best_of(
+        lambda: log.migrate("log", dynamism="static"), repeats=1
+    )
+    after = log.backends("log")
+    assert all(m.changed for m in migrations)
+    assert log.query("log", 1, 3).positions() == want  # still exact
+    rows = [
+        ["split column", "shard stats differ",
+         " | ".join(split_backends), "-"],
+        ["log column (before)", "semidynamic, append-heavy",
+         " | ".join(before), "-"],
+        ["log column (after)", "migrate(dynamism='static')",
+         " | ".join(after), f"{seconds:.4f}s"],
+    ]
+    report.table(
+        "E12c  online backend migration",
+        ["scenario", "trigger", "per-shard backends", "rebuild time"],
+        rows,
+        note="answers asserted identical before and after migration; "
+        "migration rebuilds in place behind the serving engine.",
+    )
+    benchmark(lambda: log.query("log", 1, 3).cardinality)

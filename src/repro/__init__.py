@@ -34,6 +34,14 @@ from .core import (
     SpaceBreakdown,
     UniformTreeIndex,
 )
+from .cluster import (
+    ClusterEngine,
+    InMemorySharedCache,
+    SerialExecutor,
+    ShardedTable,
+    SharedResultCache,
+    ThreadedExecutor,
+)
 from .engine import (
     Advisor,
     CostModel,
@@ -63,12 +71,14 @@ __all__ = [
     "AppendableIndex",
     "BufferedAppendableIndex",
     "BufferedBitmapIndex",
+    "ClusterEngine",
     "CodecError",
     "CostModel",
     "DeletableIndex",
     "Disk",
     "DynamicSecondaryIndex",
     "IOStats",
+    "InMemorySharedCache",
     "IndexSpec",
     "InvalidParameterError",
     "PaghRaoIndex",
@@ -77,9 +87,13 @@ __all__ = [
     "RangeResult",
     "ReproError",
     "SecondaryIndex",
+    "SerialExecutor",
+    "ShardedTable",
+    "SharedResultCache",
     "SpaceBreakdown",
     "StorageError",
     "Table",
+    "ThreadedExecutor",
     "UniformTreeIndex",
     "UpdateError",
     "WorkloadStats",

@@ -1,6 +1,14 @@
 """Benchmark harness shared by the experiment suite (see DESIGN.md §3)."""
 
-from .harness import Report, cold_query, fmt, output_bits_bound, ratio, render_table
+from .harness import (
+    Report,
+    best_of,
+    cold_query,
+    fmt,
+    output_bits_bound,
+    ratio,
+    render_table,
+)
 from .workloads import (
     SELECTIVITIES,
     prefix_range_for_selectivity,
@@ -11,6 +19,7 @@ from .workloads import (
 __all__ = [
     "Report",
     "SELECTIVITIES",
+    "best_of",
     "cold_query",
     "fmt",
     "output_bits_bound",

@@ -13,7 +13,8 @@ from __future__ import annotations
 import json
 import math
 import os
-from typing import Any, Iterable, Sequence
+import time
+from typing import Any, Callable, Iterable, Sequence
 
 from ..core.interface import SecondaryIndex
 
@@ -158,6 +159,22 @@ def cold_query(index: SecondaryIndex, char_lo: int, char_hi: int) -> dict[str, i
         "bits_read": m.bits_read,
         "z": result.cardinality,
     }
+
+
+def best_of(fn: Callable[[], Any], repeats: int = 3) -> tuple[float, Any]:
+    """Best wall-clock seconds over ``repeats`` runs, plus the result.
+
+    Best-of (not mean) because scheduler noise only ever *adds* time;
+    the comparisons in the scaling benchmarks are between code paths,
+    not between machines.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
 
 
 def output_bits_bound(n: int, z: int) -> float:

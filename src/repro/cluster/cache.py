@@ -1,0 +1,149 @@
+"""The shared result cache: one external store serving every shard.
+
+The single-process engine keeps an :class:`~repro.engine.cache.\
+LRUCache` per ``QueryEngine``; at cluster scale the cache must outlive
+any one process, so this module defines the *abstraction* an external
+store (memcached, Redis, a sidecar) would implement, plus an in-memory
+reference implementation the tests and benchmarks run against.
+
+Keys extend the engine's proven ``(column, version, lo, hi)`` scheme
+with the shard id and the column's *epoch*:
+``(column, epoch, shard_id, version, lo, hi)``.  The version is the
+shard-local column version; the epoch is a random token stamped once
+per ``add_column``, so dropping a column and re-adding one under the
+same name can never resurrect the old incarnation's entries even
+though shard versions restart at zero — and same-named columns of
+*different engines* (or processes) sharing one store never collide.
+Together they yield the cluster's invalidation protocol:
+
+* an update routed to shard ``s`` bumps only that shard's version, so
+  only shard ``s``'s entries become unreachable — every other shard's
+  cached results stay live and keep serving;
+* unreachability is the correctness mechanism; *eviction* is an
+  optimization.  An external store that cannot enumerate keys may
+  implement :meth:`SharedResultCache.invalidate` as a no-op and lean on
+  TTLs — stale entries are dead weight, never wrong answers.
+
+Values are plain sorted lists of shard-local positions (JSON/msgpack
+friendly), translated to global RIDs by the gather phase.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+
+from ..engine.cache import LRUCache
+
+#: Cache key: (column, epoch, shard_id, shard-local version, lo, hi).
+SharedKey = tuple[str, str, int, int, int, int]
+
+
+def shared_key(
+    column: str,
+    epoch: str,
+    shard_id: int,
+    version: int,
+    char_lo: int,
+    char_hi: int,
+) -> SharedKey:
+    """The canonical shared-cache key for one per-shard range query."""
+    return (column, epoch, shard_id, version, char_lo, char_hi)
+
+
+class SharedResultCache(ABC):
+    """What the cluster requires of an external result cache."""
+
+    @abstractmethod
+    def get(self, key: SharedKey) -> list[int] | None:
+        """The cached shard-local positions, or ``None`` on a miss."""
+
+    @abstractmethod
+    def put(self, key: SharedKey, positions: list[int]) -> None:
+        """Store one shard-local answer."""
+
+    def __contains__(self, key: SharedKey) -> bool:
+        """Non-destructive presence probe (used by ``explain``).
+
+        Purely informational, so the default for stores that cannot
+        answer it cheaply is a pessimistic ``False`` — never a
+        stats-skewing ``get``.
+        """
+        return False
+
+    def invalidate(
+        self, column: str | None = None, shard_id: int | None = None
+    ) -> int:
+        """Eagerly drop entries for a column (optionally one shard).
+
+        Purely an optimization — version-carrying keys already make
+        stale entries unreachable — so the default is a no-op, which is
+        all a store without key enumeration can offer.
+        """
+        return 0
+
+
+class InMemorySharedCache(SharedResultCache):
+    """Reference implementation: the engine's LRU behind a lock.
+
+    All replacement and accounting logic is the proven
+    :class:`~repro.engine.cache.LRUCache`; this wrapper adds what a
+    *shared* cache needs on top — a lock (scatter tasks run
+    concurrently under the threaded executor), defensive value copies
+    (callers offset-translate their lists in place), and key-scheme
+    aware invalidation.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._lru = LRUCache(capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._lru.capacity
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def __contains__(self, key: SharedKey) -> bool:
+        with self._lock:
+            return key in self._lru
+
+    def get(self, key: SharedKey) -> list[int] | None:
+        with self._lock:
+            positions = self._lru.get(key)
+            # Hand out a copy: a shared cache cannot know what its
+            # callers do with the list, and an aliased mutation would
+            # corrupt every later hit (a real external store serializes
+            # and so copies implicitly).
+            return list(positions) if positions is not None else None
+
+    def put(self, key: SharedKey, positions: list[int]) -> None:
+        with self._lock:
+            self._lru.put(key, list(positions))
+
+    def invalidate(
+        self, column: str | None = None, shard_id: int | None = None
+    ) -> int:
+        with self._lock:
+            return self._lru.invalidate(
+                lambda key: (column is None or key[0] == column)
+                and (shard_id is None or key[2] == shard_id)
+            )

@@ -1,0 +1,646 @@
+"""The sharded scatter-gather serving layer.
+
+A :class:`ClusterEngine` partitions each column's codes into contiguous
+RID-range shards and runs one :class:`~repro.engine.engine.QueryEngine`
+per shard.  Because the advisor measures each shard's slice
+independently, shards of the same column may land on *different*
+backends when local entropy/cardinality differ — the per-partition
+re-fitting that hierarchical/partitioned range indexes exploit.
+
+Serving is scatter-gather: per-shard range queries execute through a
+pluggable executor (:mod:`.executor`), each consulting the shared
+result cache (:mod:`.cache`) before touching its shard's engine;
+shard-local positions are offset-translated to global RIDs and merged
+(shard order *is* global order, so the k-way merge of sorted disjoint
+runs degenerates to concatenation).  Conjunctive ``select`` intersects
+the per-dimension merged streams, exactly like the single-engine plan
+of §1.
+
+Updates route to one shard — appends to the last, changes/deletes by
+live prefix sums — and bump only that shard's column version, so the
+versioned shared-cache keys of every *other* shard stay valid.  Each
+shard also counts its update traffic: past ``drift_window`` updates
+the column's :class:`~repro.engine.advisor.WorkloadStats` are
+re-measured (:meth:`~repro.engine.engine.EngineColumn.restat`) and, if
+the advisor's verdict changed, the shard's index is rebuilt in place
+behind the engine (online backend migration; also callable explicitly
+via :meth:`ClusterEngine.migrate`).
+
+Concurrency contract: scatter tasks may run in parallel (they touch
+disjoint shard engines and the lock-protected shared cache), but the
+cluster is single-writer — updates must not interleave with queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import uuid
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.interface import RangeResult
+from ..engine.advisor import Advisor, CostModel
+from ..engine.engine import (
+    EngineColumn,
+    QueryEngine,
+    QueryPlan,
+    conjunctive_select,
+)
+from ..engine.registry import DYNAMISM_LEVELS, IndexSpec, get_spec
+from ..errors import InvalidParameterError, QueryError, UpdateError
+from .cache import InMemorySharedCache, SharedResultCache, shared_key
+from .executor import SerialExecutor
+from .sharding import ShardPlan, locate, offsets_of, plan_shards
+
+
+@dataclass
+class ColumnMeta:
+    """Cluster-level bookkeeping for one sharded column."""
+
+    name: str
+    sigma: int
+    dynamism: str
+    expected_selectivity: float
+    require_exact: bool
+    require_delete: bool
+    backend: str | None  # explicit column-wide pin; disables auto-migration
+    #: Per-shard pins from ``migrate(shard_id=..., backend=...)``;
+    #: a pinned shard is exempt from drift auto-migration and keeps
+    #: its backend until the pin is replaced or cleared.
+    shard_pins: dict[int, str] = field(default_factory=dict)
+    #: Incarnation stamp (random token): cache keys carry it so a
+    #: re-added column never matches its predecessor's entries — nor
+    #: another engine's same-named column when several engines (or
+    #: processes) share one external result cache.
+    epoch: str = ""
+    updates_since_stat: dict[int, int] = field(default_factory=dict)
+    #: Per-shard local alphabets (static columns only): the sorted
+    #: distinct global codes a shard holds.  ``None`` means the shard
+    #: stores global codes verbatim (all dynamic shards do — an update
+    #: may route any character anywhere).
+    domains: dict[int, list[int] | None] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One shard's backend change, as reported by ``migrate()``."""
+
+    column: str
+    shard_id: int
+    old_backend: str
+    new_backend: str
+
+    @property
+    def changed(self) -> bool:
+        return self.old_backend != self.new_backend
+
+
+class ClusterEngine:
+    """Shards columns by RID range and serves them scatter-gather."""
+
+    def __init__(
+        self,
+        num_shards: int | None = None,
+        target_shard_rows: int | None = None,
+        executor=None,
+        shared_cache: SharedResultCache | None = None,
+        advisor: Advisor | None = None,
+        cost_model: CostModel | None = None,
+        cache_size: int = 128,
+        drift_window: int | None = 256,
+    ) -> None:
+        if advisor is not None and cost_model is not None:
+            raise InvalidParameterError(
+                "pass either an advisor or a cost_model, not both"
+            )
+        if drift_window is not None and drift_window <= 0:
+            raise InvalidParameterError("drift_window must be >= 1 or None")
+        self._num_shards = num_shards
+        self._target_shard_rows = target_shard_rows
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.shared_cache = (
+            shared_cache if shared_cache is not None else InMemorySharedCache()
+        )
+        self.advisor = advisor if advisor is not None else Advisor(cost_model)
+        self.cache_size = cache_size
+        self.drift_window = drift_window
+        self.plan_: ShardPlan | None = None
+        self.shards: list[QueryEngine] = []
+        self.columns: dict[str, ColumnMeta] = {}
+        self.migrations: list[Migration] = []
+
+    # ------------------------------------------------------------------
+    # Column management
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def add_column(
+        self,
+        name: str,
+        codes: Sequence[int],
+        sigma: int | None = None,
+        dynamism: str = "static",
+        expected_selectivity: float = 0.1,
+        require_exact: bool = True,
+        require_delete: bool = False,
+        backend: str | None = None,
+    ) -> ColumnMeta:
+        """Shard a column and build one index per shard.
+
+        The first column fixes the shard plan (``num_shards`` /
+        ``target_shard_rows`` from the constructor); later columns must
+        arrive at the same build-time length, since shards partition
+        one shared RID space.  ``sigma`` is the *global* alphabet; a
+        static shard re-applies §1.1's dictionary trick locally — its
+        slice is re-encoded onto the dense alphabet of the codes it
+        actually holds, and global query ranges are translated (with
+        floor/ceiling semantics) at scatter time — so a shard holding
+        four distinct values gets four-bitmap directories and
+        low-cardinality stats no matter how sparse its codes are
+        globally.  Dynamic shards keep the global alphabet, because an
+        update can route any character anywhere.  Either way each
+        shard's stats are measured from its own slice, which is how
+        different shards of one column end up on different backends.
+        """
+        if name in self.columns:
+            raise InvalidParameterError(f"column {name!r} already exists")
+        if not len(codes):
+            raise InvalidParameterError(f"column {name!r} is empty")
+        # Validate the global alphabet up front: static shards are
+        # re-dictionaried onto local alphabets, which would otherwise
+        # silently swallow an out-of-range code forever.
+        lo_code, hi_code = min(codes), max(codes)
+        if sigma is None:
+            sigma = hi_code + 1
+        if lo_code < 0 or hi_code >= sigma:
+            raise InvalidParameterError(
+                f"column {name!r} holds codes outside the declared "
+                f"alphabet [0, {sigma})"
+            )
+        created_plan = self.plan_ is None
+        if created_plan:
+            self.plan_ = plan_shards(
+                len(codes), self._num_shards, self._target_shard_rows
+            )
+            self.shards = [
+                QueryEngine(advisor=self.advisor, cache_size=self.cache_size)
+                for _ in range(self.plan_.num_shards)
+            ]
+        elif len(codes) != self.plan_.n:
+            raise InvalidParameterError(
+                f"column {name!r} has {len(codes)} rows; this cluster was "
+                f"sharded for {self.plan_.n}"
+            )
+        domains: dict[int, list[int] | None] = {}
+        built: list[int] = []
+        try:
+            for shard_id, (start, stop) in enumerate(self.plan_.slices()):
+                piece = list(codes[start:stop])
+                if dynamism == "static":
+                    domain = sorted(set(piece))
+                    local_of = {g: i for i, g in enumerate(domain)}
+                    piece = [local_of[c] for c in piece]
+                    shard_sigma = len(domain)
+                    domains[shard_id] = domain
+                else:
+                    shard_sigma = sigma
+                    domains[shard_id] = None
+                self.shards[shard_id].add_column(
+                    name,
+                    piece,
+                    shard_sigma,
+                    dynamism=dynamism,
+                    expected_selectivity=expected_selectivity,
+                    require_exact=require_exact,
+                    require_delete=require_delete,
+                    backend=backend,
+                )
+                built.append(shard_id)
+        except BaseException:
+            # Unwind the shards that already built, so a failed
+            # add_column neither bricks the name nor (for the very
+            # first column) pins the cluster to the failed length.
+            for shard_id in built:
+                self.shards[shard_id].drop_column(name)
+            if created_plan:
+                self.plan_ = None
+                self.shards = []
+            raise
+        meta = ColumnMeta(
+            name=name,
+            sigma=sigma,
+            dynamism=dynamism,
+            expected_selectivity=expected_selectivity,
+            require_exact=require_exact,
+            require_delete=require_delete,
+            backend=backend,
+            epoch=uuid.uuid4().hex,
+            updates_since_stat={s: 0 for s in range(self.num_shards)},
+            domains=domains,
+        )
+        self.columns[name] = meta
+        return meta
+
+    def _translate_range(
+        self, meta: ColumnMeta, shard_id: int, char_lo: int, char_hi: int
+    ) -> tuple[int, int] | None:
+        """A global code range in one shard's local alphabet.
+
+        ``None`` when the shard holds nothing in the range (the shard
+        is pruned from the scatter entirely).  Dynamic shards store
+        global codes, so translation is the identity.
+        """
+        domain = meta.domains.get(shard_id)
+        if domain is None:
+            return char_lo, char_hi
+        lo = bisect.bisect_left(domain, char_lo)
+        hi = bisect.bisect_right(domain, char_hi) - 1
+        return (lo, hi) if lo <= hi else None
+
+    def _meta(self, name: str) -> ColumnMeta:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise QueryError(f"unknown column {name!r}") from None
+
+    def _check_shard(self, shard_id: int) -> None:
+        if shard_id < 0 or shard_id >= self.num_shards:
+            raise InvalidParameterError(
+                f"shard {shard_id} outside [0, {self.num_shards})"
+            )
+
+    def shard_column(self, name: str, shard_id: int) -> EngineColumn:
+        """One shard's :class:`EngineColumn` for a cluster column."""
+        self._meta(name)
+        self._check_shard(shard_id)
+        return self.shards[shard_id].column(name)
+
+    def drop_column(self, name: str) -> None:
+        self._meta(name)
+        for shard in self.shards:
+            shard.drop_column(name)
+        self.shared_cache.invalidate(column=name)
+        del self.columns[name]
+
+    # ------------------------------------------------------------------
+    # RID bookkeeping
+    # ------------------------------------------------------------------
+
+    def shard_lengths(self, name: str) -> list[int]:
+        """Each shard's current (possibly hole-y) position-space size."""
+        self._meta(name)
+        return [shard.column(name).n for shard in self.shards]
+
+    def total_rows(self, name: str) -> int:
+        return sum(self.shard_lengths(name))
+
+    def backends(self, name: str) -> list[str]:
+        """The backend serving each shard, in shard order."""
+        self._meta(name)
+        return [shard.column(name).spec.name for shard in self.shards]
+
+    # ------------------------------------------------------------------
+    # Queries (scatter-gather)
+    # ------------------------------------------------------------------
+
+    def query(self, name: str, char_lo: int, char_hi: int) -> RangeResult:
+        """One global alphabet range query: scatter, cache, gather."""
+        meta = self._meta(name)
+        if char_lo < 0 or char_hi >= meta.sigma or char_lo > char_hi:
+            raise QueryError(
+                f"invalid character range [{char_lo}, {char_hi}] for "
+                f"alphabet of size {meta.sigma}"
+            )
+        lengths = self.shard_lengths(name)
+        offsets = offsets_of(lengths)
+        cache = self.shared_cache
+
+        def shard_task(shard_id: int) -> list[int]:
+            # Static shards carry a dense local alphabet; translating
+            # into it canonicalizes the cache key and prunes shards
+            # the range cannot touch at all.
+            local = self._translate_range(meta, shard_id, char_lo, char_hi)
+            if local is None:
+                return []
+            lo, hi = local
+            column = self.shards[shard_id].column(name)
+            key = shared_key(
+                name, meta.epoch, shard_id, column.version, lo, hi
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            positions = self.shards[shard_id].query(name, lo, hi).positions()
+            cache.put(key, positions)
+            return positions
+
+        per_shard = self.executor.map(shard_task, range(self.num_shards))
+        # Gather: shard i's global RIDs all precede shard i+1's, so the
+        # k-way merge of these sorted disjoint runs is a concatenation.
+        merged: list[int] = []
+        for shard_id, positions in enumerate(per_shard):
+            offset = offsets[shard_id]
+            merged.extend(offset + p for p in positions)
+        return RangeResult(merged, sum(lengths))
+
+    def select(self, conditions: Mapping[str, tuple[int, int]]) -> list[int]:
+        """Conjunctive range query over global RIDs.
+
+        One scatter-gather per dimension (each per-shard sub-answer
+        individually shared-cacheable), short-circuiting as soon as a
+        dimension comes back empty, then a sorted intersection of the
+        merged global streams — the §1 plan, distributed.
+        """
+        return conjunctive_select(self.query, conditions)
+
+    def plan(
+        self, name: str, char_lo: int, char_hi: int
+    ) -> list[QueryPlan | None]:
+        """Per-shard plans for one query, without executing it.
+
+        ``None`` marks a shard the range cannot touch (its local
+        alphabet has no code inside it): the scatter phase skips it
+        entirely.
+        """
+        meta = self._meta(name)
+        plans: list[QueryPlan | None] = []
+        for shard_id, shard in enumerate(self.shards):
+            local = self._translate_range(meta, shard_id, char_lo, char_hi)
+            plans.append(
+                shard.plan(name, *local) if local is not None else None
+            )
+        return plans
+
+    def explain(
+        self,
+        name: str | None = None,
+        char_lo: int | None = None,
+        char_hi: int | None = None,
+    ) -> str:
+        """Cluster-level report: one query, one column, or everything."""
+        cache = self.shared_cache
+        if name is not None and char_lo is not None and char_hi is not None:
+            meta = self._meta(name)
+            lines = [
+                f"scatter-gather over {self.num_shards} shard(s), "
+                f"merged by RID offset:"
+            ]
+            for shard_id, plan in enumerate(self.plan(name, char_lo, char_hi)):
+                if plan is None:
+                    lines.append(
+                        f"  shard {shard_id}: pruned (no local code "
+                        "in the range)"
+                    )
+                    continue
+                column = self.shards[shard_id].column(name)
+                key = shared_key(
+                    name, meta.epoch, shard_id, column.version,
+                    plan.char_lo, plan.char_hi,
+                )
+                shared = "shared-cache" if key in cache else "miss"
+                lines.append(
+                    f"  shard {shard_id}: {plan.describe()} [{shared}]"
+                )
+            return "\n".join(lines)
+        if name is not None:
+            meta = self._meta(name)
+            lines = [
+                f"column {name!r}: {self.num_shards} shard(s), "
+                f"{self.total_rows(name)} rows, dynamism={meta.dynamism}"
+            ]
+            for shard_id, shard in enumerate(self.shards):
+                column = shard.column(name)
+                lines.append(
+                    f"  shard {shard_id}: n={column.n} "
+                    f"H0={column.stats.h0:.3f} -> {column.spec.name} "
+                    f"[{column.spec.family}] v{column.version}"
+                )
+            return "\n".join(lines)
+        hit_rate = getattr(cache, "hit_rate", None)
+        cache_note = (
+            f", shared cache hit rate {hit_rate:.1%}"
+            if hit_rate is not None
+            else ""
+        )
+        lines = [
+            f"cluster: {self.num_shards} shard(s), "
+            f"{len(self.columns)} column(s), "
+            f"{len(self.migrations)} migration(s){cache_note}"
+        ]
+        for name_ in self.columns:
+            lines.append(f"  {name_}: {' | '.join(self.backends(name_))}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Updates (routed to one shard; others' cache entries stay live)
+    # ------------------------------------------------------------------
+
+    def _check_updatable(self, name: str) -> None:
+        # The cluster-level contract, not just the backends': after a
+        # freeze (``migrate(dynamism="static")``) a shard may well keep
+        # an update-capable backend the advisor re-picked — the column
+        # is frozen all the same.
+        if self.columns[name].dynamism == "static":
+            raise UpdateError(
+                f"column {name!r} is declared static; migrate it (or "
+                "re-add it) with a dynamism level before updating"
+            )
+
+    def append(self, name: str, ch: int) -> None:
+        """Append one row to a column (the last shard absorbs growth)."""
+        self._meta(name)
+        self._check_updatable(name)
+        shard_id = self.num_shards - 1
+        self.shards[shard_id].append(name, ch)
+        self._after_update(name, shard_id)
+
+    def change(self, name: str, global_pos: int, ch: int) -> None:
+        self._meta(name)
+        self._check_updatable(name)
+        shard_id, local = self._route(name, global_pos)
+        self.shards[shard_id].change(name, local, ch)
+        self._after_update(name, shard_id)
+
+    def delete(self, name: str, global_pos: int) -> None:
+        self._meta(name)
+        self._check_updatable(name)
+        shard_id, local = self._route(name, global_pos)
+        self.shards[shard_id].delete(name, local)
+        self._after_update(name, shard_id)
+
+    def _route(self, name: str, global_pos: int) -> tuple[int, int]:
+        lengths = self.shard_lengths(name)
+        return locate(offsets_of(lengths), sum(lengths), global_pos)
+
+    def _after_update(self, name: str, shard_id: int) -> None:
+        # The version bump already made this shard's keys unreachable;
+        # eager eviction frees their capacity.  Other shards' entries
+        # are untouched — that is the point of per-shard versioning.
+        self.shared_cache.invalidate(column=name, shard_id=shard_id)
+        meta = self.columns[name]
+        meta.updates_since_stat[shard_id] = (
+            meta.updates_since_stat.get(shard_id, 0) + 1
+        )
+        if (
+            self.drift_window is not None
+            and meta.backend is None
+            and shard_id not in meta.shard_pins
+            and meta.updates_since_stat[shard_id] >= self.drift_window
+        ):
+            self._maybe_migrate(name, shard_id)  # resets the counter
+
+    # ------------------------------------------------------------------
+    # Online backend migration
+    # ------------------------------------------------------------------
+
+    def _maybe_migrate(
+        self, name: str, shard_id: int, spec: IndexSpec | None = None
+    ) -> Migration:
+        """Re-measure one shard and rebuild it if the verdict changed."""
+        # The stats are fresh as of now, explicit call or drift
+        # trigger: either way the drift clock restarts.
+        self.columns[name].updates_since_stat[shard_id] = 0
+        column = self.shards[shard_id].column(name)
+        old = column.spec.name
+        stats = column.restat()
+        if spec is None:
+            spec = self.advisor.pick(stats)
+        if spec.name == old:
+            return Migration(name, shard_id, old, old)
+        column.rebuild(spec)
+        # rebuild() bumped the version; evict the dead entries from
+        # both tiers eagerly.
+        self.shards[shard_id].cache.invalidate(lambda key: key[0] == name)
+        self.shared_cache.invalidate(column=name, shard_id=shard_id)
+        migration = Migration(name, shard_id, old, spec.name)
+        self.migrations.append(migration)
+        return migration
+
+    def migrate(
+        self,
+        name: str,
+        shard_id: int | None = None,
+        backend: str | None = None,
+        dynamism: str | None = None,
+    ) -> list[Migration]:
+        """Explicitly re-fit a column's shards to their current data.
+
+        Each target shard re-measures its :class:`WorkloadStats` and
+        rebuilds when the advisor's verdict (or the pinned ``backend``)
+        differs from what is serving.  A ``backend`` given for the
+        whole column becomes its pin — recorded in the metadata
+        exactly like an ``add_column`` pin, so drift auto-migration
+        will not silently revert the operator's choice — and a later
+        ``migrate()`` *without* a backend honors the standing pin
+        rather than handing the column back to the advisor.  With
+        ``shard_id`` the pin is recorded for that shard only: the
+        other shards keep auto-migrating, the pinned shard is exempt
+        until :meth:`unpin` (or a new pin) releases it.
+
+        ``dynamism`` re-declares the column's update contract first —
+        e.g. freezing an append-heavy column that went cold to
+        ``"static"`` lets the advisor re-open the whole static pool.
+        The contract is column-wide, so it cannot be combined with
+        ``shard_id``.  A column built static cannot be *upgraded*: its
+        shards were re-encoded onto local alphabets, which cannot
+        absorb arbitrary routed characters — re-add the column
+        instead.  Rebuilding compacts any pending deleted slots,
+        exactly like a backend's own global rebuild.
+
+        All arguments are validated before any state changes; a
+        rejected call leaves the column exactly as it was.
+        """
+        meta = self._meta(name)
+        # Validate everything, then mutate: a rejected call must leave
+        # the column untouched.
+        if shard_id is not None:
+            self._check_shard(shard_id)
+        spec = get_spec(backend) if backend is not None else None
+        if dynamism is not None:
+            if shard_id is not None:
+                raise InvalidParameterError(
+                    "dynamism is a column-wide contract; it cannot be "
+                    "re-declared for a single shard"
+                )
+            if dynamism not in DYNAMISM_LEVELS:
+                raise InvalidParameterError(
+                    f"dynamism must be one of {DYNAMISM_LEVELS}, "
+                    f"got {dynamism!r}"
+                )
+            if dynamism != "static" and any(
+                domain is not None for domain in meta.domains.values()
+            ):
+                raise InvalidParameterError(
+                    f"column {name!r} was built static (shards carry "
+                    "local alphabets); it cannot be migrated to "
+                    f"dynamism={dynamism!r} — re-add it instead"
+                )
+        # While frozen, the delete requirement is suspended with the
+        # rest of the update contract — _check_updatable blocks deletes
+        # anyway, and keeping it would confine the advisor to
+        # delete-capable backends on a column that can never see
+        # another delete.  The *declared* contract (meta.require_delete)
+        # survives the freeze, so unfreezing restores it.
+        effective = dynamism if dynamism is not None else meta.dynamism
+        effective_delete = meta.require_delete and effective != "static"
+        standing = {meta.backend, *meta.shard_pins.values()} - {None}
+        for pinned in (
+            {spec.name} if spec is not None else standing
+        ):
+            pinned_spec = get_spec(pinned)
+            if not pinned_spec.serves(effective, effective_delete):
+                raise InvalidParameterError(
+                    f"backend {pinned!r} cannot serve dynamism="
+                    f"{effective!r} require_delete={effective_delete}"
+                )
+            if meta.require_exact and not pinned_spec.exact:
+                raise InvalidParameterError(
+                    f"backend {pinned!r} is approximate; column "
+                    f"{name!r} declares require_exact=True"
+                )
+        if dynamism is not None:
+            meta.dynamism = dynamism
+        if backend is not None:
+            if shard_id is None:
+                meta.backend = backend
+                meta.shard_pins.clear()
+            else:
+                meta.shard_pins[shard_id] = backend
+        targets = (
+            range(self.num_shards) if shard_id is None else [shard_id]
+        )
+        out = []
+        for target in targets:
+            column = self.shards[target].column(name)
+            if dynamism is not None:
+                column.stats = column.stats.with_(
+                    dynamism=dynamism, require_delete=effective_delete
+                )
+            # Standing pins govern unless this call named a backend:
+            # explicit argument > shard pin > column pin > advisor.
+            pin = (
+                backend
+                or meta.shard_pins.get(target)
+                or meta.backend
+            )
+            target_spec = get_spec(pin) if pin is not None else None
+            out.append(self._maybe_migrate(name, target, spec=target_spec))
+        return out
+
+    def unpin(self, name: str, shard_id: int | None = None) -> None:
+        """Release a backend pin, returning control to the advisor.
+
+        With ``shard_id`` only that shard's pin is cleared; without,
+        both the column-wide pin and every per-shard pin go.  The next
+        drift window (or explicit :meth:`migrate`) re-advises.
+        """
+        meta = self._meta(name)
+        if shard_id is None:
+            meta.backend = None
+            meta.shard_pins.clear()
+        else:
+            self._check_shard(shard_id)
+            meta.shard_pins.pop(shard_id, None)

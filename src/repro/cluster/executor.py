@@ -1,0 +1,59 @@
+"""Pluggable execution of per-shard scatter tasks.
+
+The scatter phase runs one independent task per shard.  How those
+tasks execute is a deployment choice, not an algorithmic one, so the
+cluster takes any object with an ordered ``map(fn, items)``:
+
+* :class:`SerialExecutor` — one after another, in-process.  The
+  deterministic default; also what the stateful tests run under.
+* :class:`ThreadedExecutor` — a persistent ``ThreadPoolExecutor``.
+  Shard tasks touch disjoint per-shard engines and a lock-protected
+  shared cache, so they are safe to interleave; with the simulated
+  block device doing pure in-process work the GIL bounds the speedup,
+  but against any backend that releases the GIL (real I/O, a network
+  cache) the same code path overlaps shard latencies.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+from ..errors import InvalidParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialExecutor:
+    """Run shard tasks inline, preserving order."""
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:  # symmetric with ThreadedExecutor
+        pass
+
+
+class ThreadedExecutor:
+    """Run shard tasks on a persistent thread pool, preserving order."""
+
+    def __init__(self, max_workers: int = 8) -> None:
+        if max_workers <= 0:
+            raise InvalidParameterError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(max_workers=max_workers)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        # list() propagates the first worker exception to the caller,
+        # exactly like the serial path would.
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

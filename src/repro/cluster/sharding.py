@@ -1,0 +1,115 @@
+"""Partitioning a column's RID space into contiguous shards.
+
+The conjunctive-range workload of §1 is embarrassingly partitionable by
+RID range: every shard answers the same alphabet range query over its
+slice of the string, and the global answer is the offset-translated
+concatenation (shard *i*'s positions all precede shard *i+1*'s).  This
+module computes the static split — balanced contiguous ranges — and
+the dynamic routing of a global position to its shard once per-shard
+lengths start drifting under appends, changes, and compactions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError, QueryError
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Balanced contiguous RID ranges covering ``[0, n)`` at build time.
+
+    ``starts`` holds each shard's first global RID; shard ``i`` covers
+    ``[starts[i], starts[i+1])`` (the last one up to ``n``).  The plan
+    is only authoritative at build time: afterwards shard lengths
+    evolve independently and routing goes through live prefix sums
+    (:func:`locate`).
+    """
+
+    n: int
+    starts: tuple[int, ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.starts)
+
+    def bounds(self, shard_id: int) -> tuple[int, int]:
+        """The build-time global range ``[start, stop)`` of one shard."""
+        if shard_id < 0 or shard_id >= self.num_shards:
+            raise InvalidParameterError(
+                f"shard {shard_id} outside [0, {self.num_shards})"
+            )
+        stop = (
+            self.starts[shard_id + 1]
+            if shard_id + 1 < self.num_shards
+            else self.n
+        )
+        return self.starts[shard_id], stop
+
+    def slices(self) -> list[tuple[int, int]]:
+        """All build-time ``[start, stop)`` ranges, in shard order."""
+        return [self.bounds(i) for i in range(self.num_shards)]
+
+
+def plan_shards(
+    n: int,
+    num_shards: int | None = None,
+    target_shard_rows: int | None = None,
+) -> ShardPlan:
+    """Split ``[0, n)`` into balanced contiguous shards.
+
+    Exactly one sizing knob applies: an explicit shard count, or a
+    target rows-per-shard from which the count is derived.  The count
+    is clamped to ``n`` so no shard starts empty (every backend
+    requires a non-empty string to build from).
+    """
+    if n <= 0:
+        raise InvalidParameterError("cannot shard an empty RID space")
+    if num_shards is not None and target_shard_rows is not None:
+        raise InvalidParameterError(
+            "pass either num_shards or target_shard_rows, not both"
+        )
+    if target_shard_rows is not None:
+        if target_shard_rows <= 0:
+            raise InvalidParameterError("target_shard_rows must be >= 1")
+        num_shards = -(-n // target_shard_rows)  # ceil division
+    if num_shards is None:
+        num_shards = 1
+    if num_shards <= 0:
+        raise InvalidParameterError("num_shards must be >= 1")
+    num_shards = min(num_shards, n)
+    base, extra = divmod(n, num_shards)
+    starts = []
+    offset = 0
+    for i in range(num_shards):
+        starts.append(offset)
+        offset += base + (1 if i < extra else 0)
+    return ShardPlan(n=n, starts=tuple(starts))
+
+
+def offsets_of(lengths: list[int]) -> list[int]:
+    """Prefix sums: each shard's current first global RID."""
+    offsets = []
+    acc = 0
+    for length in lengths:
+        offsets.append(acc)
+        acc += length
+    return offsets
+
+
+def locate(offsets: list[int], total: int, global_pos: int) -> tuple[int, int]:
+    """Route a global position to ``(shard_id, local_pos)``.
+
+    ``offsets`` are the live prefix sums (:func:`offsets_of`); a
+    position past the current end is a query error, mirroring what a
+    single-engine backend would raise.
+    """
+    if global_pos < 0 or global_pos >= total:
+        raise QueryError(
+            f"position {global_pos} outside the current RID space "
+            f"[0, {total})"
+        )
+    shard_id = bisect.bisect_right(offsets, global_pos) - 1
+    return shard_id, global_pos - offsets[shard_id]

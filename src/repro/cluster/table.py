@@ -1,0 +1,175 @@
+"""Sharded multi-attribute tables: ``Table`` semantics, cluster serving.
+
+:class:`ShardedTable` presents the same value-space interface as
+:class:`repro.queries.table.Table` — named columns over arbitrary
+ordered values, conjunctive ``select`` over ``(lo, hi)`` value ranges,
+``row()`` for the associated data — but builds and serves through a
+:class:`~repro.cluster.engine.ClusterEngine`, so each column is split
+into RID-range shards with per-shard advisor decisions, scatter-gather
+execution, and the shared versioned result cache.
+
+The alphabet stays *global* per column (one dictionary for the whole
+table, as §1.1 prescribes), so every shard agrees on code space and
+value-range translation happens exactly once per query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..errors import InvalidParameterError, QueryError, UpdateError
+from ..model.alphabet import Alphabet
+from .engine import ClusterEngine
+
+
+class ShardedColumn:
+    """One attribute: values, their global alphabet, sharded indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[Any],
+        cluster: ClusterEngine,
+        backend: str | None = None,
+        dynamism: str = "static",
+    ) -> None:
+        if not values:
+            raise InvalidParameterError(f"column {name!r} is empty")
+        self.name = name
+        self.values = list(values)
+        self.alphabet = Alphabet(values)
+        cluster.add_column(
+            name,
+            self.alphabet.encode(values),
+            self.alphabet.sigma,
+            dynamism=dynamism,
+            backend=backend,
+        )
+
+    def code_range(self, lo: Any, hi: Any) -> tuple[int, int] | None:
+        return self.alphabet.code_range(lo, hi)
+
+
+class ShardedTable:
+    """Columns of equal length served scatter-gather by a cluster.
+
+    ``backend`` pins every column (a string) or individual columns (a
+    mapping) to a registry backend, bypassing the per-shard advisor —
+    the hook the differential conformance suite drives every registered
+    backend through.  Row ids are global: shard-local answers come back
+    offset-translated, so ``select`` results are directly comparable to
+    a single-engine :class:`~repro.queries.table.Table` over the same
+    data.
+
+    Updates go through the table's own verbs (:meth:`append_row`,
+    :meth:`change`), which keep the value mirror — ``values``,
+    ``num_rows``, what :meth:`row` serves — in sync with the cluster.
+    Mutating ``self.cluster`` directly updates the indexes only and
+    leaves that mirror behind; deletions are engine-level for the same
+    reason (a shard compaction renumbers global RIDs underneath a flat
+    values list), so drive them through :class:`ClusterEngine` when
+    ``row()`` fidelity is not needed.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, Sequence[Any]],
+        num_shards: int | None = None,
+        target_shard_rows: int | None = None,
+        cluster: ClusterEngine | None = None,
+        backend: str | Mapping[str, str] | None = None,
+        dynamism: str = "static",
+        **cluster_kwargs,
+    ) -> None:
+        if not columns:
+            raise InvalidParameterError("a table needs at least one column")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise InvalidParameterError("columns must have equal length")
+        self.num_rows = lengths.pop()
+        if cluster is None:
+            cluster = ClusterEngine(
+                num_shards=num_shards,
+                target_shard_rows=target_shard_rows,
+                **cluster_kwargs,
+            )
+        elif num_shards is not None or target_shard_rows is not None:
+            raise InvalidParameterError(
+                "shard sizing belongs to the cluster; pass either a "
+                "cluster or sizing knobs, not both"
+            )
+        self.cluster = cluster
+        self.columns: dict[str, ShardedColumn] = {}
+        for name, values in columns.items():
+            pin = backend.get(name) if isinstance(backend, Mapping) else backend
+            self.columns[name] = ShardedColumn(
+                name, values, cluster, backend=pin, dynamism=dynamism
+            )
+
+    def column(self, name: str) -> ShardedColumn:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise QueryError(f"unknown column {name!r}") from None
+
+    def row(self, rid: int) -> dict[str, Any]:
+        """Fetch one row's attribute values (the "associated data")."""
+        if rid < 0 or rid >= self.num_rows:
+            raise QueryError(f"row id {rid} outside [0, {self.num_rows})")
+        return {name: col.values[rid] for name, col in self.columns.items()}
+
+    def append_row(self, row: Mapping[str, Any]) -> int:
+        """Append one row (a value per column); returns its global RID.
+
+        Every column must be present so the RID spaces stay aligned,
+        and every value must already occur in its column's alphabet
+        (the dictionary is fixed at build time, §1.1).  Requires the
+        table to have been built with an update-capable ``dynamism``.
+        """
+        if set(row) != set(self.columns):
+            raise InvalidParameterError(
+                f"append_row needs a value for exactly the columns "
+                f"{sorted(self.columns)}, got {sorted(row)}"
+            )
+        codes = {
+            name: self.columns[name].alphabet.code(value)
+            for name, value in row.items()
+        }  # validates every value before any column mutates
+        frozen = [
+            name
+            for name in codes
+            if self.cluster.columns[name].dynamism == "static"
+        ]
+        if frozen:
+            raise UpdateError(
+                f"columns {frozen} are static; build the table with an "
+                "update-capable dynamism to append rows"
+            )
+        for name, code in codes.items():
+            self.cluster.append(name, code)
+            self.columns[name].values.append(row[name])
+        self.num_rows += 1
+        return self.num_rows - 1
+
+    def change(self, name: str, rid: int, value: Any) -> None:
+        """Change one attribute of one row, in value space."""
+        column = self.column(name)
+        if rid < 0 or rid >= self.num_rows:
+            raise QueryError(f"row id {rid} outside [0, {self.num_rows})")
+        self.cluster.change(name, rid, column.alphabet.code(value))
+        column.values[rid] = value
+
+    def select(self, conditions: Mapping[str, tuple[Any, Any]]) -> list[int]:
+        """Global row ids matching every ``column: (lo, hi)`` condition."""
+        if not conditions:
+            raise QueryError("select requires at least one condition")
+        code_conditions: dict[str, tuple[int, int]] = {}
+        for name, (lo, hi) in conditions.items():
+            code_range = self.column(name).code_range(lo, hi)
+            if code_range is None:
+                return []
+            code_conditions[name] = code_range
+        return self.cluster.select(code_conditions)
+
+    def explain(self, *args) -> str:
+        return self.cluster.explain(*args)

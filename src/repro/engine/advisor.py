@@ -12,7 +12,13 @@ advisor makes that choice explicit:
 * :class:`CostModel` turns a registered backend's declared estimators
   into one comparable score — every weight is a constructor argument,
   so callers can re-balance space against query traffic or pin the
-  block size;
+  block size.  Approximate (Theorem 3) backends are *scored*, not just
+  filter-relaxed: their declared false-positive rate is charged as
+  base-data verification traffic (§1.1's "false positives can be
+  filtered away when accessing the associated data" is not free);
+* :meth:`CostModel.from_reports` calibrates per-family weights from
+  recorded benchmark reports (``benchmarks/results/*.json``), so the
+  coarse analytic estimators can be corrected by measurement;
 * :class:`Advisor` filters the registry by hard requirements (dynamism,
   deletions, exactness) and returns the cheapest backend, with a
   ranked table available from :meth:`Advisor.explain`.
@@ -20,8 +26,10 @@ advisor makes that choice explicit:
 
 from __future__ import annotations
 
+import json
+import statistics
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..errors import InvalidParameterError
 from ..model.entropy import h0 as _h0
@@ -82,31 +90,120 @@ class WorkloadStats:
         return replace(self, **overrides)
 
 
+def _parse_report_number(cell: object) -> float:
+    """A table cell back into a number (``fmt`` adds thousands commas)."""
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    return float(str(cell).replace(",", ""))
+
+
 @dataclass(frozen=True)
 class CostModel:
     """Weights turning a :class:`~repro.engine.registry.CostProfile`
     into one score.
 
-    ``score = space_weight * space_bits
-            + queries_per_build * query_cost(expected_z)``
+    ``score = family_weight * (space_weight * space_bits
+            + queries_per_build * (query_cost(expected_z) + fp_bits))``
 
-    with both terms in bits; ``queries_per_build`` is how many range
+    with every term in bits; ``queries_per_build`` is how many range
     queries the column is expected to serve per (re)build — raise it
-    for hot read paths, lower it for archival columns.  The model is a
-    frozen dataclass: pass a replacement to :class:`Advisor` (or
-    ``QueryEngine``) to override the economics globally.
+    for hot read paths, lower it for archival columns.
+
+    ``fp_bits`` charges approximate (Theorem 3) backends for their
+    false positives: each of the expected ``eps * (n - z)`` spurious
+    candidates costs ``fp_verify_bits`` of base-data access to filter
+    out.  Exact backends pay nothing, so with ``require_exact=False``
+    the advisor weighs cheaper approximate reads against the
+    verification traffic instead of treating both answer kinds as
+    equals.
+
+    ``family_weights`` are measured correction factors per backend
+    family (see :meth:`from_reports`); families absent from the table
+    keep weight 1.0.  The model is a frozen dataclass: pass a
+    replacement to :class:`Advisor` (or ``QueryEngine``) to override
+    the economics globally.
     """
 
     space_weight: float = 1.0
     queries_per_build: float = 64.0
     block_bits: int = 1024
+    fp_verify_bits: float = 512.0
+    family_weights: tuple[tuple[str, float], ...] = ()
+
+    def family_weight(self, family: str) -> float:
+        """The measured correction factor for one family (1.0 default)."""
+        for name, weight in self.family_weights:
+            if name == family:
+                return weight
+        return 1.0
 
     def score(self, spec: IndexSpec, stats: WorkloadStats) -> float:
         space = spec.cost.space_bits(stats.n, stats.sigma, stats.h0)
         query = spec.cost.query_cost(
             stats.n, stats.sigma, stats.h0, stats.expected_z
         )
-        return self.space_weight * space + self.queries_per_build * query
+        if not spec.exact:
+            expected_fp = spec.cost.false_positive_rate * max(
+                stats.n - stats.expected_z, 0
+            )
+            query += expected_fp * self.fp_verify_bits
+        raw = self.space_weight * space + self.queries_per_build * query
+        return self.family_weight(spec.family) * raw
+
+    @classmethod
+    def from_reports(
+        cls,
+        paths: Iterable[str],
+        base: "CostModel | None" = None,
+        **overrides,
+    ) -> "CostModel":
+        """Fit per-family weights from recorded benchmark reports.
+
+        Scans each report JSON (the :class:`repro.bench.Report` format)
+        for *calibration tables*: tables whose headers contain
+        ``backend``, ``family``, ``est_bits`` and ``measured_bits``
+        columns (``benchmarks/bench_e11_engine.py`` emits one per run).
+        The weight of a family is the *median* of its backends'
+        measured/estimated ratios — a single backend with a
+        pathological estimator must not drag down the correction
+        applied to its accurate siblings — so families whose analytic
+        estimators flatter them get proportionally penalized the next
+        time the advisor ranks them.
+
+        ``base`` supplies the remaining weights (a default model when
+        omitted); keyword overrides pass through to :func:`replace`.
+        """
+        ratios_by_family: dict[str, list[float]] = {}
+        for path in paths:
+            with open(path) as f:
+                data = json.load(f)
+            for entry in data.get("entries", []):
+                if entry.get("kind") != "table":
+                    continue
+                headers = [str(h).strip().lower() for h in entry["headers"]]
+                needed = ("backend", "family", "est_bits", "measured_bits")
+                if not all(col in headers for col in needed):
+                    continue
+                fam_i = headers.index("family")
+                est_i = headers.index("est_bits")
+                meas_i = headers.index("measured_bits")
+                for row in entry["rows"]:
+                    family = str(row[fam_i])
+                    est = _parse_report_number(row[est_i])
+                    measured = _parse_report_number(row[meas_i])
+                    if est <= 0 or measured <= 0:
+                        continue
+                    ratios_by_family.setdefault(family, []).append(
+                        measured / est
+                    )
+        weights = tuple(
+            sorted(
+                (family, statistics.median(ratios))
+                for family, ratios in ratios_by_family.items()
+            )
+        )
+        model = base if base is not None else cls()
+        return replace(model, family_weights=weights, **overrides)
 
 
 class Advisor:

@@ -27,6 +27,28 @@ from .cache import LRUCache
 from .registry import IndexSpec, get_spec
 
 
+def conjunctive_select(
+    query, conditions: Mapping[str, tuple[int, int]]
+) -> list[int]:
+    """The §1 conjunctive plan over any range-query callable.
+
+    One range query per dimension through ``query(name, lo, hi)`` —
+    each individually cacheable by whatever serves it — short-circuits
+    as soon as one dimension comes back empty, then intersects the
+    sorted RID lists.  Shared by the single-process engine and the
+    cluster's scatter-gather path so the two can never diverge.
+    """
+    if not conditions:
+        raise QueryError("select requires at least one condition")
+    per_dim: list[list[int]] = []
+    for name, (lo, hi) in conditions.items():
+        result = query(name, lo, hi)
+        if result.cardinality == 0:
+            return []
+        per_dim.append(result.positions())
+    return intersect_many(per_dim)
+
+
 @dataclass(frozen=True)
 class QueryPlan:
     """How one range query will be served (produced without running it)."""
@@ -83,6 +105,58 @@ class EngineColumn:
 
     def _bump(self) -> None:
         self.version += 1
+
+    def restat(self) -> WorkloadStats:
+        """Re-measure :class:`WorkloadStats` from the current codes.
+
+        ``add_column`` measures once; after heavy update traffic the
+        recorded cardinality/entropy drift away from the live column.
+        This refreshes the measured fields (``n``, ``h0``) while
+        preserving the *declared* workload contract (``sigma``,
+        dynamism, selectivity, exactness, deletions) — the advisor can
+        then be re-consulted with honest numbers (the cluster's drift
+        detector does exactly that before migrating a shard).
+        """
+        old = self.stats
+        live = [c for c in self.codes if c is not None]
+        if live:
+            self.stats = WorkloadStats.measure(
+                live,
+                sigma=old.sigma,
+                dynamism=old.dynamism,
+                expected_selectivity=old.expected_selectivity,
+                require_exact=old.require_exact,
+                require_delete=old.require_delete,
+            )
+        else:
+            self.stats = old.with_(n=0, h0=0.0)
+        return self.stats
+
+    def rebuild(self, spec: IndexSpec) -> None:
+        """Swap this column onto a different backend, in place.
+
+        The new index is built from the live codes; pending deleted
+        slots (``None`` holes) are compacted away exactly as a backend
+        compaction would, so positions after a rebuild are the same as
+        after any other global rebuild.  The version bump makes every
+        previously cached result for this column unreachable.
+        """
+        if not spec.serves(self.stats.dynamism, self.stats.require_delete):
+            raise InvalidParameterError(
+                f"backend {spec.name!r} cannot serve dynamism="
+                f"{self.stats.dynamism!r} "
+                f"require_delete={self.stats.require_delete}"
+            )
+        if self.stats.require_exact and not spec.exact:
+            raise InvalidParameterError(
+                f"backend {spec.name!r} is approximate; column "
+                f"{self.name!r} declares require_exact=True"
+            )
+        live = [c for c in self.codes if c is not None]
+        self.index = spec.build(live, self.stats.sigma)
+        self.spec = spec
+        self.codes = live
+        self._bump()
 
     def append(self, ch: int) -> None:
         if not hasattr(self.index, "append"):
@@ -154,6 +228,7 @@ class QueryEngine:
         sigma: int | None = None,
         dynamism: str = "static",
         expected_selectivity: float = 0.1,
+        require_exact: bool = True,
         require_delete: bool = False,
         backend: str | None = None,
     ) -> EngineColumn:
@@ -161,6 +236,9 @@ class QueryEngine:
 
         ``backend`` pins a registry entry by name, bypassing the
         advisor (the explicit override of the cost model's verdict).
+        ``require_exact=False`` admits approximate (Theorem 3) backends
+        to the ranking, where their false-positive verification cost is
+        scored against exact structures' larger answer reads.
         """
         if name in self.columns:
             raise InvalidParameterError(f"column {name!r} already exists")
@@ -171,6 +249,7 @@ class QueryEngine:
             sigma=sigma,
             dynamism=dynamism,
             expected_selectivity=expected_selectivity,
+            require_exact=require_exact,
             require_delete=require_delete,
         )
         if backend is not None:
@@ -263,15 +342,7 @@ class QueryEngine:
         Each dimension runs (or is served from cache) independently;
         the sorted RID lists are then intersected smallest-first.
         """
-        if not conditions:
-            raise QueryError("select requires at least one condition")
-        per_dim: list[list[int]] = []
-        for name, (lo, hi) in conditions.items():
-            result = self.query(name, lo, hi)
-            if result.cardinality == 0:
-                return []
-            per_dim.append(result.positions())
-        return intersect_many(per_dim)
+        return conjunctive_select(self.query, conditions)
 
     def explain(
         self,

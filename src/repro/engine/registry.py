@@ -68,15 +68,20 @@ class CostProfile:
     ``space_bits(n, sigma, h0)`` estimates the structure's footprint;
     ``query_cost(n, sigma, h0, z)`` estimates one range query answering
     ``z`` positions, in bits transferred (the I/O model's currency,
-    divided by ``B`` downstream).  Estimators are deliberately coarse —
-    they only need the *ordering* between backends right, and the cost
-    model's weights are overridable when they are not.
+    divided by ``B`` downstream).  ``false_positive_rate`` is the
+    per-position probability ``eps`` that an approximate (Theorem 3)
+    answer admits a non-match — 0.0 for exact structures — which the
+    cost model converts into base-data verification traffic.
+    Estimators are deliberately coarse — they only need the *ordering*
+    between backends right, and the cost model's weights are
+    overridable when they are not.
     """
 
     space_bound: str
     query_bound: str
     space_bits: Callable[[int, int, float], float]
     query_cost: Callable[[int, int, float, int], float]
+    false_positive_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -179,6 +184,20 @@ def _pagh_rao_query(n: int, sigma: int, h0: float, z: int) -> float:
     return _output_bits(n, z) + _lg(n) * 64
 
 
+#: Operating false-positive rate assumed for Theorem-3 answers when the
+#: advisor scores the approximate structure (callers pick their own eps
+#: per query; this is the planning-time default).
+APPROX_EPS = 1.0 / 16.0
+
+
+def _pagh_rao_approx_query(n: int, sigma: int, h0: float, z: int) -> float:
+    # Theorem 3: the filter representation is read in O(z lg(1/eps))
+    # bits instead of z lg(n/z) — the whole point of approximation —
+    # plus the same directory descent as Theorem 2.  The cost model
+    # separately charges eps*(n-z) false-positive verifications.
+    return z * _lg(1.0 / APPROX_EPS) + 2 * z + _lg(n) * 64
+
+
 def _uniform_tree_space(n: int, sigma: int, h0: float) -> float:
     # Theorem 1: O(n lg^2 sigma) regardless of entropy.
     return n * max(_lg(sigma), 1.0) ** 2 + sigma * _lg(n)
@@ -208,6 +227,7 @@ class _B:
     theorem: str | None = None
     exact: bool = True
     supports_delete: bool = False
+    false_positive_rate: float = 0.0
 
 
 _BUILTINS = [
@@ -242,9 +262,10 @@ _BUILTINS = [
         "nH0 + O(n) + hash directories",
         "O(z lg(1/eps)/B) approximate / Thm-2 exact",
         lambda n, sigma, h0: _pagh_rao_space(n, sigma, h0) * 1.25,
-        _pagh_rao_query,
+        _pagh_rao_approx_query,
         theorem="Theorem 3",
         exact=False,
+        false_positive_rate=APPROX_EPS,
     ),
     _B(
         "appendable",
@@ -393,6 +414,7 @@ for _b in _BUILTINS:
                 query_bound=_b.query_bound,
                 space_bits=_b.space_bits,
                 query_cost=_b.query_cost,
+                false_positive_rate=_b.false_positive_rate,
             ),
             theorem=_b.theorem,
             supports_delete=_b.supports_delete,

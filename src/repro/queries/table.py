@@ -117,6 +117,31 @@ class Table:
             for name, values in columns.items()
         }
 
+    @classmethod
+    def sharded(
+        cls,
+        columns: Mapping[str, Sequence[Any]],
+        num_shards: int | None = None,
+        target_shard_rows: int | None = None,
+        **cluster_kwargs,
+    ):
+        """The sharded construction path: a scatter-gather table.
+
+        Returns a :class:`repro.cluster.ShardedTable` — same value-space
+        ``select``/``row`` interface, but each column is partitioned
+        into RID-range shards served by one engine each, behind the
+        cluster's shared result cache.  Use it when one process's
+        single engine is the bottleneck; see ``src/repro/cluster/``.
+        """
+        from ..cluster.table import ShardedTable
+
+        return ShardedTable(
+            columns,
+            num_shards=num_shards,
+            target_shard_rows=target_shard_rows,
+            **cluster_kwargs,
+        )
+
     def column(self, name: str) -> Column:
         try:
             return self.columns[name]

@@ -1,0 +1,251 @@
+"""Stateful tests: cross-shard cache invalidation under mixed updates.
+
+The cluster's contract extends the engine's: a shared-cache entry is
+never served after an update to *its* shard, while entries of every
+other shard stay live and keep serving.  The machine below interleaves
+appends, changes, and deletes — routed to shards by global RID — with
+repeated (and so cache-hitting) global queries, checking every answer
+against a plain-Python model of the per-shard strings.
+
+The model mirrors deletion semantics exactly: a deleted position holds
+a ``None`` hole until the shard's backend compacts (which
+:class:`~repro.core.deletions.DeletableIndex` does once half the
+shard's physical positions are holes), at which point the model shard
+compacts with it and all later global RIDs shift — precisely what a
+stale cached answer would get wrong.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cluster import ClusterEngine
+
+SIGMA = 8
+NUM_SHARDS = 3
+REBUILD_FRACTION = 0.5  # DeletableIndex's default
+
+
+class ClusterCacheMachine(RuleBasedStateMachine):
+    """Two columns over three shards behind one shared result cache."""
+
+    @initialize()
+    def setup(self):
+        self.cluster = ClusterEngine(num_shards=NUM_SHARDS, drift_window=None)
+        dyn = [0, 3, 1, 7, 2, 5, 0, 4, 6, 1, 3, 2]
+        dele = [1, 1, 2, 6, 3, 0, 7, 5, 4, 2, 0, 6]
+        self.cluster.add_column("dyn", dyn, SIGMA, dynamism="fully_dynamic")
+        self.cluster.add_column(
+            "del", dele, SIGMA, dynamism="fully_dynamic", require_delete=True
+        )
+        # Per-shard model strings; "del" shards may hold None holes.
+        slices = self.cluster.plan_.slices()
+        self.dyn_shards = [dyn[a:b] for a, b in slices]
+        self.del_shards = [dele[a:b] for a, b in slices]
+
+    # ------------------------------------------------------------------
+    # Model helpers
+    # ------------------------------------------------------------------
+
+    def _flat(self, shards):
+        out = []
+        for shard in shards:
+            out.extend(shard)
+        return out
+
+    def _expected(self, shards, lo, hi):
+        return [
+            i
+            for i, c in enumerate(self._flat(shards))
+            if c is not None and lo <= c <= hi
+        ]
+
+    def _route(self, shards, global_pos):
+        for shard_id, shard in enumerate(shards):
+            if global_pos < len(shard):
+                return shard_id, global_pos
+            global_pos -= len(shard)
+        raise AssertionError("machine routed outside its own model")
+
+    def _live_positions(self, shards):
+        return [
+            i for i, c in enumerate(self._flat(shards)) if c is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # Update rules
+    # ------------------------------------------------------------------
+
+    @rule(ch=st.integers(0, SIGMA - 1))
+    def append_dyn(self, ch):
+        self.cluster.append("dyn", ch)
+        self.dyn_shards[-1].append(ch)
+
+    @rule(data=st.data())
+    def change_dyn(self, data):
+        total = sum(len(s) for s in self.dyn_shards)
+        pos = data.draw(st.integers(0, total - 1))
+        ch = data.draw(st.integers(0, SIGMA - 1))
+        self.cluster.change("dyn", pos, ch)
+        shard_id, local = self._route(self.dyn_shards, pos)
+        self.dyn_shards[shard_id][local] = ch
+
+    @rule(ch=st.integers(0, SIGMA - 1))
+    def append_del(self, ch):
+        self.cluster.append("del", ch)
+        self.del_shards[-1].append(ch)
+
+    @rule(data=st.data())
+    def change_del(self, data):
+        live = self._live_positions(self.del_shards)
+        if not live:
+            return
+        pos = data.draw(st.sampled_from(live))
+        ch = data.draw(st.integers(0, SIGMA - 1))
+        self.cluster.change("del", pos, ch)
+        shard_id, local = self._route(self.del_shards, pos)
+        self.del_shards[shard_id][local] = ch
+
+    @rule(data=st.data())
+    def delete_del(self, data):
+        live = self._live_positions(self.del_shards)
+        if not live:
+            return
+        pos = data.draw(st.sampled_from(live))
+        self.cluster.delete("del", pos)
+        shard_id, local = self._route(self.del_shards, pos)
+        shard = self.del_shards[shard_id]
+        shard[local] = None
+        # Mirror the backend's global rebuild: once holes reach the
+        # rebuild fraction of the shard's physical length, it compacts
+        # and every later global RID shifts down.
+        holes = sum(1 for c in shard if c is None)
+        if holes >= REBUILD_FRACTION * max(1, len(shard)):
+            self.del_shards[shard_id] = [c for c in shard if c is not None]
+
+    # ------------------------------------------------------------------
+    # Query rules (the second ask is the cache-hitting one)
+    # ------------------------------------------------------------------
+
+    @rule(data=st.data())
+    def query_twice(self, data):
+        name, shards = data.draw(
+            st.sampled_from(
+                [("dyn", self.dyn_shards), ("del", self.del_shards)]
+            )
+        )
+        lo = data.draw(st.integers(0, SIGMA - 1))
+        hi = data.draw(st.integers(lo, SIGMA - 1))
+        want = self._expected(shards, lo, hi)
+        assert self.cluster.query(name, lo, hi).positions() == want
+        assert self.cluster.query(name, lo, hi).positions() == want
+
+    @rule(data=st.data())
+    def conjunctive_select(self, data):
+        # Both columns share the RID space only while equally long;
+        # the engine intersects whatever each dimension reports.
+        lo = data.draw(st.integers(0, SIGMA - 2))
+        dyn = set(self._expected(self.dyn_shards, lo, lo + 1))
+        dele = set(self._expected(self.del_shards, 0, 3))
+        want = sorted(dyn & dele)
+        got = self.cluster.select({"dyn": (lo, lo + 1), "del": (0, 3)})
+        assert got == want
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def model_and_cluster_agree_on_shard_lengths(self):
+        for name, shards in (
+            ("dyn", self.dyn_shards),
+            ("del", self.del_shards),
+        ):
+            assert self.cluster.shard_lengths(name) == [
+                len(s) for s in shards
+            ]
+
+    @invariant()
+    def cached_entries_reference_current_versions(self):
+        # The invalidation protocol: no shared-cache key may survive
+        # its shard's version, in any column, on any shard.
+        for key in list(self.cluster.shared_cache._lru._data):
+            name, epoch, shard_id, version = key[0], key[1], key[2], key[3]
+            assert epoch == self.cluster.columns[name].epoch
+            current = self.cluster.shard_column(name, shard_id).version
+            assert version == current
+
+    @invariant()
+    def full_range_matches(self):
+        for name, shards in (
+            ("dyn", self.dyn_shards),
+            ("del", self.del_shards),
+        ):
+            got = self.cluster.query(name, 0, SIGMA - 1).positions()
+            assert got == self._expected(shards, 0, SIGMA - 1)
+
+
+TestClusterCacheMachine = ClusterCacheMachine.TestCase
+TestClusterCacheMachine.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+
+def test_interleaved_updates_never_serve_stale_rids():
+    """Deterministic companion to the machine: heavy interleaving with
+    repeated hot queries, proving the hits are real and never stale."""
+    cluster = ClusterEngine(num_shards=4, drift_window=None)
+    base = [(3 * i + 1) % SIGMA for i in range(40)]
+    cluster.add_column(
+        "c", base, SIGMA, dynamism="fully_dynamic", require_delete=True
+    )
+    shards = [
+        base[a:b] for a, b in cluster.plan_.slices()
+    ]
+
+    def flat():
+        return [c for shard in shards for c in shard]
+
+    stale = 0
+    for step in range(120):
+        lo, hi = step % 4, step % 4 + 3
+        want = [
+            i for i, c in enumerate(flat()) if c is not None and lo <= c <= hi
+        ]
+        for _ in range(2):  # the second answer is served from cache
+            if cluster.query("c", lo, hi).positions() != want:
+                stale += 1
+        kind = step % 3
+        if kind == 0:
+            cluster.append("c", step % SIGMA)
+            shards[-1].append(step % SIGMA)
+        elif kind == 1:
+            live = [i for i, c in enumerate(flat()) if c is not None]
+            pos = live[(step * 7) % len(live)]
+            cluster.change("c", pos, (step * 5) % SIGMA)
+            acc = 0
+            for shard in shards:
+                if pos < acc + len(shard):
+                    shard[pos - acc] = (step * 5) % SIGMA
+                    break
+                acc += len(shard)
+        else:
+            live = [i for i, c in enumerate(flat()) if c is not None]
+            pos = live[(step * 11) % len(live)]
+            cluster.delete("c", pos)
+            acc = 0
+            for idx, shard in enumerate(shards):
+                if pos < acc + len(shard):
+                    shard[pos - acc] = None
+                    holes = sum(1 for c in shard if c is None)
+                    if holes >= REBUILD_FRACTION * max(1, len(shard)):
+                        shards[idx] = [c for c in shard if c is not None]
+                    break
+                acc += len(shard)
+    assert stale == 0
+    assert cluster.shared_cache.hits > 50  # the hot path really was hot

@@ -8,6 +8,12 @@ full-universe range, and complement-threshold answers with ``z > n/2``
 (§2.1's trick).  A backend registered tomorrow gets this coverage for
 free; a backend that diverges from the oracle anywhere fails here
 before any engine test can be misled by it.
+
+The same corpus is additionally driven *through* the sharded serving
+layer: every backend, pinned under a :class:`repro.cluster.\
+ShardedTable` at 1, 2, and 7 shards, must produce RID sets identical
+to the single-engine :class:`repro.queries.Table` and the oracle —
+the scatter/offset-translate/merge path buys no slack on exactness.
 """
 
 import random
@@ -15,8 +21,10 @@ import zlib
 
 import pytest
 
+from repro.cluster import ShardedTable
 from repro.engine import all_specs
 from repro.model.distributions import markov_runs, uniform, zipf
+from repro.queries import Table
 
 from tests.conftest import brute_range, random_ranges
 
@@ -102,6 +110,68 @@ class TestConformance:
             member = set(expected)
             for p in probe:
                 assert (p in result) == (p in member)
+
+
+SHARD_COUNTS = [1, 2, 7]
+
+
+@pytest.fixture(scope="module")
+def sharded_tables():
+    """Every (spec, workload) pair as one single-engine table plus a
+    pinned ShardedTable per shard count, built once for the module."""
+    cache = {}
+    for wname, gen, sigma in WORKLOADS:
+        x = gen()
+        for spec in SPECS:
+            single = Table({"c": x}, factory=spec.build)
+            sharded = {
+                k: ShardedTable({"c": x}, num_shards=k, backend=spec.name)
+                for k in SHARD_COUNTS
+            }
+            cache[(spec.name, wname)] = (x, sigma, single, sharded)
+    return cache
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("spec", SPECS, ids=spec_id)
+@pytest.mark.parametrize("wname", [w[0] for w in WORKLOADS])
+class TestShardedConformance:
+    """The registry contract holds through scatter-gather serving."""
+
+    def test_sharded_select_matches_table_and_oracle(
+        self, sharded_tables, spec, wname, num_shards
+    ):
+        x, sigma, single, sharded = sharded_tables[(spec.name, wname)]
+        table = sharded[num_shards]
+        rng = random.Random(
+            zlib.crc32(f"shard:{spec.name}:{wname}:{num_shards}".encode())
+        )
+        for lo, hi in random_ranges(rng, sigma, 6):
+            expected = brute_range(x, lo, hi)
+            got = table.select({"c": (lo, hi)})
+            assert got == expected, (
+                f"{spec.name} on {wname} at {num_shards} shards: [{lo},{hi}]"
+            )
+            assert got == single.select({"c": (lo, hi)})
+
+    def test_sharded_majority_answers(
+        self, sharded_tables, spec, wname, num_shards
+    ):
+        # Complement-represented per-shard answers (z > n/2 locally)
+        # must offset-translate and merge exactly like any other.
+        x, sigma, single, sharded = sharded_tables[(spec.name, wname)]
+        table = sharded[num_shards]
+        n = len(x)
+        hits = [
+            (lo, hi)
+            for lo in range(sigma)
+            for hi in range(lo, sigma)
+            if n > len(brute_range(x, lo, hi)) > n // 2
+        ]
+        if not hits:
+            pytest.skip("no strict majority range in this workload")
+        for lo, hi in hits[:8]:
+            assert table.select({"c": (lo, hi)}) == brute_range(x, lo, hi)
 
 
 @pytest.mark.parametrize("spec", SPECS, ids=spec_id)

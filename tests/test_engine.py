@@ -157,6 +157,146 @@ class TestAdvisor:
         assert "#1" in text and "H0=" in text
 
 
+class TestApproximateScoring:
+    """Theorem-3 backends are scored, not just filter-relaxed."""
+
+    def stats(self, require_exact=False):
+        x = uniform(4096, 256, seed=20)
+        return WorkloadStats.measure(
+            x, 256, expected_selectivity=0.05, require_exact=require_exact
+        )
+
+    def test_fp_rate_declared_only_for_approximate_backends(self):
+        for spec in all_specs():
+            if spec.exact:
+                assert spec.cost.false_positive_rate == 0.0
+            else:
+                assert 0.0 < spec.cost.false_positive_rate < 1.0
+
+    def test_fp_verification_traffic_raises_the_score(self):
+        approx = get_spec("pagh-rao-approx")
+        stats = self.stats()
+        cheap = CostModel(fp_verify_bits=0.0).score(approx, stats)
+        dear = CostModel(fp_verify_bits=4096.0).score(approx, stats)
+        assert dear > cheap
+        # Exact backends are untouched by the fp weight.
+        exact = get_spec("pagh-rao")
+        assert CostModel(fp_verify_bits=0.0).score(exact, stats) == (
+            CostModel(fp_verify_bits=4096.0).score(exact, stats)
+        )
+
+    def test_fp_weight_can_flip_the_relaxed_verdict(self):
+        # Against its exact sibling, the Theorem-3 filter's cheaper
+        # O(z lg(1/eps)) reads win when verification is free; priced
+        # honestly, the fp traffic hands the column back to the exact
+        # structure.  Both verdicts come from *scoring* — the
+        # approximate spec is eligible either way.
+        pool = [get_spec("pagh-rao"), get_spec("pagh-rao-approx")]
+        stats = self.stats()
+        free_fp = Advisor(
+            CostModel(queries_per_build=1e6, fp_verify_bits=0.0),
+            candidates=pool,
+        )
+        paid_fp = Advisor(
+            CostModel(queries_per_build=1e6, fp_verify_bits=4096.0),
+            candidates=pool,
+        )
+        assert free_fp.pick(stats).name == "pagh-rao-approx"
+        assert paid_fp.pick(stats).name == "pagh-rao"
+        ranked = paid_fp.rank(stats)
+        assert any(spec.name == "pagh-rao-approx" for spec, _ in ranked)
+
+    def test_require_exact_plumbed_through_add_column(self):
+        x = uniform(4096, 256, seed=21)
+        engine = QueryEngine(
+            advisor=Advisor(
+                CostModel(queries_per_build=1e6, fp_verify_bits=0.0),
+                candidates=[get_spec("pagh-rao"), get_spec("pagh-rao-approx")],
+            )
+        )
+        col = engine.add_column(
+            "c", x, 256, expected_selectivity=0.05, require_exact=False
+        )
+        assert col.stats.require_exact is False
+        assert col.spec.name == "pagh-rao-approx"
+        # Exact-by-default columns never land on the approximate spec.
+        col2 = engine.add_column("c2", x, 256, expected_selectivity=0.05)
+        assert col2.spec.exact
+
+
+class TestCostCalibration:
+    """CostModel.from_reports fits per-family weights from recorded runs."""
+
+    def write_report(self, tmp_path, rows, name="calib"):
+        from repro.bench import Report
+
+        report = Report(name, str(tmp_path))
+        report.table(
+            "calibration",
+            ["backend", "family", "est_bits", "measured_bits"],
+            rows,
+        )
+        return report.save().replace(".txt", ".json")
+
+    def test_weights_are_measured_over_estimated(self, tmp_path):
+        path = self.write_report(
+            tmp_path,
+            [
+                ["pagh-rao", "pagh-rao", 1000, 2000],
+                ["appendable", "pagh-rao", 1000, 4000],
+                ["bitmap-gamma", "bitmap", 2000, 1000],
+            ],
+        )
+        model = CostModel.from_reports([path])
+        assert model.family_weight("pagh-rao") == pytest.approx(3.0)
+        assert model.family_weight("bitmap") == pytest.approx(0.5)
+        assert model.family_weight("btree") == 1.0  # absent -> neutral
+
+    def test_weights_scale_scores_and_can_flip_picks(self, tmp_path):
+        x = uniform(4096, 512, seed=22)
+        stats = WorkloadStats.measure(x, 512)
+        assert Advisor().pick(stats).family == "pagh-rao"
+        path = self.write_report(
+            tmp_path, [["pagh-rao", "pagh-rao", 1, 1000]]
+        )
+        calibrated = CostModel.from_reports([path])
+        assert Advisor(calibrated).pick(stats).family != "pagh-rao"
+        spec = get_spec("pagh-rao")
+        assert calibrated.score(spec, stats) == pytest.approx(
+            1000.0 * CostModel().score(spec, stats)
+        )
+
+    def test_parses_fmt_thousands_commas(self, tmp_path):
+        # Report.table runs cells through fmt(), which adds thousands
+        # separators; from_reports must undo them.
+        path = self.write_report(
+            tmp_path, [["btree", "btree", 1234567, 2469134]]
+        )
+        model = CostModel.from_reports([path])
+        assert model.family_weight("btree") == pytest.approx(2.0)
+
+    def test_ignores_non_calibration_tables_and_keeps_base(self, tmp_path):
+        from repro.bench import Report
+
+        report = Report("other", str(tmp_path))
+        report.table("unrelated", ["a", "b"], [[1, 2]])
+        path = report.save().replace(".txt", ".json")
+        base = CostModel(queries_per_build=7.0)
+        model = CostModel.from_reports([path], base=base)
+        assert model.family_weights == ()
+        assert model.queries_per_build == 7.0
+
+    def test_multiple_reports_accumulate(self, tmp_path):
+        p1 = self.write_report(
+            tmp_path, [["btree", "btree", 100, 100]], name="one"
+        )
+        p2 = self.write_report(
+            tmp_path, [["btree", "btree", 100, 300]], name="two"
+        )
+        model = CostModel.from_reports([p1, p2])
+        assert model.family_weight("btree") == pytest.approx(2.0)
+
+
 class TestLRUCache:
     def test_hit_miss_accounting(self):
         cache = LRUCache(2)
@@ -303,6 +443,49 @@ class TestQueryEngine:
         for lo in range(4):
             want = [i for i, c in enumerate(col.codes) if c == lo]
             assert engine.query("d", lo, lo).positions() == want
+
+    def test_rebuild_swaps_backend_in_place(self):
+        engine = QueryEngine()
+        x = uniform(256, 8, seed=30)
+        col = engine.add_column("c", x, 8, backend="btree")
+        want = engine.query("c", 2, 5).positions()
+        version = col.version
+        col.rebuild(get_spec("bitmap-gamma"))
+        assert col.spec.name == "bitmap-gamma"
+        assert col.version == version + 1
+        assert engine.query("c", 2, 5).positions() == want
+
+    def test_rebuild_rejects_weaker_dynamism(self):
+        engine = QueryEngine()
+        col = engine.add_column(
+            "c", [0, 1, 2, 3], 4, dynamism="fully_dynamic"
+        )
+        with pytest.raises(InvalidParameterError):
+            col.rebuild(get_spec("pagh-rao"))
+
+    def test_rebuild_compacts_pending_deletions(self):
+        engine = QueryEngine()
+        col = engine.add_column(
+            "c", [3, 1, 2, 0], 4, dynamism="fully_dynamic",
+            require_delete=True,
+        )
+        engine.delete("c", 1)
+        assert col.codes[1] is None
+        col.rebuild(get_spec("deletable"))
+        assert col.codes == [3, 2, 0]
+        assert engine.query("c", 0, 3).positions() == [0, 1, 2]
+
+    def test_restat_after_updates(self):
+        engine = QueryEngine()
+        col = engine.add_column(
+            "c", [0] * 64, 4, dynamism="fully_dynamic"
+        )
+        for i in range(32):
+            engine.change("c", i, i % 4)
+        assert col.stats.h0 == 0.0
+        fresh = col.restat()
+        assert fresh is col.stats and fresh.h0 > 0.5
+        assert fresh.dynamism == "fully_dynamic" and fresh.sigma == 4
 
     def test_backend_pin_overrides_advisor(self):
         engine = QueryEngine()

@@ -20,6 +20,7 @@ SCRIPTS = [
     "dynamic_log.py",
     "approximate_multidim.py",
     "engine_autopick.py",
+    "cluster_scatter_gather.py",
 ]
 
 
