@@ -9,12 +9,14 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	$(PYTHON) -m pytest -x -q
 
-# A fast benchmark smoke run: proves the advisor/caching claims (E11)
-# and the sharded scatter-gather/shared-cache/migration claims (E12)
-# end-to-end (asserts inside the benchmarks) in well under a minute.
+# A fast benchmark smoke run: proves the advisor/caching claims (E11),
+# the sharded scatter-gather/shared-cache/migration claims (E12), and
+# the shard-lifecycle/streaming-gather claims (E13) end-to-end
+# (asserts inside the benchmarks) in well under 90 seconds.
 bench-smoke:
-	timeout 60 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
-		benchmarks/bench_e12_cluster.py -q \
+	timeout 90 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
+		benchmarks/bench_e12_cluster.py \
+		benchmarks/bench_e13_lifecycle.py -q \
 		-p no:cacheprovider --benchmark-disable
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).

@@ -121,8 +121,9 @@ def test_e12a_scatter_gather_scaling(columns, query_batch, report, benchmark):
         ["shards", "executor", "backends(a)", "seconds", "speedup vs 1/serial"],
         rows,
         note="identical RID sets asserted across all configurations; "
-        "threaded speedup is GIL-bounded on the simulated in-process "
-        "block device.",
+        "select now streams its gather serially (the executor "
+        "parallelizes query()'s scatter), so the threaded rows "
+        "measure the same path — kept for the exactness assertion.",
     )
     cluster = build_cluster(
         columns, 4, SerialExecutor(), shared_capacity=0, cache_size=0

@@ -7,7 +7,9 @@ be served by different structures in different shards), scatters every
 query across shards, and gathers offset-translated global row ids.
 Updates route to a single shard and invalidate only that shard's
 entries in the shared result cache; when a shard's data drifts, its
-backend is re-fit online.
+backend is re-fit online; when a shard outgrows its target it is
+split in place, and huge answers stream out of a k-way merge instead
+of being materialized per dimension.
 
 Run:  python examples/cluster_scatter_gather.py
 """
@@ -52,7 +54,29 @@ print(f"shared cache: {cache.hits} hits / {cache.misses} misses "
       f"({cache.hit_rate:.0%})")
 print()
 
-# 4. The same query, explained end to end.
-print(table.explain(
-    "income", *table.column("income").code_range(25_000, 60_000)
-))
+# 4. The same query, explained end to end — value ranges in, the
+#    per-shard plan of every dimension out.
+print(table.explain(conds))
+print()
+
+# 5. Huge answers stream: the k-way gather yields global row ids one
+#    at a time, holding at most one shard's answer per dimension.
+first_ten = []
+for rid in table.select_iter({"income": (20_000, 150_000)}):
+    first_ten.append(rid)
+    if len(first_ten) == 10:
+        break  # the remaining shards are never even fetched
+print(f"streamed the first 10 of a huge answer: {first_ten}")
+peak = table.cluster.gather_stats.peak_rids
+print(f"peak buffered row ids while streaming: {peak} (of {N} rows)")
+print()
+
+# 6. Growth management: rebalance the same data to a row target —
+#    shards split in place, the advisor re-judges every new slice,
+#    and answers are bit-identical before and after.
+before = table.select(conds)
+ops = table.cluster.rebalance(target_shard_rows=500)
+assert table.select(conds) == before
+print(f"rebalanced with {ops} lifecycle op(s) -> "
+      f"{table.cluster.num_shards} shards; answers unchanged")
+print(table.explain("income"))

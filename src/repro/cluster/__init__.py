@@ -18,24 +18,41 @@ invalidation protocol.
 """
 
 from .cache import InMemorySharedCache, SharedResultCache, shared_key
-from .engine import ClusterEngine, ColumnMeta, Migration
+from .engine import (
+    ClusterEngine,
+    ColumnMeta,
+    GatherStats,
+    Migration,
+    ShardMerge,
+    ShardSplit,
+)
 from .executor import SerialExecutor, ThreadedExecutor
-from .sharding import ShardPlan, locate, offsets_of, plan_shards
+from .sharding import (
+    ShardPlan,
+    locate,
+    offsets_of,
+    plan_from_lengths,
+    plan_shards,
+)
 from .table import ShardedColumn, ShardedTable
 
 __all__ = [
     "ClusterEngine",
     "ColumnMeta",
+    "GatherStats",
     "InMemorySharedCache",
     "Migration",
     "SerialExecutor",
+    "ShardMerge",
     "ShardPlan",
+    "ShardSplit",
     "ShardedColumn",
     "ShardedTable",
     "SharedResultCache",
     "ThreadedExecutor",
     "locate",
     "offsets_of",
+    "plan_from_lengths",
     "plan_shards",
     "shared_key",
 ]

@@ -7,18 +7,26 @@ store (memcached, Redis, a sidecar) would implement, plus an in-memory
 reference implementation the tests and benchmarks run against.
 
 Keys extend the engine's proven ``(column, version, lo, hi)`` scheme
-with the shard id and the column's *epoch*:
-``(column, epoch, shard_id, version, lo, hi)``.  The version is the
-shard-local column version; the epoch is a random token stamped once
-per ``add_column``, so dropping a column and re-adding one under the
-same name can never resurrect the old incarnation's entries even
-though shard versions restart at zero — and same-named columns of
-*different engines* (or processes) sharing one store never collide.
-Together they yield the cluster's invalidation protocol:
+with the shard's identity and the column's *epoch*:
+``(column, epoch, shard_id, version, lo, hi)``.  The ``shard_id`` slot
+holds the shard's stable *uid* (``ClusterEngine.shard_uids``), not its
+position: positions shift when shards split or merge, uids never do.
+The version is the shard-local column version; the epoch is a random
+token stamped once per ``add_column``, so dropping a column and
+re-adding one under the same name can never resurrect the old
+incarnation's entries even though shard versions restart at zero — and
+same-named columns of *different engines* (or processes) sharing one
+store never collide.  Together they yield the cluster's invalidation
+protocol:
 
 * an update routed to shard ``s`` bumps only that shard's version, so
   only shard ``s``'s entries become unreachable — every other shard's
   cached results stay live and keep serving;
+* a lifecycle operation (split/merge) retires the participating
+  shards' uids and mints fresh ones for their replacements, so the
+  retired entries can never be served again while sibling shards' hot
+  entries survive the reshape — a *positional* key here would let a
+  fresh shard alias a retired neighbor's entries;
 * unreachability is the correctness mechanism; *eviction* is an
   optimization.  An external store that cannot enumerate keys may
   implement :meth:`SharedResultCache.invalidate` as a no-op and lean on
@@ -47,7 +55,11 @@ def shared_key(
     char_lo: int,
     char_hi: int,
 ) -> SharedKey:
-    """The canonical shared-cache key for one per-shard range query."""
+    """The canonical shared-cache key for one per-shard range query.
+
+    ``shard_id`` is the shard's stable uid, which outlives positional
+    reshuffles from shard splits and merges.
+    """
     return (column, epoch, shard_id, version, char_lo, char_hi)
 
 

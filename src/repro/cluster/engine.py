@@ -26,9 +26,27 @@ the advisor's verdict changed, the shard's index is rebuilt in place
 behind the engine (online backend migration; also callable explicitly
 via :meth:`ClusterEngine.migrate`).
 
+Shards have a *lifecycle*: when ``target_shard_rows`` is set, a shard
+that outgrows it is split in place (:meth:`ClusterEngine.split_shard`)
+— both halves rebuilt through the per-shard advisor on fresh local
+dictionaries — and a shard starved below the merge floor by deletions
+is fused into its smaller neighbor (:meth:`ClusterEngine.merge_shards`)
+when the union stays under the split threshold.  Shards carry *stable
+uids* (not positions) in shared-cache keys, so a lifecycle operation
+retires exactly the participating shards' entries while every sibling
+shard's hot entries keep serving.  :meth:`ClusterEngine.rebalance`
+applies the same policy until the whole cluster is within bounds.
+
+Cross-shard ``select`` streams: per-dimension RID iterators walk the
+shards in order (shard order *is* global order), materializing one
+shard's answer at a time, and the k-way conjunctive merge emits global
+RIDs one by one — peak intermediate memory is O(max shard answer)
+rather than O(answer), accounted by :class:`GatherStats`.
+
 Concurrency contract: scatter tasks may run in parallel (they touch
 disjoint shard engines and the lock-protected shared cache), but the
-cluster is single-writer — updates must not interleave with queries.
+cluster is single-writer — updates and lifecycle operations must not
+interleave with queries.
 """
 
 from __future__ import annotations
@@ -44,13 +62,46 @@ from ..engine.engine import (
     EngineColumn,
     QueryEngine,
     QueryPlan,
-    conjunctive_select,
+    conjunctive_select_iter,
 )
 from ..engine.registry import DYNAMISM_LEVELS, IndexSpec, get_spec
 from ..errors import InvalidParameterError, QueryError, UpdateError
 from .cache import InMemorySharedCache, SharedResultCache, shared_key
 from .executor import SerialExecutor
-from .sharding import ShardPlan, locate, offsets_of, plan_shards
+from .sharding import (
+    ShardPlan,
+    locate,
+    offsets_of,
+    plan_from_lengths,
+    plan_shards,
+)
+
+#: Sentinel for "no entry" when re-keying sparse per-shard mappings.
+_ABSENT = object()
+
+
+def _remap_shard_dict(
+    d: dict[int, object], at: int, width: int, replacement: list
+) -> dict[int, object]:
+    """Re-key a per-shard mapping after a lifecycle splice.
+
+    ``width`` shards starting at position ``at`` were replaced by
+    ``len(replacement)`` new ones; entries left of the splice keep
+    their keys, entries right of it shift, and the new shards receive
+    the ``replacement`` values (``_ABSENT`` meaning "no entry" — used
+    for sparse mappings like per-shard pins).
+    """
+    shift = len(replacement) - width
+    out: dict[int, object] = {}
+    for key, value in d.items():
+        if key < at:
+            out[key] = value
+        elif key >= at + width:
+            out[key + shift] = value
+    for i, value in enumerate(replacement):
+        if value is not _ABSENT:
+            out[at + i] = value
+    return out
 
 
 @dataclass
@@ -95,6 +146,58 @@ class Migration:
         return self.old_backend != self.new_backend
 
 
+@dataclass(frozen=True)
+class ShardSplit:
+    """One shard split, as recorded by :meth:`ClusterEngine.split_shard`.
+
+    ``shard_id`` is the shard's *position* at the moment of the split
+    (positions shift as the shard set evolves); ``rows`` is the live
+    row count (max across columns) that triggered it.
+    """
+
+    shard_id: int
+    rows: int
+    left_rows: int
+    right_rows: int
+
+
+@dataclass(frozen=True)
+class ShardMerge:
+    """One shard merge, as recorded by :meth:`ClusterEngine.merge_shards`."""
+
+    left_id: int
+    left_rows: int
+    right_rows: int
+
+
+@dataclass
+class GatherStats:
+    """Materialization accounting for the streaming gather.
+
+    ``live_rids`` counts the RIDs currently buffered by active
+    streaming gathers (one shard's answer per dimension at a time);
+    ``peak_rids`` is the high-water mark since the last
+    :meth:`reset` — the number the O(block) memory claim is asserted
+    against.  A fully materialized gather would peak at the whole
+    per-dimension answer instead.
+    """
+
+    live_rids: int = 0
+    peak_rids: int = 0
+
+    def acquire(self, count: int) -> None:
+        self.live_rids += count
+        if self.live_rids > self.peak_rids:
+            self.peak_rids = self.live_rids
+
+    def release(self, count: int) -> None:
+        self.live_rids -= count
+
+    def reset(self) -> None:
+        self.live_rids = 0
+        self.peak_rids = 0
+
+
 class ClusterEngine:
     """Shards columns by RID range and serves them scatter-gather."""
 
@@ -108,6 +211,8 @@ class ClusterEngine:
         cost_model: CostModel | None = None,
         cache_size: int = 128,
         drift_window: int | None = 256,
+        auto_split: bool | None = None,
+        min_shard_rows: int | None = None,
     ) -> None:
         if advisor is not None and cost_model is not None:
             raise InvalidParameterError(
@@ -115,8 +220,31 @@ class ClusterEngine:
             )
         if drift_window is not None and drift_window <= 0:
             raise InvalidParameterError("drift_window must be >= 1 or None")
+        if min_shard_rows is not None and min_shard_rows <= 0:
+            raise InvalidParameterError("min_shard_rows must be >= 1 or None")
+        if (
+            min_shard_rows is not None
+            and target_shard_rows is not None
+            and min_shard_rows > target_shard_rows
+        ):
+            raise InvalidParameterError(
+                "min_shard_rows cannot exceed target_shard_rows"
+            )
+        # Lifecycle policy: sizing against target_shard_rows turns
+        # auto-split/auto-merge on unless explicitly disabled; a fixed
+        # num_shards cluster stays static unless rebalance()d by hand.
+        if auto_split is None:
+            auto_split = target_shard_rows is not None
+        elif auto_split and target_shard_rows is None:
+            raise InvalidParameterError(
+                "auto_split needs target_shard_rows to size shards against"
+            )
+        if min_shard_rows is None and target_shard_rows is not None:
+            min_shard_rows = max(1, target_shard_rows // 4)
         self._num_shards = num_shards
         self._target_shard_rows = target_shard_rows
+        self._auto_split = auto_split
+        self._min_shard_rows = min_shard_rows
         self.executor = executor if executor is not None else SerialExecutor()
         self.shared_cache = (
             shared_cache if shared_cache is not None else InMemorySharedCache()
@@ -126,8 +254,23 @@ class ClusterEngine:
         self.drift_window = drift_window
         self.plan_: ShardPlan | None = None
         self.shards: list[QueryEngine] = []
+        #: Stable per-shard identities for shared-cache keys: positions
+        #: shift when shards split or merge, uids never do — so a
+        #: lifecycle operation retires exactly its own shards' entries
+        #: while every sibling's stay reachable (and a fresh shard can
+        #: never alias a retired one's keys).
+        self.shard_uids: list[int] = []
+        self._uid_counter = 0
         self.columns: dict[str, ColumnMeta] = {}
         self.migrations: list[Migration] = []
+        self.splits: list[ShardSplit] = []
+        self.merges: list[ShardMerge] = []
+        self.gather_stats = GatherStats()
+
+    def _new_uid(self) -> int:
+        uid = self._uid_counter
+        self._uid_counter += 1
+        return uid
 
     # ------------------------------------------------------------------
     # Column management
@@ -189,34 +332,36 @@ class ClusterEngine:
                 QueryEngine(advisor=self.advisor, cache_size=self.cache_size)
                 for _ in range(self.plan_.num_shards)
             ]
+            self.shard_uids = [
+                self._new_uid() for _ in range(self.plan_.num_shards)
+            ]
         elif len(codes) != self.plan_.n:
             raise InvalidParameterError(
                 f"column {name!r} has {len(codes)} rows; this cluster was "
                 f"sharded for {self.plan_.n}"
             )
-        domains: dict[int, list[int] | None] = {}
+        meta = ColumnMeta(
+            name=name,
+            sigma=sigma,
+            dynamism=dynamism,
+            expected_selectivity=expected_selectivity,
+            require_exact=require_exact,
+            require_delete=require_delete,
+            backend=backend,
+            epoch=uuid.uuid4().hex,
+            updates_since_stat={s: 0 for s in range(self.num_shards)},
+        )
         built: list[int] = []
         try:
             for shard_id, (start, stop) in enumerate(self.plan_.slices()):
-                piece = list(codes[start:stop])
-                if dynamism == "static":
-                    domain = sorted(set(piece))
-                    local_of = {g: i for i, g in enumerate(domain)}
-                    piece = [local_of[c] for c in piece]
-                    shard_sigma = len(domain)
-                    domains[shard_id] = domain
-                else:
-                    shard_sigma = sigma
-                    domains[shard_id] = None
-                self.shards[shard_id].add_column(
-                    name,
-                    piece,
-                    shard_sigma,
-                    dynamism=dynamism,
-                    expected_selectivity=expected_selectivity,
-                    require_exact=require_exact,
-                    require_delete=require_delete,
-                    backend=backend,
+                # One canonical builder (shared with split/merge):
+                # static slices re-dictionary onto their local
+                # alphabet, dynamic slices keep the global one.
+                meta.domains[shard_id] = self._build_shard_column(
+                    self.shards[shard_id],
+                    meta,
+                    list(codes[start:stop]),
+                    backend,
                 )
                 built.append(shard_id)
         except BaseException:
@@ -228,19 +373,8 @@ class ClusterEngine:
             if created_plan:
                 self.plan_ = None
                 self.shards = []
+                self.shard_uids = []
             raise
-        meta = ColumnMeta(
-            name=name,
-            sigma=sigma,
-            dynamism=dynamism,
-            expected_selectivity=expected_selectivity,
-            require_exact=require_exact,
-            require_delete=require_delete,
-            backend=backend,
-            epoch=uuid.uuid4().hex,
-            updates_since_stat={s: 0 for s in range(self.num_shards)},
-            domains=domains,
-        )
         self.columns[name] = meta
         return meta
 
@@ -306,17 +440,40 @@ class ClusterEngine:
     # Queries (scatter-gather)
     # ------------------------------------------------------------------
 
-    def query(self, name: str, char_lo: int, char_hi: int) -> RangeResult:
-        """One global alphabet range query: scatter, cache, gather."""
-        meta = self._meta(name)
+    def _check_range(self, meta: ColumnMeta, char_lo: int, char_hi: int) -> None:
         if char_lo < 0 or char_hi >= meta.sigma or char_lo > char_hi:
             raise QueryError(
                 f"invalid character range [{char_lo}, {char_hi}] for "
                 f"alphabet of size {meta.sigma}"
             )
+
+    def _shard_positions(
+        self, name: str, meta: ColumnMeta, shard_id: int, lo: int, hi: int
+    ) -> list[int]:
+        """One shard's local-space answer, through the shared cache.
+
+        Keys carry the shard's stable *uid*, not its position, so
+        entries survive lifecycle operations on other shards and a
+        post-split shard can never alias a retired shard's entries.
+        """
+        column = self.shards[shard_id].column(name)
+        key = shared_key(
+            name, meta.epoch, self.shard_uids[shard_id], column.version,
+            lo, hi,
+        )
+        hit = self.shared_cache.get(key)
+        if hit is not None:
+            return hit
+        positions = self.shards[shard_id].query(name, lo, hi).positions()
+        self.shared_cache.put(key, positions)
+        return positions
+
+    def query(self, name: str, char_lo: int, char_hi: int) -> RangeResult:
+        """One global alphabet range query: scatter, cache, gather."""
+        meta = self._meta(name)
+        self._check_range(meta, char_lo, char_hi)
         lengths = self.shard_lengths(name)
         offsets = offsets_of(lengths)
-        cache = self.shared_cache
 
         def shard_task(shard_id: int) -> list[int]:
             # Static shards carry a dense local alphabet; translating
@@ -325,17 +482,7 @@ class ClusterEngine:
             local = self._translate_range(meta, shard_id, char_lo, char_hi)
             if local is None:
                 return []
-            lo, hi = local
-            column = self.shards[shard_id].column(name)
-            key = shared_key(
-                name, meta.epoch, shard_id, column.version, lo, hi
-            )
-            hit = cache.get(key)
-            if hit is not None:
-                return hit
-            positions = self.shards[shard_id].query(name, lo, hi).positions()
-            cache.put(key, positions)
-            return positions
+            return self._shard_positions(name, meta, shard_id, *local)
 
         per_shard = self.executor.map(shard_task, range(self.num_shards))
         # Gather: shard i's global RIDs all precede shard i+1's, so the
@@ -346,15 +493,64 @@ class ClusterEngine:
             merged.extend(offset + p for p in positions)
         return RangeResult(merged, sum(lengths))
 
+    def query_iter(self, name: str, char_lo: int, char_hi: int):
+        """One global range query as a lazily gathered RID stream.
+
+        Shard order is global RID order, so the k-way merge of sorted
+        disjoint per-shard runs degenerates to concatenation; the
+        stream visits shards left to right, materializing only one
+        shard's (individually shared-cacheable) answer at a time and
+        translating local positions by the live offset.  Peak
+        intermediate memory is O(max shard answer) rather than
+        O(global answer); ``gather_stats`` records the high-water
+        mark, releasing each shard's buffer as soon as the stream
+        moves past it (or is closed early).
+        """
+        meta = self._meta(name)
+        self._check_range(meta, char_lo, char_hi)
+
+        def gen():
+            offset = 0
+            for shard_id in range(self.num_shards):
+                length = self.shards[shard_id].column(name).n
+                local = self._translate_range(
+                    meta, shard_id, char_lo, char_hi
+                )
+                if local is not None:
+                    positions = self._shard_positions(
+                        name, meta, shard_id, *local
+                    )
+                    self.gather_stats.acquire(len(positions))
+                    try:
+                        for p in positions:
+                            yield offset + p
+                    finally:
+                        self.gather_stats.release(len(positions))
+                offset += length
+
+        return gen()
+
     def select(self, conditions: Mapping[str, tuple[int, int]]) -> list[int]:
         """Conjunctive range query over global RIDs.
 
-        One scatter-gather per dimension (each per-shard sub-answer
-        individually shared-cacheable), short-circuiting as soon as a
-        dimension comes back empty, then a sorted intersection of the
-        merged global streams — the §1 plan, distributed.
+        The materialized form of :meth:`select_iter`: only the final
+        answer is built as a list — every intermediate stays inside
+        the streaming k-way merge's per-shard buffers.
         """
-        return conjunctive_select(self.query, conditions)
+        return list(self.select_iter(conditions))
+
+    def select_iter(self, conditions: Mapping[str, tuple[int, int]]):
+        """Streaming conjunctive range query over global RIDs.
+
+        One lazy gather per dimension (each per-shard sub-answer
+        individually shared-cacheable), intersected in lockstep by the
+        §1 conjunctive plan's streaming form
+        (:func:`conjunctive_select_iter`): RIDs are emitted one at a
+        time, a dimension that runs dry ends the select early, and
+        peak intermediate memory is bounded by one shard's answer per
+        dimension — O(block), not O(answer) — however huge the result.
+        """
+        return conjunctive_select_iter(self.query_iter, conditions)
 
     def plan(
         self, name: str, char_lo: int, char_hi: int
@@ -397,8 +593,8 @@ class ClusterEngine:
                     continue
                 column = self.shards[shard_id].column(name)
                 key = shared_key(
-                    name, meta.epoch, shard_id, column.version,
-                    plan.char_lo, plan.char_hi,
+                    name, meta.epoch, self.shard_uids[shard_id],
+                    column.version, plan.char_lo, plan.char_hi,
                 )
                 shared = "shared-cache" if key in cache else "miss"
                 lines.append(
@@ -428,7 +624,9 @@ class ClusterEngine:
         lines = [
             f"cluster: {self.num_shards} shard(s), "
             f"{len(self.columns)} column(s), "
-            f"{len(self.migrations)} migration(s){cache_note}"
+            f"{len(self.migrations)} migration(s), "
+            f"{len(self.splits)} split(s), "
+            f"{len(self.merges)} merge(s){cache_note}"
         ]
         for name_ in self.columns:
             lines.append(f"  {name_}: {' | '.join(self.backends(name_))}")
@@ -469,17 +667,21 @@ class ClusterEngine:
         self._check_updatable(name)
         shard_id, local = self._route(name, global_pos)
         self.shards[shard_id].delete(name, local)
-        self._after_update(name, shard_id)
+        self._after_update(name, shard_id, deleted=True)
 
     def _route(self, name: str, global_pos: int) -> tuple[int, int]:
         lengths = self.shard_lengths(name)
         return locate(offsets_of(lengths), sum(lengths), global_pos)
 
-    def _after_update(self, name: str, shard_id: int) -> None:
+    def _after_update(
+        self, name: str, shard_id: int, deleted: bool = False
+    ) -> None:
         # The version bump already made this shard's keys unreachable;
         # eager eviction frees their capacity.  Other shards' entries
         # are untouched — that is the point of per-shard versioning.
-        self.shared_cache.invalidate(column=name, shard_id=shard_id)
+        self.shared_cache.invalidate(
+            column=name, shard_id=self.shard_uids[shard_id]
+        )
         meta = self.columns[name]
         meta.updates_since_stat[shard_id] = (
             meta.updates_since_stat.get(shard_id, 0) + 1
@@ -491,6 +693,10 @@ class ClusterEngine:
             and meta.updates_since_stat[shard_id] >= self.drift_window
         ):
             self._maybe_migrate(name, shard_id)  # resets the counter
+        # Lifecycle last: a split/merge rebuilds the shard wholesale,
+        # so any migration verdict above is absorbed into it anyway.
+        if self._auto_split:
+            self._auto_lifecycle(shard_id, may_shrink=deleted)
 
     # ------------------------------------------------------------------
     # Online backend migration
@@ -514,7 +720,9 @@ class ClusterEngine:
         # rebuild() bumped the version; evict the dead entries from
         # both tiers eagerly.
         self.shards[shard_id].cache.invalidate(lambda key: key[0] == name)
-        self.shared_cache.invalidate(column=name, shard_id=shard_id)
+        self.shared_cache.invalidate(
+            column=name, shard_id=self.shard_uids[shard_id]
+        )
         migration = Migration(name, shard_id, old, spec.name)
         self.migrations.append(migration)
         return migration
@@ -644,3 +852,351 @@ class ClusterEngine:
         else:
             self._check_shard(shard_id)
             meta.shard_pins.pop(shard_id, None)
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle (split / merge / rebalance)
+    # ------------------------------------------------------------------
+
+    def _live_count(self, name: str, shard_id: int) -> int:
+        codes = self.shards[shard_id].column(name).codes
+        return sum(1 for c in codes if c is not None)
+
+    def _live_rows(self, shard_id: int) -> int:
+        """A shard's live row count: the max across its columns.
+
+        Columns share one shard set but their RID spaces drift apart
+        under single-column deletes, so sizing decisions go by the
+        largest column — the one actually straining the shard.
+        """
+        counts = [self._live_count(name, shard_id) for name in self.columns]
+        return max(counts) if counts else 0
+
+    def _live_global_codes(self, name: str, shard_id: int) -> list[int]:
+        """One shard's live codes, translated back to the global alphabet.
+
+        Static shards store local codes; their domain maps them back.
+        Pending deleted slots (``None`` holes) are dropped, exactly as
+        any backend rebuild would compact them.
+        """
+        meta = self.columns[name]
+        column = self.shards[shard_id].column(name)
+        live = [c for c in column.codes if c is not None]
+        domain = meta.domains.get(shard_id)
+        if domain is not None:
+            live = [domain[c] for c in live]
+        return live
+
+    def _build_shard_column(
+        self,
+        engine: QueryEngine,
+        meta: ColumnMeta,
+        global_codes: list[int],
+        pin: str | None,
+    ) -> list[int] | None:
+        """Build one column slice into a fresh shard engine.
+
+        Static slices re-apply §1.1's dictionary trick on their own
+        codes (fresh local alphabet, fresh low-cardinality stats);
+        dynamic slices keep the global alphabet.  Returns the new
+        local domain (``None`` for dynamic slices).  Without a pin the
+        per-shard advisor re-measures the slice and picks its backend.
+        """
+        if meta.dynamism == "static":
+            domain = sorted(set(global_codes))
+            local_of = {g: i for i, g in enumerate(domain)}
+            codes = [local_of[c] for c in global_codes]
+            sigma = len(domain)
+        else:
+            domain = None
+            codes = list(global_codes)
+            sigma = meta.sigma
+        engine.add_column(
+            meta.name,
+            codes,
+            sigma,
+            dynamism=meta.dynamism,
+            expected_selectivity=meta.expected_selectivity,
+            require_exact=meta.require_exact,
+            # A frozen column's delete requirement is suspended with
+            # the rest of its update contract (mirrors migrate()).
+            require_delete=meta.require_delete and meta.dynamism != "static",
+            backend=pin,
+        )
+        return domain
+
+    def split_shard(self, shard_id: int) -> ShardSplit:
+        """Split one shard into two halves, in place.
+
+        Every column's slice is cut at its own live midpoint (pending
+        deleted slots compact away, like any rebuild), and both halves
+        are rebuilt through the per-shard advisor — static columns on
+        fresh local dictionaries — unless a standing pin governs.  The
+        halves receive fresh shard uids, so the split shard's
+        shared-cache entries die with its retired uid while every
+        sibling shard's hot entries keep serving; per-shard drift
+        clocks restart and a per-shard pin carries to both halves.
+        Everything is validated and built before the shard set
+        mutates — a failed split leaves the cluster untouched.
+        """
+        self._check_shard(shard_id)
+        if not self.columns:
+            raise InvalidParameterError(
+                "nothing to split: the cluster has no columns"
+            )
+        halves: dict[str, tuple[list[int], list[int]]] = {}
+        for name in self.columns:
+            live = self._live_global_codes(name, shard_id)
+            if len(live) < 2:
+                raise InvalidParameterError(
+                    f"shard {shard_id} cannot split: column {name!r} "
+                    f"holds {len(live)} live row(s)"
+                )
+            mid = len(live) // 2
+            halves[name] = (live[:mid], live[mid:])
+        record = ShardSplit(
+            shard_id=shard_id,
+            rows=self._live_rows(shard_id),
+            left_rows=max(len(halves[n][0]) for n in halves),
+            right_rows=max(len(halves[n][1]) for n in halves),
+        )
+        engines = [
+            QueryEngine(advisor=self.advisor, cache_size=self.cache_size)
+            for _ in range(2)
+        ]
+        new_domains: dict[str, list] = {}
+        for name, meta in self.columns.items():
+            pin = meta.shard_pins.get(shard_id) or meta.backend
+            new_domains[name] = [
+                self._build_shard_column(
+                    engines[side], meta, halves[name][side], pin
+                )
+                for side in range(2)
+            ]
+        # Commit: splice the shard set, retire the old uid, remap the
+        # positional per-shard metadata.
+        old_uid = self.shard_uids[shard_id]
+        self.shards[shard_id : shard_id + 1] = engines
+        self.shard_uids[shard_id : shard_id + 1] = [
+            self._new_uid(), self._new_uid(),
+        ]
+        for name, meta in self.columns.items():
+            meta.domains = _remap_shard_dict(
+                meta.domains, shard_id, 1, new_domains[name]
+            )
+            meta.updates_since_stat = _remap_shard_dict(
+                meta.updates_since_stat, shard_id, 1, [0, 0]
+            )
+            pin = meta.shard_pins.get(shard_id)
+            meta.shard_pins = _remap_shard_dict(
+                meta.shard_pins, shard_id, 1,
+                [_ABSENT, _ABSENT] if pin is None else [pin, pin],
+            )
+            self.shared_cache.invalidate(column=name, shard_id=old_uid)
+        self._refresh_plan()
+        self.splits.append(record)
+        return record
+
+    def merge_shards(self, left_id: int) -> ShardMerge:
+        """Fuse shards ``left_id`` and ``left_id + 1`` into one.
+
+        The concatenation of the two live slices (holes compacted) is
+        rebuilt through the advisor — or through a pin both halves
+        agree on — under a fresh shard uid, so both retired shards'
+        shared-cache entries die while every other shard's survive.
+        """
+        self._check_shard(left_id)
+        if left_id + 1 >= self.num_shards:
+            raise InvalidParameterError(
+                f"shard {left_id} has no right neighbor to merge with"
+            )
+        if not self.columns:
+            raise InvalidParameterError(
+                "nothing to merge: the cluster has no columns"
+            )
+        combined: dict[str, list[int]] = {}
+        for name in self.columns:
+            merged = self._live_global_codes(
+                name, left_id
+            ) + self._live_global_codes(name, left_id + 1)
+            if not merged:
+                raise InvalidParameterError(
+                    f"cannot merge shards {left_id} and {left_id + 1}: "
+                    f"column {name!r} would be empty"
+                )
+            combined[name] = merged
+        record = ShardMerge(
+            left_id=left_id,
+            left_rows=self._live_rows(left_id),
+            right_rows=self._live_rows(left_id + 1),
+        )
+        engine = QueryEngine(advisor=self.advisor, cache_size=self.cache_size)
+        new_domains: dict[str, list[int] | None] = {}
+        for name, meta in self.columns.items():
+            pin = meta.shard_pins.get(left_id)
+            if pin != meta.shard_pins.get(left_id + 1):
+                pin = None  # the halves disagree; the advisor decides
+            pin = pin or meta.backend
+            new_domains[name] = self._build_shard_column(
+                engine, meta, combined[name], pin
+            )
+        old_uids = list(self.shard_uids[left_id : left_id + 2])
+        self.shards[left_id : left_id + 2] = [engine]
+        self.shard_uids[left_id : left_id + 2] = [self._new_uid()]
+        for name, meta in self.columns.items():
+            meta.domains = _remap_shard_dict(
+                meta.domains, left_id, 2, [new_domains[name]]
+            )
+            meta.updates_since_stat = _remap_shard_dict(
+                meta.updates_since_stat, left_id, 2, [0]
+            )
+            pin = meta.shard_pins.get(left_id)
+            keep = (
+                pin
+                if pin is not None and pin == meta.shard_pins.get(left_id + 1)
+                else _ABSENT
+            )
+            meta.shard_pins = _remap_shard_dict(
+                meta.shard_pins, left_id, 2, [keep]
+            )
+            for uid in old_uids:
+                self.shared_cache.invalidate(column=name, shard_id=uid)
+        self._refresh_plan()
+        self.merges.append(record)
+        return record
+
+    def _refresh_plan(self) -> None:
+        # Keep the plan authoritative for slices()/bounds() consumers:
+        # re-derive it from the reference column's live lengths (the
+        # columns may drift apart under single-column deletes; routing
+        # always goes through per-column prefix sums anyway).
+        name = next(iter(self.columns))
+        self.plan_ = plan_from_lengths(
+            [shard.column(name).n for shard in self.shards]
+        )
+
+    def _splittable(self, shard_id: int) -> bool:
+        return all(
+            self._live_count(name, shard_id) >= 2 for name in self.columns
+        )
+
+    def _auto_lifecycle(self, shard_id: int, may_shrink: bool = False) -> None:
+        """The per-update sizing policy: split past the target, merge
+        below the floor.  One update moves one row, so at most one
+        operation is ever needed here; :meth:`rebalance` handles
+        arbitrary imbalance.
+
+        Two cheap prechecks keep the per-update cost O(columns), not
+        O(shard rows): live rows never exceed a column's position-space
+        length ``n``, so the split scan only runs once some column's
+        ``n`` crosses the target; and only a delete can drop live rows
+        below the merge floor, so the merge scan runs on deletes only.
+        (A shard left under the floor while its merges were blocked is
+        an optimization gap, not a correctness one — the next delete
+        routed to it, or an explicit :meth:`rebalance`, sweeps it up.)
+        """
+        target = self._target_shard_rows
+        shard = self.shards[shard_id]
+        if any(shard.column(name).n > target for name in self.columns):
+            if self._live_rows(shard_id) > target:
+                if self._splittable(shard_id):
+                    self.split_shard(shard_id)
+                return
+        if (
+            may_shrink
+            and self._min_shard_rows is not None
+            and self.num_shards > 1
+            and self._live_rows(shard_id) < self._min_shard_rows
+        ):
+            self._try_merge(shard_id, target)
+
+    def _try_merge(self, shard_id: int, target: int) -> bool:
+        """Fuse an underfull shard into its smaller neighbor — but only
+        when the union stays within the split threshold, so a merge can
+        never trigger an immediate re-split (no oscillation)."""
+        neighbors = sorted(
+            (s for s in (shard_id - 1, shard_id + 1)
+             if 0 <= s < self.num_shards),
+            key=lambda s: (self._live_rows(s), s),
+        )
+        for neighbor in neighbors:
+            if self._live_rows(shard_id) + self._live_rows(neighbor) > target:
+                continue
+            left = min(shard_id, neighbor)
+            if any(
+                not self._live_global_codes(name, left)
+                and not self._live_global_codes(name, left + 1)
+                for name in self.columns
+            ):
+                continue  # a column would come out empty; unbuildable
+            self.merge_shards(left)
+            return True
+        return False
+
+    def rebalance(self, target_shard_rows: int | None = None) -> int:
+        """Split and merge until every shard sits within the policy.
+
+        Uses the constructor's ``target_shard_rows`` unless one is
+        passed explicitly — which also lets a fixed ``num_shards``
+        cluster be rebalanced by hand.  Returns the number of
+        lifecycle operations performed.
+        """
+        target = (
+            target_shard_rows
+            if target_shard_rows is not None
+            else self._target_shard_rows
+        )
+        if target is None:
+            raise InvalidParameterError(
+                "rebalance needs a target_shard_rows (constructor or "
+                "argument)"
+            )
+        if target <= 0:
+            raise InvalidParameterError("target_shard_rows must be >= 1")
+        # A configured merge floor keeps governing under an explicit
+        # target (clamped to it); otherwise the default ratio applies.
+        floor = (
+            self._min_shard_rows
+            if self._min_shard_rows is not None
+            else max(1, target // 4)
+        )
+        floor = min(floor, target)
+        ops = 0
+        # The policy terminates on its own: splits strictly shrink
+        # shards, merges only produce shards at or under the target
+        # (which never re-split), and each pass performs at least one
+        # operation or stops.  The cap is a backstop against a policy
+        # bug, sized from the data so a legitimate reshape (however
+        # large) can never hit it.
+        total = (
+            max(self.total_rows(name) for name in self.columns)
+            if self.columns
+            else 0
+        )
+        limit = 4 * (self.num_shards + total // max(1, target) + 8)
+        changed = True
+        while changed:
+            if ops >= limit:
+                raise AssertionError(
+                    f"rebalance failed to converge after {ops} operations "
+                    "— sizing-policy bug"
+                )
+            changed = False
+            for shard_id in range(self.num_shards):
+                if (
+                    self._live_rows(shard_id) > target
+                    and self._splittable(shard_id)
+                ):
+                    self.split_shard(shard_id)
+                    ops += 1
+                    changed = True
+                    break
+                if (
+                    floor is not None
+                    and self.num_shards > 1
+                    and self._live_rows(shard_id) < floor
+                    and self._try_merge(shard_id, target)
+                ):
+                    ops += 1
+                    changed = True
+                    break
+        return ops

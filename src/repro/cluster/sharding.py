@@ -89,6 +89,23 @@ def plan_shards(
     return ShardPlan(n=n, starts=tuple(starts))
 
 
+def plan_from_lengths(lengths: list[int]) -> ShardPlan:
+    """Re-derive the authoritative plan from live per-shard lengths.
+
+    Shard lifecycle operations (splits, merges) change the shard set
+    after build time; this rebuilds a :class:`ShardPlan` whose
+    ``slices()`` describe the *current* contiguous boundaries, so plan
+    consumers keep seeing the live layout.  Zero-length shards are
+    legal here (a column may have been emptied by deletions) even
+    though :func:`plan_shards` never creates one at build time.
+    """
+    if not lengths:
+        raise InvalidParameterError("cannot derive a plan from no shards")
+    if any(length < 0 for length in lengths):
+        raise InvalidParameterError("shard lengths must be >= 0")
+    return ShardPlan(n=sum(lengths), starts=tuple(offsets_of(list(lengths))))
+
+
 def offsets_of(lengths: list[int]) -> list[int]:
     """Prefix sums: each shard's current first global RID."""
     offsets = []

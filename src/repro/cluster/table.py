@@ -64,6 +64,10 @@ class ShardedTable:
     Updates go through the table's own verbs (:meth:`append_row`,
     :meth:`change`), which keep the value mirror — ``values``,
     ``num_rows``, what :meth:`row` serves — in sync with the cluster.
+    Auto shard lifecycle composes with those verbs: build with
+    ``target_shard_rows`` and appends that outgrow a shard split it in
+    place without disturbing global row ids (table-level flows leave
+    no deletion holes, so lifecycle compaction never renumbers).
     Mutating ``self.cluster`` directly updates the indexes only and
     leaves that mirror behind; deletions are engine-level for the same
     reason (a shard compaction renumbers global RIDs underneath a flat
@@ -159,17 +163,77 @@ class ShardedTable:
         self.cluster.change(name, rid, column.alphabet.code(value))
         column.values[rid] = value
 
-    def select(self, conditions: Mapping[str, tuple[Any, Any]]) -> list[int]:
-        """Global row ids matching every ``column: (lo, hi)`` condition."""
+    def _code_conditions(
+        self, conditions: Mapping[str, tuple[Any, Any]]
+    ) -> dict[str, tuple[int, int]] | None:
+        """Translate value ranges to code ranges, once per query.
+
+        ``None`` when some dimension's value range misses the alphabet
+        entirely — the whole conjunction is empty.
+        """
         if not conditions:
             raise QueryError("select requires at least one condition")
         code_conditions: dict[str, tuple[int, int]] = {}
         for name, (lo, hi) in conditions.items():
             code_range = self.column(name).code_range(lo, hi)
             if code_range is None:
-                return []
+                return None
             code_conditions[name] = code_range
+        return code_conditions
+
+    def select(self, conditions: Mapping[str, tuple[Any, Any]]) -> list[int]:
+        """Global row ids matching every ``column: (lo, hi)`` condition."""
+        code_conditions = self._code_conditions(conditions)
+        if code_conditions is None:
+            return []
         return self.cluster.select(code_conditions)
 
-    def explain(self, *args) -> str:
-        return self.cluster.explain(*args)
+    def select_iter(self, conditions: Mapping[str, tuple[Any, Any]]):
+        """Streaming :meth:`select`: matching row ids, one at a time.
+
+        Same answers in the same order, but produced by the cluster's
+        streaming k-way gather — per-dimension, per-shard iterators
+        intersected in lockstep — so arbitrarily large answers are
+        consumed in bounded memory.  Conditions are validated and
+        value-translated eagerly, before the first row id is drawn.
+        """
+        code_conditions = self._code_conditions(conditions)
+        if code_conditions is None:
+            return iter(())
+        return self.cluster.select_iter(code_conditions)
+
+    def explain(
+        self,
+        target: str | Mapping[str, tuple[Any, Any]] | None = None,
+    ) -> str:
+        """Cluster report: everything, one column, or one query.
+
+        The typed counterpart of :meth:`select`'s contract — no raw
+        code-space passthrough:
+
+        * ``explain()`` — the cluster overview;
+        * ``explain("col")`` — one column's per-shard verdicts;
+        * ``explain({"col": (lo, hi), ...})`` — the per-shard plan of
+          each dimension of a conjunctive query, with value ranges
+          translated through each column's alphabet exactly as
+          ``select`` would.
+        """
+        if target is None:
+            return self.cluster.explain()
+        if isinstance(target, str):
+            self.column(target)  # raise on unknown, like select does
+            return self.cluster.explain(target)
+        if not target:
+            raise QueryError("explain requires at least one condition")
+        lines = []
+        for name, (lo, hi) in target.items():
+            code_range = self.column(name).code_range(lo, hi)
+            if code_range is None:
+                lines.append(
+                    f"{name} [{lo!r}..{hi!r}]: no value in range "
+                    "(dimension empty; the whole select is empty)"
+                )
+                continue
+            lines.append(f"{name} [{lo!r}..{hi!r}]:")
+            lines.append(self.cluster.explain(name, *code_range))
+        return "\n".join(lines)

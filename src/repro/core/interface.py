@@ -69,6 +69,27 @@ class RangeResult:
             return complement_sorted(self._stored, self.universe)
         return list(self._stored)
 
+    def iter_positions(self):
+        """Stream the sorted matching positions without materializing.
+
+        The streaming counterpart of :meth:`positions`: a complemented
+        answer (§2.1, ``z > n/2``) is walked as the gaps between its
+        stored positions in O(1) extra memory, so a consumer that
+        processes positions one at a time never pays the O(z) list the
+        materialized form costs.
+        """
+        if not self.complemented:
+            return iter(self._stored)
+
+        def gaps():
+            prev = -1
+            for p in self._stored:
+                yield from range(prev + 1, p)
+                prev = p
+            yield from range(prev + 1, self.universe)
+
+        return gaps()
+
     def stored_positions(self) -> list[int]:
         """The list physically held (the complement when flagged)."""
         return list(self._stored)

@@ -49,6 +49,68 @@ def conjunctive_select(
     return intersect_many(per_dim)
 
 
+def conjunctive_select_iter(query_iter, conditions):
+    """The streaming §1 conjunctive plan over sorted RID iterators.
+
+    ``query_iter(name, lo, hi)`` must return an iterator of strictly
+    increasing global RIDs.  The returned generator performs the k-way
+    intersection in lockstep — every dimension holds one cursor, the
+    laggards are advanced to the current frontier, and a RID is emitted
+    only when all cursors agree — so the answer is produced one RID at
+    a time and nothing is materialized beyond what the per-dimension
+    iterators themselves buffer.  Exhausting any dimension ends the
+    whole select (the streaming form of the empty-dimension
+    short-circuit); abandoned iterators are closed so producers can
+    release their buffers deterministically.
+
+    Conditions are validated eagerly — the per-dimension iterators are
+    constructed (and their producers validate columns and ranges)
+    before the generator is ever advanced, mirroring
+    :func:`conjunctive_select`'s fail-fast behavior.
+    """
+    if not conditions:
+        raise QueryError("select requires at least one condition")
+    iters = [
+        query_iter(name, lo, hi) for name, (lo, hi) in conditions.items()
+    ]
+
+    def gen():
+        sentinel = object()
+        try:
+            heads = []
+            for it in iters:
+                head = next(it, sentinel)
+                if head is sentinel:
+                    return
+                heads.append(head)
+            while True:
+                frontier = max(heads)
+                aligned = True
+                for i, it in enumerate(iters):
+                    while heads[i] < frontier:
+                        head = next(it, sentinel)
+                        if head is sentinel:
+                            return
+                        heads[i] = head
+                    if heads[i] > frontier:
+                        aligned = False
+                if not aligned:
+                    continue
+                yield frontier
+                for i, it in enumerate(iters):
+                    head = next(it, sentinel)
+                    if head is sentinel:
+                        return
+                    heads[i] = head
+        finally:
+            for it in iters:
+                close = getattr(it, "close", None)
+                if close is not None:
+                    close()
+
+    return gen()
+
+
 @dataclass(frozen=True)
 class QueryPlan:
     """How one range query will be served (produced without running it)."""
@@ -333,6 +395,17 @@ class QueryEngine:
         self.cache.put(key, result)
         return result
 
+    def query_iter(self, name: str, char_lo: int, char_hi: int):
+        """One range query as a sorted position iterator.
+
+        The answer still flows through the LRU cache (the cache stores
+        the :class:`RangeResult`, not a materialized list), but the
+        positions stream out via :meth:`RangeResult.iter_positions` —
+        a complemented majority answer is never expanded into its O(z)
+        list.
+        """
+        return self.query(name, char_lo, char_hi).iter_positions()
+
     def select(
         self, conditions: Mapping[str, tuple[int, int]]
     ) -> list[int]:
@@ -343,6 +416,16 @@ class QueryEngine:
         the sorted RID lists are then intersected smallest-first.
         """
         return conjunctive_select(self.query, conditions)
+
+    def select_iter(self, conditions: Mapping[str, tuple[int, int]]):
+        """Streaming conjunctive select: RIDs yielded one at a time.
+
+        The iterator form of :meth:`select` — same answers, but the
+        k-way intersection runs over per-dimension position iterators
+        (:func:`conjunctive_select_iter`), so huge answers are emitted
+        in bounded memory instead of being materialized per dimension.
+        """
+        return conjunctive_select_iter(self.query_iter, conditions)
 
     def explain(
         self,

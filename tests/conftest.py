@@ -1,6 +1,38 @@
-"""Shared test helpers."""
+"""Shared test helpers and the project's Hypothesis profiles.
+
+The stateful machines (engine, cluster, lifecycle) run many update +
+full-verify steps per example; an explicit profile keeps the whole
+property/stateful portion of the suite well under a minute in CI:
+
+* ``repro`` — the local default: no deadline (a single step can
+  legitimately rebuild several shard indexes), moderate example
+  counts.
+* ``repro-ci`` — what CI loads (``CI=1`` is set by GitHub Actions):
+  same settings, fewer examples.
+
+Machines that pin their own ``settings(...)`` inherit the loaded
+profile's defaults (notably ``deadline=None``) and override the rest.
+"""
 
 from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=30,
+    stateful_step_count=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "repro-ci",
+    parent=settings.get_profile("repro"),
+    max_examples=15,
+)
+settings.load_profile("repro-ci" if os.environ.get("CI") else "repro")
 
 
 def brute_range(x, lo, hi):

@@ -13,6 +13,12 @@ a ``None`` hole until the shard's backend compacts (which
 shard's physical positions are holes), at which point the model shard
 compacts with it and all later global RIDs shift — precisely what a
 stale cached answer would get wrong.
+
+Shard *splits* interleave with everything else: a split retires the
+split shard's stable uid (killing its cached entries) while every
+sibling's entries remain keyed by their unchanged uids — so hot
+entries must keep serving across the reshape, and no key may ever
+reference a retired uid.
 """
 
 from hypothesis import settings
@@ -128,6 +134,26 @@ class ClusterCacheMachine(RuleBasedStateMachine):
         if holes >= REBUILD_FRACTION * max(1, len(shard)):
             self.del_shards[shard_id] = [c for c in shard if c is not None]
 
+    @rule(data=st.data())
+    def split_a_shard(self, data):
+        """Lifecycle reshapes interleaved with the update traffic: the
+        split compacts pending holes (like any rebuild) and retires
+        the shard's uid, which the invariants below then audit."""
+        candidates = [
+            sid
+            for sid in range(len(self.dyn_shards))
+            if sum(1 for c in self.dyn_shards[sid] if c is not None) >= 2
+            and sum(1 for c in self.del_shards[sid] if c is not None) >= 2
+        ]
+        if not candidates:
+            return
+        sid = data.draw(st.sampled_from(candidates))
+        self.cluster.split_shard(sid)
+        for shards in (self.dyn_shards, self.del_shards):
+            live = [c for c in shards[sid] if c is not None]
+            mid = len(live) // 2
+            shards[sid : sid + 1] = [live[:mid], live[mid:]]
+
     # ------------------------------------------------------------------
     # Query rules (the second ask is the cache-hitting one)
     # ------------------------------------------------------------------
@@ -173,11 +199,15 @@ class ClusterCacheMachine(RuleBasedStateMachine):
     @invariant()
     def cached_entries_reference_current_versions(self):
         # The invalidation protocol: no shared-cache key may survive
-        # its shard's version, in any column, on any shard.
+        # its shard's version — and keys carry stable uids, so none
+        # may reference a shard retired by a split.
+        uids = self.cluster.shard_uids
         for key in list(self.cluster.shared_cache._lru._data):
-            name, epoch, shard_id, version = key[0], key[1], key[2], key[3]
+            name, epoch, uid, version = key[0], key[1], key[2], key[3]
             assert epoch == self.cluster.columns[name].epoch
-            current = self.cluster.shard_column(name, shard_id).version
+            assert uid in uids
+            position = uids.index(uid)
+            current = self.cluster.shard_column(name, position).version
             assert version == current
 
     @invariant()

@@ -14,6 +14,13 @@ layer: every backend, pinned under a :class:`repro.cluster.\
 ShardedTable` at 1, 2, and 7 shards, must produce RID sets identical
 to the single-engine :class:`repro.queries.Table` and the oracle —
 the scatter/offset-translate/merge path buys no slack on exactness.
+
+Finally the *shard lifecycle* gets the same treatment: every backend
+runs under a ShardedTable sized by a small ``target_shard_rows`` so
+that shards split mid-suite — auto-splits under appends for backends
+that serve them, explicit splits of the fattest shard for static
+ones — and the post-split answers must again match the oracle and a
+single-engine table over the identical final data.
 """
 
 import random
@@ -172,6 +179,85 @@ class TestShardedConformance:
             pytest.skip("no strict majority range in this workload")
         for lo, hi in hits[:8]:
             assert table.select({"c": (lo, hi)}) == brute_range(x, lo, hi)
+
+
+LIFECYCLE_TARGET = 48
+LIFECYCLE_WORKLOADS = ["uniform", "runs_heavy", "sigma_2"]
+
+
+@pytest.fixture(scope="module")
+def lifecycle_tables():
+    """Every backend under a ShardedTable with the auto lifecycle on.
+
+    Backends that serve appends grow 80 rows past the target (several
+    auto-splits fire mid-build); static-only backends get the fattest
+    shard split explicitly, twice.  Either way every backend's shards
+    pass through the split rebuild path before any query runs.
+    """
+    by_name = {w[0]: w for w in WORKLOADS}
+    cache = {}
+    for wname in LIFECYCLE_WORKLOADS:
+        _, gen, sigma = by_name[wname]
+        x = gen()
+        for spec in SPECS:
+            appendable = spec.serves("semidynamic")
+            table = ShardedTable(
+                {"c": list(x)},
+                target_shard_rows=LIFECYCLE_TARGET,
+                backend=spec.name,
+                dynamism="semidynamic" if appendable else "static",
+                drift_window=None,
+            )
+            model = list(x)
+            if appendable:
+                for i in range(80):
+                    value = x[(7 * i) % len(x)]
+                    table.append_row({"c": value})
+                    model.append(value)
+            else:
+                for _ in range(2):
+                    lengths = table.cluster.shard_lengths("c")
+                    fattest = max(
+                        range(len(lengths)), key=lengths.__getitem__
+                    )
+                    table.cluster.split_shard(fattest)
+            cache[(spec.name, wname)] = (model, sigma, appendable, table)
+    return cache
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=spec_id)
+@pytest.mark.parametrize("wname", LIFECYCLE_WORKLOADS)
+class TestLifecycleConformance:
+    """The registry contract survives shard splits and regrowth."""
+
+    def test_splits_fired_and_answers_match_oracle(
+        self, lifecycle_tables, spec, wname
+    ):
+        model, sigma, appendable, table = lifecycle_tables[
+            (spec.name, wname)
+        ]
+        cluster = table.cluster
+        if appendable:
+            assert cluster.splits, (
+                f"{spec.name} on {wname}: appends past "
+                f"{LIFECYCLE_TARGET} rows must have split"
+            )
+            assert max(cluster.shard_lengths("c")) <= LIFECYCLE_TARGET
+        else:
+            assert len(cluster.splits) == 2
+        assert sum(cluster.shard_lengths("c")) == len(model)
+        single = Table({"c": model}, factory=spec.build)
+        rng = random.Random(
+            zlib.crc32(f"lifecycle:{spec.name}:{wname}".encode())
+        )
+        for lo, hi in random_ranges(rng, sigma, 6):
+            expected = brute_range(model, lo, hi)
+            got = table.select({"c": (lo, hi)})
+            assert got == expected, (
+                f"{spec.name} on {wname} post-lifecycle: [{lo},{hi}]"
+            )
+            assert got == single.select({"c": (lo, hi)})
+            assert list(table.select_iter({"c": (lo, hi)})) == expected
 
 
 @pytest.mark.parametrize("spec", SPECS, ids=spec_id)

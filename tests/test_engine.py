@@ -374,10 +374,34 @@ class TestQueryEngine:
         ]
         assert got == want
 
+    def test_select_iter_streams_the_same_answer(self):
+        engine = QueryEngine()
+        a = uniform(600, 8, seed=11)
+        b = uniform(600, 8, seed=12)
+        engine.add_column("a", a, 8)
+        engine.add_column("b", b, 8)
+        conditions = {"a": (2, 5), "b": (0, 3)}
+        want = engine.select(conditions)
+        assert list(engine.select_iter(conditions)) == want
+        # query_iter flows through the same cache as query().
+        hits = engine.cache.hits
+        assert list(engine.query_iter("a", 2, 5)) == brute_range(a, 2, 5)
+        assert engine.cache.hits == hits + 1
+        # Early abandonment is clean: take a few, close, ask again.
+        it = engine.select_iter(conditions)
+        head = [next(it) for _ in range(3)]
+        it.close()
+        assert head == want[:3]
+        assert engine.select(conditions) == want
+
     def test_select_requires_conditions(self):
         engine = self.make()
         with pytest.raises(QueryError):
             engine.select({})
+        with pytest.raises(QueryError):
+            engine.select_iter({})
+        with pytest.raises(QueryError):
+            engine.select_iter({"missing": (0, 1)})  # eager validation
 
     def test_select_short_circuits_empty_dimension(self):
         engine = QueryEngine()

@@ -23,6 +23,20 @@ class TestRangeResult:
         assert 0 not in r and 3 in r
         assert r.stored_positions() == [0, 1]
 
+    def test_iter_positions_streams_both_representations(self):
+        plain = RangeResult([2, 5, 9], universe=20)
+        assert list(plain.iter_positions()) == plain.positions()
+        # The complemented walk yields the gaps lazily, in order,
+        # without ever building the O(z) list.
+        comp = RangeResult([0, 3, 4], universe=8, complemented=True)
+        it = comp.iter_positions()
+        assert next(it) == 1
+        assert list(it) == [2, 5, 6, 7]
+        full = RangeResult([], universe=3, complemented=True)
+        assert list(full.iter_positions()) == [0, 1, 2]
+        empty = RangeResult([], universe=0, complemented=True)
+        assert list(empty.iter_positions()) == []
+
     def test_out_of_universe_membership(self):
         r = RangeResult([1], universe=4)
         assert -1 not in r
