@@ -10,13 +10,15 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 # A fast benchmark smoke run: proves the advisor/caching claims (E11),
-# the sharded scatter-gather/shared-cache/migration claims (E12), and
-# the shard-lifecycle/streaming-gather claims (E13) end-to-end
-# (asserts inside the benchmarks) in well under 90 seconds.
+# the sharded scatter-gather/shared-cache/migration claims (E12), the
+# shard-lifecycle/streaming-gather claims (E13), and the
+# process-parallel scatter/accounting/prefetch claims (E14) end-to-end
+# (asserts inside the benchmarks) in well under 120 seconds.
 bench-smoke:
-	timeout 90 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
+	timeout 120 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
 		benchmarks/bench_e12_cluster.py \
-		benchmarks/bench_e13_lifecycle.py -q \
+		benchmarks/bench_e13_lifecycle.py \
+		benchmarks/bench_e14_parallel.py -q \
 		-p no:cacheprovider --benchmark-disable
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).

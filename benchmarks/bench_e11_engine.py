@@ -226,17 +226,46 @@ def test_e11e_calibration_table_fits_family_weights(
         weight = calibrated.family_weight(family)
         assert 0.0 < weight < float("inf")
         assert weight != 1.0  # a measured ratio, not the neutral default
+    # Emit the compact feedback artifact: the per-family weights JSON
+    # that CostModel.load_calibrated() (and through it Table /
+    # ShardedTable via cost_model=) loads back in — the workflow
+    # documented in src/repro/engine/README.md.
+    import json
+    import os
+
+    weights_path = os.path.join(report.out_dir, "e11_family_weights.json")
+    with open(weights_path, "w") as f:
+        json.dump(
+            {
+                "family_weights": dict(calibrated.family_weights),
+                "source": report.name,
+            },
+            f,
+            indent=2,
+        )
+    loaded = CostModel.load_calibrated(weights_path)
+    assert loaded.family_weights == calibrated.family_weights
+    # ...and the report-JSON fallback parses to the same weights.
+    assert (
+        CostModel.load_calibrated(path).family_weights
+        == calibrated.family_weights
+    )
     # The calibrated model must not degrade the advisor's verdict: its
     # pick still lands in the better half of the measured matrix.
     for name, x, sigma in workloads:
         stats = WorkloadStats.measure(x, sigma)
-        pick = Advisor(calibrated).pick(stats)
+        pick = Advisor(loaded).pick(stats)
         costs = {spec.name: matrix[(name, spec.name)] for spec in fixed}
         ranked = sorted(costs, key=costs.get)
         assert ranked.index(pick.name) + 1 <= len(ranked) // 2, (
             f"calibrated advisor picked {pick.name} on {name}"
         )
-    benchmark(lambda: CostModel.from_reports([path]))
+    # End to end: tables accept the loaded model and still serve.
+    from repro.queries import Table
+
+    table = Table({"v": [3, 1, 4, 1, 5, 9, 2, 6]}, cost_model=loaded)
+    assert table.select({"v": (1, 4)}) == [0, 1, 2, 3, 6]
+    benchmark(lambda: CostModel.load_calibrated(weights_path))
 
 
 def test_e11d_invalidation_keeps_answers_exact(workloads, report, benchmark):

@@ -17,7 +17,14 @@ See README.md in this directory for the architecture diagram and the
 invalidation protocol.
 """
 
-from .cache import InMemorySharedCache, SharedResultCache, shared_key
+from .cache import (
+    CacheStore,
+    DictStore,
+    InMemorySharedCache,
+    SharedResultCache,
+    TTLStore,
+    shared_key,
+)
 from .engine import (
     ClusterEngine,
     ColumnMeta,
@@ -26,7 +33,7 @@ from .engine import (
     ShardMerge,
     ShardSplit,
 )
-from .executor import SerialExecutor, ThreadedExecutor
+from .executor import ProcessExecutor, SerialExecutor, ThreadedExecutor
 from .sharding import (
     ShardPlan,
     locate,
@@ -37,12 +44,16 @@ from .sharding import (
 from .table import ShardedColumn, ShardedTable
 
 __all__ = [
+    "CacheStore",
     "ClusterEngine",
     "ColumnMeta",
+    "DictStore",
     "GatherStats",
     "InMemorySharedCache",
     "Migration",
+    "ProcessExecutor",
     "SerialExecutor",
+    "TTLStore",
     "ShardMerge",
     "ShardPlan",
     "ShardSplit",

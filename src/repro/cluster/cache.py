@@ -3,21 +3,24 @@
 The single-process engine keeps an :class:`~repro.engine.cache.\
 LRUCache` per ``QueryEngine``; at cluster scale the cache must outlive
 any one process, so this module defines the *abstraction* an external
-store (memcached, Redis, a sidecar) would implement, plus an in-memory
-reference implementation the tests and benchmarks run against.
+store (memcached, Redis, a sidecar) would implement, plus in-memory
+reference implementations the tests and benchmarks run against.
 
 Keys extend the engine's proven ``(column, version, lo, hi)`` scheme
 with the shard's identity and the column's *epoch*:
-``(column, epoch, shard_id, version, lo, hi)``.  The ``shard_id`` slot
+``(column, shard_id, epoch, version, lo, hi)``.  The ``shard_id`` slot
 holds the shard's stable *uid* (``ClusterEngine.shard_uids``), not its
 position: positions shift when shards split or merge, uids never do.
-The version is the shard-local column version; the epoch is a random
-token stamped once per ``add_column``, so dropping a column and
-re-adding one under the same name can never resurrect the old
-incarnation's entries even though shard versions restart at zero — and
-same-named columns of *different engines* (or processes) sharing one
-store never collide.  Together they yield the cluster's invalidation
-protocol:
+The slot order is deliberate — every invalidation the cluster performs
+("this column", "this column on this shard") is a *key-prefix* drop,
+which is the one bulk-eviction primitive real external stores can hope
+to offer (Redis ``SCAN MATCH prefix*``, a namespace flush).  The
+version is the shard-local column version; the epoch is a random token
+stamped once per ``add_column``, so dropping a column and re-adding
+one under the same name can never resurrect the old incarnation's
+entries even though shard versions restart at zero — and same-named
+columns of *different engines* (or processes) sharing one store never
+collide.  Together they yield the cluster's invalidation protocol:
 
 * an update routed to shard ``s`` bumps only that shard's version, so
   only shard ``s``'s entries become unreachable — every other shard's
@@ -28,9 +31,17 @@ protocol:
   entries survive the reshape — a *positional* key here would let a
   fresh shard alias a retired neighbor's entries;
 * unreachability is the correctness mechanism; *eviction* is an
-  optimization.  An external store that cannot enumerate keys may
-  implement :meth:`SharedResultCache.invalidate` as a no-op and lean on
-  TTLs — stale entries are dead weight, never wrong answers.
+  optimization.  A store that cannot enumerate keys implements
+  :meth:`CacheStore.invalidate_prefix` as a no-op and leans on
+  TTL-based expiry (:class:`TTLStore`) — stale entries are dead
+  weight, never wrong answers.
+
+Storage is split from policy: a :class:`CacheStore` is the minimal
+get/put/invalidate-by-prefix contract an external store implements
+(:class:`DictStore` — the original LRU dict — is the default;
+:class:`TTLStore` models an expiry-only store), and
+:class:`InMemorySharedCache` wraps any store with the lock and the
+defensive copies a *shared* cache needs.
 
 Values are plain sorted lists of shard-local positions (JSON/msgpack
 friendly), translated to global RIDs by the gather phase.
@@ -39,12 +50,14 @@ friendly), translated to global RIDs by the gather phase.
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
 
 from ..engine.cache import LRUCache
+from ..errors import InvalidParameterError
 
-#: Cache key: (column, epoch, shard_id, shard-local version, lo, hi).
-SharedKey = tuple[str, str, int, int, int, int]
+#: Cache key: (column, shard uid, epoch, shard-local version, lo, hi).
+SharedKey = tuple[str, int, str, int, int, int]
 
 
 def shared_key(
@@ -58,9 +71,147 @@ def shared_key(
     """The canonical shared-cache key for one per-shard range query.
 
     ``shard_id`` is the shard's stable uid, which outlives positional
-    reshuffles from shard splits and merges.
+    reshuffles from shard splits and merges.  The tuple is laid out
+    ``(column, shard_id, ...)`` so both invalidation granularities the
+    cluster uses are key prefixes.
     """
-    return (column, epoch, shard_id, version, char_lo, char_hi)
+    return (column, shard_id, epoch, version, char_lo, char_hi)
+
+
+class CacheStore(ABC):
+    """The minimal contract of a result-cache backing store.
+
+    Three verbs: ``get``, ``put``, and ``invalidate_prefix`` — drop
+    every key whose leading slots equal ``prefix``.  That last verb is
+    *optional power*: versioned keys already make stale entries
+    unreachable, so a store that cannot enumerate its keys (most
+    memcached-style stores) may inherit the no-op default and bound
+    staleness with TTLs instead.
+    """
+
+    @abstractmethod
+    def get(self, key: SharedKey) -> list[int] | None:
+        """The stored value, or ``None`` on a miss."""
+
+    @abstractmethod
+    def put(self, key: SharedKey, positions: list[int]) -> None:
+        """Store one shard-local answer."""
+
+    def invalidate_prefix(self, prefix: tuple) -> int:
+        """Drop every key starting with ``prefix``; returns the count.
+
+        Purely an optimization (see the module docstring); the default
+        is the honest answer of a store without key enumeration.
+        """
+        return 0
+
+    def __contains__(self, key: SharedKey) -> bool:
+        """Non-destructive presence probe; pessimistic by default."""
+        return False
+
+
+class DictStore(CacheStore):
+    """The original in-memory store: a bounded LRU dict.
+
+    All replacement and accounting logic is the proven
+    :class:`~repro.engine.cache.LRUCache`; key enumeration makes exact
+    prefix invalidation possible.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._lru = LRUCache(capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._lru.capacity
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: SharedKey) -> bool:
+        return key in self._lru
+
+    def get(self, key: SharedKey) -> list[int] | None:
+        return self._lru.get(key)
+
+    def put(self, key: SharedKey, positions: list[int]) -> None:
+        self._lru.put(key, positions)
+
+    def invalidate_prefix(self, prefix: tuple) -> int:
+        width = len(prefix)
+        return self._lru.invalidate(lambda key: key[:width] == prefix)
+
+
+class TTLStore(CacheStore):
+    """An expiry-only store: no key enumeration, entries age out.
+
+    Models the memcached-style deployment the protocol was designed to
+    tolerate: ``invalidate_prefix`` inherits the no-op default (the
+    store cannot find the keys), and every entry instead carries a
+    time-to-live.  Correctness never depends on it — versioned keys
+    make stale entries unreachable — the TTL merely bounds how long
+    dead weight occupies the store.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    :func:`time.monotonic`).  Expired entries are dropped lazily on
+    ``get`` and swept opportunistically on ``put``.
+    """
+
+    _SWEEP_EVERY = 256
+
+    def __init__(self, ttl_s: float, clock=None) -> None:
+        if ttl_s <= 0:
+            raise InvalidParameterError("ttl_s must be > 0")
+        self.ttl_s = ttl_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._data: dict[SharedKey, tuple[float, list[int]]] = {}
+        self._puts = 0
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: SharedKey) -> bool:
+        entry = self._data.get(key)
+        return entry is not None and entry[0] > self._clock()
+
+    def get(self, key: SharedKey) -> list[int] | None:
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expires_at, positions = entry
+        if expires_at <= self._clock():
+            del self._data[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return positions
+
+    def put(self, key: SharedKey, positions: list[int]) -> None:
+        self._data[key] = (self._clock() + self.ttl_s, positions)
+        self._puts += 1
+        if self._puts % self._SWEEP_EVERY == 0:
+            now = self._clock()
+            doomed = [k for k, (exp, _) in self._data.items() if exp <= now]
+            for k in doomed:
+                del self._data[k]
+            self.expirations += len(doomed)
 
 
 class SharedResultCache(ABC):
@@ -96,51 +247,59 @@ class SharedResultCache(ABC):
 
 
 class InMemorySharedCache(SharedResultCache):
-    """Reference implementation: the engine's LRU behind a lock.
+    """Reference implementation: a :class:`CacheStore` behind a lock.
 
-    All replacement and accounting logic is the proven
-    :class:`~repro.engine.cache.LRUCache`; this wrapper adds what a
-    *shared* cache needs on top — a lock (scatter tasks run
-    concurrently under the threaded executor), defensive value copies
-    (callers offset-translate their lists in place), and key-scheme
-    aware invalidation.
+    The store supplies replacement and accounting (the default
+    :class:`DictStore` is the engine's proven LRU; a :class:`TTLStore`
+    models expiry-only deployments); this wrapper adds what a *shared*
+    cache needs on top — a lock (scatter tasks run concurrently under
+    the threaded executor), defensive value copies (callers
+    offset-translate their lists in place), and the key-scheme-aware
+    mapping from the cluster's invalidation verbs onto prefix drops.
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
-        self._lru = LRUCache(capacity)
+    def __init__(
+        self, capacity: int = 4096, store: CacheStore | None = None
+    ) -> None:
+        self._store = store if store is not None else DictStore(capacity)
         self._lock = threading.Lock()
 
     @property
-    def capacity(self) -> int:
-        return self._lru.capacity
+    def store(self) -> CacheStore:
+        return self._store
+
+    @property
+    def capacity(self) -> int | None:
+        return getattr(self._store, "capacity", None)
 
     @property
     def hits(self) -> int:
-        return self._lru.hits
+        return getattr(self._store, "hits", 0)
 
     @property
     def misses(self) -> int:
-        return self._lru.misses
+        return getattr(self._store, "misses", 0)
 
     @property
     def evictions(self) -> int:
-        return self._lru.evictions
+        return getattr(self._store, "evictions", 0)
 
     @property
     def hit_rate(self) -> float:
-        return self._lru.hit_rate
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._lru)
+            return len(self._store)
 
     def __contains__(self, key: SharedKey) -> bool:
         with self._lock:
-            return key in self._lru
+            return key in self._store
 
     def get(self, key: SharedKey) -> list[int] | None:
         with self._lock:
-            positions = self._lru.get(key)
+            positions = self._store.get(key)
             # Hand out a copy: a shared cache cannot know what its
             # callers do with the list, and an aliased mutation would
             # corrupt every later hit (a real external store serializes
@@ -149,13 +308,20 @@ class InMemorySharedCache(SharedResultCache):
 
     def put(self, key: SharedKey, positions: list[int]) -> None:
         with self._lock:
-            self._lru.put(key, list(positions))
+            self._store.put(key, list(positions))
 
     def invalidate(
         self, column: str | None = None, shard_id: int | None = None
     ) -> int:
-        with self._lock:
-            return self._lru.invalidate(
-                lambda key: (column is None or key[0] == column)
-                and (shard_id is None or key[2] == shard_id)
+        if column is None and shard_id is not None:
+            raise InvalidParameterError(
+                "shard-level invalidation requires the column"
             )
+        if column is None:
+            prefix: tuple = ()
+        elif shard_id is None:
+            prefix = (column,)
+        else:
+            prefix = (column, shard_id)
+        with self._lock:
+            return self._store.invalidate_prefix(prefix)

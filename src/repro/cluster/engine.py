@@ -41,7 +41,24 @@ Cross-shard ``select`` streams: per-dimension RID iterators walk the
 shards in order (shard order *is* global order), materializing one
 shard's answer at a time, and the k-way conjunctive merge emits global
 RIDs one by one — peak intermediate memory is O(max shard answer)
-rather than O(answer), accounted by :class:`GatherStats`.
+rather than O(answer), accounted by :class:`GatherStats`.  Under an
+executor that buys overlap (threads, worker processes) the walk
+becomes a bounded *prefetching bridge*: while one shard's answer
+drains, up to ``prefetch_depth`` later shards' fetches are already in
+flight, so per-shard latency overlaps the drain without widening the
+memory bound beyond ``(1 + prefetch_depth)`` shard answers per
+dimension.
+
+Execution is a deployment choice (see :mod:`.executor`): *local*
+executors run scatter tasks against this process's shard engines,
+while the *resident* :class:`~repro.cluster.executor.ProcessExecutor`
+hosts a bit-identical replica of every shard engine in worker
+processes — built once from a shipped snapshot, then kept in sync by
+the same routed update/lifecycle deltas this class applies locally —
+and answers queries with ``(positions, io)`` pairs whose
+:class:`~repro.iomodel.stats.Snapshot` deltas fold into
+``scatter_io``, the cluster-total I/O of the query path, identical
+across executors on the same workload.
 
 Concurrency contract: scatter tasks may run in parallel (they touch
 disjoint shard engines and the lock-protected shared cache), but the
@@ -52,8 +69,10 @@ interleave with queries.
 from __future__ import annotations
 
 import bisect
+import itertools
 import uuid
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
 from ..core.interface import RangeResult
@@ -66,8 +85,9 @@ from ..engine.engine import (
 )
 from ..engine.registry import DYNAMISM_LEVELS, IndexSpec, get_spec
 from ..errors import InvalidParameterError, QueryError, UpdateError
+from ..iomodel.stats import IOStats, Snapshot
 from .cache import InMemorySharedCache, SharedResultCache, shared_key
-from .executor import SerialExecutor
+from .executor import CompletedFuture, MappedFuture, SerialExecutor
 from .sharding import (
     ShardPlan,
     locate,
@@ -75,6 +95,11 @@ from .sharding import (
     plan_from_lengths,
     plan_shards,
 )
+
+#: Shard uids are unique per *process*, not per cluster, so several
+#: clusters can share one resident executor without their worker-side
+#: runtimes colliding.
+_UID_SOURCE = itertools.count()
 
 #: Sentinel for "no entry" when re-keying sparse per-shard mappings.
 _ABSENT = object()
@@ -213,11 +238,20 @@ class ClusterEngine:
         drift_window: int | None = 256,
         auto_split: bool | None = None,
         min_shard_rows: int | None = None,
+        prefetch_depth: int | None = None,
+        heat_tolerance: float = 0.25,
+        io_latency_s: float = 0.0,
     ) -> None:
         if advisor is not None and cost_model is not None:
             raise InvalidParameterError(
                 "pass either an advisor or a cost_model, not both"
             )
+        if prefetch_depth is not None and prefetch_depth < 0:
+            raise InvalidParameterError("prefetch_depth must be >= 0 or None")
+        if not 0.0 <= heat_tolerance < 1.0:
+            raise InvalidParameterError("heat_tolerance must be in [0, 1)")
+        if io_latency_s < 0:
+            raise InvalidParameterError("io_latency_s must be >= 0")
         if drift_window is not None and drift_window <= 0:
             raise InvalidParameterError("drift_window must be >= 1 or None")
         if min_shard_rows is not None and min_shard_rows <= 0:
@@ -246,6 +280,15 @@ class ClusterEngine:
         self._auto_split = auto_split
         self._min_shard_rows = min_shard_rows
         self.executor = executor if executor is not None else SerialExecutor()
+        if prefetch_depth is None:
+            # Only executors that buy overlap justify fetching ahead;
+            # an inline executor would just widen the memory bound.
+            prefetch_depth = (
+                1 if getattr(self.executor, "supports_prefetch", False) else 0
+            )
+        self.prefetch_depth = prefetch_depth
+        self.heat_tolerance = heat_tolerance
+        self.io_latency_s = io_latency_s
         self.shared_cache = (
             shared_cache if shared_cache is not None else InMemorySharedCache()
         )
@@ -260,17 +303,70 @@ class ClusterEngine:
         #: while every sibling's stay reachable (and a fresh shard can
         #: never alias a retired one's keys).
         self.shard_uids: list[int] = []
-        self._uid_counter = 0
         self.columns: dict[str, ColumnMeta] = {}
         self.migrations: list[Migration] = []
         self.splits: list[ShardSplit] = []
         self.merges: list[ShardMerge] = []
         self.gather_stats = GatherStats()
+        #: Cluster-total I/O of the query path: the merged per-task
+        #: snapshots every scatter fetch returns, wherever it ran.  A
+        #: fixed workload must produce identical totals under every
+        #: executor — the conformance suite asserts it.
+        self.scatter_io = IOStats()
 
     def _new_uid(self) -> int:
-        uid = self._uid_counter
-        self._uid_counter += 1
-        return uid
+        return next(_UID_SOURCE)
+
+    # ------------------------------------------------------------------
+    # Resident-executor synchronization (delta shipping)
+    # ------------------------------------------------------------------
+
+    @property
+    def _resident(self) -> bool:
+        return getattr(self.executor, "kind", "local") == "resident"
+
+    @staticmethod
+    def _column_payload(column: EngineColumn) -> tuple:
+        """One column's picklable build snapshot for a worker replica.
+
+        The backend is pinned to the spec the local advisor already
+        chose, so the replica is bit-identical by construction — the
+        worker never re-runs (and so can never disagree with) the
+        advisor.
+        """
+        stats = column.stats
+        return (
+            column.name,
+            list(column.codes),
+            stats.sigma,
+            stats.dynamism,
+            stats.expected_selectivity,
+            stats.require_exact,
+            stats.require_delete,
+            column.spec.name,
+        )
+
+    def _shard_payload(self, shard_id: int) -> tuple:
+        engine = self.shards[shard_id]
+        return (
+            self.cache_size,
+            self.io_latency_s,
+            [self._column_payload(col) for col in engine.columns.values()],
+        )
+
+    def _ship_build(self, shard_id: int) -> None:
+        if self._resident:
+            self.executor.build_shard(
+                self.shard_uids[shard_id], self._shard_payload(shard_id)
+            )
+
+    def _ship_retire(self, uid: int) -> None:
+        if self._resident:
+            self.executor.retire_shard(uid)
+
+    def _ship_delta(self, shard_id: int, delta: tuple) -> None:
+        if self._resident:
+            self.executor.apply_delta(self.shard_uids[shard_id], delta)
 
     # ------------------------------------------------------------------
     # Column management
@@ -352,6 +448,7 @@ class ClusterEngine:
             updates_since_stat={s: 0 for s in range(self.num_shards)},
         )
         built: list[int] = []
+        shipped: list[int] = []
         try:
             for shard_id, (start, stop) in enumerate(self.plan_.slices()):
                 # One canonical builder (shared with split/merge):
@@ -364,10 +461,35 @@ class ClusterEngine:
                     backend,
                 )
                 built.append(shard_id)
+            if self._resident:
+                for shard_id in range(self.num_shards):
+                    if created_plan:
+                        # The first column creates the shard set:
+                        # ship each shard's full build snapshot.
+                        self._ship_build(shard_id)
+                    else:
+                        self._ship_delta(
+                            shard_id,
+                            (
+                                "add_column",
+                                self._column_payload(
+                                    self.shards[shard_id].column(name)
+                                ),
+                            ),
+                        )
+                    shipped.append(shard_id)
         except BaseException:
             # Unwind the shards that already built, so a failed
             # add_column neither bricks the name nor (for the very
             # first column) pins the cluster to the failed length.
+            for shard_id in shipped:
+                try:
+                    if created_plan:
+                        self._ship_retire(self.shard_uids[shard_id])
+                    else:
+                        self._ship_delta(shard_id, ("drop_column", name))
+                except Exception:  # best-effort worker cleanup
+                    pass
             for shard_id in built:
                 self.shards[shard_id].drop_column(name)
             if created_plan:
@@ -414,8 +536,9 @@ class ClusterEngine:
 
     def drop_column(self, name: str) -> None:
         self._meta(name)
-        for shard in self.shards:
+        for shard_id, shard in enumerate(self.shards):
             shard.drop_column(name)
+            self._ship_delta(shard_id, ("drop_column", name))
         self.shared_cache.invalidate(column=name)
         del self.columns[name]
 
@@ -447,14 +570,16 @@ class ClusterEngine:
                 f"alphabet of size {meta.sigma}"
             )
 
-    def _shard_positions(
+    def _fetch_shard_measured(
         self, name: str, meta: ColumnMeta, shard_id: int, lo: int, hi: int
-    ) -> list[int]:
-        """One shard's local-space answer, through the shared cache.
+    ) -> tuple[list[int], Snapshot]:
+        """One shard's local-space answer plus its I/O, in-process.
 
-        Keys carry the shard's stable *uid*, not its position, so
-        entries survive lifecycle operations on other shards and a
-        post-split shard can never alias a retired shard's entries.
+        The local-executor task body: consult the shared cache, then
+        the shard's own engine, measuring the transfer delta.  Keys
+        carry the shard's stable *uid*, not its position, so entries
+        survive lifecycle operations on other shards and a post-split
+        shard can never alias a retired shard's entries.
         """
         column = self.shards[shard_id].column(name)
         key = shared_key(
@@ -463,10 +588,62 @@ class ClusterEngine:
         )
         hit = self.shared_cache.get(key)
         if hit is not None:
-            return hit
-        positions = self.shards[shard_id].query(name, lo, hi).positions()
+            return hit, Snapshot()
+        result, io = self.shards[shard_id].query_measured(name, lo, hi)
+        positions = result.positions()
         self.shared_cache.put(key, positions)
-        return positions
+        return positions, io
+
+    def _submit_fetch(
+        self, name: str, meta: ColumnMeta, shard_id: int, lo: int, hi: int
+    ):
+        """Launch one shard fetch; resolves to ``(positions, io)``.
+
+        Local executors run :meth:`_fetch_shard_measured` through
+        their ``submit``; a resident executor is asked through its
+        pipelined query API, with the shared cache consulted here (the
+        coordinator side — workers hold engines, not the cache) and
+        populated when the reply is consumed.
+        """
+        if not self._resident:
+            return self.executor.submit(
+                self._fetch_shard_measured, name, meta, shard_id, lo, hi
+            )
+        column = self.shards[shard_id].column(name)
+        key = shared_key(
+            name, meta.epoch, self.shard_uids[shard_id], column.version,
+            lo, hi,
+        )
+        hit = self.shared_cache.get(key)
+        if hit is not None:
+            return CompletedFuture((hit, Snapshot()))
+        future = self.executor.submit_query(
+            self.shard_uids[shard_id], name, lo, hi
+        )
+
+        def absorb(reply: tuple[list[int], Snapshot]):
+            positions, io = reply
+            self.shared_cache.put(key, positions)
+            return positions, io
+
+        return MappedFuture(future, absorb)
+
+    @staticmethod
+    def _drain(futures) -> None:
+        """Resolve leftover futures, discarding results and errors.
+
+        Abandoning a pipelined request would leave its reply in a
+        resident worker's FIFO pipe and poison the next query; both
+        the materialized scatter's error path and the streaming
+        gather's early-close path drain through here.
+        """
+        for future in futures:
+            if future is None:
+                continue
+            try:
+                future.result()
+            except Exception:
+                pass
 
     def query(self, name: str, char_lo: int, char_hi: int) -> RangeResult:
         """One global alphabet range query: scatter, cache, gather."""
@@ -474,21 +651,31 @@ class ClusterEngine:
         self._check_range(meta, char_lo, char_hi)
         lengths = self.shard_lengths(name)
         offsets = offsets_of(lengths)
-
-        def shard_task(shard_id: int) -> list[int]:
-            # Static shards carry a dense local alphabet; translating
-            # into it canonicalizes the cache key and prunes shards
-            # the range cannot touch at all.
+        # Scatter: every shard fetch is launched before the first is
+        # collected, so per-shard work overlaps under any executor
+        # that buys overlap.  Static shards carry a dense local
+        # alphabet; translating into it canonicalizes the cache key
+        # and prunes shards the range cannot touch at all.
+        futures = []
+        for shard_id in range(self.num_shards):
             local = self._translate_range(meta, shard_id, char_lo, char_hi)
-            if local is None:
-                return []
-            return self._shard_positions(name, meta, shard_id, *local)
-
-        per_shard = self.executor.map(shard_task, range(self.num_shards))
+            futures.append(
+                None
+                if local is None
+                else self._submit_fetch(name, meta, shard_id, *local)
+            )
         # Gather: shard i's global RIDs all precede shard i+1's, so the
         # k-way merge of these sorted disjoint runs is a concatenation.
         merged: list[int] = []
-        for shard_id, positions in enumerate(per_shard):
+        for shard_id, future in enumerate(futures):
+            if future is None:
+                continue
+            try:
+                positions, io = future.result()
+            except BaseException:
+                self._drain(futures[shard_id + 1 :])
+                raise
+            self.scatter_io.add(io)
             offset = offsets[shard_id]
             merged.extend(offset + p for p in positions)
         return RangeResult(merged, sum(lengths))
@@ -498,35 +685,86 @@ class ClusterEngine:
 
         Shard order is global RID order, so the k-way merge of sorted
         disjoint per-shard runs degenerates to concatenation; the
-        stream visits shards left to right, materializing only one
-        shard's (individually shared-cacheable) answer at a time and
-        translating local positions by the live offset.  Peak
-        intermediate memory is O(max shard answer) rather than
-        O(global answer); ``gather_stats`` records the high-water
-        mark, releasing each shard's buffer as soon as the stream
-        moves past it (or is closed early).
+        stream visits shards left to right, materializing one shard's
+        (individually shared-cacheable) answer at a time and
+        translating local positions by the live offset.
+
+        The walk is a *bounded prefetching bridge*: up to
+        ``prefetch_depth`` later shards' fetches are launched while
+        the current shard's buffer drains, so per-shard fetch latency
+        overlaps the drain instead of serializing behind it (the
+        depth defaults to 0 under the inline executor, where fetching
+        ahead buys nothing).  Peak intermediate memory is therefore
+        bounded by ``1 + prefetch_depth`` shard answers — still O(max
+        shard answer), never O(global answer); ``gather_stats``
+        records the high-water mark, each buffer acquired when the
+        stream takes delivery and released as soon as it moves past
+        (or is closed early).
         """
         meta = self._meta(name)
         self._check_range(meta, char_lo, char_hi)
 
         def gen():
-            offset = 0
+            lengths = self.shard_lengths(name)
+            offsets = offsets_of(lengths)
+            tasks = []
             for shard_id in range(self.num_shards):
-                length = self.shards[shard_id].column(name).n
                 local = self._translate_range(
                     meta, shard_id, char_lo, char_hi
                 )
                 if local is not None:
-                    positions = self._shard_positions(
-                        name, meta, shard_id, *local
+                    tasks.append((shard_id, local))
+            in_flight: deque = deque()
+            next_task = 0
+
+            def top_up() -> None:
+                nonlocal next_task
+                while (
+                    next_task < len(tasks)
+                    and len(in_flight) < self.prefetch_depth + 1
+                ):
+                    shard_id, (lo, hi) = tasks[next_task]
+                    next_task += 1
+                    in_flight.append(
+                        (shard_id, self._submit_fetch(name, meta, shard_id, lo, hi))
                     )
+
+            # With a prefetch window, the drained buffer is released
+            # only once the next one is delivered — the two coexist at
+            # the handoff and the accounting must say so.  Without one
+            # (depth 0, the inline executor — whose submit() runs the
+            # fetch on the spot) the next fetch must not even *start*
+            # until the current buffer is drained and released: that
+            # preserves the exact one-buffer bound of the serial walk
+            # and its lazy I/O (an early-exiting consumer never pays
+            # for shards it did not reach).
+            overlap = self.prefetch_depth > 0
+            held = 0
+            top_up()
+            try:
+                while in_flight:
+                    shard_id, future = in_flight.popleft()
+                    positions, io = future.result()
+                    self.scatter_io.add(io)
                     self.gather_stats.acquire(len(positions))
-                    try:
-                        for p in positions:
-                            yield offset + p
-                    finally:
-                        self.gather_stats.release(len(positions))
-                offset += length
+                    if held:
+                        self.gather_stats.release(held)
+                    held = len(positions)
+                    if overlap:
+                        # Keep the pipeline full while this buffer
+                        # drains — the prefetch window.
+                        top_up()
+                    offset = offsets[shard_id]
+                    for p in positions:
+                        yield offset + p
+                    if not overlap:
+                        self.gather_stats.release(held)
+                        held = 0
+                        top_up()  # serial walk: fetch only when needed
+            finally:
+                if held:
+                    self.gather_stats.release(held)
+                self._drain(future for _, future in in_flight)
 
         return gen()
 
@@ -559,15 +797,24 @@ class ClusterEngine:
 
         ``None`` marks a shard the range cannot touch (its local
         alphabet has no code inside it): the scatter phase skips it
-        entirely.
+        entirely.  The ``cached`` flag reports the *shared* result
+        cache — the tier the scatter consults first under every
+        executor — not any one engine's private LRU, which under a
+        resident executor lives in a worker process.
         """
         meta = self._meta(name)
         plans: list[QueryPlan | None] = []
         for shard_id, shard in enumerate(self.shards):
             local = self._translate_range(meta, shard_id, char_lo, char_hi)
-            plans.append(
-                shard.plan(name, *local) if local is not None else None
+            if local is None:
+                plans.append(None)
+                continue
+            plan = shard.plan(name, *local)
+            key = shared_key(
+                name, meta.epoch, self.shard_uids[shard_id],
+                shard.column(name).version, plan.char_lo, plan.char_hi,
             )
+            plans.append(replace(plan, cached=key in self.shared_cache))
         return plans
 
     def explain(
@@ -653,6 +900,7 @@ class ClusterEngine:
         self._check_updatable(name)
         shard_id = self.num_shards - 1
         self.shards[shard_id].append(name, ch)
+        self._ship_delta(shard_id, ("append", name, ch))
         self._after_update(name, shard_id)
 
     def change(self, name: str, global_pos: int, ch: int) -> None:
@@ -660,6 +908,7 @@ class ClusterEngine:
         self._check_updatable(name)
         shard_id, local = self._route(name, global_pos)
         self.shards[shard_id].change(name, local, ch)
+        self._ship_delta(shard_id, ("change", name, local, ch))
         self._after_update(name, shard_id)
 
     def delete(self, name: str, global_pos: int) -> None:
@@ -667,6 +916,7 @@ class ClusterEngine:
         self._check_updatable(name)
         shard_id, local = self._route(name, global_pos)
         self.shards[shard_id].delete(name, local)
+        self._ship_delta(shard_id, ("delete", name, local))
         self._after_update(name, shard_id, deleted=True)
 
     def _route(self, name: str, global_pos: int) -> tuple[int, int]:
@@ -717,6 +967,9 @@ class ClusterEngine:
         if spec.name == old:
             return Migration(name, shard_id, old, old)
         column.rebuild(spec)
+        if self.io_latency_s:
+            column.index.disk.latency_s = self.io_latency_s
+        self._ship_delta(shard_id, ("rebuild", name, spec.name))
         # rebuild() bumped the version; evict the dead entries from
         # both tiers eagerly.
         self.shards[shard_id].cache.invalidate(lambda key: key[0] == name)
@@ -827,6 +1080,9 @@ class ClusterEngine:
                 column.stats = column.stats.with_(
                     dynamism=dynamism, require_delete=effective_delete
                 )
+                self._ship_delta(
+                    target, ("set_contract", name, dynamism, effective_delete)
+                )
             # Standing pins govern unless this call named a backend:
             # explicit argument > shard pin > column pin > advisor.
             pin = (
@@ -860,6 +1116,66 @@ class ClusterEngine:
     def _live_count(self, name: str, shard_id: int) -> int:
         codes = self.shards[shard_id].column(name).codes
         return sum(1 for c in codes if c is not None)
+
+    def shard_heat(self, shard_id: int) -> int:
+        """One shard's update traffic since its last restat, summed
+        over columns — the drift detector's counters doing double duty
+        as the lifecycle's heat signal."""
+        self._check_shard(shard_id)
+        return sum(
+            meta.updates_since_stat.get(shard_id, 0)
+            for meta in self.columns.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster-wide I/O knobs (mirrored into resident replicas)
+    # ------------------------------------------------------------------
+
+    def set_io_latency(self, latency_s: float) -> None:
+        """(Re)apply a per-transfer latency model to every shard disk.
+
+        Applies to the local engines and — under a resident executor —
+        to the worker replicas, and sticks: indexes built later
+        (add_column, lifecycle rebuilds, migrations) inherit it.  Set
+        it *after* the build when only query-path transfers should
+        sleep (what the parallel benchmarks do).
+        """
+        if latency_s < 0:
+            raise InvalidParameterError("latency_s must be >= 0")
+        self.io_latency_s = latency_s
+        for shard_id, engine in enumerate(self.shards):
+            for column in engine.columns.values():
+                column.index.disk.latency_s = latency_s
+            self._ship_delta(shard_id, ("set_latency", latency_s))
+
+    def drop_caches(self) -> None:
+        """Run the next queries cold: flush every result and block cache.
+
+        Clears the shared result cache, each shard engine's LRU, and
+        each disk's internal-memory residency — locally and in any
+        resident replicas.  A benchmarking/repro aid; answers are
+        unaffected.
+        """
+        self.shared_cache.invalidate()
+        for shard_id, engine in enumerate(self.shards):
+            engine.cache.invalidate()
+            for column in engine.columns.values():
+                column.index.disk.flush_cache()
+            self._ship_delta(shard_id, ("drop_caches",))
+
+    def close(self) -> None:
+        """Retire this cluster's resident shard replicas, if any.
+
+        Leaves the executor itself running — it may serve other
+        clusters (shard uids are process-unique, so replicas never
+        collide).  Harmless under a local executor.
+        """
+        if self._resident:
+            for uid in self.shard_uids:
+                try:
+                    self.executor.retire_shard(uid)
+                except Exception:  # best-effort: executor may be closed
+                    pass
 
     def _live_rows(self, shard_id: int) -> int:
         """A shard's live row count: the max across its columns.
@@ -922,6 +1238,8 @@ class ClusterEngine:
             require_delete=meta.require_delete and meta.dynamism != "static",
             backend=pin,
         )
+        if self.io_latency_s:
+            engine.column(meta.name).index.disk.latency_s = self.io_latency_s
         return domain
 
     def split_shard(self, shard_id: int) -> ShardSplit:
@@ -992,6 +1310,9 @@ class ClusterEngine:
                 [_ABSENT, _ABSENT] if pin is None else [pin, pin],
             )
             self.shared_cache.invalidate(column=name, shard_id=old_uid)
+        self._ship_retire(old_uid)
+        self._ship_build(shard_id)
+        self._ship_build(shard_id + 1)
         self._refresh_plan()
         self.splits.append(record)
         return record
@@ -1060,6 +1381,9 @@ class ClusterEngine:
             )
             for uid in old_uids:
                 self.shared_cache.invalidate(column=name, shard_id=uid)
+        for uid in old_uids:
+            self._ship_retire(uid)
+        self._ship_build(left_id)
         self._refresh_plan()
         self.merges.append(record)
         return record
@@ -1181,15 +1505,13 @@ class ClusterEngine:
                     "— sizing-policy bug"
                 )
             changed = False
+            split_at = self._pick_split(target)
+            if split_at is not None:
+                self.split_shard(split_at)
+                ops += 1
+                changed = True
+                continue
             for shard_id in range(self.num_shards):
-                if (
-                    self._live_rows(shard_id) > target
-                    and self._splittable(shard_id)
-                ):
-                    self.split_shard(shard_id)
-                    ops += 1
-                    changed = True
-                    break
                 if (
                     floor is not None
                     and self.num_shards > 1
@@ -1200,3 +1522,31 @@ class ClusterEngine:
                     changed = True
                     break
         return ops
+
+    def _pick_split(self, target: int) -> int | None:
+        """The next shard to split, heat-aware.
+
+        Candidates are the splittable shards over ``target``.  The
+        fattest goes first — unless other candidates sit within
+        ``heat_tolerance`` (relative) of its size, in which case the
+        *hottest* of that tied group is preferred: equally oversized
+        shards are not equally urgent, and splitting where the update
+        traffic lands halves the shard most likely to breach again
+        (the auto-split path needs no such choice — its trigger *is*
+        the shard that just took an update).  Ties on heat fall back
+        to the lowest position, keeping the policy deterministic.
+        """
+        candidates = []
+        for shard_id in range(self.num_shards):
+            rows = self._live_rows(shard_id)  # O(rows x cols): scan once
+            if rows > target and self._splittable(shard_id):
+                candidates.append((shard_id, rows))
+        if not candidates:
+            return None
+        fattest = max(rows for _, rows in candidates)
+        tied = [
+            shard_id
+            for shard_id, rows in candidates
+            if rows >= (1.0 - self.heat_tolerance) * fattest
+        ]
+        return max(tied, key=lambda s: (self.shard_heat(s), -s))

@@ -2,41 +2,114 @@
 
 The scatter phase runs one independent task per shard.  How those
 tasks execute is a deployment choice, not an algorithmic one, so the
-cluster takes any object with an ordered ``map(fn, items)``:
+cluster speaks one widened executor protocol with two dialects:
 
-* :class:`SerialExecutor` — one after another, in-process.  The
+**Local executors** run arbitrary callables in the coordinating
+process against the cluster's own shard engines:
+
+* :class:`SerialExecutor` — one after another, inline.  The
   deterministic default; also what the stateful tests run under.
 * :class:`ThreadedExecutor` — a persistent ``ThreadPoolExecutor``.
   Shard tasks touch disjoint per-shard engines and a lock-protected
-  shared cache, so they are safe to interleave; with the simulated
-  block device doing pure in-process work the GIL bounds the speedup,
-  but against any backend that releases the GIL (real I/O, a network
-  cache) the same code path overlaps shard latencies.
+  shared cache, so they are safe to interleave; with the disk latency
+  model enabled (``Disk(latency_s=...)``) the per-transfer sleeps
+  release the GIL and shard fetches genuinely overlap.
+
+Both offer ``map(fn, items)`` (ordered, exception-propagating) and
+``submit(fn, *args) -> future`` (the primitive the prefetching gather
+pipelines on).  Every future answers ``result()``.
+
+**Resident executors** host the shard state itself.
+:class:`ProcessExecutor` keeps one *resident* ``QueryEngine`` per
+shard inside a pool of worker processes: the cluster ships each
+shard's build snapshot once (codes + the locally chosen backend, all
+picklable), then keeps the replicas in sync by shipping routed
+update/lifecycle *deltas* — never re-pickling engines per call — and
+scatters queries as pipelined requests that return
+``(positions, io Snapshot)`` so per-worker I/O counters aggregate
+back into cluster totals.  Workers answer requests in FIFO order per
+pipe, which is what makes the cheap pipelined future
+(:class:`_PipeFuture`) correct.
+
+The ``kind`` attribute ("local" / "resident") tells the cluster which
+dialect to speak; ``supports_prefetch`` tells the gather whether
+submitting a fetch ahead of the drain actually buys overlap.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, TypeVar
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, StorageError
+from ..iomodel.stats import Snapshot
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
+class CompletedFuture:
+    """An already-resolved future (inline execution, cache hits)."""
+
+    __slots__ = ("_value", "_exc")
+
+    def __init__(self, value=None, exc: BaseException | None = None) -> None:
+        self._value = value
+        self._exc = exc
+
+    def result(self):
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class MappedFuture:
+    """A future post-processed by ``fn`` at resolution time.
+
+    Used by the cluster to fold a worker's reply into the shared
+    cache exactly when the gather consumes it.
+    """
+
+    __slots__ = ("_future", "_fn")
+
+    def __init__(self, future, fn) -> None:
+        self._future = future
+        self._fn = fn
+
+    def result(self):
+        return self._fn(self._future.result())
+
+
 class SerialExecutor:
     """Run shard tasks inline, preserving order."""
+
+    kind = "local"
+    #: Inline submission materializes the result immediately, so
+    #: fetching ahead buys nothing and would only widen the gather's
+    #: memory bound.
+    supports_prefetch = False
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         return [fn(item) for item in items]
 
-    def close(self) -> None:  # symmetric with ThreadedExecutor
+    def submit(self, fn: Callable[..., R], *args) -> CompletedFuture:
+        try:
+            return CompletedFuture(fn(*args))
+        except BaseException as exc:  # re-raised at result(), like a pool
+            return CompletedFuture(exc=exc)
+
+    def close(self) -> None:  # symmetric with the pooled executors
         pass
 
 
 class ThreadedExecutor:
     """Run shard tasks on a persistent thread pool, preserving order."""
+
+    kind = "local"
+    supports_prefetch = True
 
     def __init__(self, max_workers: int = 8) -> None:
         if max_workers <= 0:
@@ -49,6 +122,9 @@ class ThreadedExecutor:
         # exactly like the serial path would.
         return list(self._pool.map(fn, items))
 
+    def submit(self, fn: Callable[..., R], *args):
+        return self._pool.submit(fn, *args)
+
     def close(self) -> None:
         self._pool.shutdown(wait=True)
 
@@ -57,3 +133,254 @@ class ThreadedExecutor:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# The process executor: worker-resident shard runtimes
+# ----------------------------------------------------------------------
+
+
+class _PipeFuture:
+    """One outstanding request on a worker's pipe.
+
+    Workers answer strictly in request order, so resolving a future
+    means pumping replies off the pipe into the pending queue's heads
+    until this one is reached.  ``result()`` re-raises any exception
+    the worker shipped back.
+    """
+
+    __slots__ = ("_worker", "_done", "_value", "_exc")
+
+    def __init__(self, worker: "_Worker") -> None:
+        self._worker = worker
+        self._done = False
+        self._value = None
+        self._exc: BaseException | None = None
+
+    def _resolve(self, value, exc: BaseException | None) -> None:
+        self._done = True
+        self._value = value
+        self._exc = exc
+
+    def result(self):
+        if not self._done:
+            self._worker.pump_until(self)
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class _Worker:
+    """One worker process plus its request pipe and pending queue."""
+
+    #: Cap on outstanding requests per pipe.  Requests are tiny, so a
+    #: bounded pipeline can never fill the request pipe's OS buffer —
+    #: which is what rules out the classic both-sides-blocked-in-send
+    #: deadlock (the worker blocked sending a large reply while the
+    #: coordinator keeps sending requests): past the cap the
+    #: coordinator resolves the oldest reply first, draining the
+    #: reply pipe before it sends again.
+    MAX_PIPELINE = 64
+
+    def __init__(self, ctx, index: int) -> None:
+        # Import here so the parent module stays importable even if a
+        # deployment strips the worker module.
+        from .worker import shard_worker_main
+
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.pending: deque[_PipeFuture] = deque()
+        self.uids: set[int] = set()
+        self.process = ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn,),
+            name=f"repro-shard-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def request(self, message: tuple) -> _PipeFuture:
+        while len(self.pending) >= self.MAX_PIPELINE:
+            self.pump_until(self.pending[0])  # keeps its value for result()
+        self.conn.send(message)
+        future = _PipeFuture(self)
+        self.pending.append(future)
+        return future
+
+    def call(self, message: tuple):
+        return self.request(message).result()
+
+    def pump_until(self, future: _PipeFuture) -> None:
+        while not future._done:
+            if not self.pending:
+                raise StorageError(
+                    "worker reply pipe out of sync (future not pending)"
+                )
+            status, payload = self.conn.recv()
+            head = self.pending.popleft()
+            if status == "ok":
+                head._resolve(payload, None)
+            else:
+                head._resolve(None, payload)
+
+    def drain(self) -> None:
+        """Resolve every outstanding request, discarding results."""
+        while self.pending:
+            tail = self.pending[-1]
+            try:
+                tail.result()
+            except BaseException:
+                if not tail._done:
+                    # Transport failure (dead worker, closed pipe):
+                    # nothing further can resolve — stop, don't spin.
+                    self.pending.clear()
+                    return
+
+    def shutdown(self, timeout: float) -> None:
+        try:
+            self.drain()
+            self.conn.send(("close",))
+            self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        finally:
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.terminate()
+                self.process.join(timeout=timeout)
+            self.conn.close()
+
+
+def _default_start_method() -> str:
+    # fork is cheap and inherits the imported registry; fall back to
+    # spawn where fork is unavailable (the worker module is fully
+    # importable, so spawn works too, just slower per worker).
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ProcessExecutor:
+    """Worker processes hosting resident per-shard query engines.
+
+    The cluster ships every shard's build *snapshot* (picklable codes
+    plus the backend verdicts its own advisor already made) exactly
+    once via :meth:`build_shard`, keeps the resident replica in sync
+    with :meth:`apply_delta` as updates and lifecycle operations are
+    routed, and scatters queries with :meth:`submit_query`, which
+    pipelines on the worker's pipe and resolves to
+    ``(positions, io Snapshot)``.  Shards are assigned to the least
+    loaded worker at build time and stay there — residency is the
+    point: no engine state crosses a process boundary after the build.
+
+    One executor may serve several clusters concurrently because shard
+    uids are process-unique.  ``close()`` (or the context manager)
+    shuts the pool down; queries in flight are drained first.
+    """
+
+    kind = "resident"
+    supports_prefetch = True
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        start_method: str | None = None,
+        shutdown_timeout_s: float = 10.0,
+    ) -> None:
+        if max_workers <= 0:
+            raise InvalidParameterError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.shutdown_timeout_s = shutdown_timeout_s
+        ctx = multiprocessing.get_context(
+            start_method if start_method is not None else _default_start_method()
+        )
+        self._workers = [_Worker(ctx, i) for i in range(max_workers)]
+        self._by_uid: dict[int, _Worker] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Shard residency
+    # ------------------------------------------------------------------
+
+    def _worker_of(self, uid: int) -> _Worker:
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise InvalidParameterError(
+                f"shard uid {uid} is not resident in this executor"
+            ) from None
+
+    def build_shard(self, uid: int, payload: tuple) -> None:
+        """Ship one shard's build snapshot to the least loaded worker."""
+        if self._closed:
+            raise StorageError("executor is closed")
+        if uid in self._by_uid:
+            raise InvalidParameterError(f"shard uid {uid} already resident")
+        worker = min(self._workers, key=lambda w: (len(w.uids), w.index))
+        worker.call(("build", uid, payload))
+        worker.uids.add(uid)
+        self._by_uid[uid] = worker
+
+    def retire_shard(self, uid: int) -> None:
+        """Drop a shard's resident engine (post split/merge/close)."""
+        worker = self._worker_of(uid)
+        del self._by_uid[uid]
+        worker.uids.discard(uid)
+        worker.call(("retire", uid))
+
+    def apply_delta(self, uid: int, delta: tuple) -> None:
+        """Apply one routed update/lifecycle delta to a resident shard."""
+        self._worker_of(uid).call(("delta", uid, delta))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def submit_query(
+        self, uid: int, name: str, char_lo: int, char_hi: int
+    ) -> _PipeFuture:
+        """Pipeline one range query; resolves to (positions, Snapshot)."""
+        return self._worker_of(uid).request(
+            ("query", uid, name, char_lo, char_hi)
+        )
+
+    def query_shard(
+        self, uid: int, name: str, char_lo: int, char_hi: int
+    ) -> tuple[list[int], Snapshot]:
+        return self.submit_query(uid, name, char_lo, char_hi).result()
+
+    def io_totals(self) -> Snapshot:
+        """Aggregate every worker's resident-engine I/O counters."""
+        futures = [w.request(("stats",)) for w in self._workers]
+        total = Snapshot()
+        for future in futures:
+            total = total + future.result()
+        return total
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown(self.shutdown_timeout_s)
+        self._by_uid.clear()
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def ship_exception(exc: BaseException) -> BaseException:
+    """The exception to send over a worker pipe (picklable or proxied)."""
+    try:
+        pickle.dumps(exc)
+        return exc
+    except Exception:
+        return StorageError(f"{type(exc).__name__}: {exc}")

@@ -83,6 +83,7 @@ class ShardedTable:
         cluster: ClusterEngine | None = None,
         backend: str | Mapping[str, str] | None = None,
         dynamism: str = "static",
+        cost_model=None,
         **cluster_kwargs,
     ) -> None:
         if not columns:
@@ -92,15 +93,24 @@ class ShardedTable:
             raise InvalidParameterError("columns must have equal length")
         self.num_rows = lengths.pop()
         if cluster is None:
+            # cost_model feeds the per-shard advisor — the calibration
+            # feedback path (CostModel.load_calibrated) at cluster
+            # scale.
             cluster = ClusterEngine(
                 num_shards=num_shards,
                 target_shard_rows=target_shard_rows,
+                cost_model=cost_model,
                 **cluster_kwargs,
             )
         elif num_shards is not None or target_shard_rows is not None:
             raise InvalidParameterError(
                 "shard sizing belongs to the cluster; pass either a "
                 "cluster or sizing knobs, not both"
+            )
+        elif cost_model is not None:
+            raise InvalidParameterError(
+                "the cost model belongs to the cluster; pass either a "
+                "cluster or a cost_model, not both"
             )
         self.cluster = cluster
         self.columns: dict[str, ShardedColumn] = {}

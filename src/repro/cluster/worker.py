@@ -1,0 +1,186 @@
+"""The worker-process half of :class:`~repro.cluster.executor.\
+ProcessExecutor`: resident shard runtimes.
+
+Each worker process owns a set of shard runtimes — one
+:class:`~repro.engine.engine.QueryEngine` per resident shard uid —
+built *once* from the picklable snapshot the coordinator ships
+(``("build", uid, payload)``) and thereafter kept in sync by routed
+deltas, never by re-pickling engine state:
+
+==================  ====================================================
+delta               effect on the resident engine
+==================  ====================================================
+``append``          ``engine.append(name, ch)`` (LRU invalidation included)
+``change``          ``engine.change(name, pos, ch)``
+``delete``          ``engine.delete(name, pos)`` (mirror compaction too)
+``set_contract``    re-declare a column's dynamism / delete requirement
+``rebuild``         swap the column onto a named backend, in place
+``add_column``      build one more column into the resident engine
+``drop_column``     drop a column
+``set_latency``     (re)apply the disk latency model to every column
+``drop_caches``     flush engine LRU + every disk's block cache
+==================  ====================================================
+
+Because the coordinator applies the *same* operations to its own
+replica in the same order, and every build pins the backend the
+coordinator's advisor already chose, the resident engine is a
+bit-identical twin: queries return identical positions and identical
+I/O counter deltas, which is exactly what the conformance suite
+asserts.
+
+The wire protocol is strict request/reply in FIFO order — one
+``("ok", payload)`` or ``("err", exception)`` per request — which is
+what lets the parent pipeline many queries down one pipe and resolve
+them with a plain deque.
+"""
+
+from __future__ import annotations
+
+from ..engine.engine import QueryEngine
+from ..engine.registry import get_spec
+from ..errors import InvalidParameterError
+from ..iomodel.stats import Snapshot
+
+#: Build payload: (cache_size, io_latency_s, [column payload, ...]).
+#: Column payload: (name, codes, sigma, dynamism, expected_selectivity,
+#: require_exact, require_delete, backend_name).
+
+
+def _apply_latency(engine: QueryEngine, latency_s: float) -> None:
+    for column in engine.columns.values():
+        column.index.disk.latency_s = latency_s
+
+
+def _add_column(engine: QueryEngine, column_payload: tuple) -> None:
+    (
+        name,
+        codes,
+        sigma,
+        dynamism,
+        expected_selectivity,
+        require_exact,
+        require_delete,
+        backend,
+    ) = column_payload
+    engine.add_column(
+        name,
+        codes,
+        sigma,
+        dynamism=dynamism,
+        expected_selectivity=expected_selectivity,
+        require_exact=require_exact,
+        require_delete=require_delete,
+        backend=backend,
+    )
+
+
+class ShardHost:
+    """The resident runtimes of one worker process (testable in-process)."""
+
+    def __init__(self) -> None:
+        self.engines: dict[int, QueryEngine] = {}
+        self.latencies: dict[int, float] = {}
+
+    def _engine(self, uid: int) -> QueryEngine:
+        try:
+            return self.engines[uid]
+        except KeyError:
+            raise InvalidParameterError(
+                f"shard uid {uid} is not resident in this worker"
+            ) from None
+
+    def build(self, uid: int, payload: tuple) -> None:
+        cache_size, latency_s, columns = payload
+        engine = QueryEngine(cache_size=cache_size)
+        for column_payload in columns:
+            _add_column(engine, column_payload)
+        _apply_latency(engine, latency_s)
+        self.engines[uid] = engine
+        self.latencies[uid] = latency_s
+
+    def retire(self, uid: int) -> None:
+        self.engines.pop(uid, None)
+        self.latencies.pop(uid, None)
+
+    def delta(self, uid: int, delta: tuple) -> None:
+        engine = self._engine(uid)
+        op = delta[0]
+        if op == "append":
+            engine.append(delta[1], delta[2])
+        elif op == "change":
+            engine.change(delta[1], delta[2], delta[3])
+        elif op == "delete":
+            engine.delete(delta[1], delta[2])
+        elif op == "set_contract":
+            _, name, dynamism, require_delete = delta
+            column = engine.column(name)
+            column.stats = column.stats.with_(
+                dynamism=dynamism, require_delete=require_delete
+            )
+        elif op == "rebuild":
+            _, name, backend = delta
+            engine.column(name).rebuild(get_spec(backend))
+            engine.cache.invalidate(lambda key: key[0] == name)
+            _apply_latency(engine, self.latencies.get(uid, 0.0))
+        elif op == "add_column":
+            _add_column(engine, delta[1])
+            _apply_latency(engine, self.latencies.get(uid, 0.0))
+        elif op == "drop_column":
+            engine.drop_column(delta[1])
+        elif op == "set_latency":
+            self.latencies[uid] = delta[1]
+            _apply_latency(engine, delta[1])
+        elif op == "drop_caches":
+            engine.cache.invalidate()
+            for column in engine.columns.values():
+                column.index.disk.flush_cache()
+        else:
+            raise InvalidParameterError(f"unknown shard delta {op!r}")
+
+    def query(
+        self, uid: int, name: str, char_lo: int, char_hi: int
+    ) -> tuple[list[int], Snapshot]:
+        result, io = self._engine(uid).query_measured(name, char_lo, char_hi)
+        return result.positions(), io
+
+    def io_totals(self) -> Snapshot:
+        total = Snapshot()
+        for engine in self.engines.values():
+            for column in engine.columns.values():
+                total = total + column.index.stats.snapshot()
+        return total
+
+
+def shard_worker_main(conn) -> None:
+    """The worker loop: one reply per request, FIFO, until ``close``."""
+    from .executor import ship_exception  # late: avoid an import cycle
+
+    host = ShardHost()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent died; nothing left to serve
+            return
+        op = message[0]
+        try:
+            if op == "close":
+                conn.send(("ok", None))
+                return
+            if op == "build":
+                host.build(message[1], message[2])
+                reply = None
+            elif op == "retire":
+                host.retire(message[1])
+                reply = None
+            elif op == "delta":
+                host.delta(message[1], message[2])
+                reply = None
+            elif op == "query":
+                reply = host.query(*message[1:])
+            elif op == "stats":
+                reply = host.io_totals()
+            else:
+                raise InvalidParameterError(f"unknown worker op {op!r}")
+            conn.send(("ok", reply))
+        except BaseException as exc:  # ship it back; the loop survives
+            conn.send(("err", ship_exception(exc)))

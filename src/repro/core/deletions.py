@@ -160,6 +160,7 @@ class DeletableIndex(SecondaryIndex):
             self._inner._block_bits,
             self._inner._mem_blocks,
             stats=self._inner.stats,
+            latency_s=self._inner.disk.latency_s,
         )
         self._inner = DynamicSecondaryIndex(
             live,

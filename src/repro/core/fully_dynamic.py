@@ -80,7 +80,15 @@ class DynamicSecondaryIndex(SecondaryIndex):
     # ------------------------------------------------------------------
 
     def _build_structure(self) -> None:
-        self._disk = Disk(self._block_bits, self._mem_blocks, stats=self._stats)
+        # Rebuilds inherit the previous device's latency model: a
+        # global rebuild swaps the bits, not the timing characteristics.
+        latency_s = self._disk.latency_s if hasattr(self, "_disk") else 0.0
+        self._disk = Disk(
+            self._block_bits,
+            self._mem_blocks,
+            stats=self._stats,
+            latency_s=latency_s,
+        )
         self._updates_since_build = 0
         self._built_n = len(self._x)
         self._char_bits = max(1, (self._sigma - 1).bit_length())

@@ -91,8 +91,17 @@ class AppendableIndex(SecondaryIndex):
     # ------------------------------------------------------------------
 
     def _fresh_disk(self) -> Disk:
-        """A new device for a rebuild, sharing the I/O counters."""
-        return Disk(self._block_bits, self._mem_blocks, stats=self._stats)
+        """A new device for a rebuild, sharing the I/O counters.
+
+        The latency model (if any) carries over: a rebuild swaps the
+        bits, not the device's timing characteristics.
+        """
+        return Disk(
+            self._block_bits,
+            self._mem_blocks,
+            stats=self._stats,
+            latency_s=self._disk.latency_s,
+        )
 
     def _build_structure(self) -> None:
         if not self._x:

@@ -205,6 +205,46 @@ class CostModel:
         model = base if base is not None else cls()
         return replace(model, family_weights=weights, **overrides)
 
+    @classmethod
+    def load_calibrated(
+        cls,
+        path: str,
+        base: "CostModel | None" = None,
+        **overrides,
+    ) -> "CostModel":
+        """Load measured per-family weights back into a model.
+
+        The feedback half of the calibration loop: E11e
+        (``benchmarks/bench_e11_engine.py``) emits both a full report
+        (parsed by :meth:`from_reports`) and a compact weights file
+        ``{"family_weights": {family: weight, ...}}`` — this accepts
+        either, so a deployment can hand ``Table``/``ShardedTable`` a
+        ``CostModel.load_calibrated(path)`` and serve under measured
+        economics instead of the analytic defaults.
+        """
+        with open(path) as f:
+            data = json.load(f)
+        if isinstance(data, dict) and "family_weights" in data:
+            raw = data["family_weights"]
+            if not isinstance(raw, dict) or not raw:
+                raise InvalidParameterError(
+                    f"{path}: family_weights must be a non-empty mapping"
+                )
+            weights = []
+            for family, weight in raw.items():
+                weight = float(weight)
+                if not weight > 0:
+                    raise InvalidParameterError(
+                        f"{path}: family {family!r} has non-positive "
+                        f"weight {weight}"
+                    )
+                weights.append((str(family), weight))
+            model = base if base is not None else cls()
+            return replace(
+                model, family_weights=tuple(sorted(weights)), **overrides
+            )
+        return cls.from_reports([path], base=base, **overrides)
+
 
 class Advisor:
     """Ranks registered backends for a workload and picks the cheapest."""

@@ -22,6 +22,7 @@ from typing import Mapping, Sequence
 from ..core.interface import RangeResult, SecondaryIndex
 from ..bits.ops import intersect_many
 from ..errors import InvalidParameterError, QueryError, UpdateError
+from ..iomodel.stats import Snapshot
 from .advisor import Advisor, CostModel, WorkloadStats
 from .cache import LRUCache
 from .registry import IndexSpec, get_spec
@@ -394,6 +395,25 @@ class QueryEngine:
         result = col.index.range_query(char_lo, char_hi)
         self.cache.put(key, result)
         return result
+
+    def query_measured(
+        self, name: str, char_lo: int, char_hi: int
+    ) -> tuple[RangeResult, Snapshot]:
+        """:meth:`query` plus the I/O it cost, as a mergeable snapshot.
+
+        The delta is taken on the serving column's shared
+        :class:`~repro.iomodel.stats.IOStats` (stable across a
+        backend's internal device swaps), so a result served from the
+        LRU cache honestly reports zero transfers.  This is the
+        per-task currency of the cluster's scatter phase: each shard
+        task — wherever it runs, including a worker process — returns
+        its answer together with one of these, and the coordinator
+        folds them into cluster totals.
+        """
+        stats = self.column(name).index.stats
+        before = stats.snapshot()
+        result = self.query(name, char_lo, char_hi)
+        return result, stats.snapshot() - before
 
     def query_iter(self, name: str, char_lo: int, char_hi: int):
         """One range query as a sorted position iterator.

@@ -1,13 +1,14 @@
 """The I/O-model substrate: a simulated block device with exact accounting."""
 
 from .cache import LRUBlockCache
-from .disk import DEFAULT_BLOCK_BITS, DEFAULT_MEM_BLOCKS, Disk, Extent
+from .disk import DEFAULT_BLOCK_BITS, DEFAULT_MEM_BLOCKS, Disk, DiskState, Extent
 from .stats import IOStats, Measurement, Snapshot
 
 __all__ = [
     "DEFAULT_BLOCK_BITS",
     "DEFAULT_MEM_BLOCKS",
     "Disk",
+    "DiskState",
     "Extent",
     "IOStats",
     "LRUBlockCache",

@@ -30,6 +30,7 @@ Design notes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..bits.bitio import BitReader
@@ -53,6 +54,26 @@ class Extent:
         return self.offset + self.nbits
 
 
+@dataclass
+class DiskState:
+    """The picklable half of a :class:`Disk`: geometry plus content.
+
+    A disk separates cleanly into *state* — what must cross a process
+    boundary to reconstruct the device — and *runtime* — the LRU
+    residency set, the I/O counters, and the latency clock, which are
+    local to whichever process is serving.  ``snapshot_state()``
+    captures the former; :meth:`Disk.from_state` rehydrates a runtime
+    handle around it (cold cache, fresh counters) in the receiving
+    process.
+    """
+
+    block_bits: int
+    mem_blocks: int
+    data: bytes
+    alloc_bits: int
+    latency_s: float = 0.0
+
+
 class Disk:
     """Bit-addressed block storage with exact I/O accounting.
 
@@ -65,6 +86,15 @@ class Disk:
     stats:
         Optional shared :class:`IOStats`; a fresh one is created if
         omitted.
+    latency_s:
+        Optional per-transfer latency model: every block transfer
+        (cache miss) sleeps this many seconds, *after* the counters
+        are updated and outside any lock.  The sleep releases the GIL,
+        so executors that overlap shard fetches — threads, worker
+        processes, the prefetching gather — realize genuine overlap
+        against the simulated device instead of serializing behind
+        pure-Python bookkeeping.  0.0 (the default) disables the model
+        and preserves the historical instant-transfer behavior.
     """
 
     def __init__(
@@ -72,14 +102,56 @@ class Disk:
         block_bits: int = DEFAULT_BLOCK_BITS,
         mem_blocks: int = DEFAULT_MEM_BLOCKS,
         stats: IOStats | None = None,
+        latency_s: float = 0.0,
     ) -> None:
         if block_bits <= 0 or block_bits % 8 != 0:
             raise InvalidParameterError("block_bits must be a positive multiple of 8")
+        if latency_s < 0:
+            raise InvalidParameterError("latency_s must be >= 0")
         self.block_bits = block_bits
         self.stats = stats if stats is not None else IOStats()
         self.cache = LRUBlockCache(mem_blocks)
+        self.latency_s = latency_s
         self._data = bytearray()
         self._alloc_bits = 0
+
+    # ------------------------------------------------------------------
+    # State snapshot / rehydration (the picklable half)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> DiskState:
+        """Capture the picklable device state (geometry + content).
+
+        Runtime artifacts — cache residency, counters — are *not*
+        part of the state: a rehydrated disk starts cold, exactly like
+        a remote worker that just received the bits.
+        """
+        return DiskState(
+            block_bits=self.block_bits,
+            mem_blocks=self.cache.capacity,
+            data=bytes(self._data),
+            alloc_bits=self._alloc_bits,
+            latency_s=self.latency_s,
+        )
+
+    @classmethod
+    def from_state(cls, state: DiskState, stats: IOStats | None = None) -> "Disk":
+        """Rebuild a runtime handle around a shipped :class:`DiskState`.
+
+        The returned disk serves the same bits at the same offsets;
+        its cache is cold and its counters start at zero (or share the
+        given ``stats``), so the receiving process accounts its own
+        I/O from scratch.
+        """
+        disk = cls(
+            block_bits=state.block_bits,
+            mem_blocks=state.mem_blocks,
+            stats=stats,
+            latency_s=state.latency_s,
+        )
+        disk._data = bytearray(state.data)
+        disk._alloc_bits = state.alloc_bits
+        return disk
 
     # ------------------------------------------------------------------
     # Allocation
@@ -138,14 +210,23 @@ class Disk:
         # allocate); with mem_blocks=0 every access is a transfer.
         stats = self.stats
         cache = self.cache
+        misses = 0
         if write:
             for bid in range(first_block, last_block + 1):
                 if not cache.access(bid):
                     stats.writes += 1
+                    misses += 1
         else:
             for bid in range(first_block, last_block + 1):
                 if not cache.access(bid):
                     stats.reads += 1
+                    misses += 1
+        if misses and self.latency_s:
+            # The latency model: one sleep per transfer, taken after
+            # the accounting and outside any lock, so concurrent shard
+            # runtimes overlap their transfer waits exactly as real
+            # devices would (time.sleep releases the GIL).
+            time.sleep(misses * self.latency_s)
 
     def touch_range(self, offset: int, nbits: int, *, write: bool = False) -> None:
         """Charge the I/O cost of touching ``[offset, offset+nbits)``.

@@ -21,9 +21,16 @@ from dataclasses import dataclass
 from typing import Iterator
 
 
-@dataclass
+@dataclass(frozen=True)
 class Snapshot:
-    """An immutable copy of the counters at one instant."""
+    """An immutable copy of the counters at one instant.
+
+    Snapshots are *mergeable* (``+``): the cluster's scatter phase
+    returns one per shard task — possibly measured in another worker
+    process — and aggregates them back into cluster totals, so the
+    I/O cost of a parallel run stays exactly comparable to the serial
+    one.
+    """
 
     reads: int = 0
     writes: int = 0
@@ -41,6 +48,14 @@ class Snapshot:
             writes=self.writes - other.writes,
             bits_read=self.bits_read - other.bits_read,
             bits_written=self.bits_written - other.bits_written,
+        )
+
+    def __add__(self, other: "Snapshot") -> "Snapshot":
+        return Snapshot(
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            bits_read=self.bits_read + other.bits_read,
+            bits_written=self.bits_written + other.bits_written,
         )
 
 
@@ -115,6 +130,19 @@ class IOStats:
     def snapshot(self) -> Snapshot:
         """Return an immutable copy of the current counters."""
         return Snapshot(self.reads, self.writes, self.bits_read, self.bits_written)
+
+    def add(self, delta: "Snapshot | IOStats") -> None:
+        """Merge another counter set into this one.
+
+        The aggregation primitive for multi-process serving: each
+        worker measures its shard tasks against its own resident
+        disks and ships back :class:`Snapshot` deltas, which the
+        coordinator folds into one cluster-wide total.
+        """
+        self.reads += delta.reads
+        self.writes += delta.writes
+        self.bits_read += delta.bits_read
+        self.bits_written += delta.bits_written
 
     @property
     def total(self) -> int:

@@ -98,6 +98,7 @@ class Table:
         columns: Mapping[str, Sequence[Any]],
         factory: IndexFactory | None = None,
         engine: QueryEngine | None = None,
+        cost_model=None,
     ) -> None:
         if not columns:
             raise InvalidParameterError("a table needs at least one column")
@@ -105,12 +106,19 @@ class Table:
             raise InvalidParameterError(
                 "pass either a factory or an engine, not both"
             )
+        if cost_model is not None and (factory is not None or engine is not None):
+            raise InvalidParameterError(
+                "cost_model configures the default engine; pass it alone"
+            )
         lengths = {len(v) for v in columns.values()}
         if len(lengths) != 1:
             raise InvalidParameterError("columns must have equal length")
         self.num_rows = lengths.pop()
         if factory is None and engine is None:
-            engine = QueryEngine()
+            # The calibration feedback path: a measured CostModel
+            # (e.g. CostModel.load_calibrated(path)) re-weighs the
+            # advisor that picks every column's backend.
+            engine = QueryEngine(cost_model=cost_model)
         self.engine = engine
         self.columns: dict[str, Column] = {
             name: Column(name, values, factory=factory, engine=engine)

@@ -673,3 +673,78 @@ class TestShardedTable:
         assert table.select({"v": (5, 5)}) == [0]
         with pytest.raises(QueryError):
             table.change("v", 5, 1)
+
+
+class TestCacheStores:
+    """The CacheStore seam: pluggable backing stores for the shared cache."""
+
+    def test_dict_store_prefix_invalidation(self):
+        from repro.cluster import DictStore
+
+        store = DictStore(capacity=16)
+        store.put(shared_key("a", "e", 0, 0, 0, 0), [0])
+        store.put(shared_key("a", "e", 1, 0, 0, 0), [1])
+        store.put(shared_key("b", "e", 0, 0, 0, 0), [2])
+        # Keys are laid out (column, shard uid, ...), so both cluster
+        # invalidation granularities are literal prefixes.
+        assert store.invalidate_prefix(("a", 1)) == 1
+        assert store.invalidate_prefix(("a",)) == 1
+        assert store.invalidate_prefix(()) == 1
+        assert len(store) == 0
+
+    def test_ttl_store_expires_without_enumeration(self):
+        from repro.cluster import TTLStore
+
+        clock = [0.0]
+        store = TTLStore(ttl_s=10.0, clock=lambda: clock[0])
+        key = shared_key("c", "e", 0, 0, 1, 3)
+        store.put(key, [1, 2, 3])
+        assert store.get(key) == [1, 2, 3]
+        assert key in store
+        clock[0] = 11.0
+        assert key not in store
+        assert store.get(key) is None  # lazily dropped
+        assert store.expirations == 1
+        # No key enumeration: prefix invalidation is an honest no-op.
+        store.put(key, [4])
+        assert store.invalidate_prefix(("c",)) == 0
+        assert store.get(key) == [4]
+
+    def test_ttl_store_rejects_nonpositive_ttl(self):
+        from repro.cluster import TTLStore
+
+        with pytest.raises(InvalidParameterError):
+            TTLStore(ttl_s=0)
+
+    def test_cluster_serves_correctly_over_ttl_store(self):
+        # The deployment the TTL path models: no eager invalidation at
+        # all — versioned keys alone must keep answers exact while
+        # expiry bounds the dead weight.
+        from repro.cluster import TTLStore
+
+        clock = [0.0]
+        cache = InMemorySharedCache(store=TTLStore(5.0, clock=lambda: clock[0]))
+        cluster = ClusterEngine(
+            num_shards=2, shared_cache=cache, drift_window=None
+        )
+        x = uniform(40, 8, seed=42)
+        cluster.add_column("c", x, 8, dynamism="fully_dynamic")
+        model = list(x)
+        assert cluster.query("c", 1, 4).positions() == brute_range(model, 1, 4)
+        cluster.change("c", 0, 7)
+        model[0] = 7
+        # The stale entry still sits in the store (invalidation is a
+        # no-op there), yet can never be served again.
+        assert cluster.query("c", 1, 4).positions() == brute_range(model, 1, 4)
+        before = len(cache)
+        clock[0] = 6.0
+        stale = shared_key(
+            "c", cluster.columns["c"].epoch, cluster.shard_uids[0], 0, 1, 4
+        )
+        assert cache.get(stale) is None  # aged out
+        assert len(cache) < before or before == 0
+
+    def test_invalidate_requires_column_for_shard_scope(self):
+        cache = InMemorySharedCache(8)
+        with pytest.raises(InvalidParameterError):
+            cache.invalidate(shard_id=3)

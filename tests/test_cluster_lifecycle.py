@@ -277,8 +277,8 @@ class ClusterLifecycleMachine(RuleBasedStateMachine):
         # *current* shard uid (retired uids are evicted eagerly) at
         # that shard's current version and the column's live epoch.
         uids = self.cluster.shard_uids
-        for key in list(self.cluster.shared_cache._lru._data):
-            name, epoch, uid, version = key[0], key[1], key[2], key[3]
+        for key in list(self.cluster.shared_cache.store._lru._data):
+            name, uid, epoch, version = key[0], key[1], key[2], key[3]
             assert epoch == self.cluster.columns[name].epoch
             assert uid in uids
             position = uids.index(uid)
@@ -617,3 +617,93 @@ def test_sharded_table_explain_is_typed():
         table.explain({})
     with pytest.raises(QueryError):
         table.explain("missing")
+
+
+def test_rebalance_prefers_the_hottest_of_tied_shards():
+    """Heat-aware lifecycle: when oversized shards tie within the
+    tolerance, the split order follows the existing per-shard update
+    counters — the drift clocks double as the heat signal — with the
+    positional tie-break keeping the policy deterministic."""
+    cluster = ClusterEngine(num_shards=2, drift_window=None,
+                            heat_tolerance=0.25)
+    cluster.add_column(
+        "c", uniform(80, 8, seed=71), 8, dynamism="fully_dynamic"
+    )
+    # Equal sizes (40/40), but all update traffic lands on shard 1.
+    for i in range(12):
+        cluster.change("c", 40 + (i % 40), i % 8)
+    assert cluster.shard_heat(0) == 0 and cluster.shard_heat(1) == 12
+    want = cluster.query("c", 0, 7).positions()
+    cluster.rebalance(target_shard_rows=30)
+    # Both shards were over target and tied in size: the hot one split
+    # first (recorded shard_id is the position at split time).
+    assert cluster.splits[0].shard_id == 1
+    assert max(cluster.shard_lengths("c")) <= 30
+    assert cluster.query("c", 0, 7).positions() == want
+
+
+def test_rebalance_heat_tiebreak_respects_size_tolerance():
+    # A clearly fatter cold shard must still split before a hot but
+    # much smaller one: heat only breaks near-ties.
+    cluster = ClusterEngine(num_shards=2, drift_window=None,
+                            heat_tolerance=0.1)
+    cluster.add_column(
+        "c", uniform(100, 8, seed=72), 8, dynamism="fully_dynamic"
+    )
+    # Shard 1 starts at 50 rows and takes updates (hot); grow shard 1?
+    # Appends go to the last shard, so fatten shard 1 instead and heat
+    # shard 0: the size gap (beyond tolerance) must beat the heat.
+    for i in range(30):
+        cluster.append("c", i % 8)  # shard 1 -> 80 rows
+    for i in range(10):
+        cluster.change("c", i % 50, i % 8)  # heat shard 0
+    assert cluster.shard_heat(0) >= 10
+    cluster.rebalance(target_shard_rows=45)
+    assert cluster.splits[0].shard_id == 1  # the fat one, despite cold
+
+
+def test_shard_heat_validates_and_sums_columns():
+    cluster = ClusterEngine(num_shards=2, drift_window=None)
+    cluster.add_column("a", uniform(20, 4, seed=73), 4,
+                       dynamism="fully_dynamic")
+    cluster.add_column("b", uniform(20, 4, seed=74), 4,
+                       dynamism="fully_dynamic")
+    cluster.change("a", 0, 1)
+    cluster.change("b", 1, 2)
+    cluster.change("b", 15, 3)
+    assert cluster.shard_heat(0) == 2
+    assert cluster.shard_heat(1) == 1
+    import pytest
+
+    with pytest.raises(InvalidParameterError):
+        cluster.shard_heat(9)
+
+
+def test_streaming_gather_prefetch_bound_under_threads():
+    """The prefetching bridge widens the accounted bound to the
+    documented handoff (two delivered buffers per dimension) and no
+    further, at any depth."""
+    from repro.cluster import ThreadedExecutor
+
+    n, sigma, shards = 2048, 8, 8
+    a = uniform(n, sigma, seed=75)
+    b = uniform(n, sigma, seed=76)
+    with ThreadedExecutor(4) as pool:
+        cluster = ClusterEngine(
+            num_shards=shards, drift_window=None, executor=pool,
+            prefetch_depth=2,
+        )
+        cluster.add_column("a", a, sigma)
+        cluster.add_column("b", b, sigma)
+        conditions = {"a": (0, 6), "b": (0, 6)}
+        cluster.gather_stats.reset()
+        got = list(cluster.select_iter(conditions))
+        want = [i for i in range(n) if a[i] <= 6 and b[i] <= 6]
+        assert got == want and len(want) > n // 2
+        max_shard = max(cluster.shard_lengths("a"))
+        peak = cluster.gather_stats.peak_rids
+        # One draining + one handoff buffer per dimension — still
+        # O(max shard answer), never O(answer).
+        assert peak <= 2 * 2 * max_shard
+        assert peak < len(want)
+        assert cluster.gather_stats.live_rids == 0

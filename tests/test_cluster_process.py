@@ -1,0 +1,415 @@
+"""Process-parallel serving: resident shard runtimes vs the serial path.
+
+The contract under test is the strongest one the executor protocol
+makes: a cluster served by worker-resident engine replicas
+(``ProcessExecutor``) must be *observationally identical* to the
+serial in-process cluster on any fixed workload — bit-identical
+query/select/explain results and bit-identical aggregated
+``scatter_io`` totals — because the replicas are built from the same
+snapshots and kept in sync by the same routed deltas the coordinator
+applies locally.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterEngine,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+from repro.cluster.worker import ShardHost
+from repro.engine import Advisor, WorkloadStats, get_spec
+from repro.errors import InvalidParameterError, QueryError, UpdateError
+from repro.model.distributions import uniform, zipf
+
+from tests.conftest import brute_range
+
+SIGMA = 16
+
+
+class FlipAdvisor(Advisor):
+    """Deterministic advisor for drift tests: entropy decides the pick."""
+
+    def __init__(self, threshold: float) -> None:
+        super().__init__()
+        self.threshold = threshold
+
+    def pick(self, stats: WorkloadStats):
+        if stats.h0 < self.threshold:
+            return get_spec("fully-dynamic")
+        return get_spec("deletable")
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    with ProcessExecutor(max_workers=2) as pool:
+        yield pool
+
+
+def drive_fixed_workload(cluster: ClusterEngine) -> dict:
+    """One deterministic workload exercising every delta kind.
+
+    Build, query, route updates (append/change/delete), migrate with a
+    pin, freeze nothing, query again — recording everything observable
+    so two executors can be compared field by field.
+    """
+    x = zipf(240, SIGMA, theta=1.2, seed=31)
+    y = uniform(240, 8, seed=32)
+    cluster.add_column("c", x, SIGMA, dynamism="fully_dynamic",
+                       require_delete=True)
+    cluster.add_column("d", y, 8, dynamism="fully_dynamic")
+    out = {"phases": []}
+
+    def observe(tag):
+        out["phases"].append(
+            {
+                "tag": tag,
+                "q_c": cluster.query("c", 2, 11).positions(),
+                "q_d": cluster.query("d", 1, 5).positions(),
+                "select": cluster.select({"c": (0, 9), "d": (2, 7)}),
+                "stream": list(cluster.select_iter({"c": (2, 13), "d": (0, 6)})),
+                "explain": cluster.explain("c", 2, 11),
+                "backends_c": cluster.backends("c"),
+                "backends_d": cluster.backends("d"),
+            }
+        )
+
+    observe("built")
+    for i in range(24):
+        cluster.append("c", (3 * i) % SIGMA)
+        cluster.append("d", (5 * i) % 8)
+    for i in range(12):
+        cluster.change("c", (7 * i) % 240, (i + 4) % SIGMA)
+    for i in range(6):
+        try:
+            cluster.delete("c", (11 * i) % 200)
+        except UpdateError:
+            pass  # slot already holds a pending hole; same on every run
+    observe("updated")
+    cluster.migrate("c", backend="deletable")
+    cluster.migrate("d")
+    observe("migrated")
+    out["scatter_io"] = cluster.scatter_io.snapshot()
+    return out
+
+
+class TestProcessMatchesSerial:
+    def test_fixed_workload_identical_results_and_io(self, process_pool):
+        serial = ClusterEngine(num_shards=4, drift_window=None)
+        proc = ClusterEngine(
+            num_shards=4, drift_window=None, executor=process_pool
+        )
+        try:
+            want = drive_fixed_workload(serial)
+            got = drive_fixed_workload(proc)
+            assert got["phases"] == want["phases"]
+            # The headline: per-worker I/O snapshots folded back into
+            # cluster totals equal the serial run's, transfer for
+            # transfer and bit for bit.
+            assert got["scatter_io"] == want["scatter_io"]
+            assert got["scatter_io"].bits_read > 0
+        finally:
+            proc.close()
+
+    def test_static_columns_and_pruning(self, process_pool):
+        # Static shards re-dictionary onto local alphabets; the
+        # translated ranges and pruned shards must ship identically.
+        x = [0] * 60 + [7] * 60 + [13] * 60
+        serial = ClusterEngine(num_shards=3)
+        serial.add_column("s", x, SIGMA)
+        proc = ClusterEngine(num_shards=3, executor=process_pool)
+        proc.add_column("s", x, SIGMA)
+        try:
+            for lo, hi in [(0, 0), (1, 6), (7, 13), (0, 15), (8, 12)]:
+                assert (
+                    proc.query("s", lo, hi).positions()
+                    == serial.query("s", lo, hi).positions()
+                    == brute_range(x, lo, hi)
+                )
+            assert proc.scatter_io.snapshot() == serial.scatter_io.snapshot()
+        finally:
+            proc.close()
+
+    def test_drift_migration_ships_rebuilds(self, process_pool):
+        # Low-entropy start, high-entropy hammering of shard 1: the
+        # drift detector rebuilds in place; the resident replica must
+        # follow and keep answering identically.
+        def build(executor):
+            cluster = ClusterEngine(
+                num_shards=2, drift_window=8, executor=executor,
+                advisor=FlipAdvisor(threshold=1.0),
+            )
+            cluster.add_column("c", [0] * 40, 8, dynamism="fully_dynamic")
+            return cluster
+
+        serial, proc = build(None), build(process_pool)
+        try:
+            model = [0] * 40
+            for i in range(20):
+                pos, ch = 20 + (i % 20), i % 8
+                for cluster in (serial, proc):
+                    cluster.change("c", pos, ch)
+                model[pos] = ch
+                assert (
+                    proc.query("c", 0, 3).positions()
+                    == serial.query("c", 0, 3).positions()
+                    == brute_range(model, 0, 3)
+                )
+            assert proc.backends("c") == serial.backends("c")
+            assert len(proc.migrations) == len(serial.migrations) > 0
+            assert proc.scatter_io.snapshot() == serial.scatter_io.snapshot()
+        finally:
+            proc.close()
+
+    def test_drop_and_readd_column(self, process_pool):
+        proc = ClusterEngine(num_shards=2, executor=process_pool)
+        x = uniform(40, 8, seed=33)
+        proc.add_column("c", x, 8)
+        try:
+            assert proc.query("c", 1, 4).positions() == brute_range(x, 1, 4)
+            proc.drop_column("c")
+            with pytest.raises(QueryError):
+                proc.query("c", 0, 1)
+            y = [7 - c for c in x]
+            proc.add_column("c", y, 8)
+            assert proc.query("c", 1, 4).positions() == brute_range(y, 1, 4)
+        finally:
+            proc.close()
+
+
+class TestProcessLifecycle:
+    def test_auto_split_and_merge_stay_in_sync(self, process_pool):
+        def grow(executor):
+            cluster = ClusterEngine(
+                target_shard_rows=32,
+                drift_window=None,
+                executor=executor,
+            )
+            cluster.add_column(
+                "c", uniform(48, 8, seed=34), 8,
+                dynamism="fully_dynamic", require_delete=True,
+            )
+            for i in range(40):
+                cluster.append("c", (5 * i) % 8)
+            deleted, i = 0, 0
+            while deleted < 30 and i < 200:
+                try:
+                    cluster.delete("c", (7 * i) % cluster.total_rows("c"))
+                    deleted += 1
+                except UpdateError:
+                    pass  # pending hole; deterministic on every run
+                i += 1
+            return cluster
+
+        serial, proc = grow(None), grow(process_pool)
+        try:
+            assert proc.splits and proc.num_shards == serial.num_shards
+            assert len(proc.splits) == len(serial.splits)
+            assert len(proc.merges) == len(serial.merges)
+            for lo, hi in [(0, 2), (3, 7), (0, 7), (4, 4)]:
+                assert (
+                    proc.query("c", lo, hi).positions()
+                    == serial.query("c", lo, hi).positions()
+                )
+            assert proc.select({"c": (1, 6)}) == serial.select({"c": (1, 6)})
+            assert proc.scatter_io.snapshot() == serial.scatter_io.snapshot()
+        finally:
+            proc.close()
+
+    def test_explicit_rebalance_under_process_executor(self, process_pool):
+        proc = ClusterEngine(
+            num_shards=2, drift_window=None, executor=process_pool
+        )
+        x = zipf(200, 8, theta=1.1, seed=35)
+        proc.add_column("c", x, 8)
+        try:
+            ops = proc.rebalance(target_shard_rows=40)
+            assert ops > 0 and max(proc.shard_lengths("c")) <= 40
+            assert proc.query("c", 0, 7).positions() == list(range(200))
+            assert proc.select({"c": (2, 5)}) == brute_range(x, 2, 5)
+        finally:
+            proc.close()
+
+
+class TestPrefetchingGather:
+    @pytest.mark.parametrize("depth", [0, 1, 2])
+    def test_stream_order_and_bound_at_depth(self, process_pool, depth):
+        n, shards = 1024, 8
+        a = uniform(n, 8, seed=36)
+        b = uniform(n, 8, seed=37)
+        proc = ClusterEngine(
+            num_shards=shards,
+            drift_window=None,
+            executor=process_pool,
+            prefetch_depth=depth,
+        )
+        proc.add_column("a", a, 8)
+        proc.add_column("b", b, 8)
+        try:
+            proc.gather_stats.reset()
+            got = list(proc.select_iter({"a": (0, 6), "b": (0, 6)}))
+            want = [i for i in range(n) if a[i] <= 6 and b[i] <= 6]
+            assert got == want and len(want) > n // 2
+            max_shard = max(proc.shard_lengths("a"))
+            # Delivered-buffer bound: one draining buffer per
+            # dimension, plus one handoff buffer when a prefetch
+            # window exists.
+            per_dim = 1 if depth == 0 else 2
+            assert proc.gather_stats.peak_rids <= 2 * per_dim * max_shard
+            assert proc.gather_stats.live_rids == 0
+        finally:
+            proc.close()
+
+    def test_early_close_drains_pipelined_requests(self, process_pool):
+        n = 512
+        a = uniform(n, 8, seed=38)
+        proc = ClusterEngine(
+            num_shards=8, drift_window=None, executor=process_pool,
+            prefetch_depth=2,
+        )
+        proc.add_column("a", a, 8)
+        try:
+            it = proc.query_iter("a", 0, 6)
+            for _ in range(5):
+                next(it)
+            it.close()  # abandons in-flight pipe requests: must drain
+            assert proc.gather_stats.live_rids == 0
+            # The pipe is clean: the next query sees only its own
+            # replies.
+            assert proc.query("a", 0, 6).positions() == brute_range(a, 0, 6)
+        finally:
+            proc.close()
+
+    def test_depth_zero_walk_is_lazy_about_io(self):
+        # The serial walk's contract: an early-exiting consumer never
+        # pays for shards it did not reach — the next fetch must not
+        # even start until the current buffer is drained.
+        a = uniform(120, 8, seed=43)
+        cluster = ClusterEngine(num_shards=3, drift_window=None)
+        cluster.add_column("a", a, 8)
+        assert cluster.prefetch_depth == 0
+        it = cluster.query_iter("a", 0, 6)
+        next(it)  # shard 0's buffer delivered; shards 1-2 untouched
+        it.close()
+        assert len(cluster.shared_cache) == 1  # only shard 0 was fetched
+        one_shard_io = cluster.scatter_io.snapshot()
+        # Draining fully fetches the rest (and the bound stays 1 buffer).
+        cluster.gather_stats.reset()
+        assert list(cluster.query_iter("a", 0, 6)) == brute_range(a, 0, 6)
+        assert cluster.scatter_io.bits_read > one_shard_io.bits_read
+        max_shard = max(cluster.shard_lengths("a"))
+        assert cluster.gather_stats.peak_rids <= max_shard
+
+    def test_pipelined_requests_beyond_the_throttle_cap(self, process_pool):
+        # More outstanding requests than _Worker.MAX_PIPELINE: the
+        # throttle resolves the oldest first, and every future still
+        # answers correctly afterwards.
+        x = uniform(60, 8, seed=44)
+        proc = ClusterEngine(num_shards=1, drift_window=None,
+                             executor=process_pool)
+        proc.add_column("a", x, 8)
+        try:
+            uid = proc.shard_uids[0]
+            futures = [
+                process_pool.submit_query(uid, "a", lo, lo)
+                for _ in range(40)
+                for lo in range(8)
+            ]  # 320 requests down one pipe
+            for i, future in enumerate(futures):
+                positions, _ = future.result()
+                assert positions == brute_range(x, i % 8, i % 8)
+        finally:
+            proc.close()
+
+    def test_threaded_prefetch_matches_serial(self):
+        n = 600
+        a = uniform(n, 8, seed=39)
+        b = zipf(n, 8, theta=1.2, seed=40)
+        serial = ClusterEngine(num_shards=6, drift_window=None)
+        serial.add_column("a", a, 8)
+        serial.add_column("b", b, 8)
+        with ThreadedExecutor(4) as pool:
+            threaded = ClusterEngine(
+                num_shards=6, drift_window=None, executor=pool
+            )
+            threaded.add_column("a", a, 8)
+            threaded.add_column("b", b, 8)
+            assert threaded.prefetch_depth == 1  # auto: threads overlap
+            conds = {"a": (0, 5), "b": (1, 6)}
+            assert list(threaded.select_iter(conds)) == list(
+                serial.select_iter(conds)
+            )
+            assert (
+                threaded.scatter_io.snapshot() == serial.scatter_io.snapshot()
+            )
+
+
+class TestExecutorProtocol:
+    def test_serial_submit_is_inline_and_captures_errors(self):
+        pool = SerialExecutor()
+        assert pool.submit(lambda a, b: a + b, 2, 3).result() == 5
+        failing = pool.submit(lambda: 1 // 0)
+        with pytest.raises(ZeroDivisionError):
+            failing.result()
+        assert pool.supports_prefetch is False and pool.kind == "local"
+
+    def test_threaded_submit(self):
+        with ThreadedExecutor(2) as pool:
+            futures = [pool.submit(lambda v=v: v * v) for v in range(8)]
+            assert [f.result() for f in futures] == [v * v for v in range(8)]
+            assert pool.supports_prefetch is True
+
+    def test_process_executor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ProcessExecutor(max_workers=0)
+
+    def test_worker_errors_propagate(self, process_pool):
+        with pytest.raises(InvalidParameterError):
+            process_pool.apply_delta(999_999_999, ("append", "c", 0))
+
+    def test_shared_executor_serves_many_clusters(self, process_pool):
+        # Shard uids are process-unique, so one pool hosts replicas of
+        # several clusters without collision.
+        one = ClusterEngine(num_shards=2, executor=process_pool)
+        two = ClusterEngine(num_shards=2, executor=process_pool)
+        x = uniform(40, 8, seed=41)
+        y = [7 - c for c in x]
+        one.add_column("c", x, 8)
+        two.add_column("c", y, 8)
+        try:
+            assert one.query("c", 1, 3).positions() == brute_range(x, 1, 3)
+            assert two.query("c", 1, 3).positions() == brute_range(y, 1, 3)
+        finally:
+            one.close()
+            two.close()
+
+
+class TestShardHost:
+    """The worker-side runtime, driven in-process for edge coverage."""
+
+    def test_unknown_uid_and_delta_rejected(self):
+        host = ShardHost()
+        with pytest.raises(InvalidParameterError):
+            host.delta(0, ("append", "c", 1))
+        host.build(0, (16, 0.0, [("c", [0, 1, 2, 3], 4, "fully_dynamic",
+                                  0.1, True, False, "fully-dynamic")]))
+        with pytest.raises(InvalidParameterError):
+            host.delta(0, ("warp", "c"))
+        positions, io = host.query(0, "c", 1, 2)
+        assert positions == [1, 2]
+        assert io.total >= 0
+        host.retire(0)
+        with pytest.raises(InvalidParameterError):
+            host.query(0, "c", 1, 2)
+
+    def test_latency_reapplied_after_rebuild(self):
+        host = ShardHost()
+        host.build(0, (16, 0.0, [("c", [0, 1, 2, 3], 4, "fully_dynamic",
+                                  0.1, True, False, "fully-dynamic")]))
+        host.delta(0, ("set_latency", 0.25))
+        host.delta(0, ("rebuild", "c", "deletable"))
+        engine = host.engines[0]
+        assert engine.column("c").index.disk.latency_s == 0.25
+        host.delta(0, ("set_latency", 0.0))
+        assert engine.column("c").index.disk.latency_s == 0.0

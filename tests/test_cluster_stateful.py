@@ -202,8 +202,8 @@ class ClusterCacheMachine(RuleBasedStateMachine):
         # its shard's version — and keys carry stable uids, so none
         # may reference a shard retired by a split.
         uids = self.cluster.shard_uids
-        for key in list(self.cluster.shared_cache._lru._data):
-            name, epoch, uid, version = key[0], key[1], key[2], key[3]
+        for key in list(self.cluster.shared_cache.store._lru._data):
+            name, uid, epoch, version = key[0], key[1], key[2], key[3]
             assert epoch == self.cluster.columns[name].epoch
             assert uid in uids
             position = uids.index(uid)

@@ -279,3 +279,91 @@ def test_invalid_ranges_rejected(spec):
     for lo, hi in [(-1, 3), (2, 8), (5, 4)]:
         with pytest.raises(QueryError):
             idx.range_query(lo, hi)
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    """One worker pool shared by every process-conformance table."""
+    from repro.cluster import ProcessExecutor
+
+    with ProcessExecutor(max_workers=2) as pool:
+        yield pool
+
+
+PROCESS_WORKLOADS = ["zipf", "sigma_2"]
+
+
+@pytest.fixture(scope="module")
+def process_tables(process_pool):
+    """Every backend served serial and process-resident, built once.
+
+    Each pinned backend runs through a ShardedTable twice — serial
+    executor and worker-resident ProcessExecutor — over the same
+    data, so the pair can be compared result for result and transfer
+    for transfer.
+    """
+    by_name = {w[0]: w for w in WORKLOADS}
+    cache = {}
+    for wname in PROCESS_WORKLOADS:
+        _, gen, sigma = by_name[wname]
+        x = gen()
+        for spec in SPECS:
+            serial = ShardedTable({"c": x}, num_shards=2, backend=spec.name)
+            resident = ShardedTable(
+                {"c": x}, num_shards=2, backend=spec.name,
+                executor=process_pool,
+            )
+            cache[(spec.name, wname)] = (x, sigma, serial, resident)
+    return cache
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=spec_id)
+@pytest.mark.parametrize("wname", PROCESS_WORKLOADS)
+class TestProcessConformance:
+    """The registry contract holds through worker-resident serving.
+
+    The differential claim is total: bit-identical select/query/
+    explain output *and* bit-identical aggregated I/O totals — the
+    resident replica must be indistinguishable from the serial path
+    on every backend.
+    """
+
+    def test_process_select_and_io_match_serial(
+        self, process_tables, spec, wname
+    ):
+        x, sigma, serial, resident = process_tables[(spec.name, wname)]
+        rng = random.Random(
+            zlib.crc32(f"process:{spec.name}:{wname}".encode())
+        )
+        for lo, hi in random_ranges(rng, sigma, 6):
+            expected = brute_range(x, lo, hi)
+            got = resident.select({"c": (lo, hi)})
+            assert got == expected, (
+                f"{spec.name} on {wname} resident: [{lo},{hi}]"
+            )
+            assert got == serial.select({"c": (lo, hi)})
+            # Code-space comparison goes through the shared alphabet
+            # (cluster queries speak dense codes, not raw values).
+            code_range = serial.column("c").code_range(lo, hi)
+            if code_range is None:
+                continue
+            assert (
+                resident.cluster.query("c", *code_range).positions()
+                == serial.cluster.query("c", *code_range).positions()
+            )
+            assert resident.cluster.explain(
+                "c", *code_range
+            ) == serial.cluster.explain("c", *code_range)
+        assert (
+            resident.cluster.scatter_io.snapshot()
+            == serial.cluster.scatter_io.snapshot()
+        )
+
+    def test_process_streamed_gather_matches(
+        self, process_tables, spec, wname
+    ):
+        x, sigma, serial, resident = process_tables[(spec.name, wname)]
+        lo, hi = 0, sigma - 1
+        assert list(resident.select_iter({"c": (lo, hi)})) == list(
+            serial.select_iter({"c": (lo, hi)})
+        ) == list(range(len(x)))

@@ -588,3 +588,62 @@ class TestTableIntegration:
         Table({"v": [1, 2]}, engine=engine)
         with pytest.raises(InvalidParameterError):
             Table({"v": [3, 4]}, engine=engine)
+
+
+class TestCalibrationFeedback:
+    """CostModel.load_calibrated: measured weights back into serving."""
+
+    def test_loads_weights_json_and_validates(self, tmp_path):
+        import json
+
+        from repro.engine import CostModel
+        from repro.errors import InvalidParameterError
+
+        path = tmp_path / "weights.json"
+        path.write_text(
+            json.dumps({"family_weights": {"bitmap": 0.5, "btree": 2.0}})
+        )
+        model = CostModel.load_calibrated(str(path))
+        assert model.family_weight("bitmap") == 0.5
+        assert model.family_weight("btree") == 2.0
+        assert model.family_weight("pagh-rao") == 1.0  # absent: neutral
+        # Overrides pass through like from_reports.
+        tuned = CostModel.load_calibrated(str(path), queries_per_build=8.0)
+        assert tuned.queries_per_build == 8.0
+        for bad in ({}, {"family_weights": {}}, {"family_weights": {"x": 0}}):
+            path.write_text(json.dumps(bad))
+            if bad:
+                import pytest
+
+                with pytest.raises(InvalidParameterError):
+                    CostModel.load_calibrated(str(path))
+
+    def test_tables_accept_a_cost_model(self, tmp_path):
+        import json
+
+        import pytest
+
+        from repro.cluster import ClusterEngine, ShardedTable
+        from repro.engine import CostModel
+        from repro.errors import InvalidParameterError
+        from repro.queries import Table
+
+        path = tmp_path / "weights.json"
+        path.write_text(json.dumps({"family_weights": {"btree": 1e-9}}))
+        model = CostModel.load_calibrated(str(path))
+        # A weight this extreme must actually steer the advisor.
+        table = Table({"v": list(range(16)) * 4}, cost_model=model)
+        assert table.columns["v"].index.__class__.__name__ == (
+            "BTreeSecondaryIndex"
+        )
+        sharded = ShardedTable(
+            {"v": list(range(16)) * 4}, num_shards=2, cost_model=model
+        )
+        assert sharded.cluster.backends("v") == ["btree", "btree"]
+        assert sharded.select({"v": (3, 7)}) == table.select({"v": (3, 7)})
+        with pytest.raises(InvalidParameterError):
+            Table({"v": [1, 2]}, cost_model=model, factory=lambda c, s: None)
+        with pytest.raises(InvalidParameterError):
+            ShardedTable(
+                {"v": [1, 2]}, cluster=ClusterEngine(1), cost_model=model
+            )
