@@ -24,6 +24,7 @@ from repro.cluster import (
     SerialExecutor,
     ThreadedExecutor,
 )
+from repro.engine import CostModel
 
 N = 1 << 12
 SIGMA = 32
@@ -177,7 +178,12 @@ def test_e12c_online_backend_migration(columns, report, benchmark):
     # high-entropy second half -> per-shard advisor verdicts differ.
     low = standard_string("uniform", N // 2, 4, seed=35)
     high = [4 + v for v in standard_string("uniform", N // 2, 200, seed=36)]
-    split = ClusterEngine(num_shards=2)
+    # Analytic economics: this experiment documents the raw
+    # estimators' per-shard disagreement, independent of the
+    # checked-in calibrated default.
+    split = ClusterEngine(
+        num_shards=2, cost_model=CostModel(calibration=None)
+    )
     split.add_column("split", low + high, 204)
     split_backends = split.backends("split")
     assert len(set(split_backends)) > 1, (

@@ -5,18 +5,17 @@ goes further — it splits every column into contiguous RID-range
 shards, lets the advisor judge *each shard's slice* (so one column may
 be served by different structures in different shards), scatters every
 query across shards, and gathers offset-translated global row ids.
-Updates route to a single shard and invalidate only that shard's
-entries in the shared result cache; when a shard's data drifts, its
-backend is re-fit online; when a shard outgrows its target it is
-split in place, and huge answers stream out of a k-way merge instead
-of being materialized per dimension.
+Both layers serve the same predicate algebra (:mod:`repro.query`):
+any Range/Eq/In/And/Or/Not tree compiles once and executes through
+one shared plan path, with per-leaf answers cached per shard in the
+versioned shared result cache.
 
 Run:  python examples/cluster_scatter_gather.py
 """
 
 import random
 
-from repro import Table
+from repro import And, In, Not, Or, Range, Table
 
 rng = random.Random(42)
 N = 4000
@@ -33,36 +32,53 @@ table = Table.sharded(
     {"income": incomes, "city": cities}, num_shards=2, dynamism="static"
 )
 
-# 1. Each shard was measured on its own slice: the 4-band half goes to
-#    a bitmap variant, the exact half to the entropy-bounded Theorem-2
-#    structure — one column, two backends.
+# 1. Each shard was measured on its own slice: one column, possibly
+#    two backends.
 print(table.explain("income"))
 print()
 
-# 2. Scatter-gather select: global row ids, identical to a single
-#    engine's answer.
-conds = {"income": (25_000, 60_000), "city": ("a", "b")}
-rids = table.select(conds)
-print(f"{len(rids)} rows with income 25k..60k in cities a-b; "
-      f"first 10: {rids[:10]}")
+# 2. Scatter-gather select over one composable predicate: mid-income
+#    rows in the coastal markets, or any top earner outside market h —
+#    IN-lists, a disjunction, and a negation in a single AST.
+pred = And(
+    Or(
+        And(Range("income", 25_000, 60_000), In("city", ["a", "b"])),
+        Range("income", 120_000, None),
+    ),
+    Not(In("city", ["h"])),
+)
+rids = table.select(pred)
+print(f"{len(rids)} rows match the star predicate; first 10: {rids[:10]}")
 print()
 
-# 3. Repeats hit the shared result cache — per shard, per version.
-table.select(conds)
+# 3. Repeats hit the shared result cache — per leaf, per shard, per
+#    version — and disjuncts share cached legs with later queries.
+table.select(pred)
 cache = table.cluster.shared_cache
 print(f"shared cache: {cache.hits} hits / {cache.misses} misses "
       f"({cache.hit_rate:.0%})")
+table.select(Range("income", 25_000, 60_000))  # a leg the OR already paid
+print(f"reused a cached leg: now {cache.hits} hits")
 print()
 
-# 4. The same query, explained end to end — value ranges in, the
-#    per-shard plan of every dimension out.
-print(table.explain(conds))
+# 4. The same predicate, explained end to end: one typed,
+#    JSON-serializable PlanReport — operator tree, per-leaf shard
+#    fan-out, backend verdicts, predicted bits, cache state.
+report = table.explain(pred)
+print(report)
+print()
+import json  # noqa: E402
+
+payload = json.dumps(report.to_dict())
+print(f"…and the same report as {len(payload)} bytes of JSON")
 print()
 
-# 5. Huge answers stream: the k-way gather yields global row ids one
-#    at a time, holding at most one shard's answer per dimension.
+# 5. Huge answers stream: the plan's gather pipeline yields global row
+#    ids one at a time, holding at most one shard's answer per leaf.
+#    (A fully open range would fold to TRUE and skip the indexes
+#    entirely; ask for a real majority range instead.)
 first_ten = []
-for rid in table.select_iter({"income": (20_000, 150_000)}):
+for rid in table.select_iter(Range("income", 25_000, None)):
     first_ten.append(rid)
     if len(first_ten) == 10:
         break  # the remaining shards are never even fetched
@@ -74,27 +90,26 @@ print()
 # 6. Growth management: rebalance the same data to a row target —
 #    shards split in place, the advisor re-judges every new slice,
 #    and answers are bit-identical before and after.
-before = table.select(conds)
+before = table.select(pred)
 ops = table.cluster.rebalance(target_shard_rows=500)
-assert table.select(conds) == before
+assert table.select(pred) == before
 print(f"rebalanced with {ops} lifecycle op(s) -> "
       f"{table.cluster.num_shards} shards; answers unchanged")
-print(table.explain("income"))
 print()
 
 # 7. The same table, served by worker-resident shard engines: each
 #    shard's engine lives in a worker process (built once from a
-#    shipped snapshot, kept in sync by routed deltas), queries
-#    scatter across cores, and the per-worker I/O folds back into
-#    cluster totals — bit-identical to the serial run.
+#    shipped snapshot, kept in sync by batched routed deltas), and a
+#    predicate's leaves ship per shard as ONE compiled-leaf fetch
+#    message — bit-identical to the serial run.
 from repro.cluster import ProcessExecutor, ShardedTable  # noqa: E402
 
 with ProcessExecutor(max_workers=2) as pool:
     resident = ShardedTable(
         {"income": incomes, "city": cities}, num_shards=4, executor=pool
     )
-    assert resident.select(conds) == table.select(conds)
+    assert resident.select(pred) == table.select(pred)
     io = resident.cluster.scatter_io
-    print(f"process-parallel select matches; scatter read "
+    print(f"process-parallel predicate select matches; scatter read "
           f"{io.bits_read} bits across 2 workers")
     resident.cluster.close()

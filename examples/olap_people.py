@@ -1,21 +1,24 @@
-"""The paper's motivating query: "find all married men of age 33" (§1).
+"""The paper's motivating application, grown into a star-style query.
 
-A table with one secondary index per attribute, conjunctive range
-queries answered by RID intersection, and the Theorem-3 approximate
-variant whose filters cost O(z lg(1/eps)) bits per dimension and whose
-false candidates die off as eps^(d-k).
+§1 opens with "find all married men of age 33" — a conjunction of
+secondary-index range queries combined by RID intersection.  Real
+warehouse queries compose further: IN-lists over dimension columns,
+disjunctions of segments, and negations carving out exclusions.  The
+predicate algebra (:mod:`repro.query`) expresses all of it as one
+AST, planned into a DAG of index range queries and combined by
+complement-aware set algebra.
 
 Run:  python examples/olap_people.py
 """
 
 import random
 
-from repro import Table, approximate_factory
+from repro import And, Eq, In, Not, Or, Range, Table, approximate_factory
 
 ROWS = 5000
 rng = random.Random(2009)  # the year of the paper
 
-print(f"building a {ROWS}-row people table with 3 indexed attributes...")
+print(f"building a {ROWS}-row people table with 4 indexed attributes...")
 columns = {
     "age": [rng.randrange(18, 85) for _ in range(ROWS)],
     "sex": [rng.choice(["f", "m"]) for _ in range(ROWS)],
@@ -23,58 +26,83 @@ columns = {
         rng.choice(["divorced", "married", "single", "widowed"])
         for _ in range(ROWS)
     ],
+    "city": [rng.choice("abcdefghij") for _ in range(ROWS)],
 }
+table = Table(columns)
 
 # ----------------------------------------------------------------------
-# Exact RID intersection with Theorem-2 indexes per column.
+# The classic §1 conjunction, now one composable predicate.
 # ----------------------------------------------------------------------
-table = Table(columns)
+married_men_33 = And(Eq("age", 33), Eq("sex", "m"), Eq("status", "married"))
+matches = table.select(married_men_33)
+print(f"\nexact:  {len(matches)} married men of age 33")
+print(f"first rows: {[table.row(rid) for rid in matches[:2]]}")
+
+# ----------------------------------------------------------------------
+# A star-style query: IN-list + disjunction + negation, one AST.
+#
+#   working-age people in the big-city markets (a, b, c) OR any
+#   widowed customer — but never the divorced segment.
+# ----------------------------------------------------------------------
+star = And(
+    Range("age", 25, 64),
+    Or(In("city", ["a", "b", "c"]), Eq("status", "widowed")),
+    Not(Eq("status", "divorced")),
+)
+rids = table.select(star)
+
+
+def matches_star(rid):
+    return (
+        25 <= columns["age"][rid] <= 64
+        and (columns["city"][rid] in "abc" or columns["status"][rid] == "widowed")
+        and columns["status"][rid] != "divorced"
+    )
+
+
+assert rids == [rid for rid in range(ROWS) if matches_star(rid)]
+print(f"\nstar query: {len(rids)} rows "
+      "(age 25-64 AND (city IN (a,b,c) OR widowed) AND NOT divorced)")
+
+# The plan is typed and JSON-serializable: every unique leaf interval,
+# its backend verdict, predicted bits, and cache state.
+report = table.explain(star)
+print("\nthe compiled plan:")
+print(report)
+
+# IN-lists compile to *interval runs* via the dictionary: cities
+# a, b, c are adjacent codes, so the three-member list costs ONE range
+# query, and the whole disjunction shares legs with later queries.
+in_leaves = [leaf for leaf in report.leaves if leaf.column == "city"]
+print(f"\ncity IN (a,b,c) compiled to {len(in_leaves)} leaf fetch(es)")
+
+# Negation is complement-aware: Not(divorced) never materializes the
+# ~75% complement list — the sparse 'divorced' answer is fetched and
+# subtracted (or kept complement-represented, §2.1) instead.
+not_answer = table.select(Not(Eq("status", "divorced")))
+print(f"NOT divorced matches {len(not_answer)} of {ROWS} rows, served "
+      "from the sparse leaf")
+
+# Open-ended ranges: either bound may be None.
+seniors = table.select(Range("age", 65, None))
+print(f"age >= 65: {len(seniors)} rows")
+
+# ----------------------------------------------------------------------
+# Approximate filtering (§3) still composes with the classic plan.
+# ----------------------------------------------------------------------
+approx_table = Table(
+    {k: columns[k] for k in ("age", "sex", "status")},
+    factory=approximate_factory(seed=7),
+)
 conditions = {
     "age": (33, 33),
     "sex": ("m", "m"),
     "status": ("married", "married"),
 }
-matches = table.select(conditions)
-print(f"\nexact:  {len(matches)} married men of age 33")
-print(f"first rows: {[table.row(rid) for rid in matches[:3]]}")
-
-# Each dimension alone is low-selectivity; the intersection is tiny —
-# exactly the regime where §1 argues secondary-index cost dominates.
-for name, (lo, hi) in conditions.items():
-    col = table.column(name)
-    z = len(col.index.range_query(*col.code_range(lo, hi)))
-    print(f"  dimension {name!r}: {z} matching rows on its own")
-
-# ----------------------------------------------------------------------
-# Approximate filtering (§3): trade false positives for fewer bits read.
-# ----------------------------------------------------------------------
-approx_table = Table(columns, factory=approximate_factory(seed=7))
 eps = 1 / 16
 candidates = approx_table.select_approximate(conditions, eps=eps, verify=False)
 verified = approx_table.select_approximate(conditions, eps=eps, verify=True)
-print(f"\napproximate (eps = 1/16):")
-print(f"  candidates after intersecting 3 filters: {len(candidates)}")
-print(f"  after verification against the table:    {len(verified)}")
+print(f"\napproximate (eps = 1/16): {len(candidates)} candidates, "
+      f"{len(verified)} after verification")
 assert verified == matches, "verification must recover the exact answer"
-print("  verified answer matches the exact plan  ✓")
-
-# A row matching k of d=3 conditions survives the filters with
-# probability <= eps^(3-k) — count survivors per k to see it.
-survival = {k: [0, 0] for k in range(4)}
-cand_set = set(candidates)
-for rid in range(ROWS):
-    k = sum(
-        1
-        for name, (lo, hi) in conditions.items()
-        if lo <= columns[name][rid] <= hi
-    )
-    survival[k][0] += 1
-    if rid in cand_set:
-        survival[k][1] += 1
-print("\n  survival by #conditions matched (paper: <= eps^(d-k)):")
-for k, (total, survived) in sorted(survival.items()):
-    if total:
-        print(
-            f"    k={k}: {survived}/{total} rows survived "
-            f"(bound {eps ** (3 - k):.4f})"
-        )
+print("verified answer matches the exact plan  ✓")

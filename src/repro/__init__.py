@@ -60,12 +60,30 @@ from .errors import (
 from .iomodel import Disk, IOStats
 from .model.alphabet import Alphabet
 from .queries import Table, approximate_factory, default_factory
+from .query import (
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    PlanReport,
+    Pred,
+    Range,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Advisor",
     "Alphabet",
+    "And",
+    "Eq",
+    "In",
+    "Not",
+    "Or",
+    "PlanReport",
+    "Pred",
+    "Range",
     "ApproximatePaghRaoIndex",
     "ApproximateResult",
     "AppendableIndex",

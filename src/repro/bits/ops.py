@@ -49,6 +49,17 @@ def union_sorted(lists: Iterable[Sequence[int]]) -> list[int]:
             last = v
     return out
 
+
+def union_many(lists: Sequence[Sequence[int]]) -> list[int]:
+    """Deduplicating k-way union of sorted duplicate-free lists.
+
+    The disjunctive counterpart of :func:`intersect_many` — what an
+    ``Or`` plan node folds its per-leaf answers with.  Zero input
+    lists union to the empty list; the result is always a fresh list,
+    never an alias of an input.
+    """
+    return union_sorted(lists)
+
 def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Intersection of two sorted duplicate-free lists (two pointers)."""
     out: list[int] = []
@@ -103,6 +114,64 @@ def difference_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
             append(x)
         i += 1
     return out
+
+
+# ----------------------------------------------------------------------
+# Complement-aware set algebra
+# ----------------------------------------------------------------------
+#
+# A set is represented as ``(stored, complemented)``: the sorted list
+# physically held plus a flag saying whether the set is that list or
+# its complement against the (implicit) universe — exactly the §2.1
+# representation ``RangeResult`` uses for majority answers.  The
+# combinators below apply De Morgan identities so no operation ever
+# materializes a complement: a ``Not`` stays a flag flip, and an
+# ``And``/``Or`` over complemented operands rewrites into
+# intersection/union/difference of the *stored* (small) lists.  Only a
+# final materialization against a concrete universe pays O(n - z).
+
+
+def union_aware(
+    a: Sequence[int], a_comp: bool, b: Sequence[int], b_comp: bool
+) -> tuple[list[int], bool]:
+    """Union of two complement-aware sets, complement-aware result.
+
+    ``A | B`` plain; ``~A | ~B = ~(A & B)``; ``A | ~B = ~(B - A)``.
+    """
+    if not a_comp and not b_comp:
+        return union_many([a, b]), False
+    if a_comp and b_comp:
+        return intersect_sorted(a, b), True
+    if a_comp:  # ~A | B = ~(A - B)
+        return difference_sorted(a, b), True
+    return difference_sorted(b, a), True
+
+
+def intersect_aware(
+    a: Sequence[int], a_comp: bool, b: Sequence[int], b_comp: bool
+) -> tuple[list[int], bool]:
+    """Intersection of two complement-aware sets.
+
+    ``A & B`` plain; ``~A & ~B = ~(A | B)``; ``A & ~B = A - B``.
+    """
+    if not a_comp and not b_comp:
+        return intersect_sorted(a, b), False
+    if a_comp and b_comp:
+        return union_many([a, b]), True
+    if a_comp:  # ~A & B = B - A
+        return difference_sorted(b, a), False
+    return difference_sorted(a, b), False
+
+
+def difference_aware(
+    a: Sequence[int], a_comp: bool, b: Sequence[int], b_comp: bool
+) -> tuple[list[int], bool]:
+    """Difference ``A - B`` of two complement-aware sets.
+
+    Rewritten as ``A & ~B`` so every case reduces to
+    :func:`intersect_aware` without materializing a complement.
+    """
+    return intersect_aware(a, a_comp, b, not b_comp)
 
 
 def complement_sorted(positions: Sequence[int], universe: int) -> list[int]:

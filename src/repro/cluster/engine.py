@@ -81,11 +81,23 @@ from ..engine.engine import (
     EngineColumn,
     QueryEngine,
     QueryPlan,
-    conjunctive_select_iter,
 )
 from ..engine.registry import DYNAMISM_LEVELS, IndexSpec, get_spec
 from ..errors import InvalidParameterError, QueryError, UpdateError
 from ..iomodel.stats import IOStats, Snapshot
+from ..query import (
+    LeafPlan,
+    Plan,
+    PlanReport,
+    Pred,
+    ShardLeafPlan,
+    compile_pred,
+    evaluate,
+    evaluate_iter,
+    mapping_to_pred,
+    resolve_universe,
+    warn_mapping_adapter,
+)
 from .cache import InMemorySharedCache, SharedResultCache, shared_key
 from .executor import CompletedFuture, MappedFuture, SerialExecutor
 from .sharding import (
@@ -645,8 +657,205 @@ class ClusterEngine:
             except Exception:
                 pass
 
-    def query(self, name: str, char_lo: int, char_hi: int) -> RangeResult:
-        """One global alphabet range query: scatter, cache, gather."""
+    # ------------------------------------------------------------------
+    # Predicate serving (the shared repro.query path)
+    # ------------------------------------------------------------------
+
+    def _compile_pred(self, pred: Pred) -> tuple[Plan, int]:
+        """Compile a code-space predicate against the cluster's columns.
+
+        Mirrors ``QueryEngine._compile_pred``: eager validation of
+        every leaf's column, one shared row universe across the
+        predicate's columns (drifted columns serve positive plans
+        against the widest universe, ``Not``/``TRUE`` are rejected).
+        """
+        plan = compile_pred(pred, lambda name: self._meta(name).sigma)
+        return plan, resolve_universe(plan, self.total_rows)
+
+    def _fetch_plan_leaves(
+        self, plan: Plan, universe: int
+    ) -> list[RangeResult]:
+        """Scatter-fetch every unique leaf of a compiled plan.
+
+        Every (leaf, shard) fetch is launched before the first is
+        collected, so per-shard work overlaps under any executor that
+        buys overlap.  Under a *resident* executor the fetches are
+        additionally *batched*: all of one column's leaf intervals
+        missing from the shared cache go to a shard's worker as one
+        pipelined ``leaves`` message (the compiled-leaf fetch op), so
+        a wide IN-list costs one round-trip per shard, not one per
+        member.  Per-shard answers consult and populate the shared
+        result cache exactly like single-leaf scatters, then
+        offset-translate into one global :class:`RangeResult` per
+        leaf.  The fetch order is canonical (leaf-table order within
+        each shard), so a fixed workload reads identical bits under
+        every executor.
+        """
+        per_leaf: list[list[list[int] | None]] = [
+            [None] * self.num_shards for _ in plan.leaves
+        ]
+        metas = {col: self._meta(col) for col in {l[0] for l in plan.leaves}}
+        offsets = {
+            col: offsets_of(self.shard_lengths(col)) for col in metas
+        }
+        # (entries, future) pairs; entries = [(leaf_idx, shard_id, key)]
+        # with key None for local single fetches (their task body does
+        # its own cache bookkeeping).
+        pending: list[tuple[list[tuple], object]] = []
+        for shard_id in range(self.num_shards):
+            batches: dict[str, list[tuple]] = {}
+            for leaf_idx, (col, lo, hi) in enumerate(plan.leaves):
+                meta = metas[col]
+                local = self._translate_range(meta, shard_id, lo, hi)
+                if local is None:
+                    per_leaf[leaf_idx][shard_id] = []
+                    continue
+                if not self._resident:
+                    pending.append(
+                        (
+                            [(leaf_idx, shard_id, None)],
+                            self.executor.submit(
+                                self._fetch_shard_measured,
+                                col, meta, shard_id, *local,
+                            ),
+                        )
+                    )
+                    continue
+                key = shared_key(
+                    col, meta.epoch, self.shard_uids[shard_id],
+                    self.shards[shard_id].column(col).version, *local,
+                )
+                hit = self.shared_cache.get(key)
+                if hit is not None:
+                    per_leaf[leaf_idx][shard_id] = hit
+                else:
+                    batches.setdefault(col, []).append(
+                        (leaf_idx, key, local)
+                    )
+            for col, entries in batches.items():
+                future = self.executor.submit_leaves(
+                    self.shard_uids[shard_id],
+                    col,
+                    [local for _, _, local in entries],
+                )
+                pending.append(
+                    (
+                        [
+                            (leaf_idx, shard_id, key)
+                            for leaf_idx, key, _ in entries
+                        ],
+                        future,
+                    )
+                )
+        for i, (entries, future) in enumerate(pending):
+            try:
+                reply = future.result()
+            except BaseException:
+                self._drain(f for _, f in pending[i + 1 :])
+                raise
+            if entries[0][2] is None:  # local dialect: one (pos, io)
+                positions, io = reply
+                self.scatter_io.add(io)
+                leaf_idx, shard_id, _ = entries[0]
+                per_leaf[leaf_idx][shard_id] = positions
+            else:  # resident dialect: one reply per batched interval
+                for (leaf_idx, shard_id, key), (positions, io) in zip(
+                    entries, reply
+                ):
+                    self.scatter_io.add(io)
+                    self.shared_cache.put(key, positions)
+                    per_leaf[leaf_idx][shard_id] = positions
+        results: list[RangeResult] = []
+        for leaf_idx, (col, _, _) in enumerate(plan.leaves):
+            off = offsets[col]
+            merged: list[int] = []
+            for shard_id in range(self.num_shards):
+                positions = per_leaf[leaf_idx][shard_id]
+                merged.extend(off[shard_id] + p for p in positions)
+            results.append(RangeResult(merged, universe))
+        return results
+
+    def _query_pred(self, pred: Pred) -> RangeResult:
+        plan, universe = self._compile_pred(pred)
+        leaf_results = self._fetch_plan_leaves(plan, universe)
+        return evaluate(plan, leaf_results, universe)
+
+    def _plan_report(self, pred: Pred) -> PlanReport:
+        plan, universe = self._compile_pred(pred)
+        leaves = []
+        for col, lo, hi in plan.leaves:
+            shards = []
+            predicted = 0.0
+            live_cached: list[bool] = []
+            for shard_id, shard_plan in enumerate(self.plan(col, lo, hi)):
+                if shard_plan is None:
+                    shards.append(
+                        ShardLeafPlan(shard_id=shard_id, pruned=True)
+                    )
+                    continue
+                shards.append(
+                    ShardLeafPlan(
+                        shard_id=shard_id,
+                        pruned=False,
+                        backend=shard_plan.spec.name,
+                        family=shard_plan.spec.family,
+                        estimated_cost_bits=shard_plan.estimated_cost_bits,
+                        cached=shard_plan.cached,
+                    )
+                )
+                live_cached.append(shard_plan.cached)
+                if not shard_plan.cached:
+                    predicted += shard_plan.estimated_cost_bits
+            leaves.append(
+                LeafPlan(
+                    column=col,
+                    char_lo=lo,
+                    char_hi=hi,
+                    backend=None,
+                    family=None,
+                    estimated_cost_bits=predicted,
+                    cached=bool(live_cached) and all(live_cached),
+                    shards=tuple(shards),
+                )
+            )
+        return PlanReport(
+            kind="cluster",
+            predicate=repr(plan.normalized),
+            universe=universe,
+            root=plan.root,
+            leaves=tuple(leaves),
+            num_shards=self.num_shards,
+            estimated_total_bits=sum(
+                leaf.estimated_cost_bits for leaf in leaves
+            ),
+        )
+
+    def query(
+        self,
+        name: "str | Pred",
+        char_lo: int | None = None,
+        char_hi: int | None = None,
+    ) -> RangeResult:
+        """One query: a leaf scatter-gather, or a whole predicate.
+
+        With a predicate, every unique leaf of the compiled plan is
+        scatter-fetched (batched per shard under a resident executor)
+        and the answers fold through the same
+        :func:`repro.query.evaluate` path the single-process engine
+        uses — the two serving layers execute the identical plan
+        object.
+        """
+        if isinstance(name, Pred):
+            if char_lo is not None or char_hi is not None:
+                raise InvalidParameterError(
+                    "a predicate query takes no range arguments"
+                )
+            return self._query_pred(name)
+        if char_lo is None or char_hi is None:
+            raise InvalidParameterError(
+                "query(name, char_lo, char_hi) requires both bounds; "
+                "pass a predicate for composed queries"
+            )
         meta = self._meta(name)
         self._check_range(meta, char_lo, char_hi)
         lengths = self.shard_lengths(name)
@@ -768,40 +977,81 @@ class ClusterEngine:
 
         return gen()
 
-    def select(self, conditions: Mapping[str, tuple[int, int]]) -> list[int]:
-        """Conjunctive range query over global RIDs.
+    def select(
+        self, conditions: "Pred | Mapping[str, tuple[int, int]]"
+    ) -> list[int]:
+        """Global RIDs matching a predicate (or a legacy mapping).
 
-        The materialized form of :meth:`select_iter`: only the final
-        answer is built as a list — every intermediate stays inside
-        the streaming k-way merge's per-shard buffers.
+        The materialized form of :meth:`select_iter` — only the final
+        answer is built as a list; every intermediate stays inside the
+        streaming plan pipeline's per-shard buffers, so peak memory
+        keeps the O(max shard answer per leaf) bound however large
+        the per-leaf answers are.  (:meth:`query` over a predicate is
+        the batch-scatter alternative: all leaves fetched upfront
+        with per-shard batching and a complement-aware
+        :class:`RangeResult` out.)  The ``{column: (lo, hi)}``
+        conjunction mapping still works as a deprecated adapter.
         """
-        return list(self.select_iter(conditions))
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("ClusterEngine.select")
+            conditions = mapping_to_pred(conditions)
+        plan, universe = self._compile_pred(conditions)
+        return list(evaluate_iter(plan, self.query_iter, universe))
 
-    def select_iter(self, conditions: Mapping[str, tuple[int, int]]):
-        """Streaming conjunctive range query over global RIDs.
+    def select_iter(
+        self, conditions: "Pred | Mapping[str, tuple[int, int]]"
+    ):
+        """Streaming select over global RIDs.
 
-        One lazy gather per dimension (each per-shard sub-answer
-        individually shared-cacheable), intersected in lockstep by the
-        §1 conjunctive plan's streaming form
-        (:func:`conjunctive_select_iter`): RIDs are emitted one at a
-        time, a dimension that runs dry ends the select early, and
-        peak intermediate memory is bounded by one shard's answer per
-        dimension — O(block), not O(answer) — however huge the result.
+        One lazy gather per plan leaf (each per-shard sub-answer
+        individually shared-cacheable, prefetched up to
+        ``prefetch_depth`` ahead), combined by the compiled plan's
+        streaming pipeline: ``And`` merge-intersects in lockstep,
+        ``Or`` merge-unions (the k-way merge-union alongside the
+        existing merge-intersect), negated children subtract.  RIDs
+        are emitted one at a time and peak intermediate memory stays
+        bounded by ``(1 + prefetch_depth)`` shard answers per live
+        leaf — O(block), not O(answer) — however huge the result.
+        Predicates are validated and compiled eagerly, before the
+        first RID is drawn.
         """
-        return conjunctive_select_iter(self.query_iter, conditions)
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("ClusterEngine.select_iter")
+            conditions = mapping_to_pred(conditions)
+        plan, universe = self._compile_pred(conditions)
+        return evaluate_iter(plan, self.query_iter, universe)
 
     def plan(
-        self, name: str, char_lo: int, char_hi: int
-    ) -> list[QueryPlan | None]:
-        """Per-shard plans for one query, without executing it.
+        self,
+        name: "str | Pred",
+        char_lo: int | None = None,
+        char_hi: int | None = None,
+    ) -> "list[QueryPlan | None] | PlanReport":
+        """Per-shard plans for one leaf query, or a predicate's report.
 
-        ``None`` marks a shard the range cannot touch (its local
-        alphabet has no code inside it): the scatter phase skips it
-        entirely.  The ``cached`` flag reports the *shared* result
-        cache — the tier the scatter consults first under every
-        executor — not any one engine's private LRU, which under a
-        resident executor lives in a worker process.
+        With a predicate, the typed :class:`~repro.query.PlanReport`
+        whose leaf entries carry the full shard fan-out (per-shard
+        backend verdict, predicted bits, shared-cache state, pruning).
+        With ``(name, char_lo, char_hi)``, the per-shard
+        :class:`QueryPlan` list: ``None`` marks a shard the range
+        cannot touch (its local alphabet has no code inside it) — the
+        scatter phase skips it entirely.  The ``cached`` flag reports
+        the *shared* result cache — the tier the scatter consults
+        first under every executor — not any one engine's private
+        LRU, which under a resident executor lives in a worker
+        process.
         """
+        if isinstance(name, Pred):
+            if char_lo is not None or char_hi is not None:
+                raise InvalidParameterError(
+                    "a predicate plan takes no range arguments"
+                )
+            return self._plan_report(name)
+        if char_lo is None or char_hi is None:
+            raise InvalidParameterError(
+                "plan(name, char_lo, char_hi) requires both bounds; "
+                "pass a predicate for composed queries"
+            )
         meta = self._meta(name)
         plans: list[QueryPlan | None] = []
         for shard_id, shard in enumerate(self.shards):
@@ -819,11 +1069,23 @@ class ClusterEngine:
 
     def explain(
         self,
-        name: str | None = None,
+        name: "str | Pred | None" = None,
         char_lo: int | None = None,
         char_hi: int | None = None,
-    ) -> str:
-        """Cluster-level report: one query, one column, or everything."""
+    ) -> "str | PlanReport":
+        """Cluster-level report: a predicate, one leaf query, one
+        column, or everything.
+
+        Predicates answer with the typed
+        :class:`~repro.query.PlanReport` (shard fan-out per leaf); the
+        legacy string forms are unchanged.
+        """
+        if isinstance(name, Pred):
+            if char_lo is not None or char_hi is not None:
+                raise InvalidParameterError(
+                    "a predicate explain takes no range arguments"
+                )
+            return self._plan_report(name)
         cache = self.shared_cache
         if name is not None and char_lo is not None and char_hi is not None:
             meta = self._meta(name)

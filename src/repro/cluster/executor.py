@@ -270,9 +270,25 @@ class ProcessExecutor:
     with :meth:`apply_delta` as updates and lifecycle operations are
     routed, and scatters queries with :meth:`submit_query`, which
     pipelines on the worker's pipe and resolves to
-    ``(positions, io Snapshot)``.  Shards are assigned to the least
-    loaded worker at build time and stay there — residency is the
-    point: no engine state crosses a process boundary after the build.
+    ``(positions, io Snapshot)``.  :meth:`submit_leaves` is the
+    compiled-leaf fetch op: one pipelined message carrying every leaf
+    interval a predicate plan needs from one shard's column, answered
+    by a list of ``(positions, Snapshot)`` pairs — a wide IN-list
+    costs one round-trip, not one per member.  Shards are assigned to
+    the least loaded worker at build time and stay there — residency
+    is the point: no engine state crosses a process boundary after
+    the build.
+
+    Routed update deltas are *batched*: consecutive same-shard
+    ``append``/``change`` ops coalesce in a coordinator-side buffer
+    and ship as one ``delta_batch`` pipe message, amortizing
+    round-trips under write-heavy load.  Anything that must observe
+    the updates — a query to that shard, a non-coalescable delta, a
+    retire, :meth:`io_totals` — flushes the buffer *ahead of itself
+    on the same FIFO pipe* (no blocking), so ordering is preserved
+    exactly.  A worker-side failure of a batched delta surfaces at
+    the next operation touching that worker (or at
+    :meth:`flush_deltas`), not at the buffered call itself.
 
     One executor may serve several clusters concurrently because shard
     uids are process-unique.  ``close()`` (or the context manager)
@@ -281,6 +297,14 @@ class ProcessExecutor:
 
     kind = "resident"
     supports_prefetch = True
+
+    #: Buffered coalescable deltas per shard auto-flush at this count
+    #: (a bound on both message size and error-surfacing latency).
+    DELTA_BATCH_MAX = 128
+    #: The routed ops that may coalesce: pure single-position updates
+    #: whose worker-side application order within one shard is all
+    #: that matters.
+    _COALESCABLE = ("append", "change")
 
     def __init__(
         self,
@@ -297,6 +321,8 @@ class ProcessExecutor:
         )
         self._workers = [_Worker(ctx, i) for i in range(max_workers)]
         self._by_uid: dict[int, _Worker] = {}
+        self._pending_deltas: dict[int, list[tuple]] = {}
+        self._batch_futures: list[_PipeFuture] = []
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -325,13 +351,74 @@ class ProcessExecutor:
     def retire_shard(self, uid: int) -> None:
         """Drop a shard's resident engine (post split/merge/close)."""
         worker = self._worker_of(uid)
+        self._flush_uid(uid)  # buffered updates apply before the retire
         del self._by_uid[uid]
         worker.uids.discard(uid)
         worker.call(("retire", uid))
 
+    # ------------------------------------------------------------------
+    # Routed deltas (batched)
+    # ------------------------------------------------------------------
+
     def apply_delta(self, uid: int, delta: tuple) -> None:
-        """Apply one routed update/lifecycle delta to a resident shard."""
-        self._worker_of(uid).call(("delta", uid, delta))
+        """Apply (or buffer) one routed delta for a resident shard.
+
+        ``append``/``change`` deltas coalesce per shard and ship later
+        as one ``delta_batch`` message; every other delta first
+        flushes that shard's buffer ahead of itself, then applies
+        synchronously (round-trip included), preserving per-shard
+        order exactly.
+        """
+        worker = self._worker_of(uid)
+        self._harvest_batches()
+        if delta[0] in self._COALESCABLE:
+            buffer = self._pending_deltas.setdefault(uid, [])
+            buffer.append(delta)
+            if len(buffer) >= self.DELTA_BATCH_MAX:
+                self._flush_uid(uid)
+            return
+        self._flush_uid(uid)
+        worker.call(("delta", uid, delta))
+
+    def pending_delta_count(self, uid: int) -> int:
+        """Buffered (not yet shipped) coalescable deltas for one shard."""
+        return len(self._pending_deltas.get(uid, ()))
+
+    def _flush_uid(self, uid: int) -> None:
+        """Ship a shard's buffered deltas as one pipelined message."""
+        buffer = self._pending_deltas.pop(uid, None)
+        if not buffer:
+            return
+        worker = self._by_uid[uid]
+        message = (
+            ("delta", uid, buffer[0])
+            if len(buffer) == 1
+            else ("delta_batch", uid, buffer)
+        )
+        self._batch_futures.append(worker.request(message))
+
+    def _harvest_batches(self, block: bool = False) -> None:
+        """Surface errors from already-answered batch shipments.
+
+        With ``block=True`` every outstanding shipment is resolved
+        (waiting for replies); otherwise only those the pipe pump has
+        already answered are checked — no extra round-trips.
+        """
+        pending = self._batch_futures
+        i = 0
+        while i < len(pending):
+            future = pending[i]
+            if block or future._done:
+                pending.pop(i)
+                future.result()
+            else:
+                i += 1
+
+    def flush_deltas(self) -> None:
+        """Ship and confirm every buffered delta (blocking)."""
+        for uid in list(self._pending_deltas):
+            self._flush_uid(uid)
+        self._harvest_batches(block=True)
 
     # ------------------------------------------------------------------
     # Queries
@@ -340,10 +427,27 @@ class ProcessExecutor:
     def submit_query(
         self, uid: int, name: str, char_lo: int, char_hi: int
     ) -> _PipeFuture:
-        """Pipeline one range query; resolves to (positions, Snapshot)."""
-        return self._worker_of(uid).request(
-            ("query", uid, name, char_lo, char_hi)
-        )
+        """Pipeline one range query; resolves to (positions, Snapshot).
+
+        Any buffered deltas for the shard are flushed ahead of the
+        query on the same FIFO pipe, so the reply reflects them.
+        """
+        worker = self._worker_of(uid)
+        self._flush_uid(uid)
+        return worker.request(("query", uid, name, char_lo, char_hi))
+
+    def submit_leaves(
+        self, uid: int, name: str, intervals: list[tuple[int, int]]
+    ) -> _PipeFuture:
+        """Pipeline one compiled-leaf fetch: many intervals, one message.
+
+        Resolves to a list of ``(positions, Snapshot)`` pairs, one per
+        interval in order — the worker half of a predicate plan's
+        batched scatter.
+        """
+        worker = self._worker_of(uid)
+        self._flush_uid(uid)
+        return worker.request(("leaves", uid, name, list(intervals)))
 
     def query_shard(
         self, uid: int, name: str, char_lo: int, char_hi: int
@@ -352,10 +456,13 @@ class ProcessExecutor:
 
     def io_totals(self) -> Snapshot:
         """Aggregate every worker's resident-engine I/O counters."""
+        for uid in list(self._pending_deltas):
+            self._flush_uid(uid)  # totals must reflect buffered updates
         futures = [w.request(("stats",)) for w in self._workers]
         total = Snapshot()
         for future in futures:
             total = total + future.result()
+        self._harvest_batches()
         return total
 
     # ------------------------------------------------------------------
@@ -366,9 +473,15 @@ class ProcessExecutor:
         if self._closed:
             return
         self._closed = True
+        try:
+            self.flush_deltas()
+        except Exception:  # shutdown is best-effort past this point
+            pass
         for worker in self._workers:
             worker.shutdown(self.shutdown_timeout_s)
         self._by_uid.clear()
+        self._pending_deltas.clear()
+        self._batch_futures.clear()
 
     def __enter__(self) -> "ProcessExecutor":
         return self

@@ -19,6 +19,13 @@ from typing import Any, Mapping, Sequence
 
 from ..errors import InvalidParameterError, QueryError, UpdateError
 from ..model.alphabet import Alphabet
+from ..query import (
+    PlanReport,
+    Pred,
+    mapping_to_pred,
+    translate,
+    warn_mapping_adapter,
+)
 from .engine import ClusterEngine
 
 
@@ -173,77 +180,80 @@ class ShardedTable:
         self.cluster.change(name, rid, column.alphabet.code(value))
         column.values[rid] = value
 
-    def _code_conditions(
-        self, conditions: Mapping[str, tuple[Any, Any]]
-    ) -> dict[str, tuple[int, int]] | None:
-        """Translate value ranges to code ranges, once per query.
+    def _translate(self, pred: Pred) -> Pred:
+        """A value-space predicate in code space (§1.1's dictionary).
 
-        ``None`` when some dimension's value range misses the alphabet
-        entirely — the whole conjunction is empty.
+        Translation happens exactly once per query, through each
+        column's *global* alphabet, so every shard agrees on the code
+        intervals the plan reads.
         """
-        if not conditions:
-            raise QueryError("select requires at least one condition")
-        code_conditions: dict[str, tuple[int, int]] = {}
-        for name, (lo, hi) in conditions.items():
-            code_range = self.column(name).code_range(lo, hi)
-            if code_range is None:
-                return None
-            code_conditions[name] = code_range
-        return code_conditions
 
-    def select(self, conditions: Mapping[str, tuple[Any, Any]]) -> list[int]:
-        """Global row ids matching every ``column: (lo, hi)`` condition."""
-        code_conditions = self._code_conditions(conditions)
-        if code_conditions is None:
-            return []
-        return self.cluster.select(code_conditions)
+        def alphabet_of(name: str) -> Alphabet:
+            return self.column(name).alphabet
 
-    def select_iter(self, conditions: Mapping[str, tuple[Any, Any]]):
+        return translate(pred, alphabet_of)
+
+    def select(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ) -> list[int]:
+        """Global row ids matching a predicate over column *values*.
+
+        Any ``Range``/``Eq``/``In``/``And``/``Or``/``Not`` tree from
+        :mod:`repro.query` — bounds and members are values, either
+        range bound may be open.  The legacy ``{column: (lo, hi)}``
+        conjunction mapping still works as a deprecated adapter.
+        """
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("ShardedTable.select")
+            conditions = mapping_to_pred(conditions)
+        return self.cluster.select(self._translate(conditions))
+
+    def select_iter(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ):
         """Streaming :meth:`select`: matching row ids, one at a time.
 
         Same answers in the same order, but produced by the cluster's
-        streaming k-way gather — per-dimension, per-shard iterators
-        intersected in lockstep — so arbitrarily large answers are
-        consumed in bounded memory.  Conditions are validated and
-        value-translated eagerly, before the first row id is drawn.
+        streaming gather pipeline — per-leaf, per-shard iterators
+        merge-intersected / merge-unioned in lockstep — so arbitrarily
+        large answers are consumed in bounded memory.  Predicates are
+        validated and value-translated eagerly, before the first row
+        id is drawn.
         """
-        code_conditions = self._code_conditions(conditions)
-        if code_conditions is None:
-            return iter(())
-        return self.cluster.select_iter(code_conditions)
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("ShardedTable.select_iter")
+            conditions = mapping_to_pred(conditions)
+        return self.cluster.select_iter(self._translate(conditions))
+
+    def plan(self, conditions: Pred) -> PlanReport:
+        """The typed plan report for a value-space predicate."""
+        if not isinstance(conditions, Pred):
+            raise QueryError("plan takes a predicate; use repro.query")
+        return self.cluster.plan(self._translate(conditions))
 
     def explain(
         self,
-        target: str | Mapping[str, tuple[Any, Any]] | None = None,
-    ) -> str:
+        target: "str | Pred | Mapping[str, tuple[Any, Any]] | None" = None,
+    ) -> "str | PlanReport":
         """Cluster report: everything, one column, or one query.
 
-        The typed counterpart of :meth:`select`'s contract — no raw
-        code-space passthrough:
-
-        * ``explain()`` — the cluster overview;
-        * ``explain("col")`` — one column's per-shard verdicts;
-        * ``explain({"col": (lo, hi), ...})`` — the per-shard plan of
-          each dimension of a conjunctive query, with value ranges
-          translated through each column's alphabet exactly as
-          ``select`` would.
+        * ``explain()`` — the cluster overview (string);
+        * ``explain("col")`` — one column's per-shard verdicts
+          (string);
+        * ``explain(pred)`` — the typed, JSON-serializable
+          :class:`~repro.query.PlanReport` of a value-space predicate:
+          the operator tree with every unique leaf's per-shard
+          backend verdict, predicted bits, shared-cache state and
+          pruning.  A ``{col: (lo, hi)}`` mapping is accepted as the
+          conjunction it abbreviates and answers with the same report.
         """
         if target is None:
             return self.cluster.explain()
         if isinstance(target, str):
             self.column(target)  # raise on unknown, like select does
             return self.cluster.explain(target)
-        if not target:
-            raise QueryError("explain requires at least one condition")
-        lines = []
-        for name, (lo, hi) in target.items():
-            code_range = self.column(name).code_range(lo, hi)
-            if code_range is None:
-                lines.append(
-                    f"{name} [{lo!r}..{hi!r}]: no value in range "
-                    "(dimension empty; the whole select is empty)"
-                )
-                continue
-            lines.append(f"{name} [{lo!r}..{hi!r}]:")
-            lines.append(self.cluster.explain(name, *code_range))
-        return "\n".join(lines)
+        if not isinstance(target, Pred):
+            if not target:
+                raise QueryError("explain requires at least one condition")
+            target = mapping_to_pred(target)
+        return self.cluster.explain(self._translate(target))

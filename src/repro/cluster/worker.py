@@ -21,6 +21,15 @@ delta               effect on the resident engine
 ``drop_caches``     flush engine LRU + every disk's block cache
 ==================  ====================================================
 
+Coalescable deltas (``append``/``change``) may arrive wholesale as one
+``("delta_batch", uid, [delta, ...])`` message — the coordinator's
+round-trip amortization under write-heavy load — applied strictly in
+list order.  The query side speaks two ops: ``query`` (one range) and
+``leaves`` (the compiled-leaf fetch op: every interval a predicate
+plan needs from one column, answered as a list of
+``(positions, Snapshot)`` pairs in order — one round-trip per shard
+per column however wide the IN-list).
+
 Because the coordinator applies the *same* operations to its own
 replica in the same order, and every build pins the backend the
 coordinator's advisor already chose, the resident engine is a
@@ -137,11 +146,27 @@ class ShardHost:
         else:
             raise InvalidParameterError(f"unknown shard delta {op!r}")
 
+    def delta_batch(self, uid: int, deltas: list[tuple]) -> None:
+        """Apply one coalesced shipment of routed deltas, in order."""
+        for delta in deltas:
+            self.delta(uid, delta)
+
     def query(
         self, uid: int, name: str, char_lo: int, char_hi: int
     ) -> tuple[list[int], Snapshot]:
         result, io = self._engine(uid).query_measured(name, char_lo, char_hi)
         return result.positions(), io
+
+    def leaves(
+        self, uid: int, name: str, intervals: list[tuple[int, int]]
+    ) -> list[tuple[list[int], Snapshot]]:
+        """The compiled-leaf fetch op: many measured queries, one reply."""
+        engine = self._engine(uid)
+        out = []
+        for char_lo, char_hi in intervals:
+            result, io = engine.query_measured(name, char_lo, char_hi)
+            out.append((result.positions(), io))
+        return out
 
     def io_totals(self) -> Snapshot:
         total = Snapshot()
@@ -175,8 +200,13 @@ def shard_worker_main(conn) -> None:
             elif op == "delta":
                 host.delta(message[1], message[2])
                 reply = None
+            elif op == "delta_batch":
+                host.delta_batch(message[1], message[2])
+                reply = None
             elif op == "query":
                 reply = host.query(*message[1:])
+            elif op == "leaves":
+                reply = host.leaves(*message[1:])
             elif op == "stats":
                 reply = host.io_totals()
             else:

@@ -27,6 +27,7 @@ advisor makes that choice explicit:
 from __future__ import annotations
 
 import json
+import os
 import statistics
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
@@ -35,6 +36,53 @@ from ..errors import InvalidParameterError
 from ..model.entropy import h0 as _h0
 from . import registry
 from .registry import IndexSpec
+
+#: Environment escape hatch for the default calibration: set to
+#: ``off``/``0``/``none`` to force the analytic model, or to a path to
+#: load a different weights file.
+CALIBRATION_ENV = "REPRO_CALIBRATION"
+
+#: The checked-in calibration (E11e's measured per-family weights,
+#: shipped as package data) that ``CostModel()`` loads by default.
+PACKAGED_WEIGHTS_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "e11_family_weights.json"
+)
+
+
+def _parse_weights_file(path: str) -> tuple[tuple[str, float], ...]:
+    """Read a compact ``{"family_weights": {...}}`` artifact."""
+    with open(path) as f:
+        data = json.load(f)
+    raw = data.get("family_weights") if isinstance(data, dict) else None
+    if not isinstance(raw, dict) or not raw:
+        raise InvalidParameterError(
+            f"{path}: family_weights must be a non-empty mapping"
+        )
+    weights = []
+    for family, weight in raw.items():
+        weight = float(weight)
+        if not weight > 0:
+            raise InvalidParameterError(
+                f"{path}: family {family!r} has non-positive "
+                f"weight {weight}"
+            )
+        weights.append((str(family), weight))
+    return tuple(sorted(weights))
+
+
+#: Parsed calibration files by absolute path.  Default construction
+#: happens once per engine/shard/worker replica; the packaged file is
+#: immutable in a running process, so one parse serves them all
+#: (:meth:`CostModel.load_calibrated` still reads fresh — it is the
+#: explicit I/O verb).
+_WEIGHTS_CACHE: dict[str, tuple[tuple[str, float], ...]] = {}
+
+
+def _cached_weights(path: str) -> tuple[tuple[str, float], ...]:
+    resolved = os.path.abspath(path)
+    if resolved not in _WEIGHTS_CACHE:
+        _WEIGHTS_CACHE[resolved] = _parse_weights_file(resolved)
+    return _WEIGHTS_CACHE[resolved]
 
 
 @dataclass(frozen=True)
@@ -122,6 +170,17 @@ class CostModel:
     keep weight 1.0.  The model is a frozen dataclass: pass a
     replacement to :class:`Advisor` (or ``QueryEngine``) to override
     the economics globally.
+
+    **The calibrated model is the default.**  A plain ``CostModel()``
+    loads the checked-in measured weights (E11e's
+    ``e11_family_weights.json``, shipped as package data) so every
+    advisor ranks under measured economics out of the box.  Escape
+    hatches: ``CostModel(calibration=None)`` is the pure analytic
+    model, ``CostModel(calibration=path)`` loads a specific weights
+    file, and the ``REPRO_CALIBRATION`` environment variable overrides
+    the ``"auto"`` default process-wide (``off``/``0``/``none`` to
+    disable, or a path).  Explicit ``family_weights`` always win over
+    any calibration source.
     """
 
     space_weight: float = 1.0
@@ -129,6 +188,33 @@ class CostModel:
     block_bits: int = 1024
     fp_verify_bits: float = 512.0
     family_weights: tuple[tuple[str, float], ...] = ()
+    calibration: str | None = "auto"
+
+    def __post_init__(self) -> None:
+        if self.family_weights:
+            return  # explicit weights always govern
+        path = self._calibration_path()
+        if path is not None:
+            object.__setattr__(
+                self, "family_weights", _cached_weights(path)
+            )
+
+    def _calibration_path(self) -> str | None:
+        source = self.calibration
+        if source is None:
+            return None
+        if source == "auto":
+            env = os.environ.get(CALIBRATION_ENV)
+            if env is not None:
+                if env.strip().lower() in ("", "off", "0", "none"):
+                    return None
+                return env  # an explicit env path must exist: loud I/O
+            return (
+                PACKAGED_WEIGHTS_PATH
+                if os.path.exists(PACKAGED_WEIGHTS_PATH)
+                else None
+            )
+        return source  # an explicit kwarg path must exist: loud I/O
 
     def family_weight(self, family: str) -> float:
         """The measured correction factor for one family (1.0 default)."""
@@ -225,23 +311,11 @@ class CostModel:
         with open(path) as f:
             data = json.load(f)
         if isinstance(data, dict) and "family_weights" in data:
-            raw = data["family_weights"]
-            if not isinstance(raw, dict) or not raw:
-                raise InvalidParameterError(
-                    f"{path}: family_weights must be a non-empty mapping"
-                )
-            weights = []
-            for family, weight in raw.items():
-                weight = float(weight)
-                if not weight > 0:
-                    raise InvalidParameterError(
-                        f"{path}: family {family!r} has non-positive "
-                        f"weight {weight}"
-                    )
-                weights.append((str(family), weight))
             model = base if base is not None else cls()
             return replace(
-                model, family_weights=tuple(sorted(weights)), **overrides
+                model,
+                family_weights=_parse_weights_file(path),
+                **overrides,
             )
         return cls.from_reports([path], base=base, **overrides)
 

@@ -7,11 +7,20 @@ backend by name), serves alphabet range queries through a shared
 backend supports (``append``/``change``/``delete``), every one of which
 bumps the column's version and so invalidates its cached results.
 
-Batched conjunctive queries (:meth:`QueryEngine.select`) run one range
-query per dimension — each individually cacheable — and intersect the
-sorted RID lists, the §1 query plan.  :meth:`QueryEngine.plan` and
-:meth:`QueryEngine.explain` report which backend serves a query and
-which of the paper's bounds applies, without executing it.
+Composed queries speak the predicate algebra of :mod:`repro.query`:
+:meth:`QueryEngine.query`, :meth:`QueryEngine.select` and
+:meth:`QueryEngine.select_iter` accept any ``Range``/``Eq``/``In``/
+``And``/``Or``/``Not`` tree in code space, compile it once
+(:func:`repro.query.compile_pred`), fetch every *unique* leaf interval
+through the LRU cache — disjuncts sharing a leaf share its cache
+entry — and fold the answers with complement-aware set algebra (a
+``Not`` reuses §2.1 complement-threshold representations instead of
+materializing).  :meth:`QueryEngine.plan` / :meth:`QueryEngine.explain`
+answer predicates with the typed, JSON-serializable
+:class:`~repro.query.PlanReport`; the single-leaf ``(name, lo, hi)``
+forms keep returning :class:`QueryPlan` / strings.  The legacy
+``{column: (lo, hi)}`` conjunction mapping still works everywhere as a
+deprecated adapter.
 """
 
 from __future__ import annotations
@@ -23,6 +32,19 @@ from ..core.interface import RangeResult, SecondaryIndex
 from ..bits.ops import intersect_many
 from ..errors import InvalidParameterError, QueryError, UpdateError
 from ..iomodel.stats import Snapshot
+from ..query import (
+    LeafPlan,
+    Plan,
+    PlanReport,
+    Pred,
+    compile_pred,
+    evaluate_fetch,
+    evaluate_iter,
+    mapping_to_pred,
+    resolve_universe,
+    warn_mapping_adapter,
+)
+from ..query.stream import intersect_iters
 from .advisor import Advisor, CostModel, WorkloadStats
 from .cache import LRUCache
 from .registry import IndexSpec, get_spec
@@ -67,49 +89,16 @@ def conjunctive_select_iter(query_iter, conditions):
     Conditions are validated eagerly — the per-dimension iterators are
     constructed (and their producers validate columns and ranges)
     before the generator is ever advanced, mirroring
-    :func:`conjunctive_select`'s fail-fast behavior.
+    :func:`conjunctive_select`'s fail-fast behavior.  The merge itself
+    is :func:`repro.query.stream.intersect_iters`, the same combinator
+    every ``And`` plan node compiles into.
     """
     if not conditions:
         raise QueryError("select requires at least one condition")
     iters = [
         query_iter(name, lo, hi) for name, (lo, hi) in conditions.items()
     ]
-
-    def gen():
-        sentinel = object()
-        try:
-            heads = []
-            for it in iters:
-                head = next(it, sentinel)
-                if head is sentinel:
-                    return
-                heads.append(head)
-            while True:
-                frontier = max(heads)
-                aligned = True
-                for i, it in enumerate(iters):
-                    while heads[i] < frontier:
-                        head = next(it, sentinel)
-                        if head is sentinel:
-                            return
-                        heads[i] = head
-                    if heads[i] > frontier:
-                        aligned = False
-                if not aligned:
-                    continue
-                yield frontier
-                for i, it in enumerate(iters):
-                    head = next(it, sentinel)
-                    if head is sentinel:
-                        return
-                    heads[i] = head
-        finally:
-            for it in iters:
-                close = getattr(it, "close", None)
-                if close is not None:
-                    close()
-
-    return gen()
+    return intersect_iters(iters)
 
 
 @dataclass(frozen=True)
@@ -368,8 +357,86 @@ class QueryEngine:
     # Queries
     # ------------------------------------------------------------------
 
-    def plan(self, name: str, char_lo: int, char_hi: int) -> QueryPlan:
-        """Report how a query would be served, without executing it."""
+    # ------------------------------------------------------------------
+    # Predicate compilation (the shared repro.query path)
+    # ------------------------------------------------------------------
+
+    def _compile_pred(self, pred: Pred) -> tuple[Plan, int]:
+        """Compile a code-space predicate against this engine's columns.
+
+        Raises eagerly for unknown columns (every leaf is resolved,
+        even ones normalization discards).  A predicate mentioning no
+        column has no universe to answer against and is rejected;
+        columns whose position spaces drifted apart under
+        single-column updates serve positive plans against the widest
+        universe but reject ``Not``/``TRUE`` (see
+        :func:`repro.query.planner.resolve_universe`).
+        """
+        plan = compile_pred(pred, lambda name: self.column(name).sigma)
+        return plan, resolve_universe(
+            plan, lambda name: self.column(name).n
+        )
+
+    def _query_pred(self, pred: Pred) -> RangeResult:
+        # Lazy fold: each unique leaf fetched (and cached) at most
+        # once, on demand — an And that goes empty skips the rest of
+        # its legs, the generalized empty-dimension short-circuit.
+        plan, universe = self._compile_pred(pred)
+        return evaluate_fetch(plan, self.query, universe)
+
+    def _plan_report(self, pred: Pred) -> PlanReport:
+        plan, universe = self._compile_pred(pred)
+        leaves = []
+        for col, lo, hi in plan.leaves:
+            leaf = self.plan(col, lo, hi)
+            leaves.append(
+                LeafPlan(
+                    column=col,
+                    char_lo=lo,
+                    char_hi=hi,
+                    backend=leaf.spec.name,
+                    family=leaf.spec.family,
+                    estimated_cost_bits=(
+                        0.0 if leaf.cached else leaf.estimated_cost_bits
+                    ),
+                    cached=leaf.cached,
+                )
+            )
+        return PlanReport(
+            kind="engine",
+            predicate=repr(plan.normalized),
+            universe=universe,
+            root=plan.root,
+            leaves=tuple(leaves),
+            estimated_total_bits=sum(
+                leaf.estimated_cost_bits for leaf in leaves
+            ),
+        )
+
+    def plan(
+        self,
+        name: str | Pred,
+        char_lo: int | None = None,
+        char_hi: int | None = None,
+    ) -> "QueryPlan | PlanReport":
+        """How a query would be served, without executing it.
+
+        With a predicate, the typed :class:`~repro.query.PlanReport`
+        (tree of leaf plans, per-leaf backend verdict, predicted bits,
+        cache state); with ``(name, char_lo, char_hi)``, the
+        single-leaf :class:`QueryPlan`.
+        """
+        if isinstance(name, Pred):
+            if char_lo is not None or char_hi is not None:
+                raise InvalidParameterError(
+                    "a predicate plan takes no range arguments"
+                )
+            return self._plan_report(name)
+        if char_lo is None or char_hi is None:
+            raise InvalidParameterError(
+                "plan(name, char_lo, char_hi) requires both bounds; "
+                "pass a predicate for composed queries"
+            )
         col = self.column(name)
         stats = col.stats
         est = col.spec.cost.query_cost(
@@ -385,8 +452,32 @@ class QueryEngine:
             cached=key in self.cache,
         )
 
-    def query(self, name: str, char_lo: int, char_hi: int) -> RangeResult:
-        """One alphabet range query through the LRU cache."""
+    def query(
+        self,
+        name: str | Pred,
+        char_lo: int | None = None,
+        char_hi: int | None = None,
+    ) -> RangeResult:
+        """One query through the LRU cache: a leaf range or a predicate.
+
+        With a predicate, every unique leaf interval of the compiled
+        plan is fetched through this same method (so each is
+        individually cached and disjuncts share legs) and the answers
+        fold via complement-aware set algebra into one
+        :class:`RangeResult` — possibly complement-represented, never
+        expanded.
+        """
+        if isinstance(name, Pred):
+            if char_lo is not None or char_hi is not None:
+                raise InvalidParameterError(
+                    "a predicate query takes no range arguments"
+                )
+            return self._query_pred(name)
+        if char_lo is None or char_hi is None:
+            raise InvalidParameterError(
+                "query(name, char_lo, char_hi) requires both bounds; "
+                "pass a predicate for composed queries"
+            )
         col = self.column(name)
         key = (name, col.version, char_lo, char_hi)
         cached = self.cache.get(key)
@@ -427,38 +518,60 @@ class QueryEngine:
         return self.query(name, char_lo, char_hi).iter_positions()
 
     def select(
-        self, conditions: Mapping[str, tuple[int, int]]
+        self, conditions: "Pred | Mapping[str, tuple[int, int]]"
     ) -> list[int]:
-        """Batched conjunctive range query: RIDs matching every range.
+        """RIDs matching a predicate (or a legacy conjunction mapping).
 
-        Conditions are ``{column: (char_lo, char_hi)}`` in code space.
-        Each dimension runs (or is served from cache) independently;
-        the sorted RID lists are then intersected smallest-first.
+        The materialized form of :meth:`query` over a predicate:
+        every unique leaf runs (or is served from cache) once, the
+        plan folds with complement-aware set algebra, and the final
+        answer materializes as a sorted RID list.  A
+        ``{column: (char_lo, char_hi)}`` mapping still works as a
+        deprecated adapter for the old conjunctive signature.
         """
-        return conjunctive_select(self.query, conditions)
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("QueryEngine.select")
+            conditions = mapping_to_pred(conditions)
+        return self._query_pred(conditions).positions()
 
-    def select_iter(self, conditions: Mapping[str, tuple[int, int]]):
-        """Streaming conjunctive select: RIDs yielded one at a time.
+    def select_iter(
+        self, conditions: "Pred | Mapping[str, tuple[int, int]]"
+    ):
+        """Streaming select: matching RIDs yielded one at a time.
 
         The iterator form of :meth:`select` — same answers, but the
-        k-way intersection runs over per-dimension position iterators
-        (:func:`conjunctive_select_iter`), so huge answers are emitted
-        in bounded memory instead of being materialized per dimension.
+        compiled plan becomes a pipeline of streaming combinators
+        (``And`` merge-intersects, ``Or`` merge-unions, negated
+        children subtract), so huge answers are emitted in bounded
+        memory instead of being materialized per leaf.  Predicates are
+        validated and compiled eagerly, before the first RID is drawn.
         """
-        return conjunctive_select_iter(self.query_iter, conditions)
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("QueryEngine.select_iter")
+            conditions = mapping_to_pred(conditions)
+        plan, universe = self._compile_pred(conditions)
+        return evaluate_iter(plan, self.query_iter, universe)
 
     def explain(
         self,
-        name: str | None = None,
+        name: "str | Pred | None" = None,
         char_lo: int | None = None,
         char_hi: int | None = None,
-    ) -> str:
-        """Human-readable report: one column's plan, or every column.
+    ) -> "str | PlanReport":
+        """Report a plan: a predicate, one column, or every column.
 
+        With a predicate, the typed :class:`~repro.query.PlanReport`
+        (JSON-serializable via ``to_dict()``, printable via ``str``).
         With a range, describes the concrete :class:`QueryPlan`; with a
         column only, reprints the advisor's ranked verdict; with no
         arguments, summarizes every column and the cache.
         """
+        if isinstance(name, Pred):
+            if char_lo is not None or char_hi is not None:
+                raise InvalidParameterError(
+                    "a predicate explain takes no range arguments"
+                )
+            return self._plan_report(name)
         if name is not None and char_lo is not None and char_hi is not None:
             return self.plan(name, char_lo, char_hi).describe()
         if name is not None:

@@ -90,6 +90,28 @@ class Alphabet(Generic[V]):
             return None
         return left, right
 
+    def code_interval(
+        self, lo: V | None = None, hi: V | None = None
+    ) -> tuple[int, int] | None:
+        """:meth:`code_range` with either bound open (``None``).
+
+        The predicate algebra's translation primitive: ``lo=None``
+        means "from the smallest occurring value", ``hi=None`` "to the
+        largest".  Returns ``None`` when no occurring value satisfies
+        both bounds.
+        """
+        if lo is not None and hi is not None:
+            return self.code_range(lo, hi)
+        left = 0 if lo is None else bisect.bisect_left(self._values, lo)
+        right = (
+            len(self._values) - 1
+            if hi is None
+            else bisect.bisect_right(self._values, hi) - 1
+        )
+        if left > right:
+            return None
+        return left, right
+
     def values(self) -> list[V]:
         """All occurring values in increasing order."""
         return list(self._values)

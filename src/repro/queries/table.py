@@ -21,13 +21,22 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
+from ..bits.ops import intersect_many
 from ..core.approximate import ApproximatePaghRaoIndex, ApproximateResult
 from ..core.interface import SecondaryIndex
 from ..core.static_index import PaghRaoIndex
-from ..bits.ops import intersect_many
 from ..engine import QueryEngine
 from ..errors import InvalidParameterError, QueryError
 from ..model.alphabet import Alphabet
+from ..query import (
+    Pred,
+    compile_pred,
+    evaluate_fetch,
+    evaluate_iter,
+    mapping_to_pred,
+    translate,
+    warn_mapping_adapter,
+)
 
 IndexFactory = Callable[[Sequence[int], int], SecondaryIndex]
 
@@ -163,32 +172,89 @@ class Table:
         return {name: col.values[rid] for name, col in self.columns.items()}
 
     # ------------------------------------------------------------------
-    # Exact RID intersection
+    # Exact predicate queries (RID set algebra over §1 range queries)
     # ------------------------------------------------------------------
 
-    def select(self, conditions: Mapping[str, tuple[Any, Any]]) -> list[int]:
-        """Row ids matching every ``column: (lo, hi)`` range condition.
+    def _translate(self, pred: Pred) -> Pred:
+        """A value-space predicate in code space (§1.1's dictionary)."""
 
-        One alphabet range query per dimension, then a sorted-list
-        intersection — the RID-intersection plan of §1.
+        def alphabet_of(name: str) -> Alphabet:
+            return self.column(name).alphabet
+
+        return translate(pred, alphabet_of)
+
+    def _compile_factory(self, pred: Pred):
+        """Compile a code-space predicate against explicit factories.
+
+        The legacy (engine-less) build path still serves the full
+        algebra: leaves run straight against each column's index, the
+        plan folds through the same :func:`repro.query.evaluate` the
+        engine uses — just without a result cache in front.
         """
-        if not conditions:
-            raise QueryError("select requires at least one condition")
-        code_conditions: dict[str, tuple[int, int]] = {}
-        for name, (lo, hi) in conditions.items():
-            code_range = self.column(name).code_range(lo, hi)
-            if code_range is None:
-                return []
-            code_conditions[name] = code_range
+
+        def sigma_of(name: str) -> int:
+            return self.column(name).alphabet.sigma
+
+        return compile_pred(pred, sigma_of), self.num_rows
+
+    def select(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ) -> list[int]:
+        """Row ids matching a predicate over column *values*.
+
+        Any ``Range``/``Eq``/``In``/``And``/``Or``/``Not`` tree from
+        :mod:`repro.query`; bounds and members are values, translated
+        through each column's alphabet before planning (a range
+        covers every occurring value inside it, either bound may be
+        open).  The legacy ``{column: (lo, hi)}`` conjunction mapping
+        still works as a deprecated adapter.
+        """
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("Table.select")
+            conditions = mapping_to_pred(conditions)
+        code_pred = self._translate(conditions)
         if self.engine is not None:
-            # The engine caches per-dimension results and short-circuits
-            # as soon as one dimension comes back empty.
-            return self.engine.select(code_conditions)
-        per_dim = [
-            self.columns[name].index.range_query(*code_range).positions()
-            for name, code_range in code_conditions.items()
-        ]
-        return intersect_many(per_dim)
+            # Per-leaf results are cached by the engine; identical
+            # leaves across disjuncts share entries.
+            return self.engine.select(code_pred)
+        plan, universe = self._compile_factory(code_pred)
+
+        def fetch(col, lo, hi):
+            return self.columns[col].index.range_query(lo, hi)
+
+        return evaluate_fetch(plan, fetch, universe).positions()
+
+    def select_iter(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ):
+        """Streaming :meth:`select`: matching row ids, one at a time."""
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("Table.select_iter")
+            conditions = mapping_to_pred(conditions)
+        code_pred = self._translate(conditions)
+        if self.engine is not None:
+            return self.engine.select_iter(code_pred)
+        plan, universe = self._compile_factory(code_pred)
+
+        def leaf_iter(col: str, lo: int, hi: int):
+            return self.columns[col].index.range_query(lo, hi).iter_positions()
+
+        return evaluate_iter(plan, leaf_iter, universe)
+
+    def explain(self, conditions: Pred) -> "Any":
+        """The typed plan report for a value-space predicate.
+
+        Requires the engine build path (the report carries the
+        engine's backend verdicts and cache state).
+        """
+        if not isinstance(conditions, Pred):
+            raise QueryError("explain takes a predicate; use repro.query")
+        if self.engine is None:
+            raise QueryError(
+                "explain needs an engine-built table (the default); "
+                "factory-pinned tables carry no advisor verdicts"
+            )
+        return self.engine.explain(self._translate(conditions))
 
     # ------------------------------------------------------------------
     # Approximate RID intersection (§3)

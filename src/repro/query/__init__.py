@@ -1,0 +1,72 @@
+"""One composable query AST, planned and served identically everywhere.
+
+The predicate algebra (:mod:`.predicates`) is the public query
+surface of the whole stack: ``Range`` (either bound open), ``Eq``,
+``In``, ``And``, ``Or``, ``Not``, composable with ``& | ~``.  The
+planner (:mod:`.planner`) normalizes any predicate (NNF push-down,
+per-column interval merging, IN → sorted code-interval runs) and
+compiles it into a :class:`~.planner.Plan` — a DAG of backend
+``range_query`` leaves combined by complement-aware set algebra —
+that :class:`~repro.engine.engine.QueryEngine` and
+:class:`~repro.cluster.engine.ClusterEngine` execute through one
+shared path (materialized or streaming).  ``plan()``/``explain()``
+answer with the typed, JSON-serializable :class:`~.planner.PlanReport`.
+
+Value space vs code space: ``Table``/``ShardedTable`` accept these
+same classes over column *values* and translate them through each
+column's dictionary (:func:`~.predicates.translate`); the engines
+speak dense codes directly.
+"""
+
+from .planner import (
+    LeafPlan,
+    Plan,
+    PlanReport,
+    ShardLeafPlan,
+    compile_pred,
+    evaluate,
+    evaluate_fetch,
+    evaluate_iter,
+    resolve_universe,
+)
+from .predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    Pred,
+    Range,
+    columns_of,
+    normalize,
+    translate,
+)
+from ._compat import mapping_to_pred, warn_mapping_adapter
+
+__all__ = [
+    "And",
+    "Eq",
+    "FALSE",
+    "In",
+    "LeafPlan",
+    "Not",
+    "Or",
+    "Plan",
+    "PlanReport",
+    "Pred",
+    "Range",
+    "ShardLeafPlan",
+    "TRUE",
+    "columns_of",
+    "compile_pred",
+    "evaluate",
+    "evaluate_fetch",
+    "evaluate_iter",
+    "mapping_to_pred",
+    "normalize",
+    "resolve_universe",
+    "translate",
+    "warn_mapping_adapter",
+]

@@ -1,0 +1,69 @@
+"""The deprecated mapping-of-tuples adapters.
+
+Every serving layer used to accept conjunctions as
+``{column: (lo, hi)}`` mappings; the predicate algebra subsumes that
+shape as ``And(Range(column, lo, hi), ...)``.  The old signature keeps
+working through :func:`mapping_to_pred`, but each *call site* is told
+exactly once — via :func:`warn_mapping_adapter` — that it is on the
+compatibility path (the default warning filters dedupe per module
+line only as long as ``__warningregistry__`` survives, so the adapter
+keeps its own registry keyed by caller location).
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from typing import Mapping
+
+from ..errors import QueryError
+from .predicates import And, Pred, Range
+
+#: Call sites already warned: ``(filename, lineno)`` of the caller.
+_WARNED: set[tuple[str, int]] = set()
+
+
+def warn_mapping_adapter(api: str) -> None:
+    """Emit the adapter's DeprecationWarning once per call site.
+
+    Must be called directly from the public adapter method; the call
+    site charged is that method's caller.
+    """
+    frame = sys._getframe(2)
+    key = (frame.f_code.co_filename, frame.f_lineno)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"{api} with a {{column: (lo, hi)}} mapping is deprecated; "
+        "pass a predicate instead, e.g. "
+        "And(Range(column, lo, hi), ...) from repro.query",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_warned_call_sites() -> None:
+    """Forget every warned call site (test isolation hook)."""
+    _WARNED.clear()
+
+
+def mapping_to_pred(conditions: Mapping) -> Pred:
+    """The legacy conjunction mapping as a predicate.
+
+    Preserves the old contract: at least one condition, each a
+    ``(lo, hi)`` pair.
+    """
+    if not conditions:
+        raise QueryError("select requires at least one condition")
+    parts = []
+    for column, bounds in conditions.items():
+        try:
+            lo, hi = bounds
+        except (TypeError, ValueError):
+            raise QueryError(
+                f"condition for {column!r} must be a (lo, hi) pair, "
+                f"got {bounds!r}"
+            ) from None
+        parts.append(Range(column, lo, hi))
+    return parts[0] if len(parts) == 1 else And(*parts)

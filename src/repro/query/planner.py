@@ -1,0 +1,539 @@
+"""Compiling predicates into executable plans, and executing them.
+
+A :class:`Plan` is the compiled form of a normalized predicate: a
+table of *unique* leaf intervals (the DAG's shared nodes — a leaf
+appearing under several disjuncts is fetched once and its cache entry
+shared) plus an operator tree over leaf indices.  The planner is
+engine-agnostic: the single-process :class:`~repro.engine.engine.\
+QueryEngine` and the sharded :class:`~repro.cluster.engine.\
+ClusterEngine` compile through the same functions and execute the
+same plan object, so the two serving layers can never diverge on
+predicate semantics.
+
+Execution comes in two forms:
+
+* :func:`evaluate` — materialized: every unique leaf is fetched
+  (deterministically, in leaf-table order — identical I/O under every
+  executor), then the tree folds bottom-up with the complement-aware
+  set algebra of :mod:`repro.bits.ops`.  A ``Not`` is a flag flip on
+  the child's §2.1 representation — the paper's complement-threshold
+  answers are *reused*, never materialized — and mixed operands
+  rewrite into differences of the stored (small) lists.
+* :func:`evaluate_iter` — streaming: the tree compiles into a lazy
+  iterator pipeline (:mod:`.stream`) over per-leaf position
+  iterators; ``And`` runs the k-way merge-intersect, ``Or`` the k-way
+  merge-union, and an ``And`` with negated children subtracts their
+  merged stream without ever buffering a complement.
+
+:class:`PlanReport` is the typed, JSON-serializable answer of
+``plan()``/``explain()``: the operator tree with one
+:class:`LeafPlan` per unique leaf — backend verdict, predicted bits,
+cache state, and (under a cluster) the per-shard fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..bits.ops import intersect_aware, union_aware
+from ..core.interface import RangeResult
+from ..errors import QueryError
+from . import stream
+from .predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    Pred,
+    Range,
+    columns_of,
+    normalize,
+)
+
+#: Operator-tree node tags (the tree is plain nested tuples, so a
+#: compiled plan is picklable and trivially JSON-convertible).
+LEAF = "leaf"
+NOT = "not"
+AND = "and"
+OR = "or"
+ALL = "all"
+EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One compiled predicate: unique leaves + an operator tree.
+
+    ``leaves`` holds every distinct ``(column, char_lo, char_hi)``
+    interval the plan reads, sorted — the backend ``range_query``
+    calls of the DAG.  ``root`` is the operator tree: ``("leaf", i)``,
+    ``("not", child)``, ``("and", (children...))``,
+    ``("or", (children...))``, ``("all",)`` or ``("empty",)``.
+    ``columns`` records every column the *original* predicate
+    mentioned (simplification may have dropped some), which is what
+    execution validates universes against.
+    """
+
+    normalized: Pred
+    leaves: tuple[tuple[str, int, int], ...]
+    root: tuple
+    columns: tuple[str, ...]
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no index bits are needed (TRUE/FALSE predicates)."""
+        return not self.leaves
+
+    @property
+    def needs_universe(self) -> bool:
+        """True when execution must know the exact row universe.
+
+        ``Not`` and ``TRUE`` answer with complements *of the universe*;
+        plans without them are pure positive set algebra, which
+        tolerates columns whose position spaces have drifted apart
+        under engine-level single-column updates.
+        """
+
+        def walk(node: tuple) -> bool:
+            tag = node[0]
+            if tag in (NOT, ALL):
+                return True
+            if tag in (AND, OR):
+                return any(walk(c) for c in node[1])
+            return False
+
+        return walk(self.root)
+
+
+def resolve_universe(plan: Plan, n_of: Callable[[str], int]) -> int:
+    """The row universe a plan executes against.
+
+    All referenced columns agreeing is the normal case.  Columns that
+    have drifted apart (engine-level single-column updates) still
+    serve pure positive plans — the answer universe is the widest
+    column — but complement semantics (``Not``, ``TRUE``) are
+    undefined over misaligned position spaces and are rejected.
+    """
+    universes = {n_of(col) for col in plan.columns}
+    if not universes:
+        raise QueryError(
+            "predicate references no column; there is no row universe "
+            "to answer against"
+        )
+    if len(universes) == 1:
+        return universes.pop()
+    if plan.needs_universe:
+        raise QueryError(
+            f"columns {list(plan.columns)} disagree on row count "
+            f"{sorted(universes)}; Not/TRUE need aligned columns"
+        )
+    return max(universes)
+
+
+def compile_pred(pred: Pred, sigma_of: Callable[[str], int]) -> Plan:
+    """Normalize and compile a code-space predicate into a :class:`Plan`."""
+    if not isinstance(pred, Pred):
+        raise QueryError(
+            f"expected a predicate, got {type(pred).__name__}; build one "
+            "from repro.query (Range/Eq/In/And/Or/Not)"
+        )
+    columns = tuple(sorted(columns_of(pred)))
+    normalized = normalize(pred, sigma_of)
+    leaf_index: dict[tuple[str, int, int], int] = {}
+
+    def leaf_id(leaf: Range) -> int:
+        key = (leaf.column, leaf.lo, leaf.hi)
+        if key not in leaf_index:
+            leaf_index[key] = len(leaf_index)
+        return leaf_index[key]
+
+    def compile_node(node: Pred) -> tuple:
+        if node is TRUE:
+            return (ALL,)
+        if node is FALSE:
+            return (EMPTY,)
+        if isinstance(node, Range):
+            return (LEAF, leaf_id(node))
+        if isinstance(node, Not):
+            return (NOT, compile_node(node.part))
+        if isinstance(node, And):
+            return (AND, tuple(compile_node(p) for p in node.parts))
+        if isinstance(node, Or):
+            return (OR, tuple(compile_node(p) for p in node.parts))
+        raise QueryError(
+            f"unexpected normalized node {type(node).__name__}"
+        )
+
+    root = compile_node(normalized)
+    # Renumber leaves into sorted order so execution's fetch sequence
+    # (and therefore its I/O) is canonical for equivalent predicates.
+    ordered = sorted(leaf_index)
+    remap = {leaf_index[key]: i for i, key in enumerate(ordered)}
+
+    def renumber(node: tuple) -> tuple:
+        if node[0] == LEAF:
+            return (LEAF, remap[node[1]])
+        if node[0] == NOT:
+            return (NOT, renumber(node[1]))
+        if node[0] in (AND, OR):
+            return (node[0], tuple(renumber(c) for c in node[1]))
+        return node
+
+    return Plan(
+        normalized=normalized,
+        leaves=tuple(ordered),
+        root=renumber(root),
+        columns=columns,
+    )
+
+
+# ----------------------------------------------------------------------
+# Materialized execution (complement-aware set algebra)
+# ----------------------------------------------------------------------
+
+
+def evaluate(
+    plan: Plan,
+    leaf_results: Sequence[RangeResult],
+    universe: int,
+) -> RangeResult:
+    """Fold one fetched plan into its answer.
+
+    ``leaf_results[i]`` is the :class:`RangeResult` of
+    ``plan.leaves[i]`` — fetched by whatever serves the plan (engine
+    LRU, cluster scatter, bare indexes).  The fold works on
+    ``(stored, complemented)`` pairs, so a complement-represented
+    majority answer flows through ``Not``/``And``/``Or`` without ever
+    being expanded; only the final :class:`RangeResult` (itself
+    possibly complemented) is produced.
+    """
+    if len(leaf_results) != len(plan.leaves):
+        raise QueryError(
+            f"plan has {len(plan.leaves)} leaves, got "
+            f"{len(leaf_results)} results"
+        )
+    for result in leaf_results:
+        if result.universe > universe:
+            raise QueryError(
+                f"leaf universe {result.universe} exceeds the plan "
+                f"universe {universe}; columns are out of alignment"
+            )
+
+    def fold(node: tuple) -> tuple[list[int], bool]:
+        tag = node[0]
+        if tag == ALL:
+            return [], True
+        if tag == EMPTY:
+            return [], False
+        if tag == LEAF:
+            result = leaf_results[node[1]]
+            if result.complemented and result.universe != universe:
+                # A §2.1 complement representation is relative to its
+                # own column's universe; under drifted columns (pure
+                # positive plans only) expand it once so the algebra
+                # speaks one universe.
+                return result.positions(), False
+            return result.stored_positions(), result.complemented
+        if tag == NOT:
+            stored, comp = fold(node[1])
+            return stored, not comp
+        if tag == AND:
+            stored, comp = fold(node[1][0])
+            for child in node[1][1:]:
+                c_stored, c_comp = fold(child)
+                stored, comp = intersect_aware(
+                    stored, comp, c_stored, c_comp
+                )
+            return stored, comp
+        if tag == OR:
+            stored, comp = fold(node[1][0])
+            for child in node[1][1:]:
+                c_stored, c_comp = fold(child)
+                stored, comp = union_aware(stored, comp, c_stored, c_comp)
+            return stored, comp
+        raise QueryError(f"unknown plan node {tag!r}")
+
+    stored, comp = fold(plan.root)
+    return RangeResult(stored, universe, complemented=comp)
+
+
+def evaluate_fetch(
+    plan: Plan,
+    fetch: Callable[[str, int, int], RangeResult],
+    universe: int,
+) -> RangeResult:
+    """:func:`evaluate` with lazy, memoized, short-circuiting fetches.
+
+    Leaves are fetched on demand as the fold reaches them (each unique
+    leaf at most once — the DAG's sharing): an ``And`` that goes empty
+    skips its remaining children's fetches entirely (the §1
+    empty-dimension short-circuit, generalized), and an ``Or`` that
+    reaches the full universe stops likewise.  The demanded-leaf
+    sequence is a deterministic function of the canonical plan and the
+    data.  Single-process serving uses this; the cluster prefers
+    :func:`evaluate` over a prefetched batch, trading the
+    short-circuit for overlapped, per-shard-batched scatter I/O that
+    is identical under every executor.
+    """
+    memo: dict[int, tuple[list[int], bool]] = {}
+
+    def leaf(index: int) -> tuple[list[int], bool]:
+        if index not in memo:
+            result = fetch(*plan.leaves[index])
+            if result.universe > universe:
+                raise QueryError(
+                    f"leaf universe {result.universe} exceeds the plan "
+                    f"universe {universe}; columns are out of alignment"
+                )
+            if result.complemented and result.universe != universe:
+                memo[index] = (result.positions(), False)
+            else:
+                memo[index] = (
+                    result.stored_positions(), result.complemented
+                )
+        return memo[index]
+
+    def fold(node: tuple) -> tuple[list[int], bool]:
+        tag = node[0]
+        if tag == ALL:
+            return [], True
+        if tag == EMPTY:
+            return [], False
+        if tag == LEAF:
+            return leaf(node[1])
+        if tag == NOT:
+            stored, comp = fold(node[1])
+            return stored, not comp
+        if tag == AND:
+            stored, comp = fold(node[1][0])
+            for child in node[1][1:]:
+                if not stored and not comp:  # empty: nothing can revive
+                    break
+                c_stored, c_comp = fold(child)
+                stored, comp = intersect_aware(
+                    stored, comp, c_stored, c_comp
+                )
+            return stored, comp
+        if tag == OR:
+            stored, comp = fold(node[1][0])
+            for child in node[1][1:]:
+                if not stored and comp:  # full: nothing can add
+                    break
+                c_stored, c_comp = fold(child)
+                stored, comp = union_aware(stored, comp, c_stored, c_comp)
+            return stored, comp
+        raise QueryError(f"unknown plan node {tag!r}")
+
+    stored, comp = fold(plan.root)
+    return RangeResult(stored, universe, complemented=comp)
+
+
+# ----------------------------------------------------------------------
+# Streaming execution
+# ----------------------------------------------------------------------
+
+
+def evaluate_iter(
+    plan: Plan,
+    leaf_iter: Callable[[str, int, int], object],
+    universe: int,
+):
+    """The streaming form of :func:`evaluate`.
+
+    ``leaf_iter(column, lo, hi)`` returns a sorted position iterator
+    for one leaf (e.g. ``QueryEngine.query_iter`` or the cluster's
+    prefetching gather).  The operator tree becomes a pipeline of the
+    combinators in :mod:`.stream`: positions are emitted one at a
+    time, and an ``And`` whose positive side runs dry ends the whole
+    select early.  Only a ``Not`` with no positive sibling walks the
+    universe (that answer *is* O(universe) long).
+    """
+
+    def build(node: tuple):
+        tag = node[0]
+        if tag == ALL:
+            return iter(range(universe))
+        if tag == EMPTY:
+            return iter(())
+        if tag == LEAF:
+            col, lo, hi = plan.leaves[node[1]]
+            return leaf_iter(col, lo, hi)
+        if tag == NOT:
+            return stream.complement_iter(build(node[1]), universe)
+        if tag == OR:
+            return stream.union_iters([build(c) for c in node[1]])
+        if tag == AND:
+            positive = [c for c in node[1] if c[0] != NOT]
+            negated = [c[1] for c in node[1] if c[0] == NOT]
+            if not positive:
+                return stream.complement_iter(
+                    stream.union_iters([build(c) for c in negated]),
+                    universe,
+                )
+            base = stream.intersect_iters([build(c) for c in positive])
+            if negated:
+                return stream.difference_iter(
+                    base, stream.union_iters([build(c) for c in negated])
+                )
+            return base
+        raise QueryError(f"unknown plan node {tag!r}")
+
+    return build(plan.root)
+
+
+# ----------------------------------------------------------------------
+# The typed plan report
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardLeafPlan:
+    """One shard's share of a leaf fetch (cluster fan-out entry)."""
+
+    shard_id: int
+    pruned: bool
+    backend: str | None = None
+    family: str | None = None
+    estimated_cost_bits: float = 0.0
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "pruned": self.pruned,
+            "backend": self.backend,
+            "family": self.family,
+            "estimated_cost_bits": self.estimated_cost_bits,
+            "cached": self.cached,
+        }
+
+
+@dataclass(frozen=True)
+class LeafPlan:
+    """How one unique leaf interval will be served.
+
+    Single-engine plans fill the backend verdict directly; cluster
+    plans additionally carry the per-shard fan-out in ``shards`` (the
+    top-level fields then aggregate: summed predicted bits, ``cached``
+    iff every non-pruned shard is cached in the shared tier).
+    """
+
+    column: str
+    char_lo: int
+    char_hi: int
+    backend: str | None
+    family: str | None
+    estimated_cost_bits: float
+    cached: bool
+    shards: tuple[ShardLeafPlan, ...] | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "column": self.column,
+            "char_lo": self.char_lo,
+            "char_hi": self.char_hi,
+            "backend": self.backend,
+            "family": self.family,
+            "estimated_cost_bits": self.estimated_cost_bits,
+            "cached": self.cached,
+        }
+        if self.shards is not None:
+            out["shards"] = [s.to_dict() for s in self.shards]
+        return out
+
+    def describe(self) -> str:
+        where = (
+            f"{self.backend}" if self.backend is not None
+            else f"{sum(1 for s in self.shards if not s.pruned)} shard(s)"
+            if self.shards is not None
+            else "?"
+        )
+        state = "cached" if self.cached else "cold"
+        return (
+            f"{self.column}[{self.char_lo}..{self.char_hi}] via {where} "
+            f"({state}, est {self.estimated_cost_bits:,.0f} bits)"
+        )
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """The typed answer of ``plan(pred)`` / ``explain(pred)``.
+
+    One object for both serving layers: ``kind`` says which produced
+    it, ``root`` is the operator tree over ``leaves`` (leaf nodes
+    reference leaf indices), and every field round-trips through
+    :meth:`to_dict` into plain JSON types.  ``str(report)`` renders
+    the human-readable tree.
+    """
+
+    kind: str  # "engine" | "cluster"
+    predicate: str
+    universe: int
+    root: tuple
+    leaves: tuple[LeafPlan, ...]
+    num_shards: int | None = None
+    estimated_total_bits: float = field(default=0.0)
+
+    def to_dict(self) -> dict:
+        def node_to_dict(node: tuple):
+            tag = node[0]
+            if tag == LEAF:
+                return {"op": LEAF, "leaf": node[1]}
+            if tag == NOT:
+                return {"op": NOT, "child": node_to_dict(node[1])}
+            if tag in (AND, OR):
+                return {
+                    "op": tag,
+                    "children": [node_to_dict(c) for c in node[1]],
+                }
+            return {"op": tag}
+
+        return {
+            "kind": self.kind,
+            "predicate": self.predicate,
+            "universe": self.universe,
+            "num_shards": self.num_shards,
+            "estimated_total_bits": self.estimated_total_bits,
+            "root": node_to_dict(self.root),
+            "leaves": [leaf.to_dict() for leaf in self.leaves],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.kind} plan over universe {self.universe}"
+            + (
+                f" ({self.num_shards} shard(s))"
+                if self.num_shards is not None
+                else ""
+            )
+            + f": {self.predicate}"
+        ]
+
+        def render(node: tuple, depth: int) -> None:
+            pad = "  " * (depth + 1)
+            tag = node[0]
+            if tag == LEAF:
+                lines.append(pad + self.leaves[node[1]].describe())
+            elif tag == NOT:
+                lines.append(pad + "not")
+                render(node[1], depth + 1)
+            elif tag in (AND, OR):
+                lines.append(pad + tag)
+                for child in node[1]:
+                    render(child, depth + 1)
+            elif tag == ALL:
+                lines.append(pad + "all rows (no index bits)")
+            else:
+                lines.append(pad + "empty (no index bits)")
+
+        render(self.root, 0)
+        lines.append(
+            f"  total: {len(self.leaves)} unique leaf fetch(es), "
+            f"est {self.estimated_total_bits:,.0f} bits"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()

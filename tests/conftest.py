@@ -50,3 +50,82 @@ def random_ranges(rng, sigma, count):
     if sigma > 2:
         out.append((1, sigma - 2))
     return out
+
+
+def random_pred(rng, columns, depth):
+    """One random value-space predicate AST over ``columns``.
+
+    ``columns`` maps each column name to its sorted occurring values;
+    leaves are Range (closed or open-ended), Eq, In — including values
+    that never occur, exercising the empty-leaf folds — and interior
+    nodes are And/Or (2-3 children) and Not, to ``depth`` levels.
+    """
+    from repro.query import And, Eq, In, Not, Or, Range
+
+    names = sorted(columns)
+    if depth <= 0 or rng.random() < 0.35:
+        name = rng.choice(names)
+        values = columns[name]
+        missing = max(values) + 1  # ints in every workload we generate
+        kind = rng.randrange(5)
+        if kind == 0:
+            lo, hi = sorted(rng.choice(values) for _ in range(2))
+            return Range(name, lo, hi)
+        if kind == 1:
+            bound = rng.choice(values)
+            return (
+                Range(name, bound, None)
+                if rng.random() < 0.5
+                else Range(name, None, bound)
+            )
+        if kind == 2:
+            return Eq(name, rng.choice(values + [missing]))
+        if kind == 3:
+            pool = values + [missing, missing + 2]
+            return In(
+                name,
+                [rng.choice(pool) for _ in range(rng.randrange(1, 6))],
+            )
+        return Range(name, None, None)  # the whole column
+    kind = rng.randrange(3)
+    if kind == 0:
+        return Not(random_pred(rng, columns, depth - 1))
+    parts = [
+        random_pred(rng, columns, depth - 1)
+        for _ in range(rng.randrange(2, 4))
+    ]
+    return And(*parts) if kind == 1 else Or(*parts)
+
+
+def pred_matches(pred, row):
+    """The brute oracle: does a row (``{column: value}``) satisfy?"""
+    from repro.query import And, Eq, In, Not, Or, Range
+
+    if isinstance(pred, Range):
+        v = row[pred.column]
+        if pred.lo is not None and v < pred.lo:
+            return False
+        if pred.hi is not None and v > pred.hi:
+            return False
+        return True
+    if isinstance(pred, Eq):
+        return row[pred.column] == pred.value
+    if isinstance(pred, In):
+        return row[pred.column] in pred.values
+    if isinstance(pred, Not):
+        return not pred_matches(pred.part, row)
+    if isinstance(pred, And):
+        return all(pred_matches(p, row) for p in pred.parts)
+    if isinstance(pred, Or):
+        return any(pred_matches(p, row) for p in pred.parts)
+    raise AssertionError(f"unknown node {type(pred).__name__}")
+
+
+def pred_oracle(pred, columns):
+    """Row ids the brute oracle selects from parallel value columns."""
+    num_rows = len(next(iter(columns.values())))
+    return [
+        rid
+        for rid in range(num_rows)
+        if pred_matches(pred, {name: columns[name][rid] for name in columns})
+    ]

@@ -13,7 +13,7 @@ from repro.cluster import (
     plan_shards,
     shared_key,
 )
-from repro.engine import Advisor, WorkloadStats, get_spec
+from repro.engine import Advisor, CostModel, WorkloadStats, get_spec
 from repro.errors import InvalidParameterError, QueryError, UpdateError
 from repro.model.distributions import uniform, zipf
 from repro.queries import Table
@@ -159,7 +159,11 @@ class TestClusterEngine:
         # advisor must be free to disagree with itself.
         low = uniform(2048, 4, seed=2)
         high = [4 + v for v in uniform(2048, 252, seed=3)]
-        cluster = ClusterEngine(num_shards=2)
+        # The analytic model: this test documents the raw estimators'
+        # per-shard disagreement, independent of checked-in calibration.
+        cluster = ClusterEngine(
+            num_shards=2, cost_model=CostModel(calibration=None)
+        )
         cluster.add_column("c", low + high, 256)
         families = [
             cluster.shard_column("c", s).spec.family for s in range(2)

@@ -605,14 +605,28 @@ def test_sharded_table_explain_is_typed():
     assert "2 shard(s)" in overview
     per_column = table.explain("age")
     assert "shard 0" in per_column and "shard 1" in per_column
-    # Value-space conditions, translated like select's.
+    # Value-space conditions answer with the typed PlanReport: value
+    # ranges translated like select's, per-leaf shard fan-out, JSON
+    # round-trip, and a readable rendering.
+    import json
+
+    from repro.query import PlanReport
+
     table.select({"age": (30, 45)})
     report = table.explain({"age": (30, 45), "city": ("a", "a")})
-    assert "age [30..45]" in report
-    assert "city ['a'..'a']" in report
-    assert "scatter-gather" in report
-    # A dimension with no value in range is reported, not crashed on.
-    assert "no value in range" in table.explain({"age": (100, 200)})
+    assert isinstance(report, PlanReport)
+    assert report.kind == "cluster" and report.num_shards == 2
+    assert {leaf.column for leaf in report.leaves} == {"age", "city"}
+    age_leaf = next(l for l in report.leaves if l.column == "age")
+    assert len(age_leaf.shards) == 2
+    assert age_leaf.cached  # the select above warmed the shared tier
+    json.dumps(report.to_dict())
+    assert "and" in str(report)
+    # A dimension with no value in range compiles to the empty plan —
+    # reported as such, not crashed on.
+    empty = table.explain({"age": (100, 200)})
+    assert empty.predicate == "FALSE" and empty.leaves == ()
+    assert "empty" in str(empty)
     with pytest.raises(QueryError):
         table.explain({})
     with pytest.raises(QueryError):

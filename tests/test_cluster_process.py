@@ -413,3 +413,159 @@ class TestShardHost:
         assert engine.column("c").index.disk.latency_s == 0.25
         host.delta(0, ("set_latency", 0.0))
         assert engine.column("c").index.disk.latency_s == 0.0
+
+
+def _payload(codes, sigma, dynamism="fully_dynamic", backend="fully-dynamic"):
+    return (
+        16,
+        0.0,
+        [("c", list(codes), sigma, dynamism, 0.1, True, False, backend)],
+    )
+
+
+class TestDeltaBatching:
+    """Coalesced routed deltas: one pipe message, exact ordering."""
+
+    def test_coalescable_deltas_buffer_and_flush_on_query(self, process_pool):
+        uid = 9_000_001
+        process_pool.build_shard(uid, _payload([0, 1, 2, 3], 8))
+        try:
+            for ch in (5, 6, 7):
+                process_pool.apply_delta(uid, ("append", "c", ch))
+            assert process_pool.pending_delta_count(uid) == 3
+            # The query flushes the buffer ahead of itself on the same
+            # FIFO pipe, so its reply reflects every buffered append.
+            positions, _ = process_pool.query_shard(uid, "c", 5, 7)
+            assert positions == [4, 5, 6]
+            assert process_pool.pending_delta_count(uid) == 0
+        finally:
+            process_pool.retire_shard(uid)
+
+    def test_batch_cap_auto_flushes(self, process_pool):
+        uid = 9_000_002
+        process_pool.build_shard(uid, _payload([0, 1, 2, 3], 8))
+        old_cap = process_pool.DELTA_BATCH_MAX
+        process_pool.DELTA_BATCH_MAX = 4
+        try:
+            for ch in range(3):
+                process_pool.apply_delta(uid, ("append", "c", ch))
+            assert process_pool.pending_delta_count(uid) == 3  # under cap
+            process_pool.apply_delta(uid, ("append", "c", 3))
+            assert process_pool.pending_delta_count(uid) == 0  # cap hit
+            positions, _ = process_pool.query_shard(uid, "c", 0, 7)
+            assert positions == list(range(8))
+        finally:
+            process_pool.DELTA_BATCH_MAX = old_cap
+            process_pool.retire_shard(uid)
+
+    def test_non_coalescable_delta_preserves_order(self, process_pool):
+        # The buffered append creates position 4; the synchronous
+        # delete targets it.  Shipping out of order would make the
+        # worker raise on an out-of-range position.
+        uid = 9_000_003
+        process_pool.build_shard(
+            uid, _payload([0, 1, 2, 3], 8, backend="deletable")
+        )
+        try:
+            process_pool.apply_delta(uid, ("append", "c", 7))
+            assert process_pool.pending_delta_count(uid) == 1
+            process_pool.apply_delta(uid, ("delete", "c", 4))
+            assert process_pool.pending_delta_count(uid) == 0
+            positions, _ = process_pool.query_shard(uid, "c", 0, 7)
+            assert positions == [0, 1, 2, 3]
+        finally:
+            process_pool.retire_shard(uid)
+
+    def test_same_worker_buffers_are_per_shard(self):
+        # One worker, two resident shards: flushing one shard's buffer
+        # (via its query) must leave the sibling's buffer untouched.
+        with ProcessExecutor(max_workers=1) as pool:
+            pool.build_shard(1, _payload([0, 1], 8))
+            pool.build_shard(2, _payload([2, 3], 8))
+            pool.apply_delta(1, ("append", "c", 4))
+            pool.apply_delta(2, ("append", "c", 5))
+            pool.query_shard(1, "c", 0, 7)
+            assert pool.pending_delta_count(1) == 0
+            assert pool.pending_delta_count(2) == 1
+            pool.flush_deltas()
+            assert pool.pending_delta_count(2) == 0
+            positions, _ = pool.query_shard(2, "c", 5, 5)
+            assert positions == [2]
+
+    def test_worker_error_surfaces_at_flush(self):
+        # A buffered delta that the worker rejects (append to a static
+        # column) raises at the flush point, not at the buffered call.
+        with ProcessExecutor(max_workers=1) as pool:
+            pool.build_shard(
+                1, _payload([0, 1, 2, 3], 8, dynamism="static",
+                            backend=None)
+            )
+            pool.apply_delta(1, ("append", "c", 1))  # buffered: no error
+            assert pool.pending_delta_count(1) == 1
+            with pytest.raises(UpdateError):
+                pool.flush_deltas()
+            # The worker loop survived the failed batch.
+            positions, _ = pool.query_shard(1, "c", 0, 1)
+            assert positions == [0, 1]
+
+    def test_io_totals_reflect_buffered_updates(self, process_pool):
+        uid = 9_000_004
+        process_pool.build_shard(uid, _payload([0, 1, 2, 3], 8))
+        try:
+            process_pool.apply_delta(uid, ("append", "c", 6))
+            process_pool.io_totals()
+            assert process_pool.pending_delta_count(uid) == 0
+        finally:
+            process_pool.retire_shard(uid)
+
+    def test_retire_flushes_before_retiring(self, process_pool):
+        uid = 9_000_005
+        process_pool.build_shard(uid, _payload([0, 1, 2, 3], 8))
+        process_pool.apply_delta(uid, ("append", "c", 6))
+        process_pool.retire_shard(uid)  # must not leave a dangling buffer
+        assert process_pool.pending_delta_count(uid) == 0
+        with pytest.raises(InvalidParameterError):
+            process_pool.query_shard(uid, "c", 0, 1)
+
+    def test_host_delta_batch_applies_in_order(self):
+        host = ShardHost()
+        host.build(0, _payload([0, 1, 2, 3], 8))
+        host.delta_batch(
+            0,
+            [("append", "c", 5), ("change", "c", 4, 6), ("append", "c", 5)],
+        )
+        positions, _ = host.query(0, "c", 5, 6)
+        assert positions == [4, 5]
+
+    def test_batched_cluster_updates_match_serial(self, process_pool):
+        # End to end through the cluster: write-heavy routed traffic
+        # rides the batch path and stays bit-identical to serial.
+        x = uniform(120, SIGMA, seed=77)
+        serial = ClusterEngine(num_shards=3, drift_window=None)
+        proc = ClusterEngine(
+            num_shards=3, drift_window=None, executor=process_pool
+        )
+        try:
+            model = list(x)
+            for cluster in (serial, proc):
+                cluster.add_column(
+                    "c", x, SIGMA, dynamism="fully_dynamic"
+                )
+            for i in range(40):
+                ch = (3 * i) % SIGMA
+                serial.append("c", ch)
+                proc.append("c", ch)
+                model.append(ch)
+                if i % 5 == 0:
+                    pos = (7 * i) % len(model)
+                    serial.change("c", pos, (ch + 1) % SIGMA)
+                    proc.change("c", pos, (ch + 1) % SIGMA)
+                    model[pos] = (ch + 1) % SIGMA
+            want = brute_range(model, 2, 9)
+            assert serial.query("c", 2, 9).positions() == want
+            assert proc.query("c", 2, 9).positions() == want
+            assert (
+                proc.scatter_io.snapshot() == serial.scatter_io.snapshot()
+            )
+        finally:
+            proc.close()

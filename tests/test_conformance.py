@@ -29,11 +29,18 @@ import zlib
 import pytest
 
 from repro.cluster import ShardedTable
-from repro.engine import all_specs
+from repro.engine import QueryEngine, all_specs
+from repro.model.alphabet import Alphabet
 from repro.model.distributions import markov_runs, uniform, zipf
 from repro.queries import Table
+from repro.query import translate
 
-from tests.conftest import brute_range, random_ranges
+from tests.conftest import (
+    brute_range,
+    pred_oracle,
+    random_pred,
+    random_ranges,
+)
 
 N = 400
 
@@ -125,7 +132,8 @@ SHARD_COUNTS = [1, 2, 7]
 @pytest.fixture(scope="module")
 def sharded_tables():
     """Every (spec, workload) pair as one single-engine table plus a
-    pinned ShardedTable per shard count, built once for the module."""
+    pinned ShardedTable per shard count (and one pinned QueryEngine
+    for the code-space differential), built once for the module."""
     cache = {}
     for wname, gen, sigma in WORKLOADS:
         x = gen()
@@ -135,7 +143,14 @@ def sharded_tables():
                 k: ShardedTable({"c": x}, num_shards=k, backend=spec.name)
                 for k in SHARD_COUNTS
             }
-            cache[(spec.name, wname)] = (x, sigma, single, sharded)
+            # The pinned engine indexes dictionary codes (like Table
+            # does) so value-space predicates translate onto it.
+            alphabet = Alphabet(x)
+            engine = QueryEngine()
+            engine.add_column(
+                "c", alphabet.encode(x), alphabet.sigma, backend=spec.name
+            )
+            cache[(spec.name, wname)] = (x, sigma, single, sharded, engine)
     return cache
 
 
@@ -148,7 +163,7 @@ class TestShardedConformance:
     def test_sharded_select_matches_table_and_oracle(
         self, sharded_tables, spec, wname, num_shards
     ):
-        x, sigma, single, sharded = sharded_tables[(spec.name, wname)]
+        x, sigma, single, sharded, _ = sharded_tables[(spec.name, wname)]
         table = sharded[num_shards]
         rng = random.Random(
             zlib.crc32(f"shard:{spec.name}:{wname}:{num_shards}".encode())
@@ -166,7 +181,7 @@ class TestShardedConformance:
     ):
         # Complement-represented per-shard answers (z > n/2 locally)
         # must offset-translate and merge exactly like any other.
-        x, sigma, single, sharded = sharded_tables[(spec.name, wname)]
+        x, sigma, single, sharded, _ = sharded_tables[(spec.name, wname)]
         table = sharded[num_shards]
         n = len(x)
         hits = [
@@ -179,6 +194,36 @@ class TestShardedConformance:
             pytest.skip("no strict majority range in this workload")
         for lo, hi in hits[:8]:
             assert table.select({"c": (lo, hi)}) == brute_range(x, lo, hi)
+
+    def test_random_predicate_asts_match_oracle(
+        self, sharded_tables, spec, wname, num_shards
+    ):
+        """The acceptance workload: random Range/Eq/In/And/Or/Not ASTs
+        (depth <= 4) bit-identical across the brute oracle, a pinned
+        QueryEngine, the factory-built Table, and the ShardedTable —
+        materialized and streamed."""
+        x, sigma, single, sharded, engine = sharded_tables[
+            (spec.name, wname)
+        ]
+        table = sharded[num_shards]
+        alphabet = Alphabet(x)
+        columns = {"c": alphabet.values()}
+        rng = random.Random(
+            zlib.crc32(f"ast:{spec.name}:{wname}:{num_shards}".encode())
+        )
+        for i in range(6):
+            pred = random_pred(rng, columns, depth=4)
+            expected = pred_oracle(pred, {"c": x})
+            got = table.select(pred)
+            assert got == expected, (
+                f"{spec.name} on {wname} at {num_shards} shard(s), "
+                f"AST #{i}: {pred!r}"
+            )
+            assert list(table.select_iter(pred)) == expected
+            assert single.select(pred) == expected
+            code_pred = translate(pred, lambda _name: alphabet)
+            assert engine.select(code_pred) == expected
+            assert list(engine.select_iter(code_pred)) == expected
 
 
 LIFECYCLE_TARGET = 48
@@ -367,3 +412,39 @@ class TestProcessConformance:
         assert list(resident.select_iter({"c": (lo, hi)})) == list(
             serial.select_iter({"c": (lo, hi)})
         ) == list(range(len(x)))
+
+    def test_random_predicate_asts_match_serial(
+        self, process_tables, spec, wname
+    ):
+        """Random ASTs served by worker-resident replicas are
+        bit-identical to the serial cluster and the brute oracle —
+        results *and* aggregated I/O (the batched compiled-leaf fetch
+        op buys no slack on accounting)."""
+        x, sigma, serial, resident = process_tables[(spec.name, wname)]
+        columns = {"c": sorted(set(x))}
+        rng = random.Random(
+            zlib.crc32(f"ast-proc:{spec.name}:{wname}".encode())
+        )
+        for i in range(5):
+            pred = random_pred(rng, columns, depth=4)
+            expected = pred_oracle(pred, {"c": x})
+            got = resident.select(pred)
+            assert got == expected, (
+                f"{spec.name} on {wname} resident, AST #{i}: {pred!r}"
+            )
+            assert serial.select(pred) == expected
+            assert list(resident.select_iter(pred)) == expected
+            # The batch-scatter path (worker 'leaves' op) must agree
+            # with the streamed one and with the serial cluster.
+            code_pred = translate(
+                pred, lambda _n, a=serial.column("c").alphabet: a
+            )
+            assert (
+                resident.cluster.query(code_pred).positions()
+                == serial.cluster.query(code_pred).positions()
+                == expected
+            )
+        assert (
+            resident.cluster.scatter_io.snapshot()
+            == serial.cluster.scatter_io.snapshot()
+        )

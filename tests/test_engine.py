@@ -98,9 +98,12 @@ class TestAdvisor:
 
     def test_high_entropy_picks_pagh_rao_family(self):
         # Near-maximal entropy over a large alphabet: the Theorem-2
-        # structure's nH0-bounded space plus directory wins.
+        # structure's nH0-bounded space plus directory wins — under the
+        # *analytic* estimators (the calibrated default re-weighs them;
+        # see TestDefaultCalibration).
         x = uniform(4096, 512, seed=2)
-        pick = Advisor().pick(WorkloadStats.measure(x, 512))
+        analytic = Advisor(CostModel(calibration=None))
+        pick = analytic.pick(WorkloadStats.measure(x, 512))
         assert pick.family == "pagh-rao"
 
     def test_dynamism_constrains_candidates(self):
@@ -255,15 +258,16 @@ class TestCostCalibration:
     def test_weights_scale_scores_and_can_flip_picks(self, tmp_path):
         x = uniform(4096, 512, seed=22)
         stats = WorkloadStats.measure(x, 512)
-        assert Advisor().pick(stats).family == "pagh-rao"
+        analytic = CostModel(calibration=None)
+        assert Advisor(analytic).pick(stats).family == "pagh-rao"
         path = self.write_report(
             tmp_path, [["pagh-rao", "pagh-rao", 1, 1000]]
         )
-        calibrated = CostModel.from_reports([path])
+        calibrated = CostModel.from_reports([path], base=analytic)
         assert Advisor(calibrated).pick(stats).family != "pagh-rao"
         spec = get_spec("pagh-rao")
         assert calibrated.score(spec, stats) == pytest.approx(
-            1000.0 * CostModel().score(spec, stats)
+            1000.0 * analytic.score(spec, stats)
         )
 
     def test_parses_fmt_thousands_commas(self, tmp_path):
@@ -281,7 +285,7 @@ class TestCostCalibration:
         report = Report("other", str(tmp_path))
         report.table("unrelated", ["a", "b"], [[1, 2]])
         path = report.save().replace(".txt", ".json")
-        base = CostModel(queries_per_build=7.0)
+        base = CostModel(queries_per_build=7.0, calibration=None)
         model = CostModel.from_reports([path], base=base)
         assert model.family_weights == ()
         assert model.queries_per_build == 7.0
@@ -295,6 +299,80 @@ class TestCostCalibration:
         )
         model = CostModel.from_reports([p1, p2])
         assert model.family_weight("btree") == pytest.approx(2.0)
+
+
+class TestDefaultCalibration:
+    """The checked-in calibration is the default cost model."""
+
+    def test_default_model_loads_packaged_weights(self):
+        from repro.engine.advisor import (
+            PACKAGED_WEIGHTS_PATH,
+            _parse_weights_file,
+        )
+
+        model = CostModel()
+        assert model.family_weights == _parse_weights_file(
+            PACKAGED_WEIGHTS_PATH
+        )
+        assert model.family_weights  # the package data is non-empty
+
+    def test_kwarg_escape_hatch_yields_analytic_model(self):
+        assert CostModel(calibration=None).family_weights == ()
+
+    def test_explicit_weights_beat_calibration(self):
+        model = CostModel(family_weights=(("bitmap", 2.0),))
+        assert model.family_weights == (("bitmap", 2.0),)
+
+    def test_env_escape_hatch_disables(self, monkeypatch):
+        from repro.engine.advisor import CALIBRATION_ENV
+
+        monkeypatch.setenv(CALIBRATION_ENV, "off")
+        assert CostModel().family_weights == ()
+
+    def test_env_and_kwarg_paths_load_files(self, tmp_path, monkeypatch):
+        import json
+
+        from repro.engine.advisor import CALIBRATION_ENV
+
+        path = tmp_path / "weights.json"
+        path.write_text(json.dumps({"family_weights": {"btree": 0.25}}))
+        assert CostModel(calibration=str(path)).family_weights == (
+            ("btree", 0.25),
+        )
+        monkeypatch.setenv(CALIBRATION_ENV, str(path))
+        assert CostModel().family_weights == (("btree", 0.25),)
+
+    def test_packaged_copy_matches_benchmark_artifact(self):
+        # The package data is the checked-in E11e emission; the two
+        # copies must not drift apart silently.
+        import json
+        import os
+
+        from repro.engine.advisor import PACKAGED_WEIGHTS_PATH
+
+        results_copy = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "results",
+            "e11_family_weights.json",
+        )
+        if not os.path.exists(results_copy):
+            pytest.skip("benchmarks/results artifact not present")
+        with open(PACKAGED_WEIGHTS_PATH) as f:
+            packaged = json.load(f)["family_weights"]
+        with open(results_copy) as f:
+            emitted = json.load(f)["family_weights"]
+        assert packaged == emitted
+
+    def test_calibrated_default_reranks_high_entropy(self):
+        # The measured weights penalize families whose estimators
+        # flattered them; the default advisor's verdict may therefore
+        # differ from the analytic one — and must still be a valid,
+        # eligible backend.
+        x = uniform(4096, 512, seed=2)
+        stats = WorkloadStats.measure(x, 512)
+        pick = Advisor().pick(stats)
+        assert pick.serves("static")
+        ranked = Advisor().rank(stats)
+        assert ranked[0][0].name == pick.name
 
 
 class TestLRUCache:
@@ -340,7 +418,9 @@ class TestQueryEngine:
         return engine
 
     def test_plan_families_match_acceptance(self):
-        engine = self.make()
+        # Analytic economics: the acceptance families of the raw
+        # estimators (the calibrated default may re-rank "high").
+        engine = self.make(cost_model=CostModel(calibration=None))
         assert engine.plan("low", 0, 1).spec.family == "bitmap"
         assert engine.plan("high", 0, 99).spec.family == "pagh-rao"
 

@@ -1,0 +1,431 @@
+"""Unit tests for the predicate algebra, planner, and combinators.
+
+Differential end-to-end coverage lives in ``test_conformance.py``
+(random ASTs over every registry backend); this file pins the pieces:
+normalization rewrites, the complement-aware set algebra, the
+streaming combinators, plan compilation/dedup, the typed PlanReport,
+and the deprecated mapping adapters.
+"""
+
+import json
+import random
+import warnings
+
+import pytest
+
+from repro.bits.ops import (
+    complement_sorted,
+    difference_aware,
+    intersect_aware,
+    union_aware,
+    union_many,
+)
+from repro.engine import QueryEngine
+from repro.errors import InvalidParameterError, QueryError
+from repro.query import (
+    FALSE,
+    TRUE,
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    PlanReport,
+    Pred,
+    Range,
+    columns_of,
+    compile_pred,
+    mapping_to_pred,
+    normalize,
+)
+from repro.query._compat import reset_warned_call_sites
+from repro.query.stream import (
+    complement_iter,
+    difference_iter,
+    intersect_iters,
+    union_iters,
+)
+
+from tests.conftest import pred_oracle, random_pred
+
+
+SIGMAS = {"a": 10, "b": 6}
+
+
+def norm(pred):
+    return normalize(pred, SIGMAS.__getitem__)
+
+
+class TestNormalization:
+    def test_eq_and_in_become_interval_runs(self):
+        assert norm(Eq("a", 4)) == Range("a", 4, 4)
+        # {1,2,3, 7, 8} -> two maximal runs, not five point queries.
+        assert norm(In("a", [8, 2, 1, 7, 3, 2])) == Or(
+            Range("a", 1, 3), Range("a", 7, 8)
+        )
+        assert norm(In("a", [])) is FALSE
+        assert norm(In("a", [99])) is FALSE  # outside the alphabet
+
+    def test_open_bounds_clip_and_full_column_folds(self):
+        assert norm(Range("a", None, 3)) == Range("a", 0, 3)
+        assert norm(Range("a", 7, None)) == Range("a", 7, 9)
+        assert norm(Range("a", None, None)) is TRUE
+        assert norm(Range("a", -5, 99)) is TRUE
+        assert norm(Range("a", 5, 3)) is FALSE
+
+    def test_nnf_pushes_not_to_leaves(self):
+        pred = Not(And(Range("a", 0, 2), Not(Range("b", 1, 2))))
+        got = norm(pred)
+        assert got == Or(Range("b", 1, 2), Not(Range("a", 0, 2)))
+
+    def test_double_negation_cancels(self):
+        assert norm(Not(Not(Range("a", 2, 5)))) == Range("a", 2, 5)
+
+    def test_and_intersects_same_column_intervals(self):
+        assert norm(
+            And(Range("a", 0, 5), Range("a", 3, 9))
+        ) == Range("a", 3, 5)
+        assert norm(And(Range("a", 0, 2), Range("a", 5, 7))) is FALSE
+
+    def test_and_resolves_same_column_negation_statically(self):
+        # [1,9] minus [3,5] is residual runs — no Not leaf survives.
+        got = norm(And(Range("a", 1, 9), Not(Range("a", 3, 5))))
+        assert got == Or(Range("a", 1, 2), Range("a", 6, 9))
+        # A conjunction of only negations stays a (cheap) Not leaf:
+        # the whole-column positive folded to TRUE first.
+        assert norm(
+            And(Range("a", 0, None), Not(Range("a", 3, 5)))
+        ) == Not(Range("a", 3, 5))
+        # Subtracting everything collapses the conjunction.
+        assert norm(
+            And(Range("a", 3, 5), Not(Range("a", 0, None)))
+        ) is FALSE
+
+    def test_or_merges_adjacent_and_overlapping_runs(self):
+        assert norm(
+            Or(Range("a", 0, 2), Range("a", 3, 5), Range("a", 5, 6))
+        ) == Range("a", 0, 6)
+
+    def test_or_intersects_negated_intervals(self):
+        # ~[0,4] | ~[3,8] = ~([0,4] & [3,8]) = ~[3,4]
+        got = norm(Or(Not(Range("a", 0, 4)), Not(Range("a", 3, 8))))
+        assert got == Not(Range("a", 3, 4))
+        # Disjoint negations cover everything.
+        assert norm(
+            Or(Not(Range("a", 0, 2)), Not(Range("a", 5, 7)))
+        ) is TRUE
+
+    def test_merged_full_coverage_refolds_to_constants(self):
+        # Runs that merge to the whole alphabet get the same TRUE/FALSE
+        # fold a single full-range leaf gets — equivalent predicates
+        # must stay equivalent (position-space semantics, incl. holes).
+        assert norm(Or(Range("a", 0, 4), Range("a", 5, 9))) is TRUE
+        assert norm(
+            And(Not(Range("a", 0, 4)), Not(Range("a", 5, 9)))
+        ) is FALSE
+        assert norm(In("a", list(range(10)))) is TRUE
+
+    def test_constants_fold(self):
+        leaf = Range("a", 1, 2)
+        assert norm(And(leaf, Range("b", 6, 9))) is FALSE  # empty leaf
+        assert norm(Or(leaf, Range("a", None, None))) is TRUE
+        assert norm(Not(Range("a", 20, 30))) is TRUE
+
+    def test_canonical_order_and_dedup(self):
+        a, b = Range("a", 1, 2), Range("b", 0, 3)
+        assert norm(And(b, a, a)) == norm(And(a, b))
+        assert norm(Or(b, a, b)) == norm(Or(a, b))
+
+    def test_value_bounds_rejected_in_code_space(self):
+        with pytest.raises(QueryError):
+            norm(Range("a", "x", "y"))
+
+    def test_operator_sugar(self):
+        a, b = Range("a", 1, 2), Range("b", 0, 3)
+        assert (a & b) == And(a, b)
+        assert (a | b) == Or(a, b)
+        assert (~a) == Not(a)
+
+    def test_constructor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            And()
+        with pytest.raises(InvalidParameterError):
+            Or()
+        with pytest.raises(InvalidParameterError):
+            Not("not a predicate")
+        with pytest.raises(InvalidParameterError):
+            Range(7, 0, 1)
+
+    def test_columns_of_sees_through_simplification(self):
+        pred = And(Range("a", 50, 60), Or(Eq("b", 1), Not(In("a", [2]))))
+        assert columns_of(pred) == {"a", "b"}
+
+    def test_equivalent_predicates_compile_identically(self):
+        p1 = And(In("a", [1, 2, 7]), Not(Range("b", 2, 4)))
+        p2 = And(
+            Not(Range("b", 2, 4)),
+            Or(Range("a", 1, 2), Range("a", 7, 7)),
+        )
+        plan1 = compile_pred(p1, SIGMAS.__getitem__)
+        plan2 = compile_pred(p2, SIGMAS.__getitem__)
+        assert plan1.normalized == plan2.normalized
+        assert plan1.leaves == plan2.leaves
+        assert plan1.root == plan2.root
+
+
+class TestAwareAlgebra:
+    """The complement-aware pair algebra against brute sets."""
+
+    UNIVERSE = 24
+
+    def materialize(self, stored, comp):
+        if not comp:
+            return set(stored)
+        return set(range(self.UNIVERSE)) - set(stored)
+
+    def pairs(self, rng):
+        stored = sorted(rng.sample(range(self.UNIVERSE), rng.randrange(9)))
+        return stored, rng.random() < 0.5
+
+    def test_matches_set_algebra_on_random_pairs(self):
+        rng = random.Random(7)
+        for _ in range(300):
+            a, ac = self.pairs(rng)
+            b, bc = self.pairs(rng)
+            sa, sb = self.materialize(a, ac), self.materialize(b, bc)
+            for fn, want in [
+                (union_aware, sa | sb),
+                (intersect_aware, sa & sb),
+                (difference_aware, sa - sb),
+            ]:
+                stored, comp = fn(a, ac, b, bc)
+                assert stored == sorted(stored)
+                assert self.materialize(stored, comp) == want
+
+    def test_never_materializes_a_complement(self):
+        # ~A | ~B stays complemented with a small stored list.
+        stored, comp = union_aware([1], True, [1, 2], True)
+        assert (stored, comp) == ([1], True)
+        stored, comp = intersect_aware([5], False, [2], True)
+        assert (stored, comp) == ([5], False)
+
+    def test_union_many(self):
+        assert union_many([[1, 3], [2, 3], [0]]) == [0, 1, 2, 3]
+        assert union_many([]) == []
+
+
+class TestStreamCombinators:
+    def test_union_intersect_difference_complement(self):
+        a, b, c = [1, 3, 5, 9], [3, 4, 5], [5, 9, 11]
+        assert list(union_iters([iter(a), iter(b), iter(c)])) == [
+            1, 3, 4, 5, 9, 11,
+        ]
+        assert list(intersect_iters([iter(a), iter(b), iter(c)])) == [5]
+        assert list(difference_iter(iter(a), iter(b))) == [1, 9]
+        assert list(complement_iter(iter([0, 2, 3]), 6)) == [1, 4, 5]
+        assert list(complement_iter(iter([]), 3)) == [0, 1, 2]
+
+    def test_close_propagates_to_producers(self):
+        closed = []
+
+        def producer(tag, items):
+            try:
+                yield from items
+            finally:
+                closed.append(tag)
+
+        merged = union_iters(
+            [producer("a", [1, 2, 9]), producer("b", [2, 5, 8])]
+        )
+        assert next(merged) == 1
+        merged.close()
+        assert sorted(closed) == ["a", "b"]
+
+
+class TestEnginePredicates:
+    def make(self):
+        engine = QueryEngine()
+        rng = random.Random(5)
+        engine.add_column(
+            "a", [rng.randrange(10) for _ in range(200)], 10
+        )
+        engine.add_column("b", [rng.randrange(6) for _ in range(200)], 6)
+        return engine
+
+    def oracle(self, engine, pred):
+        columns = {
+            name: list(col.codes) for name, col in engine.columns.items()
+        }
+        return pred_oracle(pred, columns)
+
+    def test_random_asts_and_query_forms_agree(self):
+        engine = self.make()
+        columns = {
+            name: sorted(set(col.codes))
+            for name, col in engine.columns.items()
+        }
+        rng = random.Random(11)
+        for _ in range(25):
+            pred = random_pred(rng, columns, depth=3)
+            want = self.oracle(engine, pred)
+            assert engine.select(pred) == want
+            assert list(engine.select_iter(pred)) == want
+            assert engine.query(pred).positions() == want
+
+    def test_disjuncts_share_cached_legs(self):
+        engine = self.make()
+        leaf = Range("a", 2, 4)
+        engine.select(Or(And(leaf, Range("b", 0, 2)), leaf))
+        hits_before = engine.cache.hits
+        # The shared leaf appears once in the leaf table, so a second
+        # predicate reusing it hits the same entry.
+        engine.select(And(leaf, Range("b", 3, 5)))
+        assert engine.cache.hits > hits_before
+
+    def test_not_reuses_complement_representation(self):
+        engine = self.make()
+        result = engine.query(Not(Range("a", 7, 7)))
+        # The majority answer comes back complement-represented: the
+        # stored list is the sparse complement, never the O(n) answer.
+        assert result.complemented
+        assert len(result.stored_positions()) < result.cardinality
+        assert result.positions() == self.oracle(
+            engine, Not(Range("a", 7, 7))
+        )
+
+    def test_trivial_plans_read_no_index_bits(self):
+        engine = self.make()
+        before = engine.columns["a"].index.stats.snapshot()
+        assert engine.select(Range("a", None, None)) == list(range(200))
+        assert engine.select(In("a", [])) == []
+        assert (
+            engine.columns["a"].index.stats.snapshot() - before
+        ).total == 0
+
+    def test_full_coverage_forms_agree_under_delete_holes(self):
+        # A pending-compaction hole matches TRUE (position-space
+        # semantics); every predicate equivalent to the full range
+        # must agree, whichever shape it arrived in.
+        engine = QueryEngine()
+        engine.add_column(
+            "c", [0, 1, 2, 3, 0, 1], 4,
+            dynamism="fully_dynamic", require_delete=True,
+            backend="deletable",
+        )
+        engine.delete("c", 2)
+        everything = list(range(6))
+        assert engine.select(Range("c", 0, 3)) == everything
+        assert engine.select(
+            Or(Range("c", 0, 1), Range("c", 2, 3))
+        ) == everything
+        assert engine.select(Not(Range("c", 0, 3))) == []
+        assert engine.select(
+            And(Not(Range("c", 0, 1)), Not(Range("c", 2, 3)))
+        ) == []
+
+    def test_and_short_circuits_empty_leg(self):
+        # The generalized §1 empty-dimension short-circuit: once a
+        # conjunct is known empty, the remaining legs' indexes are
+        # never read.  (And children fold in canonical column order,
+        # so the empty leg's column must sort first.)
+        engine = self.make()
+        engine.add_column("a_gap", [0, 2] * 100, 4)  # code 1 never occurs
+        b_stats = engine.columns["b"].index.stats
+        before = b_stats.snapshot()
+        assert engine.select(And(In("a_gap", []), Range("b", 0, 5))) == []
+        assert (b_stats.snapshot() - before).total == 0  # trivial FALSE
+        before = b_stats.snapshot()
+        assert engine.select(
+            And(Range("a_gap", 1, 1), Range("b", 0, 5))
+        ) == []
+        assert (b_stats.snapshot() - before).total == 0  # leg skipped
+
+    def test_string_form_requires_both_bounds(self):
+        engine = self.make()
+        with pytest.raises(InvalidParameterError):
+            engine.query("a")
+        with pytest.raises(InvalidParameterError):
+            engine.plan("a", 0)
+
+    def test_validation(self):
+        engine = self.make()
+        with pytest.raises(QueryError):
+            engine.select(Range("missing", 0, 1))
+        with pytest.raises(QueryError):
+            # Unknown columns are resolved eagerly even when
+            # simplification would discard the leaf.
+            engine.select(And(In("a", []), Range("missing", 0, 1)))
+        with pytest.raises(InvalidParameterError):
+            engine.query(Range("a", 1, 2), 0)
+        with pytest.raises(QueryError):
+            engine.select_iter({"a": "oops"})
+
+    def test_misaligned_columns_serve_positive_but_not_complement(self):
+        engine = self.make()
+        engine.add_column(
+            "grow", [0, 1] * 100, 4, dynamism="semidynamic"
+        )
+        engine.append("grow", 2)
+        positive = And(Range("a", 0, 5), Range("grow", 0, 1))
+        assert engine.select(positive) == sorted(
+            set(self.oracle(engine, Range("a", 0, 5)))
+            & set(i for i in range(200))
+        )
+        with pytest.raises(QueryError):
+            engine.select(And(Range("a", 0, 5), Not(Range("grow", 2, 2))))
+
+    def test_plan_report_round_trips_json(self):
+        engine = self.make()
+        pred = And(In("a", [1, 2, 7]), Not(Range("b", 2, 4)))
+        report = engine.plan(pred)
+        assert isinstance(report, PlanReport)
+        assert report.kind == "engine" and report.universe == 200
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["kind"] == "engine"
+        assert len(payload["leaves"]) == len(report.leaves) == 3
+        assert all(leaf["backend"] for leaf in payload["leaves"])
+        assert report.estimated_total_bits > 0
+        # explain(pred) returns the same typed report; str() renders.
+        assert engine.explain(pred) == report
+        assert "and" in str(report) and "not" in str(report)
+        # Serving the predicate flips the cache state in a fresh plan.
+        engine.select(pred)
+        served = engine.plan(pred)
+        assert all(leaf.cached for leaf in served.leaves)
+        assert served.estimated_total_bits == 0.0
+
+
+class TestMappingAdapter:
+    def test_mapping_to_pred_shapes(self):
+        pred = mapping_to_pred({"a": (1, 3), "b": (0, 2)})
+        assert pred == And(Range("a", 1, 3), Range("b", 0, 2))
+        assert mapping_to_pred({"a": (1, 3)}) == Range("a", 1, 3)
+        with pytest.raises(QueryError):
+            mapping_to_pred({})
+        with pytest.raises(QueryError):
+            mapping_to_pred({"a": 7})
+
+    def test_adapter_warns_once_per_call_site(self):
+        engine = QueryEngine()
+        engine.add_column("a", [0, 1, 2, 3], 4)
+        reset_warned_call_sites()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(4):
+                engine.select({"a": (0, 1)})  # one call site: one warning
+            engine.select({"a": (0, 1)})  # a second call site
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+        assert "predicate" in str(deprecations[0].message)
+
+    def test_pred_inputs_do_not_warn(self):
+        engine = QueryEngine()
+        engine.add_column("a", [0, 1, 2, 3], 4)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.select(Range("a", 0, 1))
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

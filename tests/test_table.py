@@ -119,3 +119,123 @@ class TestApproximateSelect:
         c1 = table.select_approximate(one, eps=1 / 4, verify=False)
         c3 = table.select_approximate(three, eps=1 / 4, verify=False)
         assert len(c3) <= len(c1)
+
+
+class TestPredicateAlgebra:
+    """The value-space algebra on Table, and the deprecated adapter."""
+
+    def test_star_style_query_matches_oracle(self):
+        from repro.query import And, Eq, In, Not, Or, Range
+
+        columns, table = people_table(seed=10)
+        pred = And(
+            Range("age", 30, 45),
+            Or(In("status", ["married", "widowed"]), Eq("sex", "f")),
+            Not(Eq("status", "divorced")),
+        )
+        want = [
+            rid
+            for rid in range(len(columns["age"]))
+            if 30 <= columns["age"][rid] <= 45
+            and (
+                columns["status"][rid] in ("married", "widowed")
+                or columns["sex"][rid] == "f"
+            )
+            and columns["status"][rid] != "divorced"
+        ]
+        assert table.select(pred) == want
+        assert list(table.select_iter(pred)) == want
+
+    def test_open_bounds_and_missing_values(self):
+        from repro.query import Eq, In, Not, Range
+
+        columns, table = people_table(seed=11)
+        assert table.select(Range("age", 60, None)) == oracle(
+            columns, {"age": (60, 10**9)}
+        )
+        assert table.select(Range("age", None, 25)) == oracle(
+            columns, {"age": (-(10**9), 25)}
+        )
+        # Values that never occur: empty for Eq/In, everything for Not.
+        assert table.select(Eq("status", "engaged")) == []
+        assert table.select(In("age", [200, 300])) == []
+        assert table.select(Not(Eq("status", "engaged"))) == list(
+            range(len(columns["age"]))
+        )
+
+    def test_factory_path_serves_the_algebra_too(self):
+        from repro.queries import default_factory
+        from repro.query import And, Not, Range
+
+        columns, table = people_table(seed=12, factory=default_factory)
+        assert table.engine is None  # the legacy engine-less build
+        pred = And(Range("age", 25, 50), Not(Range("sex", "m", "m")))
+        want = [
+            rid
+            for rid in range(len(columns["age"]))
+            if 25 <= columns["age"][rid] <= 50
+            and columns["sex"][rid] != "m"
+        ]
+        assert table.select(pred) == want
+        assert list(table.select_iter(pred)) == want
+
+    def test_explain_returns_typed_report(self):
+        import json
+
+        from repro.query import And, In, Range
+        from repro.query import PlanReport
+
+        columns, table = people_table(seed=13)
+        report = table.explain(
+            And(Range("age", 30, 40), In("status", ["married", "single"]))
+        )
+        assert isinstance(report, PlanReport)
+        assert report.kind == "engine"
+        json.dumps(report.to_dict())
+
+
+class TestMappingAdapterDeprecation:
+    """The old mapping signature: equivalent, and warned exactly once
+    per call site."""
+
+    def equivalent(self, table, mapping):
+        from repro.query import mapping_to_pred
+
+        with pytest.warns(DeprecationWarning):
+            from repro.query._compat import reset_warned_call_sites
+
+            reset_warned_call_sites()
+            legacy = table.select(mapping)
+        return legacy == table.select(mapping_to_pred(mapping))
+
+    def test_adapter_equivalent_to_algebra_path(self):
+        columns, table = people_table(seed=14)
+        assert self.equivalent(table, {"age": (33, 33)})
+        assert self.equivalent(
+            table, {"age": (30, 45), "status": ("married", "single")}
+        )
+        assert self.equivalent(table, {"age": (200, 300)})  # empty
+
+    def test_warns_exactly_once_per_call_site(self):
+        import warnings as warnings_mod
+
+        from repro.query._compat import reset_warned_call_sites
+
+        columns, table = people_table(seed=15)
+        reset_warned_call_sites()
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            for _ in range(5):
+                table.select({"age": (30, 40)})  # one site, one warning
+            table.select({"age": (30, 40)})  # a distinct second site
+            table.select_iter({"age": (30, 40)})  # distinct API, warns too
+        deprecations = [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 3
+        # The warning points at the caller, not the adapter internals.
+        assert all(
+            w.filename.endswith("test_table.py") for w in deprecations
+        )
