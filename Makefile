@@ -12,16 +12,19 @@ test:
 # A fast benchmark smoke run: proves the advisor/caching claims (E11),
 # the sharded scatter-gather/shared-cache/migration claims (E12), the
 # shard-lifecycle/streaming-gather claims (E13), the process-parallel
-# scatter/accounting/prefetch claims (E14), and the predicate-algebra
+# scatter/accounting/prefetch claims (E14), the predicate-algebra
 # planning claims (E15: IN runs, cached-leg reuse, complement-aware
-# Not) end-to-end (asserts inside the benchmarks) in well under 120
+# Not), and the aggregate-pushdown claims (E16: count/exists from the
+# bitmap algebra, counts-not-RIDs over worker pipes, cost-ordered And)
+# end-to-end (asserts inside the benchmarks) in well under 120
 # seconds.
 bench-smoke:
 	timeout 120 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
 		benchmarks/bench_e12_cluster.py \
 		benchmarks/bench_e13_lifecycle.py \
 		benchmarks/bench_e14_parallel.py \
-		benchmarks/bench_e15_predicates.py -q \
+		benchmarks/bench_e15_predicates.py \
+		benchmarks/bench_e16_aggregates.py -q \
 		-p no:cacheprovider --benchmark-disable
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).

@@ -174,6 +174,100 @@ def difference_aware(
     return intersect_aware(a, a_comp, b, not b_comp)
 
 
+# ----------------------------------------------------------------------
+# Counting twins (cardinality space)
+# ----------------------------------------------------------------------
+#
+# Aggregates only need |result|, and the §2.1 representation makes
+# every case answerable without building the result list: a plain
+# intersection is counted with two pointers and no output, and every
+# complemented case reduces through De Morgan to ``universe`` minus a
+# plain count.  These are the counting twins of the aware combinators
+# above — same case analysis, an ``int`` out instead of a list.
+
+
+def intersect_count(a: Sequence[int], b: Sequence[int]) -> int:
+    """``|A & B|`` of two sorted duplicate-free lists, no output list."""
+    count = 0
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        x, y = a[i], b[j]
+        if x == y:
+            count += 1
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def union_count(a: Sequence[int], b: Sequence[int]) -> int:
+    """``|A | B|`` by inclusion-exclusion, no output list."""
+    return len(a) + len(b) - intersect_count(a, b)
+
+
+def difference_count(a: Sequence[int], b: Sequence[int]) -> int:
+    """``|A - B|`` — the elements of ``a`` minus the shared ones."""
+    return len(a) - intersect_count(a, b)
+
+
+def count_aware(stored: Sequence[int], comp: bool, universe: int) -> int:
+    """Cardinality of one complement-aware set, O(1) given lengths."""
+    return universe - len(stored) if comp else len(stored)
+
+
+def intersect_aware_count(
+    a: Sequence[int],
+    a_comp: bool,
+    b: Sequence[int],
+    b_comp: bool,
+    universe: int,
+) -> int:
+    """``|A & B|`` of two complement-aware sets over ``universe``.
+
+    ``A & B`` plain; ``~A & ~B = ~(A | B)`` costs ``universe`` minus a
+    union count; mixed operands count a difference of stored lists.
+    """
+    if not a_comp and not b_comp:
+        return intersect_count(a, b)
+    if a_comp and b_comp:
+        return universe - union_count(a, b)
+    if a_comp:  # ~A & B = B - A
+        return difference_count(b, a)
+    return difference_count(a, b)
+
+
+def union_aware_count(
+    a: Sequence[int],
+    a_comp: bool,
+    b: Sequence[int],
+    b_comp: bool,
+    universe: int,
+) -> int:
+    """``|A | B|`` of two complement-aware sets over ``universe``."""
+    if not a_comp and not b_comp:
+        return union_count(a, b)
+    if a_comp and b_comp:  # ~A | ~B = ~(A & B)
+        return universe - intersect_count(a, b)
+    if a_comp:  # ~A | B = ~(A - B)
+        return universe - difference_count(a, b)
+    return universe - difference_count(b, a)
+
+
+def difference_aware_count(
+    a: Sequence[int],
+    a_comp: bool,
+    b: Sequence[int],
+    b_comp: bool,
+    universe: int,
+) -> int:
+    """``|A - B|`` via ``A & ~B``, mirroring :func:`difference_aware`."""
+    return intersect_aware_count(a, a_comp, b, not b_comp, universe)
+
+
 def complement_sorted(positions: Sequence[int], universe: int) -> list[int]:
     """All elements of ``[0, universe)`` not in sorted ``positions``.
 

@@ -166,7 +166,10 @@ class TTLStore(CacheStore):
 
     ``clock`` is injectable for deterministic tests (defaults to
     :func:`time.monotonic`).  Expired entries are dropped lazily on
-    ``get`` and swept opportunistically on ``put``.
+    ``get`` and swept opportunistically on ``put``; ``len()`` counts
+    only unexpired entries and ``expirations`` counts every entry
+    that aged out, however it was discovered (lazy ``get``, periodic
+    sweep, or overwrite of an already-dead entry).
     """
 
     _SWEEP_EVERY = 256
@@ -183,7 +186,10 @@ class TTLStore(CacheStore):
         self.expirations = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        # Expired-but-unswept entries are invisible to get/contains,
+        # so they must not be counted as live contents either.
+        now = self._clock()
+        return sum(1 for exp, _ in self._data.values() if exp > now)
 
     def __contains__(self, key: SharedKey) -> bool:
         entry = self._data.get(key)
@@ -204,10 +210,16 @@ class TTLStore(CacheStore):
         return positions
 
     def put(self, key: SharedKey, positions: list[int]) -> None:
-        self._data[key] = (self._clock() + self.ttl_s, positions)
+        now = self._clock()
+        # Overwriting an entry that already aged out is an expiration
+        # the periodic sweep will never see — count it here, or the
+        # stat undercounts entries that die between sweeps.
+        prior = self._data.get(key)
+        if prior is not None and prior[0] <= now:
+            self.expirations += 1
+        self._data[key] = (now + self.ttl_s, positions)
         self._puts += 1
         if self._puts % self._SWEEP_EVERY == 0:
-            now = self._clock()
             doomed = [k for k, (exp, _) in self._data.items() if exp <= now]
             for k in doomed:
                 del self._data[k]

@@ -86,6 +86,7 @@ from ..engine.registry import DYNAMISM_LEVELS, IndexSpec, get_spec
 from ..errors import InvalidParameterError, QueryError, UpdateError
 from ..iomodel.stats import IOStats, Snapshot
 from ..query import (
+    TRUE,
     LeafPlan,
     Plan,
     PlanReport,
@@ -96,10 +97,13 @@ from ..query import (
     evaluate_iter,
     mapping_to_pred,
     resolve_universe,
+    specialize,
     warn_mapping_adapter,
 )
+from ..query.planner import ALL, EMPTY
 from .cache import InMemorySharedCache, SharedResultCache, shared_key
 from .executor import CompletedFuture, MappedFuture, SerialExecutor
+from .worker import evaluate_shard_fold
 from .sharding import (
     ShardPlan,
     locate,
@@ -325,6 +329,12 @@ class ClusterEngine:
         #: fixed workload must produce identical totals under every
         #: executor — the conformance suite asserts it.
         self.scatter_io = IOStats()
+        #: Positions delivered to the coordinator by scatter replies
+        #: (gather-side RID/position traffic).  Every path that
+        #: consumes per-shard position lists counts them here; the
+        #: aggregate pushdown path never increments it — the proof
+        #: that counts, not RID lists, crossed the pipes.
+        self.gather_rids = 0
 
     def _new_uid(self) -> int:
         return next(_UID_SOURCE)
@@ -756,6 +766,7 @@ class ClusterEngine:
             if entries[0][2] is None:  # local dialect: one (pos, io)
                 positions, io = reply
                 self.scatter_io.add(io)
+                self.gather_rids += len(positions)
                 leaf_idx, shard_id, _ = entries[0]
                 per_leaf[leaf_idx][shard_id] = positions
             else:  # resident dialect: one reply per batched interval
@@ -763,6 +774,7 @@ class ClusterEngine:
                     entries, reply
                 ):
                     self.scatter_io.add(io)
+                    self.gather_rids += len(positions)
                     self.shared_cache.put(key, positions)
                     per_leaf[leaf_idx][shard_id] = positions
         results: list[RangeResult] = []
@@ -779,6 +791,204 @@ class ClusterEngine:
         plan, universe = self._compile_pred(pred)
         leaf_results = self._fetch_plan_leaves(plan, universe)
         return evaluate(plan, leaf_results, universe)
+
+    # ------------------------------------------------------------------
+    # Aggregates (plan pushdown: counts cross the pipes, never RIDs)
+    # ------------------------------------------------------------------
+
+    def _fold_shard_local(
+        self, shard_id: int, payload: tuple
+    ) -> tuple["int | bool | dict[int, int]", Snapshot]:
+        """The local-executor task body of one aggregate fold.
+
+        Runs the *same* :func:`~repro.cluster.worker.\
+evaluate_shard_fold` a resident worker runs — including its deliberate
+        shared-cache bypass — against the coordinator's own shard
+        engine, so value and measured I/O are executor-independent.
+        """
+        return evaluate_shard_fold(self.shards[shard_id], payload)
+
+    def _specialize_shard(
+        self, plan: Plan, metas: dict, shard_id: int
+    ) -> tuple[tuple, tuple]:
+        """One shard's localized (leaves, root) via its alphabets."""
+        return specialize(
+            plan,
+            lambda col, lo, hi: self._translate_range(
+                metas[col], shard_id, lo, hi
+            ),
+        )
+
+    def _fold_metas(self, plan: Plan, group: "str | None") -> dict:
+        metas = {col: self._meta(col) for col in plan.columns}
+        if group is not None and group not in metas:
+            metas[group] = self._meta(group)
+        return metas
+
+    def _scatter_fold(
+        self, mode: str, plan: Plan, group: "str | None" = None
+    ) -> list:
+        """Scatter one aggregate plan; gather per-shard fold values.
+
+        Shards partition the RID universe and every plan operator acts
+        row-wise, so the global aggregate decomposes exactly into
+        per-shard folds.  Each shard's plan is first *specialized*
+        (leaves translated onto its local alphabets, pruned leaves
+        constant-folded): an ``EMPTY`` root contributes its identity
+        with no round trip at all, an ``ALL`` root under
+        ``count``/``exists`` is answered from the coordinator's own
+        row count — ``Not`` over a fully-pruned leaf means *every*
+        shard row, no worker needed — and only genuinely mixed shards
+        ship a fold task.  Under a resident executor that task is the
+        ``fold`` pipe op: the whole shard-local plan evaluates in the
+        worker and one number (plus its I/O snapshot) comes back;
+        ``gather_rids`` is untouched because no positions cross.
+        """
+        metas = self._fold_metas(plan, group)
+        columns = tuple(sorted(metas))
+        anchor = columns[0]
+        empty_value = {"count": 0, "exists": False, "count_by": {}}[mode]
+        values: list = [None] * self.num_shards
+        pending: list[tuple[int, object]] = []
+        for shard_id in range(self.num_shards):
+            leaves, root = self._specialize_shard(plan, metas, shard_id)
+            if root[0] == EMPTY:
+                values[shard_id] = empty_value
+                continue
+            if root[0] == ALL and mode in ("count", "exists"):
+                rows = self.shards[shard_id].column(anchor).n
+                values[shard_id] = rows if mode == "count" else rows > 0
+                continue
+            payload = (mode, columns, leaves, root, group)
+            if self._resident:
+                future = self.executor.submit_fold(
+                    self.shard_uids[shard_id], payload
+                )
+            else:
+                future = self.executor.submit(
+                    self._fold_shard_local, shard_id, payload
+                )
+            pending.append((shard_id, future))
+        for i, (shard_id, future) in enumerate(pending):
+            try:
+                value, io = future.result()
+            except BaseException:
+                self._drain(f for _, f in pending[i + 1 :])
+                raise
+            self.scatter_io.add(io)
+            values[shard_id] = value
+        return values
+
+    def count(self, pred: "Pred | Mapping[str, tuple[int, int]]") -> int:
+        """How many rows match — the coordinator only sums.
+
+        Each shard folds its localized plan in cardinality space
+        (worker-resident under a process executor) and reports one
+        integer; fully-pruned shards and shards a complement fully
+        covers are answered without any round trip.  No RID list is
+        materialized anywhere — not per shard, not globally.
+        """
+        if not isinstance(pred, Pred):
+            warn_mapping_adapter("ClusterEngine.count")
+            pred = mapping_to_pred(pred)
+        plan, _ = self._compile_pred(pred)
+        return sum(self._scatter_fold("count", plan))
+
+    def exists(self, pred: "Pred | Mapping[str, tuple[int, int]]") -> bool:
+        """Does any row match?  Walks shards and stops at first evidence.
+
+        Shards are probed one at a time in shard order — each fold
+        itself short-circuits inside the shard — and the walk ends at
+        the first non-empty fold, so later shards are never queried.
+        The walk order is deterministic, making the bits read
+        identical under every executor.
+        """
+        if not isinstance(pred, Pred):
+            warn_mapping_adapter("ClusterEngine.exists")
+            pred = mapping_to_pred(pred)
+        plan, _ = self._compile_pred(pred)
+        metas = self._fold_metas(plan, None)
+        columns = tuple(sorted(metas))
+        anchor = columns[0]
+        for shard_id in range(self.num_shards):
+            leaves, root = self._specialize_shard(plan, metas, shard_id)
+            if root[0] == EMPTY:
+                continue
+            if root[0] == ALL:
+                if self.shards[shard_id].column(anchor).n > 0:
+                    return True
+                continue
+            payload = ("exists", columns, leaves, root, None)
+            if self._resident:
+                future = self.executor.submit_fold(
+                    self.shard_uids[shard_id], payload
+                )
+            else:
+                future = self.executor.submit(
+                    self._fold_shard_local, shard_id, payload
+                )
+            value, io = future.result()
+            self.scatter_io.add(io)
+            if value:
+                return True
+        return False
+
+    def count_by(
+        self, group: str, pred: "Pred | None" = None
+    ) -> dict[int, int]:
+        """Matching-row counts per *global* code of ``group``.
+
+        Every shard folds the predicate once and intersect-counts it
+        against its local group-equality leaves, shipping a
+        ``{local code: count}`` dict; the coordinator translates local
+        codes through each static shard's domain back into global
+        codes and sums.  Codes, counts and snapshots cross the pipes —
+        positions never do.  ``pred=None`` counts all rows by group.
+        """
+        meta = self._meta(group)
+        if pred is None:
+            plan = Plan(
+                normalized=TRUE,
+                leaves=(),
+                root=(ALL,),
+                columns=(group,),
+            )
+        else:
+            if not isinstance(pred, Pred):
+                warn_mapping_adapter("ClusterEngine.count_by")
+                pred = mapping_to_pred(pred)
+            plan = compile_pred(pred, lambda name: self._meta(name).sigma)
+            # The group column joins universe validation: its equality
+            # leaves execute in the same position space as the pred.
+            resolve_universe(
+                replace(
+                    plan,
+                    columns=tuple(sorted(set(plan.columns) | {group})),
+                ),
+                self.total_rows,
+            )
+        merged: dict[int, int] = {}
+        for shard_id, shard_counts in enumerate(
+            self._scatter_fold("count_by", plan, group)
+        ):
+            domain = meta.domains.get(shard_id)
+            for local_code, n in shard_counts.items():
+                code = local_code if domain is None else domain[local_code]
+                merged[code] = merged.get(code, 0) + n
+        return merged
+
+    def topk(
+        self, group: str, pred: "Pred | None" = None, k: int = 10
+    ) -> list[tuple[int, int]]:
+        """The ``k`` most frequent group codes among matching rows.
+
+        ``(code, count)`` pairs, count-descending, code ascending on
+        ties — computed from one :meth:`count_by` pushdown.
+        """
+        if k <= 0:
+            raise InvalidParameterError("topk requires k >= 1")
+        counts = self.count_by(group, pred)
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
 
     def _plan_report(self, pred: Pred) -> PlanReport:
         plan, universe = self._compile_pred(pred)
@@ -806,6 +1016,9 @@ class ClusterEngine:
                 live_cached.append(shard_plan.cached)
                 if not shard_plan.cached:
                     predicted += shard_plan.estimated_cost_bits
+            # A leaf every shard prunes reads no bits and sits in no
+            # cache: live_cached stays empty, so cached must collapse
+            # to False (not the vacuous all()) and predicted stays 0.
             leaves.append(
                 LeafPlan(
                     column=col,
@@ -885,6 +1098,7 @@ class ClusterEngine:
                 self._drain(futures[shard_id + 1 :])
                 raise
             self.scatter_io.add(io)
+            self.gather_rids += len(positions)
             offset = offsets[shard_id]
             merged.extend(offset + p for p in positions)
         return RangeResult(merged, sum(lengths))
@@ -955,6 +1169,7 @@ class ClusterEngine:
                     shard_id, future = in_flight.popleft()
                     positions, io = future.result()
                     self.scatter_io.add(io)
+                    self.gather_rids += len(positions)
                     self.gather_stats.acquire(len(positions))
                     if held:
                         self.gather_stats.release(held)

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
-from collections import deque
+from collections import Counter, deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, TypeVar
 
@@ -324,6 +324,10 @@ class ProcessExecutor:
         self._pending_deltas: dict[int, list[tuple]] = {}
         self._batch_futures: list[_PipeFuture] = []
         self._closed = False
+        #: Pipe messages sent per query-side op ("query" / "leaves" /
+        #: "fold") — the accounting the aggregate-pushdown tests and
+        #: benchmarks read to prove which wire shape a path used.
+        self.op_counts: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     # Shard residency
@@ -434,6 +438,7 @@ class ProcessExecutor:
         """
         worker = self._worker_of(uid)
         self._flush_uid(uid)
+        self.op_counts["query"] += 1
         return worker.request(("query", uid, name, char_lo, char_hi))
 
     def submit_leaves(
@@ -447,7 +452,20 @@ class ProcessExecutor:
         """
         worker = self._worker_of(uid)
         self._flush_uid(uid)
+        self.op_counts["leaves"] += 1
         return worker.request(("leaves", uid, name, list(intervals)))
+
+    def submit_fold(self, uid: int, payload: tuple) -> _PipeFuture:
+        """Pipeline one aggregate fold: a shard-local plan, one number.
+
+        Resolves to ``(value, Snapshot)`` where ``value`` is the
+        shard's count, existence bit, or ``{group code: count}`` dict
+        — the pushdown op that keeps RID lists off the pipe entirely.
+        """
+        worker = self._worker_of(uid)
+        self._flush_uid(uid)
+        self.op_counts["fold"] += 1
+        return worker.request(("fold", uid, payload))
 
     def query_shard(
         self, uid: int, name: str, char_lo: int, char_hi: int

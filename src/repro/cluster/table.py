@@ -225,6 +225,74 @@ class ShardedTable:
             conditions = mapping_to_pred(conditions)
         return self.cluster.select_iter(self._translate(conditions))
 
+    # ------------------------------------------------------------------
+    # Aggregates (value space, pushed down to the shards)
+    # ------------------------------------------------------------------
+
+    def count(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ) -> int:
+        """How many rows match — each shard reports one integer.
+
+        The predicate is translated once through the global alphabets
+        and pushed down whole: shards fold it in cardinality space
+        (worker-resident under a process executor) and only counts
+        come back; no global row-id list exists at any point.
+        """
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("ShardedTable.count")
+            conditions = mapping_to_pred(conditions)
+        return self.cluster.count(self._translate(conditions))
+
+    def exists(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ) -> bool:
+        """Does any row match?  Shards are probed until first evidence."""
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("ShardedTable.exists")
+            conditions = mapping_to_pred(conditions)
+        return self.cluster.exists(self._translate(conditions))
+
+    def count_by(
+        self, group: str, conditions: "Pred | None" = None
+    ) -> dict[Any, int]:
+        """Matching-row counts keyed by the *values* of ``group``.
+
+        Shards ship per-local-code counts; the cluster re-keys them
+        into global codes, and the table decodes those through the
+        group column's alphabet.  Zero-count groups are omitted;
+        ``conditions=None`` counts every row by group.
+        """
+        alphabet = self.column(group).alphabet
+        if conditions is None:
+            code_counts = self.cluster.count_by(group)
+        else:
+            if not isinstance(conditions, Pred):
+                raise QueryError("count_by takes a predicate or None")
+            code_counts = self.cluster.count_by(
+                group, self._translate(conditions)
+            )
+        return {
+            alphabet.value(code): n for code, n in code_counts.items()
+        }
+
+    def topk(
+        self, group: str, conditions: "Pred | None" = None, k: int = 10
+    ) -> list[tuple[Any, int]]:
+        """The ``k`` most frequent group *values* among matching rows.
+
+        Count-descending; ties break by the group values' own order
+        (their global alphabet codes), deterministically.
+        """
+        if k <= 0:
+            raise InvalidParameterError("topk requires k >= 1")
+        alphabet = self.column(group).alphabet
+        counts = self.count_by(group, conditions)
+        return sorted(
+            counts.items(),
+            key=lambda kv: (-kv[1], alphabet.code(kv[0])),
+        )[:k]
+
     def plan(self, conditions: Pred) -> PlanReport:
         """The typed plan report for a value-space predicate."""
         if not isinstance(conditions, Pred):

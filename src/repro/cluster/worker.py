@@ -24,11 +24,15 @@ delta               effect on the resident engine
 Coalescable deltas (``append``/``change``) may arrive wholesale as one
 ``("delta_batch", uid, [delta, ...])`` message — the coordinator's
 round-trip amortization under write-heavy load — applied strictly in
-list order.  The query side speaks two ops: ``query`` (one range) and
+list order.  The query side speaks three ops: ``query`` (one range),
 ``leaves`` (the compiled-leaf fetch op: every interval a predicate
 plan needs from one column, answered as a list of
 ``(positions, Snapshot)`` pairs in order — one round-trip per shard
-per column however wide the IN-list).
+per column however wide the IN-list), and ``fold`` (the
+aggregate-pushdown op: a whole shard-local compiled plan evaluated
+resident-side in cardinality space, answered as one
+``(count | exists-bit | {group code: count}, Snapshot)`` — positions
+never cross the pipe).
 
 Because the coordinator applies the *same* operations to its own
 replica in the same order, and every build pins the backend the
@@ -49,6 +53,71 @@ from ..engine.engine import QueryEngine
 from ..engine.registry import get_spec
 from ..errors import InvalidParameterError
 from ..iomodel.stats import Snapshot
+from ..query import (
+    Plan,
+    evaluate_count,
+    evaluate_count_by,
+    evaluate_exists,
+    resolve_universe,
+)
+
+#: Fold payload: (mode, columns, leaves, root, group) — a shard-local
+#: compiled plan (leaves already translated onto this shard's
+#: alphabets) plus the aggregate mode to fold it in.  The reply is
+#: ``(value, Snapshot)``: an int (count), bool (exists) or
+#: ``{local group code: count}`` dict — never a RID list.
+
+
+def evaluate_shard_fold(
+    engine: QueryEngine, payload: tuple
+) -> tuple["int | bool | dict[int, int]", Snapshot]:
+    """Fold one shard-local plan in cardinality space, resident-side.
+
+    Shared verbatim by the worker's ``fold`` op and the coordinator's
+    serial/threaded path (:meth:`~repro.cluster.engine.ClusterEngine.\
+_fold_shard_local`), so the aggregate a shard reports — value *and*
+    measured I/O — is executor-independent.  Deliberately bypasses the
+    shared result cache (workers do not hold it); only the engine's
+    own LRU serves repeats, keeping the two paths' I/O identical.
+    """
+    mode, columns, leaves, root, group = payload
+    plan = Plan(
+        normalized=None,
+        leaves=tuple(leaves),
+        root=root,
+        columns=tuple(columns),
+    )
+    universe = resolve_universe(plan, lambda name: engine.column(name).n)
+    total = Snapshot()
+
+    def fetch(col: str, lo: int, hi: int):
+        nonlocal total
+        result, io = engine.query_measured(col, lo, hi)
+        total = total + io
+        return result
+
+    costs = engine._leaf_costs(plan)
+    if mode == "count":
+        value: "int | bool | dict[int, int]" = evaluate_count(
+            plan, fetch, universe, costs
+        )
+    elif mode == "exists":
+        value = evaluate_exists(plan, fetch, universe, costs)
+    elif mode == "count_by":
+        group_col = engine.column(group)
+        group_codes = sorted(
+            {c for c in group_col.codes if c is not None}
+        )
+
+        def group_fetch(code: int):
+            return fetch(group, code, code)
+
+        value = evaluate_count_by(
+            plan, fetch, universe, group_codes, group_fetch, costs
+        )
+    else:
+        raise InvalidParameterError(f"unknown fold mode {mode!r}")
+    return value, total
 
 #: Build payload: (cache_size, io_latency_s, [column payload, ...]).
 #: Column payload: (name, codes, sigma, dynamism, expected_selectivity,
@@ -168,6 +237,18 @@ class ShardHost:
             out.append((result.positions(), io))
         return out
 
+    def fold(
+        self, uid: int, payload: tuple
+    ) -> tuple["int | bool | dict[int, int]", Snapshot]:
+        """The aggregate-pushdown op: evaluate a plan, ship a number.
+
+        The whole shard-local plan executes against the resident
+        engine and only the fold — count, existence bit, or per-group
+        counts — crosses the pipe with its I/O snapshot; positions
+        never do.
+        """
+        return evaluate_shard_fold(self._engine(uid), payload)
+
     def io_totals(self) -> Snapshot:
         total = Snapshot()
         for engine in self.engines.values():
@@ -207,6 +288,8 @@ def shard_worker_main(conn) -> None:
                 reply = host.query(*message[1:])
             elif op == "leaves":
                 reply = host.leaves(*message[1:])
+            elif op == "fold":
+                reply = host.fold(*message[1:])
             elif op == "stats":
                 reply = host.io_totals()
             else:

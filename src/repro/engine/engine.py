@@ -25,7 +25,7 @@ deprecated adapter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from ..core.interface import RangeResult, SecondaryIndex
@@ -38,6 +38,9 @@ from ..query import (
     PlanReport,
     Pred,
     compile_pred,
+    evaluate_count,
+    evaluate_count_by,
+    evaluate_exists,
     evaluate_fetch,
     evaluate_iter,
     mapping_to_pred,
@@ -377,12 +380,120 @@ class QueryEngine:
             plan, lambda name: self.column(name).n
         )
 
+    def _leaf_costs(self, plan: Plan) -> list[float]:
+        """The advisor's predicted bits per unique leaf, zero if cached.
+
+        The cost vector ``evaluate_fetch`` and the counting folds
+        order ``And`` legs with: cached leaves sort first (they cost
+        nothing to probe), then cold leaves cheapest-first, so a
+        selective leg can empty the conjunction before the expensive
+        ones are fetched.
+        """
+        costs = []
+        for col, lo, hi in plan.leaves:
+            leaf = self.plan(col, lo, hi)
+            costs.append(0.0 if leaf.cached else leaf.estimated_cost_bits)
+        return costs
+
     def _query_pred(self, pred: Pred) -> RangeResult:
         # Lazy fold: each unique leaf fetched (and cached) at most
-        # once, on demand — an And that goes empty skips the rest of
-        # its legs, the generalized empty-dimension short-circuit.
+        # once, on demand, And legs cost-ordered — an And that goes
+        # empty skips the rest of its legs, the generalized
+        # empty-dimension short-circuit, and the cheap legs go first.
         plan, universe = self._compile_pred(pred)
-        return evaluate_fetch(plan, self.query, universe)
+        return evaluate_fetch(
+            plan, self.query, universe, self._leaf_costs(plan)
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates (cardinality-space execution; no RID materialization)
+    # ------------------------------------------------------------------
+
+    def count(self, pred: "Pred | Mapping[str, tuple[int, int]]") -> int:
+        """How many rows match, folded in cardinality space.
+
+        Same compiled plan, same lazy cached leaf fetches as
+        :meth:`select` — but the fold combines at the root with the
+        counting twins of the set algebra, so the answer RID list is
+        never built, a complement-represented majority answer is
+        counted as ``universe - len(stored)`` in O(1), and a wide
+        ``Or`` stops fetching the moment its union saturates the
+        universe.
+        """
+        if not isinstance(pred, Pred):
+            warn_mapping_adapter("QueryEngine.count")
+            pred = mapping_to_pred(pred)
+        plan, universe = self._compile_pred(pred)
+        return evaluate_count(
+            plan, self.query, universe, self._leaf_costs(plan)
+        )
+
+    def exists(self, pred: "Pred | Mapping[str, tuple[int, int]]") -> bool:
+        """Does at least one row match?  Stops at the first evidence.
+
+        ``Or`` disjuncts are probed cheapest-predicted-first and the
+        scan ends at the first non-empty fold; other shapes reduce to
+        a short-circuiting count.
+        """
+        if not isinstance(pred, Pred):
+            warn_mapping_adapter("QueryEngine.exists")
+            pred = mapping_to_pred(pred)
+        plan, universe = self._compile_pred(pred)
+        return evaluate_exists(
+            plan, self.query, universe, self._leaf_costs(plan)
+        )
+
+    def count_by(
+        self, group: str, pred: "Pred | None" = None
+    ) -> dict[int, int]:
+        """Matching-row counts per code of ``group`` (zeros omitted).
+
+        The predicate folds once; each occurring group code then costs
+        one equality leaf on the group column (LRU-cached like any
+        leaf) plus a counting intersection.  ``pred=None`` counts
+        every row by group.  Equivalent to
+        ``{c: count(pred & Eq(group, c))}`` but with the predicate
+        evaluated a single time.
+        """
+        group_col = self.column(group)
+        group_codes = sorted(
+            {c for c in group_col.codes if c is not None}
+        )
+        group_fetch = lambda code: self.query(group, code, code)  # noqa: E731
+        if pred is None:
+            return evaluate_count_by(
+                None, self.query, group_col.n, group_codes, group_fetch
+            )
+        plan = compile_pred(pred, lambda name: self.column(name).sigma)
+        # The group column joins the universe resolution: its equality
+        # leaves execute in the same position space as the predicate.
+        widened = replace(
+            plan, columns=tuple(sorted(set(plan.columns) | {group}))
+        )
+        universe = resolve_universe(
+            widened, lambda name: self.column(name).n
+        )
+        return evaluate_count_by(
+            plan,
+            self.query,
+            universe,
+            group_codes,
+            group_fetch,
+            self._leaf_costs(plan),
+        )
+
+    def topk(
+        self, group: str, pred: "Pred | None" = None, k: int = 10
+    ) -> list[tuple[int, int]]:
+        """The ``k`` most frequent group codes among matching rows.
+
+        ``(code, count)`` pairs, count-descending with code ascending
+        as the deterministic tie-break.
+        """
+        if k <= 0:
+            raise InvalidParameterError("topk requires k >= 1")
+        counts = self.count_by(group, pred)
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
 
     def _plan_report(self, pred: Pred) -> PlanReport:
         plan, universe = self._compile_pred(pred)

@@ -31,6 +31,9 @@ from ..model.alphabet import Alphabet
 from ..query import (
     Pred,
     compile_pred,
+    evaluate_count,
+    evaluate_count_by,
+    evaluate_exists,
     evaluate_fetch,
     evaluate_iter,
     mapping_to_pred,
@@ -240,6 +243,104 @@ class Table:
             return self.columns[col].index.range_query(lo, hi).iter_positions()
 
         return evaluate_iter(plan, leaf_iter, universe)
+
+    # ------------------------------------------------------------------
+    # Aggregates (value space; answers, not row ids)
+    # ------------------------------------------------------------------
+
+    def count(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ) -> int:
+        """How many rows match a value-space predicate.
+
+        Folds in cardinality space — the matching row-id list is
+        never materialized, under either build path.
+        """
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("Table.count")
+            conditions = mapping_to_pred(conditions)
+        code_pred = self._translate(conditions)
+        if self.engine is not None:
+            return self.engine.count(code_pred)
+        plan, universe = self._compile_factory(code_pred)
+        return evaluate_count(plan, self._factory_fetch, universe)
+
+    def exists(
+        self, conditions: "Pred | Mapping[str, tuple[Any, Any]]"
+    ) -> bool:
+        """Does at least one row match?  Stops at the first evidence."""
+        if not isinstance(conditions, Pred):
+            warn_mapping_adapter("Table.exists")
+            conditions = mapping_to_pred(conditions)
+        code_pred = self._translate(conditions)
+        if self.engine is not None:
+            return self.engine.exists(code_pred)
+        plan, universe = self._compile_factory(code_pred)
+        return evaluate_exists(plan, self._factory_fetch, universe)
+
+    def count_by(
+        self, group: str, conditions: "Pred | None" = None
+    ) -> dict[Any, int]:
+        """Matching-row counts keyed by the *values* of ``group``.
+
+        The predicate folds once; each occurring group value costs one
+        equality leaf on the group column.  Zero-count groups are
+        omitted; ``conditions=None`` counts every row by group.
+        """
+        group_col = self.column(group)
+        if conditions is None:
+            code_counts = (
+                self.engine.count_by(group)
+                if self.engine is not None
+                else evaluate_count_by(
+                    None,
+                    self._factory_fetch,
+                    self.num_rows,
+                    range(group_col.alphabet.sigma),
+                    lambda code: group_col.index.range_query(code, code),
+                )
+            )
+        else:
+            if not isinstance(conditions, Pred):
+                raise QueryError("count_by takes a predicate or None")
+            code_pred = self._translate(conditions)
+            if self.engine is not None:
+                code_counts = self.engine.count_by(group, code_pred)
+            else:
+                plan, universe = self._compile_factory(code_pred)
+                # Factory alphabets are built from occurring values,
+                # so every code 0..sigma-1 is a live group.
+                code_counts = evaluate_count_by(
+                    plan,
+                    self._factory_fetch,
+                    universe,
+                    range(group_col.alphabet.sigma),
+                    lambda code: group_col.index.range_query(code, code),
+                )
+        return {
+            group_col.alphabet.value(code): n
+            for code, n in code_counts.items()
+        }
+
+    def topk(
+        self, group: str, conditions: "Pred | None" = None, k: int = 10
+    ) -> list[tuple[Any, int]]:
+        """The ``k`` most frequent group *values* among matching rows.
+
+        Count-descending; ties break by the group values' own order
+        (their alphabet codes), deterministically.
+        """
+        if k <= 0:
+            raise InvalidParameterError("topk requires k >= 1")
+        alphabet = self.column(group).alphabet
+        counts = self.count_by(group, conditions)
+        return sorted(
+            counts.items(),
+            key=lambda kv: (-kv[1], alphabet.code(kv[0])),
+        )[:k]
+
+    def _factory_fetch(self, col: str, lo: int, hi: int):
+        return self.columns[col].index.range_query(lo, hi)
 
     def explain(self, conditions: Pred) -> "Any":
         """The typed plan report for a value-space predicate.

@@ -23,11 +23,17 @@ from .planner import (
     Plan,
     PlanReport,
     ShardLeafPlan,
+    align_leaf,
     compile_pred,
     evaluate,
+    evaluate_count,
+    evaluate_count_by,
+    evaluate_exists,
     evaluate_fetch,
     evaluate_iter,
+    order_children,
     resolve_universe,
+    specialize,
 )
 from .predicates import (
     FALSE,
@@ -59,14 +65,20 @@ __all__ = [
     "Range",
     "ShardLeafPlan",
     "TRUE",
+    "align_leaf",
     "columns_of",
     "compile_pred",
     "evaluate",
+    "evaluate_count",
+    "evaluate_count_by",
+    "evaluate_exists",
     "evaluate_fetch",
     "evaluate_iter",
     "mapping_to_pred",
     "normalize",
+    "order_children",
     "resolve_universe",
+    "specialize",
     "translate",
     "warn_mapping_adapter",
 ]

@@ -36,7 +36,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from ..bits.ops import intersect_aware, union_aware
+from ..bits.ops import (
+    count_aware,
+    intersect_aware,
+    intersect_aware_count,
+    union_aware,
+    union_aware_count,
+)
 from ..core.interface import RangeResult
 from ..errors import QueryError
 from . import stream
@@ -194,6 +200,71 @@ def compile_pred(pred: Pred, sigma_of: Callable[[str], int]) -> Plan:
 # ----------------------------------------------------------------------
 
 
+def align_leaf(
+    result: RangeResult, universe: int, needs_universe: bool
+) -> tuple[list[int], bool]:
+    """Validate one leaf answer against the plan universe, symmetrically.
+
+    A leaf universe *larger* than the plan's is always corruption.  A
+    *smaller* one is legitimate only for pure positive plans (drifted
+    columns, ``resolve_universe`` picked the max): the positions are
+    re-anchored by expanding a complement representation — a §2.1
+    complement is relative to its own column's universe — and plain
+    positions pass through unchanged because they are already global.
+    Under ``needs_universe`` (``Not``/``TRUE`` in the tree) any
+    mismatch is rejected; complements of a smaller universe must never
+    silently flow into algebra over the plan universe.
+    """
+    if result.universe > universe:
+        raise QueryError(
+            f"leaf universe {result.universe} exceeds the plan "
+            f"universe {universe}; columns are out of alignment"
+        )
+    if result.universe != universe:
+        if needs_universe:
+            raise QueryError(
+                f"leaf universe {result.universe} != plan universe "
+                f"{universe}; Not/TRUE need aligned columns"
+            )
+        if result.complemented:
+            return result.positions(), False
+    return result.stored_positions(), result.complemented
+
+
+def _subtree_leaves(node: tuple, out: set[int]) -> None:
+    tag = node[0]
+    if tag == LEAF:
+        out.add(node[1])
+    elif tag == NOT:
+        _subtree_leaves(node[1], out)
+    elif tag in (AND, OR):
+        for child in node[1]:
+            _subtree_leaves(child, out)
+
+
+def order_children(
+    children: tuple, leaf_costs: Sequence[float] | None
+) -> tuple:
+    """Order sibling subtrees by predicted fetch cost, cheapest first.
+
+    ``leaf_costs[i]`` is the advisor's predicted bits for
+    ``plan.leaves[i]`` (zero when cached); a subtree costs the sum
+    over its distinct leaves.  The sort is stable, so equal-cost
+    siblings keep the canonical leaf-table order and the demanded-leaf
+    sequence stays deterministic.  With no cost vector the canonical
+    order is returned untouched.
+    """
+    if leaf_costs is None or len(children) < 2:
+        return children
+
+    def cost(node: tuple) -> float:
+        seen: set[int] = set()
+        _subtree_leaves(node, seen)
+        return sum(leaf_costs[i] for i in seen)
+
+    return tuple(sorted(children, key=cost))
+
+
 def evaluate(
     plan: Plan,
     leaf_results: Sequence[RangeResult],
@@ -214,12 +285,11 @@ def evaluate(
             f"plan has {len(plan.leaves)} leaves, got "
             f"{len(leaf_results)} results"
         )
-    for result in leaf_results:
-        if result.universe > universe:
-            raise QueryError(
-                f"leaf universe {result.universe} exceeds the plan "
-                f"universe {universe}; columns are out of alignment"
-            )
+    needs_universe = plan.needs_universe
+    aligned = [
+        align_leaf(result, universe, needs_universe)
+        for result in leaf_results
+    ]
 
     def fold(node: tuple) -> tuple[list[int], bool]:
         tag = node[0]
@@ -228,14 +298,7 @@ def evaluate(
         if tag == EMPTY:
             return [], False
         if tag == LEAF:
-            result = leaf_results[node[1]]
-            if result.complemented and result.universe != universe:
-                # A §2.1 complement representation is relative to its
-                # own column's universe; under drifted columns (pure
-                # positive plans only) expand it once so the algebra
-                # speaks one universe.
-                return result.positions(), False
-            return result.stored_positions(), result.complemented
+            return aligned[node[1]]
         if tag == NOT:
             stored, comp = fold(node[1])
             return stored, not comp
@@ -263,6 +326,7 @@ def evaluate_fetch(
     plan: Plan,
     fetch: Callable[[str, int, int], RangeResult],
     universe: int,
+    leaf_costs: Sequence[float] | None = None,
 ) -> RangeResult:
     """:func:`evaluate` with lazy, memoized, short-circuiting fetches.
 
@@ -270,29 +334,25 @@ def evaluate_fetch(
     leaf at most once — the DAG's sharing): an ``And`` that goes empty
     skips its remaining children's fetches entirely (the §1
     empty-dimension short-circuit, generalized), and an ``Or`` that
-    reaches the full universe stops likewise.  The demanded-leaf
-    sequence is a deterministic function of the canonical plan and the
-    data.  Single-process serving uses this; the cluster prefers
-    :func:`evaluate` over a prefetched batch, trading the
-    short-circuit for overlapped, per-shard-batched scatter I/O that
-    is identical under every executor.
+    reaches the full universe stops likewise.  With ``leaf_costs``
+    (the advisor's predicted bits per leaf, zero when cached), ``And``
+    legs run cheapest-first so a cheap selective leg can empty the
+    conjunction before the expensive legs are ever fetched.  The
+    demanded-leaf sequence is a deterministic function of the
+    canonical plan, the cost vector, and the data.  Single-process
+    serving uses this; the cluster prefers :func:`evaluate` over a
+    prefetched batch, trading the short-circuit for overlapped,
+    per-shard-batched scatter I/O that is identical under every
+    executor.
     """
     memo: dict[int, tuple[list[int], bool]] = {}
+    needs_universe = plan.needs_universe
 
     def leaf(index: int) -> tuple[list[int], bool]:
         if index not in memo:
-            result = fetch(*plan.leaves[index])
-            if result.universe > universe:
-                raise QueryError(
-                    f"leaf universe {result.universe} exceeds the plan "
-                    f"universe {universe}; columns are out of alignment"
-                )
-            if result.complemented and result.universe != universe:
-                memo[index] = (result.positions(), False)
-            else:
-                memo[index] = (
-                    result.stored_positions(), result.complemented
-                )
+            memo[index] = align_leaf(
+                fetch(*plan.leaves[index]), universe, needs_universe
+            )
         return memo[index]
 
     def fold(node: tuple) -> tuple[list[int], bool]:
@@ -307,8 +367,9 @@ def evaluate_fetch(
             stored, comp = fold(node[1])
             return stored, not comp
         if tag == AND:
-            stored, comp = fold(node[1][0])
-            for child in node[1][1:]:
+            children = order_children(node[1], leaf_costs)
+            stored, comp = fold(children[0])
+            for child in children[1:]:
                 if not stored and not comp:  # empty: nothing can revive
                     break
                 c_stored, c_comp = fold(child)
@@ -328,6 +389,302 @@ def evaluate_fetch(
 
     stored, comp = fold(plan.root)
     return RangeResult(stored, universe, complemented=comp)
+
+
+# ----------------------------------------------------------------------
+# Cardinality-space execution (aggregates)
+# ----------------------------------------------------------------------
+
+
+def _is_full(stored: list[int], comp: bool, universe: int) -> bool:
+    """Does this aware pair denote all of ``[0, universe)``?
+
+    Two shapes mean "full": a complemented empty list, and — unlike the
+    select path, which only recognizes the first — a *plain* list that
+    has reached ``universe`` elements (positions are strictly
+    increasing in ``[0, universe)``, so length is membership-complete).
+    Counting folds check both, which is what lets a wide positive
+    disjunction stop fetching the moment its union saturates.
+    """
+    return (not stored and comp) or (not comp and len(stored) == universe)
+
+
+class _CardinalityFold:
+    """Shared machinery of the counting executors.
+
+    Folds interior subtrees with the aware *set* algebra (intermediates
+    genuinely need elements) but combines at counting boundaries with
+    the cardinality twins of :mod:`repro.bits.ops`, so the root-level
+    result list — the one ``evaluate`` would hand back — is never
+    built.  ``Not`` stays a flag flip (count = ``universe - child``),
+    and the same lazy memoized fetch + ``And`` cost ordering as
+    :func:`evaluate_fetch` applies, plus the stronger
+    :func:`_is_full` saturation check on ``Or``.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        fetch: Callable[[str, int, int], RangeResult],
+        universe: int,
+        leaf_costs: Sequence[float] | None,
+    ) -> None:
+        self.plan = plan
+        self.fetch = fetch
+        self.universe = universe
+        self.leaf_costs = leaf_costs
+        self.needs_universe = plan.needs_universe
+        self.memo: dict[int, tuple[list[int], bool]] = {}
+
+    def leaf(self, index: int) -> tuple[list[int], bool]:
+        if index not in self.memo:
+            self.memo[index] = align_leaf(
+                self.fetch(*self.plan.leaves[index]),
+                self.universe,
+                self.needs_universe,
+            )
+        return self.memo[index]
+
+    def fold(self, node: tuple) -> tuple[list[int], bool]:
+        """Materialize one subtree as an aware pair (with saturation)."""
+        tag = node[0]
+        if tag == ALL:
+            return [], True
+        if tag == EMPTY:
+            return [], False
+        if tag == LEAF:
+            return self.leaf(node[1])
+        if tag == NOT:
+            stored, comp = self.fold(node[1])
+            return stored, not comp
+        if tag == AND:
+            children = order_children(node[1], self.leaf_costs)
+            stored, comp = self.fold(children[0])
+            for child in children[1:]:
+                if not stored and not comp:
+                    break
+                c_stored, c_comp = self.fold(child)
+                stored, comp = intersect_aware(
+                    stored, comp, c_stored, c_comp
+                )
+            return stored, comp
+        if tag == OR:
+            stored, comp = self.fold(node[1][0])
+            for child in node[1][1:]:
+                if _is_full(stored, comp, self.universe):
+                    break
+                c_stored, c_comp = self.fold(child)
+                stored, comp = union_aware(stored, comp, c_stored, c_comp)
+            return stored, comp
+        raise QueryError(f"unknown plan node {tag!r}")
+
+    def count(self, node: tuple) -> int:
+        """Cardinality of one subtree without building its answer list."""
+        universe = self.universe
+        tag = node[0]
+        if tag == ALL:
+            return universe
+        if tag == EMPTY:
+            return 0
+        if tag == LEAF:
+            stored, comp = self.leaf(node[1])
+            return count_aware(stored, comp, universe)
+        if tag == NOT:
+            return universe - self.count(node[1])
+        if tag == AND:
+            children = order_children(node[1], self.leaf_costs)
+            stored, comp = self.fold(children[0])
+            for child in children[1:-1]:
+                if not stored and not comp:
+                    return 0
+                c_stored, c_comp = self.fold(child)
+                stored, comp = intersect_aware(
+                    stored, comp, c_stored, c_comp
+                )
+            if not stored and not comp:
+                return 0
+            c_stored, c_comp = self.fold(children[-1])
+            return intersect_aware_count(
+                stored, comp, c_stored, c_comp, universe
+            )
+        if tag == OR:
+            children = node[1]
+            stored, comp = self.fold(children[0])
+            for child in children[1:-1]:
+                if _is_full(stored, comp, universe):
+                    return universe
+                c_stored, c_comp = self.fold(child)
+                stored, comp = union_aware(stored, comp, c_stored, c_comp)
+            if _is_full(stored, comp, universe):
+                return universe
+            c_stored, c_comp = self.fold(children[-1])
+            return union_aware_count(
+                stored, comp, c_stored, c_comp, universe
+            )
+        raise QueryError(f"unknown plan node {tag!r}")
+
+    def exists(self, node: tuple) -> bool:
+        """Is the subtree non-empty, probing as few leaves as possible?
+
+        ``Or`` recurses child-by-child — cheapest predicted subtree
+        first — and stops at the first non-empty fold; everything else
+        asks the counting fold (which carries its own short-circuits).
+        """
+        tag = node[0]
+        if tag == ALL:
+            return self.universe > 0
+        if tag == EMPTY:
+            return False
+        if tag == OR:
+            for child in order_children(node[1], self.leaf_costs):
+                if self.exists(child):
+                    return True
+            return False
+        return self.count(node) > 0
+
+
+def evaluate_count(
+    plan: Plan,
+    fetch: Callable[[str, int, int], RangeResult],
+    universe: int,
+    leaf_costs: Sequence[float] | None = None,
+) -> int:
+    """Cardinality of a plan's answer, folded in counting space.
+
+    Same fetch contract and short-circuits as :func:`evaluate_fetch`
+    (plus :func:`_is_full` saturation on ``Or``), but the root-level
+    combination uses the counting twins of the aware algebra, so the
+    global answer list is never materialized.
+    """
+    return _CardinalityFold(plan, fetch, universe, leaf_costs).count(
+        plan.root
+    )
+
+
+def evaluate_exists(
+    plan: Plan,
+    fetch: Callable[[str, int, int], RangeResult],
+    universe: int,
+    leaf_costs: Sequence[float] | None = None,
+) -> bool:
+    """Does the plan match at least one row?
+
+    A top-level (or nested) ``Or`` stops at the first non-empty child
+    fold — cost-ordered, so the cheapest disjunct is probed first —
+    and other shapes reduce to ``count > 0`` with counting-fold
+    short-circuits.
+    """
+    return _CardinalityFold(plan, fetch, universe, leaf_costs).exists(
+        plan.root
+    )
+
+
+def evaluate_count_by(
+    plan: Plan | None,
+    fetch: Callable[[str, int, int], RangeResult],
+    universe: int,
+    group_codes: Sequence[int],
+    group_fetch: Callable[[int], RangeResult],
+    leaf_costs: Sequence[float] | None = None,
+) -> dict[int, int]:
+    """Per-group-code cardinalities of ``pred AND group == code``.
+
+    The predicate folds *once* into an aware pair; each group code
+    then costs one ``group_fetch(code)`` (the group column's
+    equality leaf) plus a counting intersection — no per-group result
+    lists, no re-evaluation of the predicate.  ``plan=None`` means no
+    predicate (count every row by group).  Codes whose intersection is
+    empty are omitted; an unsatisfiable predicate returns ``{}``
+    without touching the group column at all.
+    """
+    if plan is None:
+        stored: list[int] = []
+        comp = True
+    else:
+        folder = _CardinalityFold(plan, fetch, universe, leaf_costs)
+        stored, comp = folder.fold(plan.root)
+        if not stored and not comp:
+            return {}
+    out: dict[int, int] = {}
+    for code in group_codes:
+        g_stored, g_comp = align_leaf(
+            group_fetch(code), universe, needs_universe=False
+        )
+        n = intersect_aware_count(stored, comp, g_stored, g_comp, universe)
+        if n:
+            out[code] = n
+    return out
+
+
+def specialize(
+    plan: Plan,
+    translate: Callable[[str, int, int], tuple[int, int] | None],
+) -> tuple[tuple[tuple[str, int, int], ...], tuple]:
+    """Rewrite a compiled plan's leaves through a shard translator.
+
+    ``translate(column, lo, hi)`` maps a global code interval onto one
+    shard's local alphabet, or returns ``None`` when the shard holds
+    nothing in the interval (pruned).  Pruned leaves become ``EMPTY``
+    and the tree constant-folds — ``Not(EMPTY)`` is ``ALL``, an
+    ``And`` with an ``EMPTY`` child collapses, an ``Or`` with an
+    ``ALL`` child saturates — so a shard the predicate cannot touch
+    reduces to an ``EMPTY`` root (skippable with no round trip) and a
+    shard a complement fully covers reduces to ``ALL`` (answerable
+    from the shard's row count alone).  Surviving leaves are compacted
+    and renumbered; returns ``(leaves, root)`` as the plain picklable
+    tuples a worker rebuilds a shard-local :class:`Plan` from.
+    """
+    local: list[tuple[str, int, int] | None] = []
+    for col, lo, hi in plan.leaves:
+        translated = translate(col, lo, hi)
+        local.append(
+            None if translated is None else (col, *translated)
+        )
+
+    def rewrite(node: tuple) -> tuple:
+        tag = node[0]
+        if tag == LEAF:
+            return (EMPTY,) if local[node[1]] is None else node
+        if tag == NOT:
+            child = rewrite(node[1])
+            if child[0] == EMPTY:
+                return (ALL,)
+            if child[0] == ALL:
+                return (EMPTY,)
+            return (NOT, child)
+        if tag in (AND, OR):
+            absorb, identity = (EMPTY, ALL) if tag == AND else (ALL, EMPTY)
+            children = []
+            for part in node[1]:
+                folded = rewrite(part)
+                if folded[0] == absorb:
+                    return (absorb,)
+                if folded[0] == identity:
+                    continue
+                children.append(folded)
+            if not children:
+                return (identity,)
+            if len(children) == 1:
+                return children[0]
+            return (tag, tuple(children))
+        return node
+
+    root = rewrite(plan.root)
+    used: set[int] = set()
+    _subtree_leaves(root, used)
+    remap = {old: new for new, old in enumerate(sorted(used))}
+
+    def renumber(node: tuple) -> tuple:
+        if node[0] == LEAF:
+            return (LEAF, remap[node[1]])
+        if node[0] == NOT:
+            return (NOT, renumber(node[1]))
+        if node[0] in (AND, OR):
+            return (node[0], tuple(renumber(c) for c in node[1]))
+        return node
+
+    leaves = tuple(local[old] for old in sorted(used))
+    return leaves, renumber(root)
 
 
 # ----------------------------------------------------------------------
@@ -444,12 +801,13 @@ class LeafPlan:
         return out
 
     def describe(self) -> str:
-        where = (
-            f"{self.backend}" if self.backend is not None
-            else f"{sum(1 for s in self.shards if not s.pruned)} shard(s)"
-            if self.shards is not None
-            else "?"
-        )
+        if self.backend is not None:
+            where = f"{self.backend}"
+        elif self.shards is not None:
+            live = sum(1 for s in self.shards if not s.pruned)
+            where = "all shards pruned" if not live else f"{live} shard(s)"
+        else:
+            where = "?"
         state = "cached" if self.cached else "cold"
         return (
             f"{self.column}[{self.char_lo}..{self.char_hi}] via {where} "

@@ -113,6 +113,37 @@ def difference_iter(positive, negative):
     return gen()
 
 
+def count_iter(it) -> int:
+    """Drain a position stream and return how many positions it held.
+
+    The materialize-then-count baseline the aggregate path is measured
+    against: every position still flows through the pipeline, it just
+    isn't kept.
+    """
+    count = 0
+    try:
+        for _ in it:
+            count += 1
+    finally:
+        _close_all((it,))
+    return count
+
+
+def first(it):
+    """The first position of a stream, or ``None`` when it is empty.
+
+    Pulls at most one element and closes the pipeline either way —
+    the streaming counterpart of ``exists`` (non-``None`` means the
+    predicate matches something).
+    """
+    sentinel = object()
+    try:
+        head = next(it, sentinel)
+    finally:
+        _close_all((it,))
+    return None if head is sentinel else head
+
+
 def complement_iter(it, universe: int):
     """Every position of ``[0, universe)`` absent from the stream.
 

@@ -294,6 +294,27 @@ class TestClusterEngine:
         per_query = cluster.explain("c", 0, 1)
         assert "shared-cache" in per_query
 
+    def test_fully_pruned_plan_reports_cold_and_free(self):
+        # Regression: a leaf every shard prunes has no live shard
+        # plans, so the vacuous all([]) used to render it "cached"
+        # with a live shard count of zero.  It must read as what it
+        # is: never served, never cached, never costed.
+        from repro.query import Eq
+
+        cluster = ClusterEngine(num_shards=2)
+        cluster.add_column("c", [0, 0, 2, 2], 4)  # code 3 never occurs
+        report = cluster.explain(Eq("c", 3))
+        (leaf,) = report.leaves
+        assert all(s.pruned for s in leaf.shards)
+        assert leaf.cached is False
+        assert leaf.estimated_cost_bits == 0
+        assert report.estimated_total_bits == 0
+        assert "all shards pruned" in str(report)
+        assert "0 shard(s)" not in str(report)
+        # ...and the pruned plan still answers exactly.
+        assert cluster.select(Eq("c", 3)) == []
+        assert cluster.count(Eq("c", 3)) == 0
+
 
 class FlipAdvisor(Advisor):
     """Deterministic advisor for drift tests: entropy decides the pick."""
@@ -713,6 +734,41 @@ class TestCacheStores:
         store.put(key, [4])
         assert store.invalidate_prefix(("c",)) == 0
         assert store.get(key) == [4]
+
+    def test_ttl_store_len_excludes_expired_entries(self):
+        # Regression: len() used to report raw dict size, counting
+        # entries get/contains would already refuse to serve.
+        from repro.cluster import TTLStore
+
+        clock = [0.0]
+        store = TTLStore(ttl_s=10.0, clock=lambda: clock[0])
+        store.put(shared_key("a", "e", 0, 0, 0, 0), [1])
+        store.put(shared_key("b", "e", 0, 0, 0, 0), [2])
+        assert len(store) == 2
+        clock[0] = 11.0
+        # Nothing swept or lazily dropped yet — still invisible.
+        assert len(store) == 0
+        store.put(shared_key("c", "e", 0, 0, 0, 0), [3])
+        assert len(store) == 1
+
+    def test_ttl_store_counts_overwrite_expirations(self):
+        # Regression: an entry that dies and is overwritten between
+        # sweeps was never counted as expired — not by get (the key
+        # was never read), not by the sweep (the overwrite revived
+        # the slot first).
+        from repro.cluster import TTLStore
+
+        clock = [0.0]
+        store = TTLStore(ttl_s=5.0, clock=lambda: clock[0])
+        key = shared_key("c", "e", 0, 0, 1, 3)
+        store.put(key, [1])
+        clock[0] = 6.0
+        store.put(key, [2])  # overwrite of an already-dead entry
+        assert store.expirations == 1
+        assert store.get(key) == [2]
+        # A live overwrite is not an expiration.
+        store.put(key, [3])
+        assert store.expirations == 1
 
     def test_ttl_store_rejects_nonpositive_ttl(self):
         from repro.cluster import TTLStore

@@ -225,6 +225,34 @@ class TestShardedConformance:
             assert engine.select(code_pred) == expected
             assert list(engine.select_iter(code_pred)) == expected
 
+    def test_aggregates_match_oracle(
+        self, sharded_tables, spec, wname, num_shards
+    ):
+        """count/exists/count_by agree with the brute oracle through
+        every backend and shard count — the cardinality-space folds
+        buy no slack over materialize-then-count."""
+        from collections import Counter
+
+        x, sigma, single, sharded, _ = sharded_tables[(spec.name, wname)]
+        table = sharded[num_shards]
+        alphabet = Alphabet(x)
+        columns = {"c": alphabet.values()}
+        rng = random.Random(
+            zlib.crc32(f"agg:{spec.name}:{wname}:{num_shards}".encode())
+        )
+        for i in range(4):
+            pred = random_pred(rng, columns, depth=3)
+            expected = pred_oracle(pred, {"c": x})
+            want_by = dict(Counter(x[rid] for rid in expected))
+            assert table.count(pred) == len(expected), (
+                f"{spec.name} on {wname} at {num_shards} shard(s), "
+                f"AST #{i}: {pred!r}"
+            )
+            assert table.exists(pred) == bool(expected)
+            assert table.count_by("c", pred) == want_by
+            assert single.count(pred) == len(expected)
+            assert single.count_by("c", pred) == want_by
+
 
 LIFECYCLE_TARGET = 48
 LIFECYCLE_WORKLOADS = ["uniform", "runs_heavy", "sigma_2"]
@@ -448,3 +476,33 @@ class TestProcessConformance:
             resident.cluster.scatter_io.snapshot()
             == serial.cluster.scatter_io.snapshot()
         )
+
+    def test_resident_aggregates_match_serial_without_rid_gather(
+        self, process_tables, spec, wname
+    ):
+        """Aggregates pushed down to worker residents return oracle
+        answers while the coordinator gathers zero positions — the
+        fold replies carry counts, never row-id lists."""
+        from collections import Counter
+
+        x, sigma, serial, resident = process_tables[(spec.name, wname)]
+        columns = {"c": sorted(set(x))}
+        rng = random.Random(
+            zlib.crc32(f"agg-proc:{spec.name}:{wname}".encode())
+        )
+        rids_before = resident.cluster.gather_rids
+        for i in range(4):
+            pred = random_pred(rng, columns, depth=3)
+            expected = pred_oracle(pred, {"c": x})
+            assert resident.count(pred) == len(expected), (
+                f"{spec.name} on {wname} resident agg, AST #{i}: {pred!r}"
+            )
+            assert resident.exists(pred) == bool(expected)
+            want_by = dict(Counter(x[rid] for rid in expected))
+            assert resident.count_by("c", pred) == want_by
+            assert serial.count(pred) == len(expected)
+            assert serial.count_by("c", pred) == want_by
+        # No gather-side position decode happened on the aggregate
+        # path: every scatter reply was an integer or a code->count
+        # mapping.
+        assert resident.cluster.gather_rids == rids_before

@@ -1,11 +1,23 @@
 """Unit tests for sorted-set algebra."""
 
+import random
+
 from repro.bits.ops import (
     complement_sorted,
+    count_aware,
+    difference_aware,
+    difference_aware_count,
+    difference_count,
     difference_sorted,
+    intersect_aware,
+    intersect_aware_count,
+    intersect_count,
     intersect_many,
     intersect_sorted,
     is_strictly_increasing,
+    union_aware,
+    union_aware_count,
+    union_count,
     union_disjoint_sorted,
     union_sorted,
 )
@@ -87,6 +99,51 @@ class TestDifferenceComplement:
     def test_complement_involution(self):
         s = [0, 4, 5, 9]
         assert complement_sorted(complement_sorted(s, 10), 10) == s
+
+
+class TestCountingTwins:
+    """Each counting twin must agree with its materializing sibling."""
+
+    def test_plain_counts(self):
+        assert intersect_count([1, 3, 5, 7], [3, 4, 5]) == 2
+        assert intersect_count([], [1]) == 0
+        assert union_count([1, 2, 5], [2, 3]) == 4
+        assert union_count([], []) == 0
+        assert difference_count([1, 2, 3, 4], [2, 4]) == 2
+        assert difference_count([1, 2], [5]) == 2
+
+    def test_count_aware(self):
+        assert count_aware([1, 3], False, 10) == 2
+        assert count_aware([1, 3], True, 10) == 8
+        assert count_aware([], True, 10) == 10
+
+    def test_aware_counts_match_materialized_randomized(self):
+        rng = random.Random(1234)
+        universe = 40
+        for _ in range(200):
+            a = sorted(rng.sample(range(universe), rng.randrange(universe)))
+            b = sorted(rng.sample(range(universe), rng.randrange(universe)))
+            for a_comp in (False, True):
+                for b_comp in (False, True):
+                    for twin, sibling in (
+                        (intersect_aware_count, intersect_aware),
+                        (union_aware_count, union_aware),
+                        (difference_aware_count, difference_aware),
+                    ):
+                        got = twin(a, a_comp, b, b_comp, universe)
+                        stored, comp = sibling(a, a_comp, b, b_comp)
+                        want = count_aware(stored, comp, universe)
+                        assert got == want, (
+                            twin.__name__, a_comp, b_comp, a, b
+                        )
+
+    def test_counting_never_materializes_root(self):
+        # The whole point: a huge complemented intersection is counted
+        # in O(|stored|), which these twins do by never constructing
+        # the result — verified indirectly by their exactness above
+        # and directly here by the O(1) complement case.
+        big = 10**9
+        assert intersect_aware_count([1, 2], True, [3], True, big) == big - 3
 
 
 class TestPredicates:

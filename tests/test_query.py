@@ -20,6 +20,7 @@ from repro.bits.ops import (
     union_aware,
     union_many,
 )
+from repro.core.interface import RangeResult
 from repro.engine import QueryEngine
 from repro.errors import InvalidParameterError, QueryError
 from repro.query import (
@@ -35,13 +36,22 @@ from repro.query import (
     Range,
     columns_of,
     compile_pred,
+    evaluate,
+    evaluate_count,
+    evaluate_count_by,
+    evaluate_exists,
+    evaluate_fetch,
     mapping_to_pred,
     normalize,
+    order_children,
+    specialize,
 )
 from repro.query._compat import reset_warned_call_sites
 from repro.query.stream import (
     complement_iter,
+    count_iter,
     difference_iter,
+    first,
     intersect_iters,
     union_iters,
 )
@@ -429,3 +439,315 @@ class TestMappingAdapter:
         assert not [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
+
+
+# ----------------------------------------------------------------------
+# Leaf alignment (the symmetric universe check)
+# ----------------------------------------------------------------------
+
+
+class TestLeafAlignment:
+    """Regression: a leaf universe *smaller* than the plan's used to
+    pass unvalidated for non-complemented results; now the check is
+    symmetric under Not/TRUE and positive plans explicitly re-anchor.
+    """
+
+    def _needs_universe_plan(self):
+        return compile_pred(
+            And(Range("a", 0, 3), Not(Range("b", 0, 1))),
+            SIGMAS.__getitem__,
+        )
+
+    def test_evaluate_rejects_smaller_leaf_universe_under_not(self):
+        plan = self._needs_universe_plan()
+        results = [RangeResult([0, 1], 10), RangeResult([2], 8)]
+        with pytest.raises(QueryError):
+            evaluate(plan, results, 10)
+
+    def test_evaluate_fetch_rejects_smaller_leaf_universe_under_not(self):
+        plan = self._needs_universe_plan()
+
+        def fetch(col, lo, hi):
+            return RangeResult([0], 10 if col == "a" else 8)
+
+        with pytest.raises(QueryError):
+            evaluate_fetch(plan, fetch, 10)
+
+    def test_larger_leaf_universe_always_rejected(self):
+        plan = compile_pred(
+            And(Range("a", 0, 3), Range("b", 0, 1)), SIGMAS.__getitem__
+        )
+        results = [RangeResult([0], 10), RangeResult([1], 12)]
+        with pytest.raises(QueryError):
+            evaluate(plan, results, 10)
+
+    def test_positive_plans_reanchor_smaller_leaves(self):
+        plan = compile_pred(
+            And(Range("a", 0, 3), Range("b", 0, 1)), SIGMAS.__getitem__
+        )
+        # A drifted plain leaf passes through (its positions are
+        # already global); a drifted *complemented* leaf expands
+        # against its own universe before entering the algebra.
+        results = [RangeResult([1, 5, 9], 10), RangeResult([1, 5], 8)]
+        assert evaluate(plan, results, 10).positions() == [1, 5]
+        results = [
+            RangeResult([1, 5, 9], 10),
+            RangeResult([0], 8, complemented=True),  # = 1..7 of 8
+        ]
+        assert evaluate(plan, results, 10).positions() == [1, 5]
+
+
+# ----------------------------------------------------------------------
+# Cost-based And ordering
+# ----------------------------------------------------------------------
+
+
+class TestCostOrderedAnd:
+    def _plan(self):
+        # Leaf table (sorted): ("a", 0, 3) = 0, ("b", 4, 5) = 1.
+        return compile_pred(
+            And(Range("a", 0, 3), Range("b", 4, 5)), SIGMAS.__getitem__
+        )
+
+    def _recording_fetch(self, fetched):
+        def fetch(col, lo, hi):
+            fetched.append(col)
+            if col == "b":
+                return RangeResult([], 10)
+            return RangeResult([0, 1], 10)
+
+        return fetch
+
+    def test_canonical_order_without_costs(self):
+        fetched = []
+        evaluate_fetch(self._plan(), self._recording_fetch(fetched), 10)
+        assert fetched == ["a", "b"]
+
+    def test_cheap_empty_leg_first_skips_expensive(self):
+        fetched = []
+        result = evaluate_fetch(
+            self._plan(),
+            self._recording_fetch(fetched),
+            10,
+            leaf_costs=[100.0, 1.0],
+        )
+        assert fetched == ["b"]  # cheap leg first, empty, "a" skipped
+        assert result.positions() == []
+
+    def test_equal_costs_keep_canonical_order(self):
+        children = (("leaf", 1), ("leaf", 0))
+        assert order_children(children, [5.0, 5.0]) == children
+        assert order_children(children, None) == children
+        assert order_children(children, [5.0, 1.0]) == (
+            ("leaf", 1),
+            ("leaf", 0),
+        )
+
+
+# ----------------------------------------------------------------------
+# Cardinality-space execution
+# ----------------------------------------------------------------------
+
+
+class TestCountingExecution:
+    def _data(self):
+        rng = random.Random(23)
+        cols = {
+            "a": [rng.randrange(10) for _ in range(60)],
+            "b": [rng.randrange(6) for _ in range(60)],
+        }
+
+        def fetch(col, lo, hi):
+            pos = [i for i, c in enumerate(cols[col]) if lo <= c <= hi]
+            return RangeResult(pos, 60)
+
+        return cols, fetch
+
+    def test_count_and_exists_match_materialized_random(self):
+        cols, fetch = self._data()
+        columns = {name: sorted(set(v)) for name, v in cols.items()}
+        rng = random.Random(7)
+        for _ in range(40):
+            pred = random_pred(rng, columns, depth=3)
+            plan = compile_pred(pred, SIGMAS.__getitem__)
+            want = evaluate_fetch(plan, fetch, 60).positions()
+            assert evaluate_count(plan, fetch, 60) == len(want)
+            assert evaluate_exists(plan, fetch, 60) == bool(want)
+
+    def test_count_by_matches_per_group_counts(self):
+        cols, fetch = self._data()
+        pred = Or(Range("a", 0, 4), Not(Range("b", 1, 4)))
+        plan = compile_pred(pred, SIGMAS.__getitem__)
+        want_rows = evaluate_fetch(plan, fetch, 60).positions()
+        group_calls = []
+
+        def group_fetch(code):
+            group_calls.append(code)
+            return fetch("b", code, code)
+
+        got = evaluate_count_by(
+            plan, fetch, 60, sorted(set(cols["b"])), group_fetch
+        )
+        from collections import Counter
+
+        want = Counter(cols["b"][rid] for rid in want_rows)
+        assert got == dict(want)
+        # The predicate folded once; one group fetch per group code.
+        assert group_calls == sorted(set(cols["b"]))
+
+    def test_count_by_unsatisfiable_pred_skips_group_entirely(self):
+        _, fetch = self._data()
+        plan = compile_pred(In("a", []), SIGMAS.__getitem__)
+
+        def group_fetch(code):
+            raise AssertionError("group column should never be touched")
+
+        assert evaluate_count_by(plan, fetch, 60, [0, 1], group_fetch) == {}
+
+    def test_wide_positive_disjunction_saturates_early(self):
+        # Rows 0-4 match the first leg, rows 5-9 the second; the third
+        # leg exists in the plan but the counting fold stops the
+        # moment the union's *length* reaches the universe — a
+        # saturation the select path cannot see (it only recognizes
+        # complemented-empty as full) and therefore pays for.
+        cols = {
+            "a": [0] * 5 + [5] * 5,
+            "b": [1] * 5 + [0] * 5,
+            "c": [0] * 10,
+        }
+        sigmas = {"a": 10, "b": 6, "c": 4}
+
+        fetched = []
+
+        def fetch(col, lo, hi):
+            fetched.append(col)
+            pos = [i for i, c in enumerate(cols[col]) if lo <= c <= hi]
+            return RangeResult(pos, 10)
+
+        pred = Or(Range("a", 0, 0), Range("b", 0, 0), Eq("c", 0))
+        plan = compile_pred(pred, sigmas.__getitem__)
+        assert len(plan.leaves) == 3
+        assert evaluate_count(plan, fetch, 10) == 10
+        assert fetched == ["a", "b"]  # "c" never fetched
+        fetched.clear()
+        assert evaluate_fetch(plan, fetch, 10).cardinality == 10
+        assert fetched == ["a", "b", "c"]  # the select path reads more
+
+    def test_exists_stops_at_first_nonempty_disjunct(self):
+        _, fetch = self._data()
+        fetched = []
+
+        def recording(col, lo, hi):
+            fetched.append((col, lo, hi))
+            return fetch(col, lo, hi)
+
+        pred = Or(Range("a", 0, 8), Range("b", 0, 4))
+        plan = compile_pred(pred, SIGMAS.__getitem__)
+        assert evaluate_exists(plan, recording, 60)
+        assert len(fetched) == 1
+
+    def test_exists_orders_disjuncts_by_cost(self):
+        _, fetch = self._data()
+        fetched = []
+
+        def recording(col, lo, hi):
+            fetched.append(col)
+            return fetch(col, lo, hi)
+
+        pred = Or(Range("a", 0, 8), Range("b", 0, 4))
+        plan = compile_pred(pred, SIGMAS.__getitem__)
+        # Leaf 0 = ("a", 0, 8), leaf 1 = ("b", 0, 4); make b cheaper.
+        assert evaluate_exists(plan, recording, 60, leaf_costs=[9.0, 1.0])
+        assert fetched == ["b"]
+
+    def test_not_is_counted_as_a_flip(self):
+        _, fetch = self._data()
+        plan = compile_pred(Not(Range("a", 3, 3)), SIGMAS.__getitem__)
+        inner = compile_pred(Range("a", 3, 3), SIGMAS.__getitem__)
+        assert (
+            evaluate_count(plan, fetch, 60)
+            == 60 - evaluate_count(inner, fetch, 60)
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard specialization (plan pushdown)
+# ----------------------------------------------------------------------
+
+
+class TestSpecialize:
+    def test_identity_translation_keeps_plan(self):
+        plan = compile_pred(Not(Range("a", 2, 5)), SIGMAS.__getitem__)
+        leaves, root = specialize(plan, lambda col, lo, hi: (lo, hi))
+        assert leaves == (("a", 2, 5),)
+        assert root == ("not", ("leaf", 0))
+
+    def test_fully_pruned_not_becomes_all(self):
+        plan = compile_pred(Not(Range("a", 2, 5)), SIGMAS.__getitem__)
+        leaves, root = specialize(plan, lambda col, lo, hi: None)
+        assert leaves == ()
+        assert root == ("all",)
+
+    def test_fully_pruned_positive_becomes_empty(self):
+        plan = compile_pred(
+            Or(Range("a", 0, 3), Range("b", 0, 1)), SIGMAS.__getitem__
+        )
+        leaves, root = specialize(plan, lambda col, lo, hi: None)
+        assert leaves == ()
+        assert root == ("empty",)
+
+    def test_absorption_and_renumbering(self):
+        pred = And(Range("a", 0, 3), Or(Range("b", 0, 1), Range("b", 4, 5)))
+        plan = compile_pred(pred, SIGMAS.__getitem__)
+
+        def tr(col, lo, hi):
+            return None if (col, lo, hi) == ("b", 0, 1) else (lo, hi)
+
+        leaves, root = specialize(plan, tr)
+        # The Or collapses onto its surviving leg; the leaf table
+        # compacts and the tree renumbers into it.
+        assert leaves == (("a", 0, 3), ("b", 4, 5))
+        assert root == ("and", (("leaf", 0), ("leaf", 1)))
+
+    def test_translated_ranges_rewrite_leaf_bounds(self):
+        plan = compile_pred(Range("a", 4, 9), SIGMAS.__getitem__)
+        leaves, root = specialize(plan, lambda col, lo, hi: (1, 3))
+        assert leaves == (("a", 1, 3),)
+        assert root == ("leaf", 0)
+
+
+# ----------------------------------------------------------------------
+# Stream utilities
+# ----------------------------------------------------------------------
+
+
+class TestStreamUtilities:
+    def test_count_iter_counts_and_closes(self):
+        closed = []
+
+        def gen():
+            try:
+                yield from (1, 2, 3)
+            finally:
+                closed.append(True)
+
+        assert count_iter(gen()) == 3
+        assert closed == [True]
+        assert count_iter(iter(())) == 0
+
+    def test_first_pulls_at_most_one_and_closes(self):
+        pulled = []
+        closed = []
+
+        def gen():
+            try:
+                for v in (7, 8, 9):
+                    pulled.append(v)
+                    yield v
+            finally:
+                closed.append(True)
+
+        assert first(gen()) == 7
+        assert pulled == [7]
+        assert closed == [True]
+        assert first(iter(())) is None
