@@ -14,18 +14,22 @@ test:
 # shard-lifecycle/streaming-gather claims (E13), the process-parallel
 # scatter/accounting/prefetch claims (E14), the predicate-algebra
 # planning claims (E15: IN runs, cached-leg reuse, complement-aware
-# Not), and the aggregate-pushdown claims (E16: count/exists from the
-# bitmap algebra, counts-not-RIDs over worker pipes, cost-ordered And)
-# end-to-end (asserts inside the benchmarks) in well under 120
-# seconds.
+# Not), the aggregate-pushdown claims (E16: count/exists from the
+# bitmap algebra, counts-not-RIDs over worker pipes, cost-ordered
+# And), and the observability claims (E17: disabled tracing is free,
+# the slow-query log captures offenders, worker spans stitch into one
+# trace whose bits match scatter_io) end-to-end (asserts inside the
+# benchmarks) in well under 120 seconds.  --durations=0 prints the
+# wall time of every benchmark.
 bench-smoke:
 	timeout 120 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
 		benchmarks/bench_e12_cluster.py \
 		benchmarks/bench_e13_lifecycle.py \
 		benchmarks/bench_e14_parallel.py \
 		benchmarks/bench_e15_predicates.py \
-		benchmarks/bench_e16_aggregates.py -q \
-		-p no:cacheprovider --benchmark-disable
+		benchmarks/bench_e16_aggregates.py \
+		benchmarks/bench_e17_observability.py -q \
+		-p no:cacheprovider --benchmark-disable --durations=0
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).
 bench:

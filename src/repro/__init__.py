@@ -59,6 +59,12 @@ from .errors import (
 )
 from .iomodel import Disk, IOStats
 from .model.alphabet import Alphabet
+from .obs import (
+    ManualClock,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+)
 from .queries import Table, approximate_factory, default_factory
 from .query import (
     And,
@@ -99,6 +105,8 @@ __all__ = [
     "InMemorySharedCache",
     "IndexSpec",
     "InvalidParameterError",
+    "ManualClock",
+    "MetricsRegistry",
     "PaghRaoIndex",
     "QueryEngine",
     "QueryError",
@@ -108,10 +116,12 @@ __all__ = [
     "SerialExecutor",
     "ShardedTable",
     "SharedResultCache",
+    "SlowQueryLog",
     "SpaceBreakdown",
     "StorageError",
     "Table",
     "ThreadedExecutor",
+    "Tracer",
     "UniformTreeIndex",
     "UpdateError",
     "WorkloadStats",

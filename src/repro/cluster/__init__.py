@@ -27,11 +27,13 @@ from .cache import (
 )
 from .engine import (
     ClusterEngine,
+    ClusterStats,
     ColumnMeta,
     GatherStats,
     Migration,
     ShardMerge,
     ShardSplit,
+    ShardStats,
 )
 from .executor import ProcessExecutor, SerialExecutor, ThreadedExecutor
 from .sharding import (
@@ -46,6 +48,7 @@ from .table import ShardedColumn, ShardedTable
 __all__ = [
     "CacheStore",
     "ClusterEngine",
+    "ClusterStats",
     "ColumnMeta",
     "DictStore",
     "GatherStats",
@@ -57,6 +60,7 @@ __all__ = [
     "ShardMerge",
     "ShardPlan",
     "ShardSplit",
+    "ShardStats",
     "ShardedColumn",
     "ShardedTable",
     "SharedResultCache",

@@ -271,10 +271,18 @@ class InMemorySharedCache(SharedResultCache):
     """
 
     def __init__(
-        self, capacity: int = 4096, store: CacheStore | None = None
+        self,
+        capacity: int = 4096,
+        store: CacheStore | None = None,
+        metrics=None,
     ) -> None:
         self._store = store if store is not None else DictStore(capacity)
         self._lock = threading.Lock()
+        #: Optional :class:`repro.obs.MetricsRegistry`: every ``get``
+        #: reports into ``cache.shared.hits`` / ``cache.shared.misses``
+        #: when attached.  ``None`` (the default) costs one attribute
+        #: check.
+        self.metrics = metrics
 
     @property
     def store(self) -> CacheStore:
@@ -312,11 +320,17 @@ class InMemorySharedCache(SharedResultCache):
     def get(self, key: SharedKey) -> list[int] | None:
         with self._lock:
             positions = self._store.get(key)
-            # Hand out a copy: a shared cache cannot know what its
-            # callers do with the list, and an aliased mutation would
-            # corrupt every later hit (a real external store serializes
-            # and so copies implicitly).
-            return list(positions) if positions is not None else None
+        if self.metrics is not None:
+            self.metrics.inc(
+                "cache.shared.hits"
+                if positions is not None
+                else "cache.shared.misses"
+            )
+        # Hand out a copy: a shared cache cannot know what its
+        # callers do with the list, and an aliased mutation would
+        # corrupt every later hit (a real external store serializes
+        # and so copies implicitly).
+        return list(positions) if positions is not None else None
 
     def put(self, key: SharedKey, positions: list[int]) -> None:
         with self._lock:

@@ -70,8 +70,10 @@ from __future__ import annotations
 
 import bisect
 import itertools
+import time
 import uuid
 from collections import deque
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
@@ -85,6 +87,8 @@ from ..engine.engine import (
 from ..engine.registry import DYNAMISM_LEVELS, IndexSpec, get_spec
 from ..errors import InvalidParameterError, QueryError, UpdateError
 from ..iomodel.stats import IOStats, Snapshot
+from ..obs import CacheTierStats
+from ..obs.tracer import Span
 from ..query import (
     TRUE,
     LeafPlan,
@@ -238,6 +242,95 @@ class GatherStats:
         self.live_rids = 0
         self.peak_rids = 0
 
+    def to_json(self) -> dict:
+        """A JSON-serializable dict; inverse of :meth:`from_json`."""
+        return {"live_rids": self.live_rids, "peak_rids": self.peak_rids}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GatherStats":
+        return cls(
+            live_rids=data.get("live_rids", 0),
+            peak_rids=data.get("peak_rids", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's row in a :class:`ClusterStats` snapshot.
+
+    ``uid`` is the shard's stable identity (the shared-cache key
+    slot); ``rows`` its live row count (max across columns, the same
+    number the sizing policy goes by); ``heat`` its update traffic
+    since the last restat; ``backends`` the serving backend per
+    column, as ``(column, backend)`` pairs.
+    """
+
+    shard_id: int
+    uid: int
+    rows: int
+    heat: int
+    backends: tuple[tuple[str, str], ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_id": self.shard_id,
+            "uid": self.uid,
+            "rows": self.rows,
+            "heat": self.heat,
+            "backends": dict(self.backends),
+        }
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """One typed snapshot of the whole cluster, JSON-serializable.
+
+    Returned by :meth:`ClusterEngine.stats`; embeds the existing
+    accounting objects by value — the query path's ``scatter_io``
+    :class:`~repro.iomodel.stats.Snapshot`, the streaming gather's
+    :class:`GatherStats`, the resident executor's ``op_counts`` (an
+    empty dict under local executors) — plus per-shard rows, heat and
+    backend verdicts, the shared result cache's tier counters, the
+    lifecycle history lengths, and, when attached, the
+    :class:`~repro.obs.MetricsRegistry` dump and slow-query-log depth.
+    ``to_dict()`` round-trips through ``json.dumps``.
+    """
+
+    num_shards: int
+    columns: tuple[str, ...]
+    scatter_io: Snapshot
+    gather_rids: int
+    gather: GatherStats
+    shards: tuple[ShardStats, ...]
+    op_counts: dict
+    shared_cache: "CacheTierStats | None"
+    migrations: int
+    splits: int
+    merges: int
+    metrics: dict | None = None
+    slow_queries: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "columns": list(self.columns),
+            "scatter_io": self.scatter_io.to_json(),
+            "gather_rids": self.gather_rids,
+            "gather": self.gather.to_json(),
+            "shards": [shard.to_dict() for shard in self.shards],
+            "op_counts": dict(self.op_counts),
+            "shared_cache": (
+                self.shared_cache.to_dict()
+                if self.shared_cache is not None
+                else None
+            ),
+            "migrations": self.migrations,
+            "splits": self.splits,
+            "merges": self.merges,
+            "metrics": self.metrics,
+            "slow_queries": self.slow_queries,
+        }
+
 
 class ClusterEngine:
     """Shards columns by RID range and serves them scatter-gather."""
@@ -257,6 +350,9 @@ class ClusterEngine:
         prefetch_depth: int | None = None,
         heat_tolerance: float = 0.25,
         io_latency_s: float = 0.0,
+        tracer=None,
+        metrics=None,
+        slow_log=None,
     ) -> None:
         if advisor is not None and cost_model is not None:
             raise InvalidParameterError(
@@ -335,6 +431,23 @@ class ClusterEngine:
         #: aggregate pushdown path never increments it — the proof
         #: that counts, not RID lists, crossed the pipes.
         self.gather_rids = 0
+        #: Observability hooks (:mod:`repro.obs`): all three default
+        #: to ``None`` and cost one attribute check on the query path
+        #: when absent.  The tracer stitches coordinator and worker
+        #: spans into per-query traces; the metrics registry receives
+        #: counters/histograms from the cluster, its shared cache, its
+        #: executor, and locally built shard disks; the slow-query log
+        #: captures traces and plan reports past its threshold.
+        self.tracer = tracer
+        self.metrics = metrics
+        self.slow_log = slow_log
+        self._active_trace = None
+        self._op_depth = 0
+        if metrics is not None:
+            if getattr(self.shared_cache, "metrics", False) is None:
+                self.shared_cache.metrics = metrics
+            if getattr(self.executor, "metrics", False) is None:
+                self.executor.metrics = metrics
 
     def _new_uid(self) -> int:
         return next(_UID_SOURCE)
@@ -616,8 +729,57 @@ class ClusterEngine:
         self.shared_cache.put(key, positions)
         return positions, io
 
+    def _fetch_shard_measured_traced(
+        self,
+        name: str,
+        meta: ColumnMeta,
+        shard_id: int,
+        lo: int,
+        hi: int,
+        trace_id: str,
+    ) -> tuple[list[int], Snapshot, dict]:
+        """Traced twin of :meth:`_fetch_shard_measured`: adds a span.
+
+        The span is built inside the task body (thread-safe — it
+        touches no shared trace state) and grafted by the coordinator
+        at gather time, exactly like a resident worker's shipped span.
+        Its ``bits_read`` tag is taken from the *same* Snapshot the
+        reply carries, so summed span bits always equal the
+        ``scatter_io`` accounting exactly.
+        """
+        clock = self._clock()
+        uid = self.shard_uids[shard_id]
+        column = self.shards[shard_id].column(name)
+        key = shared_key(name, meta.epoch, uid, column.version, lo, hi)
+        t0 = clock()
+        hit = self.shared_cache.get(key)
+        if hit is not None:
+            span = Span("cache_lookup", t0=t0, t1=clock())
+            span.tags.update(
+                trace_id=trace_id, tier="shared", hit=True,
+                column=name, shard_uid=uid, bits_read=0,
+            )
+            return hit, Snapshot(), span.to_dict()
+        result, io = self.shards[shard_id].query_measured(name, lo, hi)
+        positions = result.positions()
+        self.shared_cache.put(key, positions)
+        span = Span("leaf_fetch", t0=t0, t1=clock())
+        span.tags.update(
+            trace_id=trace_id, shard_uid=uid, column=name,
+            char_lo=lo, char_hi=hi, backend=column.spec.name,
+            cache="miss", bits_read=io.bits_read, reads=io.reads,
+            rids=len(positions),
+        )
+        return positions, io, span.to_dict()
+
     def _submit_fetch(
-        self, name: str, meta: ColumnMeta, shard_id: int, lo: int, hi: int
+        self,
+        name: str,
+        meta: ColumnMeta,
+        shard_id: int,
+        lo: int,
+        hi: int,
+        trace=None,
     ):
         """Launch one shard fetch; resolves to ``(positions, io)``.
 
@@ -626,27 +788,54 @@ class ClusterEngine:
         pipelined query API, with the shared cache consulted here (the
         coordinator side — workers hold engines, not the cache) and
         populated when the reply is consumed.
+
+        With ``trace`` (an open :class:`repro.obs.Trace`) every future
+        instead resolves to ``(positions, io, span dict | None)``:
+        local fetches build the span inside the task body, resident
+        workers ship theirs back on the widened pipelined reply, and a
+        coordinator-side shared-cache hit records a synchronous
+        ``cache_lookup`` event (span slot ``None``).
         """
         if not self._resident:
+            if trace is None:
+                return self.executor.submit(
+                    self._fetch_shard_measured, name, meta, shard_id, lo, hi
+                )
             return self.executor.submit(
-                self._fetch_shard_measured, name, meta, shard_id, lo, hi
+                self._fetch_shard_measured_traced,
+                name, meta, shard_id, lo, hi, trace.trace_id,
             )
+        uid = self.shard_uids[shard_id]
         column = self.shards[shard_id].column(name)
-        key = shared_key(
-            name, meta.epoch, self.shard_uids[shard_id], column.version,
-            lo, hi,
-        )
+        key = shared_key(name, meta.epoch, uid, column.version, lo, hi)
         hit = self.shared_cache.get(key)
         if hit is not None:
-            return CompletedFuture((hit, Snapshot()))
+            if trace is None:
+                return CompletedFuture((hit, Snapshot()))
+            trace.event(
+                "cache_lookup", tier="shared", hit=True,
+                column=name, shard_uid=uid, bits_read=0,
+            )
+            return CompletedFuture((hit, Snapshot(), None))
+        self._note_flush(trace, uid)
         future = self.executor.submit_query(
-            self.shard_uids[shard_id], name, lo, hi
+            uid, name, lo, hi,
+            trace=None if trace is None else trace.trace_id,
         )
 
-        def absorb(reply: tuple[list[int], Snapshot]):
-            positions, io = reply
-            self.shared_cache.put(key, positions)
-            return positions, io
+        if trace is None:
+
+            def absorb(reply: tuple[list[int], Snapshot]):
+                positions, io = reply
+                self.shared_cache.put(key, positions)
+                return positions, io
+
+        else:
+
+            def absorb(reply):
+                positions, io, span = reply
+                self.shared_cache.put(key, positions)
+                return positions, io, span
 
         return MappedFuture(future, absorb)
 
@@ -668,6 +857,80 @@ class ClusterEngine:
                 pass
 
     # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _observed(self, op: str, report_fn=None):
+        """Frame one top-level cluster operation for tracing/metrics.
+
+        Mirrors ``QueryEngine._observed``: only the *outermost* entry
+        (depth 0) begins a trace, observes latency metrics, and feeds
+        the slow-query log; nested entries (``topk`` → ``count_by``)
+        yield the already-active trace so their spans stitch into one
+        tree and nothing is double-counted.  ``report_fn`` builds the
+        :class:`~repro.query.PlanReport` lazily — only queries that
+        actually cross the slow threshold pay for it.
+        """
+        if self._op_depth:
+            self._op_depth += 1
+            try:
+                yield self._active_trace
+            finally:
+                self._op_depth -= 1
+            return
+        tracer = self.tracer
+        trace = (
+            tracer.begin(op)
+            if tracer is not None and tracer.enabled
+            else None
+        )
+        clock = tracer.clock if tracer is not None else time.monotonic
+        self._active_trace = trace
+        self._op_depth = 1
+        t0 = clock()
+        try:
+            yield trace
+        finally:
+            elapsed = clock() - t0
+            self._op_depth = 0
+            self._active_trace = None
+            if trace is not None:
+                tracer.finish(trace)
+            metrics = self.metrics
+            if metrics is not None:
+                metrics.inc("query.count")
+                metrics.observe("query.latency_s", elapsed)
+            slow_log = self.slow_log
+            if slow_log is not None:
+                slow_log.observe(
+                    op, elapsed, trace=trace, report_fn=report_fn
+                )
+
+    def _clock(self):
+        """The span clock: the tracer's when attached, monotonic else."""
+        tracer = self.tracer
+        return tracer.clock if tracer is not None else time.monotonic
+
+    def _note_flush(self, trace, uid: int) -> None:
+        """Attribute an imminent delta-batch flush to its flushing query.
+
+        Buffered coalescable deltas are shipped lazily, riding ahead
+        of the next query on that shard's pipe — so the *query* is the
+        call site that pays the flush.  A traced resident submit calls
+        this first, recording a zero-duration ``delta_flush`` event
+        with the batch size about to go out.
+        """
+        if trace is None:
+            return
+        counter = getattr(self.executor, "pending_delta_count", None)
+        if counter is None:
+            return
+        n = counter(uid)
+        if n:
+            trace.event("delta_flush", shard_uid=uid, deltas=n)
+
+    # ------------------------------------------------------------------
     # Predicate serving (the shared repro.query path)
     # ------------------------------------------------------------------
 
@@ -683,7 +946,7 @@ class ClusterEngine:
         return plan, resolve_universe(plan, self.total_rows)
 
     def _fetch_plan_leaves(
-        self, plan: Plan, universe: int
+        self, plan: Plan, universe: int, trace=None
     ) -> list[RangeResult]:
         """Scatter-fetch every unique leaf of a compiled plan.
 
@@ -700,6 +963,11 @@ class ClusterEngine:
         leaf.  The fetch order is canonical (leaf-table order within
         each shard), so a fixed workload reads identical bits under
         every executor.
+
+        With ``trace`` every fetch carries the trace id: local task
+        bodies build their spans in-task, resident workers ship one
+        span per batched interval on the widened reply, and all of
+        them graft into the open ``scatter`` span at gather time.
         """
         per_leaf: list[list[list[int] | None]] = [
             [None] * self.num_shards for _ in plan.leaves
@@ -712,85 +980,138 @@ class ClusterEngine:
         # with key None for local single fetches (their task body does
         # its own cache bookkeeping).
         pending: list[tuple[list[tuple], object]] = []
-        for shard_id in range(self.num_shards):
-            batches: dict[str, list[tuple]] = {}
-            for leaf_idx, (col, lo, hi) in enumerate(plan.leaves):
-                meta = metas[col]
-                local = self._translate_range(meta, shard_id, lo, hi)
-                if local is None:
-                    per_leaf[leaf_idx][shard_id] = []
-                    continue
-                if not self._resident:
-                    pending.append(
-                        (
-                            [(leaf_idx, shard_id, None)],
-                            self.executor.submit(
+        bits = 0
+        scatter_cm = (
+            trace.span("scatter", leaves=len(plan.leaves))
+            if trace is not None
+            else nullcontext()
+        )
+        with scatter_cm:
+            for shard_id in range(self.num_shards):
+                batches: dict[str, list[tuple]] = {}
+                for leaf_idx, (col, lo, hi) in enumerate(plan.leaves):
+                    meta = metas[col]
+                    local = self._translate_range(meta, shard_id, lo, hi)
+                    if local is None:
+                        per_leaf[leaf_idx][shard_id] = []
+                        continue
+                    if not self._resident:
+                        task = (
+                            (
                                 self._fetch_shard_measured,
                                 col, meta, shard_id, *local,
-                            ),
+                            )
+                            if trace is None
+                            else (
+                                self._fetch_shard_measured_traced,
+                                col, meta, shard_id, *local,
+                                trace.trace_id,
+                            )
+                        )
+                        pending.append(
+                            (
+                                [(leaf_idx, shard_id, None)],
+                                self.executor.submit(*task),
+                            )
+                        )
+                        continue
+                    key = shared_key(
+                        col, meta.epoch, self.shard_uids[shard_id],
+                        self.shards[shard_id].column(col).version, *local,
+                    )
+                    hit = self.shared_cache.get(key)
+                    if hit is not None:
+                        if trace is not None:
+                            trace.event(
+                                "cache_lookup", tier="shared", hit=True,
+                                column=col,
+                                shard_uid=self.shard_uids[shard_id],
+                                bits_read=0,
+                            )
+                        per_leaf[leaf_idx][shard_id] = hit
+                    else:
+                        batches.setdefault(col, []).append(
+                            (leaf_idx, key, local)
+                        )
+                for col, entries in batches.items():
+                    uid = self.shard_uids[shard_id]
+                    self._note_flush(trace, uid)
+                    future = self.executor.submit_leaves(
+                        uid,
+                        col,
+                        [local for _, _, local in entries],
+                        trace=None if trace is None else trace.trace_id,
+                    )
+                    pending.append(
+                        (
+                            [
+                                (leaf_idx, shard_id, key)
+                                for leaf_idx, key, _ in entries
+                            ],
+                            future,
                         )
                     )
-                    continue
-                key = shared_key(
-                    col, meta.epoch, self.shard_uids[shard_id],
-                    self.shards[shard_id].column(col).version, *local,
-                )
-                hit = self.shared_cache.get(key)
-                if hit is not None:
-                    per_leaf[leaf_idx][shard_id] = hit
-                else:
-                    batches.setdefault(col, []).append(
-                        (leaf_idx, key, local)
-                    )
-            for col, entries in batches.items():
-                future = self.executor.submit_leaves(
-                    self.shard_uids[shard_id],
-                    col,
-                    [local for _, _, local in entries],
-                )
-                pending.append(
-                    (
-                        [
-                            (leaf_idx, shard_id, key)
-                            for leaf_idx, key, _ in entries
-                        ],
-                        future,
-                    )
-                )
-        for i, (entries, future) in enumerate(pending):
-            try:
-                reply = future.result()
-            except BaseException:
-                self._drain(f for _, f in pending[i + 1 :])
-                raise
-            if entries[0][2] is None:  # local dialect: one (pos, io)
-                positions, io = reply
-                self.scatter_io.add(io)
-                self.gather_rids += len(positions)
-                leaf_idx, shard_id, _ = entries[0]
-                per_leaf[leaf_idx][shard_id] = positions
-            else:  # resident dialect: one reply per batched interval
-                for (leaf_idx, shard_id, key), (positions, io) in zip(
-                    entries, reply
-                ):
+            for i, (entries, future) in enumerate(pending):
+                try:
+                    reply = future.result()
+                except BaseException:
+                    self._drain(f for _, f in pending[i + 1 :])
+                    raise
+                if entries[0][2] is None:  # local dialect: one (pos, io)
+                    if trace is None:
+                        positions, io = reply
+                    else:
+                        positions, io, span = reply
+                        if span is not None:
+                            trace.graft([span])
                     self.scatter_io.add(io)
+                    bits += io.bits_read
                     self.gather_rids += len(positions)
-                    self.shared_cache.put(key, positions)
+                    leaf_idx, shard_id, _ = entries[0]
                     per_leaf[leaf_idx][shard_id] = positions
-        results: list[RangeResult] = []
-        for leaf_idx, (col, _, _) in enumerate(plan.leaves):
-            off = offsets[col]
-            merged: list[int] = []
-            for shard_id in range(self.num_shards):
-                positions = per_leaf[leaf_idx][shard_id]
-                merged.extend(off[shard_id] + p for p in positions)
-            results.append(RangeResult(merged, universe))
+                else:  # resident dialect: one reply per batched interval
+                    if trace is None:
+                        pairs = reply
+                    else:
+                        pairs, spans = reply
+                        trace.graft(spans)
+                    for (leaf_idx, shard_id, key), (positions, io) in zip(
+                        entries, pairs
+                    ):
+                        self.scatter_io.add(io)
+                        bits += io.bits_read
+                        self.gather_rids += len(positions)
+                        self.shared_cache.put(key, positions)
+                        per_leaf[leaf_idx][shard_id] = positions
+        if self.metrics is not None and bits:
+            self.metrics.inc("query.bits_read", bits)
+        merge_cm = (
+            trace.span("gather_merge") if trace is not None else nullcontext()
+        )
+        with merge_cm:
+            results: list[RangeResult] = []
+            for leaf_idx, (col, _, _) in enumerate(plan.leaves):
+                off = offsets[col]
+                merged: list[int] = []
+                for shard_id in range(self.num_shards):
+                    positions = per_leaf[leaf_idx][shard_id]
+                    merged.extend(off[shard_id] + p for p in positions)
+                results.append(RangeResult(merged, universe))
         return results
 
     def _query_pred(self, pred: Pred) -> RangeResult:
-        plan, universe = self._compile_pred(pred)
-        leaf_results = self._fetch_plan_leaves(plan, universe)
-        return evaluate(plan, leaf_results, universe)
+        with self._observed(
+            "query", report_fn=lambda: self._plan_report(pred)
+        ) as trace:
+            if trace is not None:
+                with trace.span("plan", predicate=repr(pred)):
+                    plan, universe = self._compile_pred(pred)
+            else:
+                plan, universe = self._compile_pred(pred)
+            leaf_results = self._fetch_plan_leaves(
+                plan, universe, trace=trace
+            )
+            return evaluate(plan, leaf_results, universe)
 
     # ------------------------------------------------------------------
     # Aggregates (plan pushdown: counts cross the pipes, never RIDs)
@@ -807,6 +1128,28 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         engine, so value and measured I/O are executor-independent.
         """
         return evaluate_shard_fold(self.shards[shard_id], payload)
+
+    def _fold_shard_local_traced(
+        self, shard_id: int, payload: tuple, trace_id: str
+    ) -> tuple:
+        """Traced twin of :meth:`_fold_shard_local`: adds a span dict.
+
+        Mirrors the resident worker's ``worker_fold`` span under the
+        name ``shard_fold`` — the same op running in the coordinator's
+        process; span bits come from the reply's own Snapshot.
+        """
+        clock = self._clock()
+        t0 = clock()
+        value, io = evaluate_shard_fold(self.shards[shard_id], payload)
+        span = Span("shard_fold", t0=t0, t1=clock())
+        span.tags.update(
+            trace_id=trace_id,
+            shard_uid=self.shard_uids[shard_id],
+            mode=payload[0],
+            bits_read=io.bits_read,
+            reads=io.reads,
+        )
+        return value, io, span.to_dict()
 
     def _specialize_shard(
         self, plan: Plan, metas: dict, shard_id: int
@@ -826,7 +1169,11 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         return metas
 
     def _scatter_fold(
-        self, mode: str, plan: Plan, group: "str | None" = None
+        self,
+        mode: str,
+        plan: Plan,
+        group: "str | None" = None,
+        trace=None,
     ) -> list:
         """Scatter one aggregate plan; gather per-shard fold values.
 
@@ -850,33 +1197,57 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         empty_value = {"count": 0, "exists": False, "count_by": {}}[mode]
         values: list = [None] * self.num_shards
         pending: list[tuple[int, object]] = []
-        for shard_id in range(self.num_shards):
-            leaves, root = self._specialize_shard(plan, metas, shard_id)
-            if root[0] == EMPTY:
-                values[shard_id] = empty_value
-                continue
-            if root[0] == ALL and mode in ("count", "exists"):
-                rows = self.shards[shard_id].column(anchor).n
-                values[shard_id] = rows if mode == "count" else rows > 0
-                continue
-            payload = (mode, columns, leaves, root, group)
-            if self._resident:
-                future = self.executor.submit_fold(
-                    self.shard_uids[shard_id], payload
-                )
-            else:
-                future = self.executor.submit(
-                    self._fold_shard_local, shard_id, payload
-                )
-            pending.append((shard_id, future))
-        for i, (shard_id, future) in enumerate(pending):
-            try:
-                value, io = future.result()
-            except BaseException:
-                self._drain(f for _, f in pending[i + 1 :])
-                raise
-            self.scatter_io.add(io)
-            values[shard_id] = value
+        bits = 0
+        scatter_cm = (
+            trace.span("scatter", mode=mode)
+            if trace is not None
+            else nullcontext()
+        )
+        with scatter_cm:
+            for shard_id in range(self.num_shards):
+                leaves, root = self._specialize_shard(plan, metas, shard_id)
+                if root[0] == EMPTY:
+                    values[shard_id] = empty_value
+                    continue
+                if root[0] == ALL and mode in ("count", "exists"):
+                    rows = self.shards[shard_id].column(anchor).n
+                    values[shard_id] = rows if mode == "count" else rows > 0
+                    continue
+                payload = (mode, columns, leaves, root, group)
+                if self._resident:
+                    uid = self.shard_uids[shard_id]
+                    self._note_flush(trace, uid)
+                    future = self.executor.submit_fold(
+                        uid, payload,
+                        trace=None if trace is None else trace.trace_id,
+                    )
+                elif trace is None:
+                    future = self.executor.submit(
+                        self._fold_shard_local, shard_id, payload
+                    )
+                else:
+                    future = self.executor.submit(
+                        self._fold_shard_local_traced,
+                        shard_id, payload, trace.trace_id,
+                    )
+                pending.append((shard_id, future))
+            for i, (shard_id, future) in enumerate(pending):
+                try:
+                    reply = future.result()
+                except BaseException:
+                    self._drain(f for _, f in pending[i + 1 :])
+                    raise
+                if trace is None:
+                    value, io = reply
+                else:
+                    value, io, span = reply
+                    if span is not None:
+                        trace.graft([span])
+                self.scatter_io.add(io)
+                bits += io.bits_read
+                values[shard_id] = value
+        if self.metrics is not None and bits:
+            self.metrics.inc("query.bits_read", bits)
         return values
 
     def count(self, pred: "Pred | Mapping[str, tuple[int, int]]") -> int:
@@ -891,8 +1262,15 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         if not isinstance(pred, Pred):
             warn_mapping_adapter("ClusterEngine.count")
             pred = mapping_to_pred(pred)
-        plan, _ = self._compile_pred(pred)
-        return sum(self._scatter_fold("count", plan))
+        with self._observed(
+            "count", report_fn=lambda: self._plan_report(pred)
+        ) as trace:
+            if trace is not None:
+                with trace.span("plan", predicate=repr(pred)):
+                    plan, _ = self._compile_pred(pred)
+            else:
+                plan, _ = self._compile_pred(pred)
+            return sum(self._scatter_fold("count", plan, trace=trace))
 
     def exists(self, pred: "Pred | Mapping[str, tuple[int, int]]") -> bool:
         """Does any row match?  Walks shards and stops at first evidence.
@@ -906,32 +1284,63 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         if not isinstance(pred, Pred):
             warn_mapping_adapter("ClusterEngine.exists")
             pred = mapping_to_pred(pred)
-        plan, _ = self._compile_pred(pred)
-        metas = self._fold_metas(plan, None)
-        columns = tuple(sorted(metas))
-        anchor = columns[0]
-        for shard_id in range(self.num_shards):
-            leaves, root = self._specialize_shard(plan, metas, shard_id)
-            if root[0] == EMPTY:
-                continue
-            if root[0] == ALL:
-                if self.shards[shard_id].column(anchor).n > 0:
-                    return True
-                continue
-            payload = ("exists", columns, leaves, root, None)
-            if self._resident:
-                future = self.executor.submit_fold(
-                    self.shard_uids[shard_id], payload
-                )
+        with self._observed(
+            "exists", report_fn=lambda: self._plan_report(pred)
+        ) as trace:
+            if trace is not None:
+                with trace.span("plan", predicate=repr(pred)):
+                    plan, _ = self._compile_pred(pred)
             else:
-                future = self.executor.submit(
-                    self._fold_shard_local, shard_id, payload
-                )
-            value, io = future.result()
-            self.scatter_io.add(io)
-            if value:
-                return True
-        return False
+                plan, _ = self._compile_pred(pred)
+            metas = self._fold_metas(plan, None)
+            columns = tuple(sorted(metas))
+            anchor = columns[0]
+            scatter_cm = (
+                trace.span("scatter", mode="exists")
+                if trace is not None
+                else nullcontext()
+            )
+            with scatter_cm:
+                for shard_id in range(self.num_shards):
+                    leaves, root = self._specialize_shard(
+                        plan, metas, shard_id
+                    )
+                    if root[0] == EMPTY:
+                        continue
+                    if root[0] == ALL:
+                        if self.shards[shard_id].column(anchor).n > 0:
+                            return True
+                        continue
+                    payload = ("exists", columns, leaves, root, None)
+                    if self._resident:
+                        uid = self.shard_uids[shard_id]
+                        self._note_flush(trace, uid)
+                        future = self.executor.submit_fold(
+                            uid, payload,
+                            trace=(
+                                None if trace is None else trace.trace_id
+                            ),
+                        )
+                    elif trace is None:
+                        future = self.executor.submit(
+                            self._fold_shard_local, shard_id, payload
+                        )
+                    else:
+                        future = self.executor.submit(
+                            self._fold_shard_local_traced,
+                            shard_id, payload, trace.trace_id,
+                        )
+                    reply = future.result()
+                    if trace is None:
+                        value, io = reply
+                    else:
+                        value, io, span = reply
+                        if span is not None:
+                            trace.graft([span])
+                    self.scatter_io.add(io)
+                    if value:
+                        return True
+                return False
 
     def count_by(
         self, group: str, pred: "Pred | None" = None
@@ -946,36 +1355,60 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         positions never do.  ``pred=None`` counts all rows by group.
         """
         meta = self._meta(group)
-        if pred is None:
-            plan = Plan(
-                normalized=TRUE,
-                leaves=(),
-                root=(ALL,),
-                columns=(group,),
+        if pred is not None and not isinstance(pred, Pred):
+            warn_mapping_adapter("ClusterEngine.count_by")
+            pred = mapping_to_pred(pred)
+        report_fn = (
+            (lambda: self._plan_report(pred)) if pred is not None else None
+        )
+        with self._observed("count_by", report_fn=report_fn) as trace:
+            if pred is None:
+                plan = Plan(
+                    normalized=TRUE,
+                    leaves=(),
+                    root=(ALL,),
+                    columns=(group,),
+                )
+            else:
+                plan_cm = (
+                    trace.span("plan", predicate=repr(pred))
+                    if trace is not None
+                    else nullcontext()
+                )
+                with plan_cm:
+                    plan = compile_pred(
+                        pred, lambda name: self._meta(name).sigma
+                    )
+                    # The group column joins universe validation: its
+                    # equality leaves execute in the same position
+                    # space as the pred.
+                    resolve_universe(
+                        replace(
+                            plan,
+                            columns=tuple(
+                                sorted(set(plan.columns) | {group})
+                            ),
+                        ),
+                        self.total_rows,
+                    )
+            folds = self._scatter_fold("count_by", plan, group, trace=trace)
+            merge_cm = (
+                trace.span("gather_merge")
+                if trace is not None
+                else nullcontext()
             )
-        else:
-            if not isinstance(pred, Pred):
-                warn_mapping_adapter("ClusterEngine.count_by")
-                pred = mapping_to_pred(pred)
-            plan = compile_pred(pred, lambda name: self._meta(name).sigma)
-            # The group column joins universe validation: its equality
-            # leaves execute in the same position space as the pred.
-            resolve_universe(
-                replace(
-                    plan,
-                    columns=tuple(sorted(set(plan.columns) | {group})),
-                ),
-                self.total_rows,
-            )
-        merged: dict[int, int] = {}
-        for shard_id, shard_counts in enumerate(
-            self._scatter_fold("count_by", plan, group)
-        ):
-            domain = meta.domains.get(shard_id)
-            for local_code, n in shard_counts.items():
-                code = local_code if domain is None else domain[local_code]
-                merged[code] = merged.get(code, 0) + n
-        return merged
+            with merge_cm:
+                merged: dict[int, int] = {}
+                for shard_id, shard_counts in enumerate(folds):
+                    domain = meta.domains.get(shard_id)
+                    for local_code, n in shard_counts.items():
+                        code = (
+                            local_code
+                            if domain is None
+                            else domain[local_code]
+                        )
+                        merged[code] = merged.get(code, 0) + n
+            return merged
 
     def topk(
         self, group: str, pred: "Pred | None" = None, k: int = 10
@@ -1071,37 +1504,63 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             )
         meta = self._meta(name)
         self._check_range(meta, char_lo, char_hi)
-        lengths = self.shard_lengths(name)
-        offsets = offsets_of(lengths)
-        # Scatter: every shard fetch is launched before the first is
-        # collected, so per-shard work overlaps under any executor
-        # that buys overlap.  Static shards carry a dense local
-        # alphabet; translating into it canonicalizes the cache key
-        # and prunes shards the range cannot touch at all.
-        futures = []
-        for shard_id in range(self.num_shards):
-            local = self._translate_range(meta, shard_id, char_lo, char_hi)
-            futures.append(
-                None
-                if local is None
-                else self._submit_fetch(name, meta, shard_id, *local)
+        with self._observed("query") as trace:
+            lengths = self.shard_lengths(name)
+            offsets = offsets_of(lengths)
+            bits = 0
+            scatter_cm = (
+                trace.span(
+                    "scatter", column=name,
+                    char_lo=char_lo, char_hi=char_hi,
+                )
+                if trace is not None
+                else nullcontext()
             )
-        # Gather: shard i's global RIDs all precede shard i+1's, so the
-        # k-way merge of these sorted disjoint runs is a concatenation.
-        merged: list[int] = []
-        for shard_id, future in enumerate(futures):
-            if future is None:
-                continue
-            try:
-                positions, io = future.result()
-            except BaseException:
-                self._drain(futures[shard_id + 1 :])
-                raise
-            self.scatter_io.add(io)
-            self.gather_rids += len(positions)
-            offset = offsets[shard_id]
-            merged.extend(offset + p for p in positions)
-        return RangeResult(merged, sum(lengths))
+            with scatter_cm:
+                # Scatter: every shard fetch is launched before the
+                # first is collected, so per-shard work overlaps under
+                # any executor that buys overlap.  Static shards carry
+                # a dense local alphabet; translating into it
+                # canonicalizes the cache key and prunes shards the
+                # range cannot touch at all.
+                futures = []
+                for shard_id in range(self.num_shards):
+                    local = self._translate_range(
+                        meta, shard_id, char_lo, char_hi
+                    )
+                    futures.append(
+                        None
+                        if local is None
+                        else self._submit_fetch(
+                            name, meta, shard_id, *local, trace=trace
+                        )
+                    )
+                # Gather: shard i's global RIDs all precede shard
+                # i+1's, so the k-way merge of these sorted disjoint
+                # runs is a concatenation.
+                merged: list[int] = []
+                for shard_id, future in enumerate(futures):
+                    if future is None:
+                        continue
+                    try:
+                        reply = future.result()
+                    except BaseException:
+                        self._drain(futures[shard_id + 1 :])
+                        raise
+                    if trace is None:
+                        positions, io = reply
+                    else:
+                        positions, io, span = reply
+                        if span is not None:
+                            trace.graft([span])
+                    self.scatter_io.add(io)
+                    bits += io.bits_read
+                    self.gather_rids += len(positions)
+                    offset = offsets[shard_id]
+                    merged.extend(offset + p for p in positions)
+            if self.metrics is not None and bits:
+                self.metrics.inc("query.bits_read", bits)
+            return RangeResult(merged, sum(lengths))
 
     def query_iter(self, name: str, char_lo: int, char_hi: int):
         """One global range query as a lazily gathered RID stream.
@@ -1123,9 +1582,32 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         records the high-water mark, each buffer acquired when the
         stream takes delivery and released as soon as it moves past
         (or is closed early).
+
+        Tracing: called at depth 0 with an enabled tracer, the stream
+        *owns* a ``query_iter`` trace, finished when the stream ends —
+        exhausted or closed early.  Replies still in flight at an
+        early close are drained (FIFO hygiene) and their spans offered
+        to the already-finished trace, which drops and counts them
+        (``Tracer.dropped_spans``) — abandoned pipelined replies can
+        never leak spans into a later query's trace.  Called inside an
+        observed op (a materialized ``select``), the fetch spans graft
+        into that op's active trace instead.
         """
         meta = self._meta(name)
         self._check_range(meta, char_lo, char_hi)
+        tracer = self.tracer
+        trace = self._active_trace
+        owned = None
+        if (
+            trace is None
+            and self._op_depth == 0
+            and tracer is not None
+            and tracer.enabled
+        ):
+            owned = tracer.begin(
+                "query_iter", column=name, char_lo=char_lo, char_hi=char_hi
+            )
+            trace = owned
 
         def gen():
             lengths = self.shard_lengths(name)
@@ -1149,7 +1631,12 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                     shard_id, (lo, hi) = tasks[next_task]
                     next_task += 1
                     in_flight.append(
-                        (shard_id, self._submit_fetch(name, meta, shard_id, lo, hi))
+                        (
+                            shard_id,
+                            self._submit_fetch(
+                                name, meta, shard_id, lo, hi, trace=trace
+                            ),
+                        )
                     )
 
             # With a prefetch window, the drained buffer is released
@@ -1167,7 +1654,13 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             try:
                 while in_flight:
                     shard_id, future = in_flight.popleft()
-                    positions, io = future.result()
+                    reply = future.result()
+                    if trace is None:
+                        positions, io = reply
+                    else:
+                        positions, io, span = reply
+                        if span is not None:
+                            trace.graft([span])
                     self.scatter_io.add(io)
                     self.gather_rids += len(positions)
                     self.gather_stats.acquire(len(positions))
@@ -1188,7 +1681,26 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             finally:
                 if held:
                     self.gather_stats.release(held)
-                self._drain(future for _, future in in_flight)
+                if owned is not None:
+                    # The stream is over (exhausted or closed early):
+                    # finish the owned trace *first*, then resolve any
+                    # abandoned pipelined replies — offering their
+                    # spans to the finished trace drops and counts
+                    # them, so they cannot leak into a later trace.
+                    tracer.finish(owned)
+                    for _, future in in_flight:
+                        try:
+                            reply = future.result()
+                        except Exception:
+                            continue
+                        if (
+                            isinstance(reply, tuple)
+                            and len(reply) == 3
+                            and reply[2] is not None
+                        ):
+                            owned.graft([reply[2]])
+                else:
+                    self._drain(future for _, future in in_flight)
 
         return gen()
 
@@ -1210,8 +1722,15 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         if not isinstance(conditions, Pred):
             warn_mapping_adapter("ClusterEngine.select")
             conditions = mapping_to_pred(conditions)
-        plan, universe = self._compile_pred(conditions)
-        return list(evaluate_iter(plan, self.query_iter, universe))
+        with self._observed(
+            "select", report_fn=lambda: self._plan_report(conditions)
+        ) as trace:
+            if trace is not None:
+                with trace.span("plan", predicate=repr(conditions)):
+                    plan, universe = self._compile_pred(conditions)
+            else:
+                plan, universe = self._compile_pred(conditions)
+            return list(evaluate_iter(plan, self.query_iter, universe))
 
     def select_iter(
         self, conditions: "Pred | Mapping[str, tuple[int, int]]"
@@ -1229,11 +1748,21 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         leaf — O(block), not O(answer) — however huge the result.
         Predicates are validated and compiled eagerly, before the
         first RID is drawn.
+
+        Observability: the stream counts one ``query.count`` at call
+        time (a lazy stream's end-to-end latency belongs to its
+        consumer, so no latency histogram or slow-log entry is
+        recorded); under an enabled tracer each leaf's lazy gather
+        owns its own ``query_iter`` trace — there is no single
+        stitched trace for a streaming select.  Use :meth:`select`
+        (same plan, materialized) for one trace per query.
         """
         if not isinstance(conditions, Pred):
             warn_mapping_adapter("ClusterEngine.select_iter")
             conditions = mapping_to_pred(conditions)
         plan, universe = self._compile_pred(conditions)
+        if self.metrics is not None and self._op_depth == 0:
+            self.metrics.inc("query.count")
         return evaluate_iter(plan, self.query_iter, universe)
 
     def plan(
@@ -1355,6 +1884,70 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         for name_ in self.columns:
             lines.append(f"  {name_}: {' | '.join(self.backends(name_))}")
         return "\n".join(lines)
+
+    def stats(self) -> ClusterStats:
+        """One typed, JSON-serializable snapshot of the cluster.
+
+        Embeds the live accounting objects by value — ``scatter_io``
+        as a :class:`~repro.iomodel.stats.Snapshot`, the streaming
+        gather's :class:`GatherStats`, the resident executor's
+        ``op_counts`` (empty under local executors; see
+        ``ProcessExecutor.reset_op_counts`` for windowing) — plus
+        per-shard rows/heat/backends, the shared cache's tier
+        counters, lifecycle history lengths, and, when attached, the
+        metrics registry dump and slow-query-log depth.  Call
+        ``.to_dict()`` to feed ``json.dumps``.
+        """
+        cache = self.shared_cache
+        shared = None
+        if hasattr(cache, "hits"):
+            try:
+                size = len(cache)
+            except TypeError:
+                size = 0
+            shared = CacheTierStats(
+                tier="shared",
+                hits=cache.hits,
+                misses=cache.misses,
+                size=size,
+                capacity=getattr(cache, "capacity", None) or 0,
+                evictions=getattr(cache, "evictions", 0),
+            )
+        shards = tuple(
+            ShardStats(
+                shard_id=shard_id,
+                uid=self.shard_uids[shard_id],
+                rows=self._live_rows(shard_id),
+                heat=self.shard_heat(shard_id),
+                backends=tuple(
+                    (name, shard.column(name).spec.name)
+                    for name in self.columns
+                ),
+            )
+            for shard_id, shard in enumerate(self.shards)
+        )
+        return ClusterStats(
+            num_shards=self.num_shards,
+            columns=tuple(self.columns),
+            scatter_io=self.scatter_io.snapshot(),
+            gather_rids=self.gather_rids,
+            gather=GatherStats(
+                live_rids=self.gather_stats.live_rids,
+                peak_rids=self.gather_stats.peak_rids,
+            ),
+            shards=shards,
+            op_counts=dict(getattr(self.executor, "op_counts", None) or {}),
+            shared_cache=shared,
+            migrations=len(self.migrations),
+            splits=len(self.splits),
+            merges=len(self.merges),
+            metrics=(
+                self.metrics.to_dict() if self.metrics is not None else None
+            ),
+            slow_queries=(
+                len(self.slow_log) if self.slow_log is not None else 0
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Updates (routed to one shard; others' cache entries stay live)
@@ -1717,6 +2310,11 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         )
         if self.io_latency_s:
             engine.column(meta.name).index.disk.latency_s = self.io_latency_s
+        if self.metrics is not None:
+            # Local shard disks report transfer counts into the
+            # cluster's registry; resident replicas count worker-side
+            # (their snapshots still fold into scatter_io here).
+            engine.column(meta.name).index.disk.metrics = self.metrics
         return domain
 
     def split_shard(self, shard_id: int) -> ShardSplit:

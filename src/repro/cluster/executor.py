@@ -327,7 +327,23 @@ class ProcessExecutor:
         #: Pipe messages sent per query-side op ("query" / "leaves" /
         #: "fold") — the accounting the aggregate-pushdown tests and
         #: benchmarks read to prove which wire shape a path used.
+        #: Counts accumulate from construction (or the last
+        #: :meth:`reset_op_counts`) and are **never reset implicitly**;
+        #: ``ClusterEngine.stats()`` reports them verbatim.
         self.op_counts: Counter[str] = Counter()
+        #: Optional :class:`repro.obs.MetricsRegistry`: delta-batch
+        #: flush sizes are observed into ``delta.flush_size`` when
+        #: attached (``None`` costs one attribute check per flush).
+        self.metrics = None
+
+    def reset_op_counts(self) -> None:
+        """Zero :attr:`op_counts` — the *only* way it ever resets.
+
+        Tests and benchmarks that assert on per-query wire shapes call
+        this between measurements instead of poking the counter
+        directly.
+        """
+        self.op_counts.clear()
 
     # ------------------------------------------------------------------
     # Shard residency
@@ -393,6 +409,8 @@ class ProcessExecutor:
         buffer = self._pending_deltas.pop(uid, None)
         if not buffer:
             return
+        if self.metrics is not None:
+            self.metrics.observe("delta.flush_size", len(buffer))
         worker = self._by_uid[uid]
         message = (
             ("delta", uid, buffer[0])
@@ -429,43 +447,70 @@ class ProcessExecutor:
     # ------------------------------------------------------------------
 
     def submit_query(
-        self, uid: int, name: str, char_lo: int, char_hi: int
+        self,
+        uid: int,
+        name: str,
+        char_lo: int,
+        char_hi: int,
+        trace: str | None = None,
     ) -> _PipeFuture:
         """Pipeline one range query; resolves to (positions, Snapshot).
 
         Any buffered deltas for the shard are flushed ahead of the
         query on the same FIFO pipe, so the reply reflects them.
+        ``trace`` is an optional trace id: when set, the worker times
+        its shard-local execution and the reply widens to
+        ``(positions, Snapshot, [span dict])`` so the coordinator can
+        stitch the worker-side span into the query's trace.
         """
         worker = self._worker_of(uid)
         self._flush_uid(uid)
         self.op_counts["query"] += 1
-        return worker.request(("query", uid, name, char_lo, char_hi))
+        message = ("query", uid, name, char_lo, char_hi)
+        if trace is not None:
+            message += (trace,)
+        return worker.request(message)
 
     def submit_leaves(
-        self, uid: int, name: str, intervals: list[tuple[int, int]]
+        self,
+        uid: int,
+        name: str,
+        intervals: list[tuple[int, int]],
+        trace: str | None = None,
     ) -> _PipeFuture:
         """Pipeline one compiled-leaf fetch: many intervals, one message.
 
         Resolves to a list of ``(positions, Snapshot)`` pairs, one per
         interval in order — the worker half of a predicate plan's
-        batched scatter.
+        batched scatter.  With a ``trace`` id the reply widens to
+        ``(pairs, [span dicts])``, one span per interval.
         """
         worker = self._worker_of(uid)
         self._flush_uid(uid)
         self.op_counts["leaves"] += 1
-        return worker.request(("leaves", uid, name, list(intervals)))
+        message = ("leaves", uid, name, list(intervals))
+        if trace is not None:
+            message += (trace,)
+        return worker.request(message)
 
-    def submit_fold(self, uid: int, payload: tuple) -> _PipeFuture:
+    def submit_fold(
+        self, uid: int, payload: tuple, trace: str | None = None
+    ) -> _PipeFuture:
         """Pipeline one aggregate fold: a shard-local plan, one number.
 
         Resolves to ``(value, Snapshot)`` where ``value`` is the
         shard's count, existence bit, or ``{group code: count}`` dict
         — the pushdown op that keeps RID lists off the pipe entirely.
+        With a ``trace`` id the reply widens to
+        ``(value, Snapshot, [span dict])``.
         """
         worker = self._worker_of(uid)
         self._flush_uid(uid)
         self.op_counts["fold"] += 1
-        return worker.request(("fold", uid, payload))
+        message = ("fold", uid, payload)
+        if trace is not None:
+            message += (trace,)
+        return worker.request(message)
 
     def query_shard(
         self, uid: int, name: str, char_lo: int, char_hi: int

@@ -139,6 +139,21 @@ class ShardedTable:
             raise QueryError(f"row id {rid} outside [0, {self.num_rows})")
         return {name: col.values[rid] for name, col in self.columns.items()}
 
+    def stats(self):
+        """Row count + the cluster's typed, JSON-serializable snapshot.
+
+        The ``cluster`` slot is the full
+        :class:`~repro.cluster.engine.ClusterStats` — scatter I/O,
+        gather accounting, executor op counts, per-shard rows/heat/
+        backends, shared-cache counters (see
+        :meth:`ClusterEngine.stats`).
+        """
+        from ..obs import TableStats
+
+        return TableStats(
+            num_rows=self.num_rows, cluster=self.cluster.stats()
+        )
+
     def append_row(self, row: Mapping[str, Any]) -> int:
         """Append one row (a value per column); returns its global RID.
 

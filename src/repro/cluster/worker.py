@@ -49,10 +49,13 @@ them with a plain deque.
 
 from __future__ import annotations
 
+import time
+
 from ..engine.engine import QueryEngine
 from ..engine.registry import get_spec
 from ..errors import InvalidParameterError
 from ..iomodel.stats import Snapshot
+from ..obs.tracer import Span
 from ..query import (
     Plan,
     evaluate_count,
@@ -153,11 +156,16 @@ def _add_column(engine: QueryEngine, column_payload: tuple) -> None:
 
 
 class ShardHost:
-    """The resident runtimes of one worker process (testable in-process)."""
+    """The resident runtimes of one worker process (testable in-process).
 
-    def __init__(self) -> None:
+    ``clock`` times worker-side spans when a request carries a trace
+    id; injectable so in-process tests get deterministic durations.
+    """
+
+    def __init__(self, clock=None) -> None:
         self.engines: dict[int, QueryEngine] = {}
         self.latencies: dict[int, float] = {}
+        self.clock = clock if clock is not None else time.monotonic
 
     def _engine(self, uid: int) -> QueryEngine:
         try:
@@ -220,34 +228,139 @@ class ShardHost:
         for delta in deltas:
             self.delta(uid, delta)
 
+    def _worker_span(
+        self, kind: str, trace: str, uid: int, engine: QueryEngine, fn
+    ) -> tuple[object, Snapshot, dict]:
+        """Run one traced shard op; returns (value, io, span dict).
+
+        The span's ``bits_read`` tag is taken from the *same*
+        :class:`Snapshot` the reply ships back — the one the
+        coordinator folds into ``scatter_io`` — so summed span bits
+        always equal the scatter accounting exactly.
+        """
+        t0 = self.clock()
+        value, io = fn()
+        span = Span(kind, t0=t0, t1=self.clock())
+        span.tags.update(
+            trace_id=trace,
+            shard_uid=uid,
+            bits_read=io.bits_read,
+            reads=io.reads,
+        )
+        return value, io, span.to_dict()
+
     def query(
-        self, uid: int, name: str, char_lo: int, char_hi: int
-    ) -> tuple[list[int], Snapshot]:
-        result, io = self._engine(uid).query_measured(name, char_lo, char_hi)
-        return result.positions(), io
+        self,
+        uid: int,
+        name: str,
+        char_lo: int,
+        char_hi: int,
+        trace: str | None = None,
+    ) -> tuple:
+        """One measured range query; traced replies carry a span dict.
+
+        The untraced reply shape ``(positions, Snapshot)`` is
+        unchanged; a request carrying a trace id (the optional sixth
+        message element) widens it to
+        ``(positions, Snapshot, span dict)``.
+        """
+        engine = self._engine(uid)
+        if trace is None:
+            result, io = engine.query_measured(name, char_lo, char_hi)
+            return result.positions(), io
+        col = engine.column(name)
+        # Peek before the query: __contains__ skips the LRU counters,
+        # so tagging the verdict never perturbs the stats the real
+        # lookup records.
+        hit = (name, col.version, char_lo, char_hi) in engine.cache
+        positions, io, span = self._worker_span(
+            "worker_query",
+            trace,
+            uid,
+            engine,
+            lambda: (
+                lambda r, s: (r.positions(), s)
+            )(*engine.query_measured(name, char_lo, char_hi)),
+        )
+        span["tags"].update(
+            column=name,
+            char_lo=char_lo,
+            char_hi=char_hi,
+            backend=col.spec.name,
+            cache="hit" if hit else "miss",
+            rids=len(positions),
+        )
+        return positions, io, span
 
     def leaves(
-        self, uid: int, name: str, intervals: list[tuple[int, int]]
-    ) -> list[tuple[list[int], Snapshot]]:
-        """The compiled-leaf fetch op: many measured queries, one reply."""
+        self,
+        uid: int,
+        name: str,
+        intervals: list[tuple[int, int]],
+        trace: str | None = None,
+    ) -> "list | tuple":
+        """The compiled-leaf fetch op: many measured queries, one reply.
+
+        Untraced: a list of ``(positions, Snapshot)`` pairs, one per
+        interval in order.  Traced: ``(pairs, [span dicts])`` with one
+        ``worker_query`` span per interval.
+        """
         engine = self._engine(uid)
-        out = []
+        if trace is None:
+            out = []
+            for char_lo, char_hi in intervals:
+                result, io = engine.query_measured(name, char_lo, char_hi)
+                out.append((result.positions(), io))
+            return out
+        col = engine.column(name)
+        pairs = []
+        spans = []
         for char_lo, char_hi in intervals:
-            result, io = engine.query_measured(name, char_lo, char_hi)
-            out.append((result.positions(), io))
-        return out
+            hit = (name, col.version, char_lo, char_hi) in engine.cache
+            positions, io, span = self._worker_span(
+                "worker_query",
+                trace,
+                uid,
+                engine,
+                lambda lo=char_lo, hi=char_hi: (
+                    lambda r, s: (r.positions(), s)
+                )(*engine.query_measured(name, lo, hi)),
+            )
+            span["tags"].update(
+                column=name,
+                char_lo=char_lo,
+                char_hi=char_hi,
+                backend=col.spec.name,
+                cache="hit" if hit else "miss",
+                rids=len(positions),
+            )
+            pairs.append((positions, io))
+            spans.append(span)
+        return pairs, spans
 
     def fold(
-        self, uid: int, payload: tuple
-    ) -> tuple["int | bool | dict[int, int]", Snapshot]:
+        self, uid: int, payload: tuple, trace: str | None = None
+    ) -> tuple:
         """The aggregate-pushdown op: evaluate a plan, ship a number.
 
         The whole shard-local plan executes against the resident
         engine and only the fold — count, existence bit, or per-group
         counts — crosses the pipe with its I/O snapshot; positions
-        never do.
+        never do.  Traced replies widen to
+        ``(value, Snapshot, span dict)``.
         """
-        return evaluate_shard_fold(self._engine(uid), payload)
+        engine = self._engine(uid)
+        if trace is None:
+            return evaluate_shard_fold(engine, payload)
+        value, io, span = self._worker_span(
+            "worker_fold",
+            trace,
+            uid,
+            engine,
+            lambda: evaluate_shard_fold(engine, payload),
+        )
+        span["tags"]["mode"] = payload[0]
+        return value, io, span
 
     def io_totals(self) -> Snapshot:
         total = Snapshot()

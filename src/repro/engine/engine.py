@@ -25,6 +25,8 @@ deprecated adapter.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
@@ -32,6 +34,14 @@ from ..core.interface import RangeResult, SecondaryIndex
 from ..bits.ops import intersect_many
 from ..errors import InvalidParameterError, QueryError, UpdateError
 from ..iomodel.stats import Snapshot
+from ..obs import (
+    CacheTierStats,
+    ColumnStats,
+    EngineStats,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+)
 from ..query import (
     LeafPlan,
     Plan,
@@ -208,7 +218,13 @@ class EngineColumn:
                 f"{self.name!r} declares require_exact=True"
             )
         live = [c for c in self.codes if c is not None]
+        old_disk = getattr(self.index, "disk", None)
         self.index = spec.build(live, self.stats.sigma)
+        new_disk = getattr(self.index, "disk", None)
+        if new_disk is not None and old_disk is not None:
+            # Observability survives backend swaps: the replacement
+            # device reports into whatever registry the old one did.
+            new_disk.metrics = getattr(old_disk, "metrics", None)
         self.spec = spec
         self.codes = live
         self._bump()
@@ -261,6 +277,9 @@ class QueryEngine:
         advisor: Advisor | None = None,
         cost_model: CostModel | None = None,
         cache_size: int = 1024,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        slow_log: SlowQueryLog | None = None,
     ) -> None:
         if advisor is not None and cost_model is not None:
             raise InvalidParameterError(
@@ -271,6 +290,14 @@ class QueryEngine:
         self.advisor = advisor
         self.cache = LRUCache(cache_size)
         self.columns: dict[str, EngineColumn] = {}
+        # Observability hooks (repro.obs).  All three default off; the
+        # serving hot path guards on them with attribute checks only,
+        # so an engine without observers runs today's exact code.
+        self.tracer = tracer
+        self.metrics = metrics
+        self.slow_log = slow_log
+        self._active_trace = None
+        self._op_depth = 0
 
     # ------------------------------------------------------------------
     # Column management
@@ -317,6 +344,10 @@ class QueryEngine:
         else:
             spec = self.advisor.pick(stats)
         index = spec.build(list(codes), stats.sigma)
+        if self.metrics is not None:
+            disk = getattr(index, "disk", None)
+            if disk is not None:
+                disk.metrics = self.metrics
         column = EngineColumn(name, codes, spec, index, stats)
         self.columns[name] = column
         return column
@@ -357,8 +388,162 @@ class QueryEngine:
         self.cache.invalidate(lambda key: key[0] == name)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Observability (repro.obs)
     # ------------------------------------------------------------------
+
+    @contextmanager
+    def _observed(self, op: str, report_fn=None):
+        """Frame one top-level operation for tracing/metrics/slow-log.
+
+        Only the *outermost* entry (depth 0) begins a trace, observes
+        latency metrics, and feeds the slow-query log; nested entries
+        (``topk`` → ``count_by``, predicate folds → leaf ``query``)
+        yield the already-active trace so their spans stitch into one
+        tree and nothing is double-counted.  ``report_fn`` builds the
+        :class:`~repro.query.PlanReport` lazily — only queries that
+        actually cross the slow threshold pay for it.
+        """
+        if self._op_depth:
+            self._op_depth += 1
+            try:
+                yield self._active_trace
+            finally:
+                self._op_depth -= 1
+            return
+        tracer = self.tracer
+        trace = (
+            tracer.begin(op)
+            if tracer is not None and tracer.enabled
+            else None
+        )
+        clock = tracer.clock if tracer is not None else time.monotonic
+        self._active_trace = trace
+        self._op_depth = 1
+        t0 = clock()
+        try:
+            yield trace
+        finally:
+            elapsed = clock() - t0
+            self._op_depth = 0
+            self._active_trace = None
+            if trace is not None:
+                tracer.finish(trace)
+            metrics = self.metrics
+            if metrics is not None:
+                metrics.inc("query.count")
+                metrics.observe("query.latency_s", elapsed)
+            slow_log = self.slow_log
+            if slow_log is not None:
+                slow_log.observe(
+                    op, elapsed, trace=trace, report_fn=report_fn
+                )
+
+    def _query_leaf_observed(
+        self, name: str, col: EngineColumn, char_lo: int, char_hi: int
+    ) -> RangeResult:
+        """The instrumented twin of the leaf-query hot path.
+
+        Identical cache/index behavior (one ``cache.get`` per call, so
+        the LRU's own hit/miss counters match the fast path exactly),
+        plus a ``leaf_fetch`` span with a nested ``cache_lookup``, the
+        per-tier cache counters, and bits-read attribution.
+        """
+        with self._observed("query") as trace:
+            key = (name, col.version, char_lo, char_hi)
+            metrics = self.metrics
+            if trace is None:
+                cached = self.cache.get(key)
+                if metrics is not None:
+                    metrics.inc(
+                        "cache.engine.hits"
+                        if cached is not None
+                        else "cache.engine.misses"
+                    )
+                if cached is not None:
+                    return cached
+                io_stats = col.index.stats
+                before = io_stats.snapshot()
+                result = col.index.range_query(char_lo, char_hi)
+                if metrics is not None:
+                    io = io_stats.snapshot() - before
+                    metrics.inc("query.bits_read", io.bits_read)
+                self.cache.put(key, result)
+                return result
+            with trace.span(
+                "leaf_fetch",
+                column=name,
+                char_lo=char_lo,
+                char_hi=char_hi,
+                backend=col.spec.name,
+            ) as span:
+                # Peek first (__contains__ skips the counters), so the
+                # span can tag the verdict while the real get() below
+                # still charges the LRU's hit/miss stats exactly once.
+                hit = key in self.cache
+                with trace.span("cache_lookup", tier="engine", hit=hit):
+                    cached = self.cache.get(key)
+                if metrics is not None:
+                    metrics.inc(
+                        "cache.engine.hits" if hit else "cache.engine.misses"
+                    )
+                if cached is not None:
+                    span.tags.update(cache="hit", bits_read=0)
+                    return cached
+                io_stats = col.index.stats
+                before = io_stats.snapshot()
+                result = col.index.range_query(char_lo, char_hi)
+                io = io_stats.snapshot() - before
+                span.tags.update(
+                    cache="miss",
+                    bits_read=io.bits_read,
+                    reads=io.reads,
+                    rids=result.cardinality,
+                )
+                if metrics is not None:
+                    metrics.inc("query.bits_read", io.bits_read)
+                self.cache.put(key, result)
+                return result
+
+    def stats(self) -> EngineStats:
+        """One typed, JSON-serializable snapshot of the whole engine.
+
+        Embeds the per-column backend verdicts, the LRU tier's
+        hit/miss accounting, the summed device
+        :class:`~repro.iomodel.stats.Snapshot` across columns, the
+        metrics registry (when attached), and the slow-query count —
+        ``stats().to_dict()`` is directly ``json.dumps``-able.
+        """
+        io = Snapshot()
+        for col in self.columns.values():
+            io = io + col.index.stats.snapshot()
+        return EngineStats(
+            columns=tuple(
+                ColumnStats(
+                    name=col.name,
+                    backend=col.spec.name,
+                    family=col.spec.family,
+                    n=col.n,
+                    sigma=col.sigma,
+                    version=col.version,
+                )
+                for col in self.columns.values()
+            ),
+            cache=CacheTierStats(
+                tier="engine",
+                hits=self.cache.hits,
+                misses=self.cache.misses,
+                size=len(self.cache),
+                capacity=self.cache.capacity,
+                evictions=self.cache.evictions,
+            ),
+            io=io,
+            metrics=(
+                self.metrics.to_dict() if self.metrics is not None else None
+            ),
+            slow_queries=(
+                len(self.slow_log) if self.slow_log is not None else 0
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Predicate compilation (the shared repro.query path)
@@ -395,15 +580,22 @@ class QueryEngine:
             costs.append(0.0 if leaf.cached else leaf.estimated_cost_bits)
         return costs
 
-    def _query_pred(self, pred: Pred) -> RangeResult:
+    def _query_pred(self, pred: Pred, op: str = "select") -> RangeResult:
         # Lazy fold: each unique leaf fetched (and cached) at most
         # once, on demand, And legs cost-ordered — an And that goes
         # empty skips the rest of its legs, the generalized
         # empty-dimension short-circuit, and the cheap legs go first.
-        plan, universe = self._compile_pred(pred)
-        return evaluate_fetch(
-            plan, self.query, universe, self._leaf_costs(plan)
-        )
+        with self._observed(
+            op, report_fn=lambda: self._plan_report(pred)
+        ) as trace:
+            if trace is None:
+                plan, universe = self._compile_pred(pred)
+            else:
+                with trace.span("plan", predicate=repr(pred)):
+                    plan, universe = self._compile_pred(pred)
+            return evaluate_fetch(
+                plan, self.query, universe, self._leaf_costs(plan)
+            )
 
     # ------------------------------------------------------------------
     # Aggregates (cardinality-space execution; no RID materialization)
@@ -423,10 +615,17 @@ class QueryEngine:
         if not isinstance(pred, Pred):
             warn_mapping_adapter("QueryEngine.count")
             pred = mapping_to_pred(pred)
-        plan, universe = self._compile_pred(pred)
-        return evaluate_count(
-            plan, self.query, universe, self._leaf_costs(plan)
-        )
+        with self._observed(
+            "count", report_fn=lambda: self._plan_report(pred)
+        ) as trace:
+            if trace is None:
+                plan, universe = self._compile_pred(pred)
+            else:
+                with trace.span("plan", predicate=repr(pred)):
+                    plan, universe = self._compile_pred(pred)
+            return evaluate_count(
+                plan, self.query, universe, self._leaf_costs(plan)
+            )
 
     def exists(self, pred: "Pred | Mapping[str, tuple[int, int]]") -> bool:
         """Does at least one row match?  Stops at the first evidence.
@@ -438,10 +637,17 @@ class QueryEngine:
         if not isinstance(pred, Pred):
             warn_mapping_adapter("QueryEngine.exists")
             pred = mapping_to_pred(pred)
-        plan, universe = self._compile_pred(pred)
-        return evaluate_exists(
-            plan, self.query, universe, self._leaf_costs(plan)
-        )
+        with self._observed(
+            "exists", report_fn=lambda: self._plan_report(pred)
+        ) as trace:
+            if trace is None:
+                plan, universe = self._compile_pred(pred)
+            else:
+                with trace.span("plan", predicate=repr(pred)):
+                    plan, universe = self._compile_pred(pred)
+            return evaluate_exists(
+                plan, self.query, universe, self._leaf_costs(plan)
+            )
 
     def count_by(
         self, group: str, pred: "Pred | None" = None
@@ -460,27 +666,40 @@ class QueryEngine:
             {c for c in group_col.codes if c is not None}
         )
         group_fetch = lambda code: self.query(group, code, code)  # noqa: E731
-        if pred is None:
-            return evaluate_count_by(
-                None, self.query, group_col.n, group_codes, group_fetch
+        report_fn = (
+            (lambda: self._plan_report(pred)) if pred is not None else None
+        )
+        with self._observed("count_by", report_fn=report_fn) as trace:
+            if pred is None:
+                return evaluate_count_by(
+                    None, self.query, group_col.n, group_codes, group_fetch
+                )
+            if trace is None:
+                plan = compile_pred(
+                    pred, lambda name: self.column(name).sigma
+                )
+            else:
+                with trace.span("plan", predicate=repr(pred)):
+                    plan = compile_pred(
+                        pred, lambda name: self.column(name).sigma
+                    )
+            # The group column joins the universe resolution: its
+            # equality leaves execute in the same position space as the
+            # predicate.
+            widened = replace(
+                plan, columns=tuple(sorted(set(plan.columns) | {group}))
             )
-        plan = compile_pred(pred, lambda name: self.column(name).sigma)
-        # The group column joins the universe resolution: its equality
-        # leaves execute in the same position space as the predicate.
-        widened = replace(
-            plan, columns=tuple(sorted(set(plan.columns) | {group}))
-        )
-        universe = resolve_universe(
-            widened, lambda name: self.column(name).n
-        )
-        return evaluate_count_by(
-            plan,
-            self.query,
-            universe,
-            group_codes,
-            group_fetch,
-            self._leaf_costs(plan),
-        )
+            universe = resolve_universe(
+                widened, lambda name: self.column(name).n
+            )
+            return evaluate_count_by(
+                plan,
+                self.query,
+                universe,
+                group_codes,
+                group_fetch,
+                self._leaf_costs(plan),
+            )
 
     def topk(
         self, group: str, pred: "Pred | None" = None, k: int = 10
@@ -583,20 +802,32 @@ class QueryEngine:
                 raise InvalidParameterError(
                     "a predicate query takes no range arguments"
                 )
-            return self._query_pred(name)
+            return self._query_pred(name, op="query")
         if char_lo is None or char_hi is None:
             raise InvalidParameterError(
                 "query(name, char_lo, char_hi) requires both bounds; "
                 "pass a predicate for composed queries"
             )
         col = self.column(name)
-        key = (name, col.version, char_lo, char_hi)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
-        result = col.index.range_query(char_lo, char_hi)
-        self.cache.put(key, result)
-        return result
+        tracer = self.tracer
+        if (
+            self._active_trace is None
+            and (tracer is None or not tracer.enabled)
+            and self.metrics is None
+            and self.slow_log is None
+        ):
+            # The fast path: no observer attached (or the tracer is
+            # disabled) costs exactly these attribute checks on top of
+            # the uninstrumented engine — the < 3% contract E17a holds
+            # us to.
+            key = (name, col.version, char_lo, char_hi)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            result = col.index.range_query(char_lo, char_hi)
+            self.cache.put(key, result)
+            return result
+        return self._query_leaf_observed(name, col, char_lo, char_hi)
 
     def query_measured(
         self, name: str, char_lo: int, char_hi: int
@@ -660,8 +891,19 @@ class QueryEngine:
         if not isinstance(conditions, Pred):
             warn_mapping_adapter("QueryEngine.select_iter")
             conditions = mapping_to_pred(conditions)
-        plan, universe = self._compile_pred(conditions)
-        return evaluate_iter(plan, self.query_iter, universe)
+        # Engine-level streaming fetches leaves eagerly (query_iter
+        # serves from the LRU), so the observed window closes here and
+        # the returned iterator only re-orders already-fetched bits.
+        with self._observed(
+            "select_iter",
+            report_fn=lambda: self._plan_report(conditions),
+        ) as trace:
+            if trace is None:
+                plan, universe = self._compile_pred(conditions)
+            else:
+                with trace.span("plan", predicate=repr(conditions)):
+                    plan, universe = self._compile_pred(conditions)
+            return evaluate_iter(plan, self.query_iter, universe)
 
     def explain(
         self,

@@ -112,6 +112,11 @@ class Disk:
         self.stats = stats if stats is not None else IOStats()
         self.cache = LRUBlockCache(mem_blocks)
         self.latency_s = latency_s
+        #: Optional :class:`repro.obs.MetricsRegistry` hook, set by the
+        #: owner (e.g. ``QueryEngine.add_column`` when the engine has a
+        #: registry attached).  ``None`` — the default — costs one
+        #: attribute check per transfer batch and nothing else.
+        self.metrics = None
         self._data = bytearray()
         self._alloc_bits = 0
 
@@ -221,12 +226,19 @@ class Disk:
                 if not cache.access(bid):
                     stats.reads += 1
                     misses += 1
-        if misses and self.latency_s:
-            # The latency model: one sleep per transfer, taken after
-            # the accounting and outside any lock, so concurrent shard
-            # runtimes overlap their transfer waits exactly as real
-            # devices would (time.sleep releases the GIL).
-            time.sleep(misses * self.latency_s)
+        if misses:
+            if self.metrics is not None:
+                self.metrics.inc(
+                    "io.write_transfers" if write else "io.read_transfers",
+                    misses,
+                )
+            if self.latency_s:
+                # The latency model: one sleep per transfer, taken
+                # after the accounting and outside any lock, so
+                # concurrent shard runtimes overlap their transfer
+                # waits exactly as real devices would (time.sleep
+                # releases the GIL).
+                time.sleep(misses * self.latency_s)
 
     def touch_range(self, offset: int, nbits: int, *, write: bool = False) -> None:
         """Charge the I/O cost of touching ``[offset, offset+nbits)``.

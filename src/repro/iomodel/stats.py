@@ -58,6 +58,25 @@ class Snapshot:
             bits_written=self.bits_written + other.bits_written,
         )
 
+    def to_json(self) -> dict:
+        """A JSON-compatible dict (traces, bench results, ``stats()``)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bits_read": self.bits_read,
+            "bits_written": self.bits_written,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Snapshot":
+        """Rebuild from :meth:`to_json` output (unknown keys ignored)."""
+        return cls(
+            reads=data.get("reads", 0),
+            writes=data.get("writes", 0),
+            bits_read=data.get("bits_read", 0),
+            bits_written=data.get("bits_written", 0),
+        )
+
 
 class Measurement:
     """The result of a :meth:`IOStats.measure` region.

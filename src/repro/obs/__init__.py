@@ -1,0 +1,28 @@
+"""Observability: tracing, metrics, slow-query log, typed stats.
+
+The cross-cutting layer the serving stack reports into.  See
+``README.md`` in this package for the span model, the metric names
+each component emits, and the enable/disable cost contract.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .slowlog import SlowQuery, SlowQueryLog
+from .stats import CacheTierStats, ColumnStats, EngineStats, TableStats
+from .tracer import ManualClock, Span, Trace, Tracer
+
+__all__ = [
+    "CacheTierStats",
+    "ColumnStats",
+    "Counter",
+    "EngineStats",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "TableStats",
+    "Trace",
+    "Tracer",
+]

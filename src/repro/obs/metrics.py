@@ -1,0 +1,195 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+The stack's components (engine, cluster, executors, caches, the
+simulated :class:`~repro.iomodel.disk.Disk`) report into one
+:class:`MetricsRegistry` through hooks that are plain ``None`` checks
+— no registry attached means no work at all, so serving hot paths pay
+nothing when metrics are off.
+
+Instruments are deliberately minimal and allocation-light:
+
+* :class:`Counter` — a monotonically increasing float/int.
+* :class:`Gauge` — a last-written value.
+* :class:`Histogram` — count/total/min/max plus a *bounded reservoir*
+  (a ring of the most recent observations) for percentiles; memory is
+  O(reservoir) no matter how many samples flow through.
+
+Everything serializes to plain JSON types via ``to_dict()`` so a
+metrics snapshot embeds directly in ``stats()`` outputs and bench
+reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; ``set`` overwrites."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Running count/total/min/max + a bounded recent-sample reservoir.
+
+    The reservoir is a plain ring of the most recent observations —
+    deterministic (no sampling randomness), bounded memory, and good
+    enough for the "what does the latency tail look like right now"
+    question ``stats()`` answers.  ``count``/``total``/``min``/``max``
+    cover the whole stream regardless of reservoir size.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples")
+
+    def __init__(self, name: str, reservoir: int = 256) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.samples: deque = deque(maxlen=reservoir)
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of the *reservoir* samples."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "reservoir": len(self.samples),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Component hooks hold a reference to the registry (or ``None``) and
+    call the convenience verbs::
+
+        if self.metrics is not None:
+            self.metrics.inc("cache.shared.hits")
+
+    Names are dotted strings; the registry neither parses nor
+    validates them — they are labels, chosen by the reporting site.
+    See ``obs/README.md`` for the names the stack emits.
+    """
+
+    def __init__(self, reservoir: int = 256) -> None:
+        self.reservoir = reservoir
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(
+                name, reservoir=self.reservoir
+            )
+        return h
+
+    # -- convenience verbs ---------------------------------------------
+
+    def inc(self, name: str, n=1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value) -> None:
+        self.histogram(name).observe(value)
+
+    # -- snapshot ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """One JSON-serializable snapshot of every instrument."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.to_dict()
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; epoch boundaries)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

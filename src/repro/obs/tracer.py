@@ -1,0 +1,249 @@
+"""Per-query tracing: nested, timestamped spans across the stack.
+
+One query becomes one :class:`Trace` — a tree of :class:`Span`\\ s
+(``plan``, ``leaf_fetch``, ``cache_lookup``, ``scatter``,
+``worker_query``/``worker_fold``, ``gather_merge``) rooted at the
+operation span.  Spans carry a free-form ``tags`` dict (backend
+verdicts, cache hit/miss, bits read), serialize to plain nested
+dicts, and worker-side spans — built inside a resident process and
+shipped back piggybacked on the existing reply tuples — are
+:meth:`Trace.graft`\\ ed under the coordinator's ``scatter`` span at
+gather time, so one stitched tree tells the whole story.
+
+The design constraints, in order:
+
+* **Zero cost disabled.**  A ``Tracer(enabled=False)`` (or no tracer
+  at all) must cost the serving hot paths nothing beyond one
+  attribute check — the engine/cluster fast paths guard on it before
+  touching any of this module.
+* **Deterministic under test.**  The clock is injected
+  (``time.monotonic`` by default); :class:`ManualClock` makes span
+  durations and slow-query thresholds exact in tests.
+* **No leakage.**  Grafting happens only at delivery points inside a
+  live trace; spans arriving after :meth:`Tracer.finish` (abandoned
+  pipelined replies from an early-closed streaming gather) are
+  dropped and counted in :attr:`Tracer.dropped_spans`, never attached
+  to a later query's trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["Span", "Trace", "Tracer", "ManualClock"]
+
+#: Process-global trace-id source.  Ids are strings ("t0", "t1", ...)
+#: so they pickle through the worker pipe protocol unchanged and tag
+#: worker spans unambiguously even across tracer instances.
+_trace_ids = itertools.count()
+
+
+class ManualClock:
+    """An injectable monotonic clock for deterministic tests.
+
+    ``clock()`` returns the current reading; ``advance(dt)`` moves it
+    forward.  Handing one to :class:`Tracer` (and, through it, to the
+    engines' ``_observed`` timing) makes span durations and slow-query
+    elapsed times exact instead of wall-clock noise.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class Span:
+    """One timed phase of a query: name, window, tags, children."""
+
+    __slots__ = ("name", "t0", "t1", "tags", "children")
+
+    def __init__(
+        self,
+        name: str,
+        t0: float = 0.0,
+        t1: float | None = None,
+        tags: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.t0 = t0
+        self.t1 = t1
+        self.tags: dict = tags if tags is not None else {}
+        self.children: list[Span] = []
+
+    @property
+    def duration_s(self) -> float:
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """Plain nested dict: picklable, JSON-serializable, graftable."""
+        return {
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "tags": dict(self.tags),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(
+            data["name"],
+            data.get("t0", 0.0),
+            data.get("t1"),
+            dict(data.get("tags", {})),
+        )
+        span.children = [
+            cls.from_dict(c) for c in data.get("children", ())
+        ]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_s:.6f}s, "
+            f"tags={self.tags}, children={len(self.children)})"
+        )
+
+
+class Trace:
+    """One query's span tree plus the nesting state that builds it."""
+
+    __slots__ = ("trace_id", "tracer", "root", "finished", "_stack")
+
+    def __init__(self, trace_id: str, tracer: "Tracer", root: Span) -> None:
+        self.trace_id = trace_id
+        self.tracer = tracer
+        self.root = root
+        self.finished = False
+        self._stack: list[Span] = [root]
+
+    # -- building ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        """Open a child span under the innermost open span.
+
+        Yields the :class:`Span` so the body can add tags discovered
+        mid-flight (bits read, cache verdicts).  Timing comes from the
+        tracer's injected clock.
+        """
+        clock = self.tracer.clock
+        span = Span(name, t0=clock(), tags=tags)
+        parent = self._stack[-1]
+        parent.children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.t1 = clock()
+            self._stack.pop()
+
+    def event(self, name: str, **tags) -> Span:
+        """A zero-duration marker span (e.g. a delta-batch flush)."""
+        now = self.tracer.clock()
+        span = Span(name, t0=now, t1=now, tags=tags)
+        self._stack[-1].children.append(span)
+        return span
+
+    def graft(
+        self, span_dicts, parent: Span | None = None
+    ) -> list[Span]:
+        """Attach serialized spans (worker replies) under ``parent``.
+
+        ``span_dicts`` is a list of :meth:`Span.to_dict` trees —
+        exactly what resident workers piggyback on their reply tuples.
+        After the trace is finished (an early-closed streaming gather
+        drained its abandoned replies), the spans are dropped and
+        counted in :attr:`Tracer.dropped_spans` instead: stale replies
+        must never stitch into a later query's trace.
+        """
+        spans = [Span.from_dict(d) for d in span_dicts]
+        if self.finished:
+            self.tracer.dropped_spans += len(spans)
+            return []
+        target = parent if parent is not None else self._stack[-1]
+        target.children.extend(spans)
+        return spans
+
+    # -- reading -------------------------------------------------------
+
+    def spans(self) -> Iterator[Span]:
+        """Every span in the trace, pre-order."""
+        return self.root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name."""
+        return [s for s in self.spans() if s.name == name]
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "finished": self.finished,
+            "root": self.root.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = sum(1 for _ in self.spans())
+        return f"Trace({self.trace_id!r}, {n} span(s))"
+
+
+class Tracer:
+    """Produces, finishes, and retains per-query traces.
+
+    ``enabled=False`` makes :meth:`begin` answer ``None`` — and the
+    serving layers guard their instrumentation on exactly that, so a
+    disabled tracer costs one attribute read on the hot path.  The
+    ``clock`` is injected for deterministic tests and shared with the
+    engines' latency measurement.  Finished traces are kept in a
+    bounded ring (``keep``), newest last.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] | None = None,
+        keep: int = 64,
+    ) -> None:
+        self.enabled = enabled
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else time.monotonic
+        )
+        self.traces: deque[Trace] = deque(maxlen=keep)
+        #: Spans that arrived for an already-finished trace (abandoned
+        #: streaming-gather replies) — dropped, never misattached.
+        self.dropped_spans = 0
+
+    def begin(self, name: str, **tags) -> Trace | None:
+        """Start a trace rooted at an operation span, or None if off."""
+        if not self.enabled:
+            return None
+        trace_id = f"t{next(_trace_ids)}"
+        root = Span(name, t0=self.clock(), tags=tags)
+        root.tags["trace_id"] = trace_id
+        return Trace(trace_id, self, root)
+
+    def finish(self, trace: Trace) -> None:
+        """Close a trace's root span and retain it in the ring."""
+        if trace.finished:
+            return
+        trace.root.t1 = self.clock()
+        trace.finished = True
+        self.traces.append(trace)
+
+    def last(self) -> Trace | None:
+        """The most recently finished trace, if any."""
+        return self.traces[-1] if self.traces else None

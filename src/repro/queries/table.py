@@ -174,6 +174,29 @@ class Table:
             raise QueryError(f"row id {rid} outside [0, {self.num_rows})")
         return {name: col.values[rid] for name, col in self.columns.items()}
 
+    def stats(self):
+        """One typed, JSON-serializable snapshot of the serving layer.
+
+        Engine-built tables embed the full
+        :class:`~repro.obs.EngineStats` (per-column backends, cache
+        tier, I/O, attached metrics); factory-pinned tables have no
+        engine, so the snapshot carries the summed per-index disk
+        transfers instead.
+        """
+        from ..iomodel.stats import Snapshot
+        from ..obs import TableStats
+
+        if self.engine is not None:
+            return TableStats(
+                num_rows=self.num_rows, engine=self.engine.stats()
+            )
+        total = Snapshot()
+        for col in self.columns.values():
+            disk = getattr(col.index, "disk", None)
+            if disk is not None:
+                total = total + disk.stats.snapshot()
+        return TableStats(num_rows=self.num_rows, io=total)
+
     # ------------------------------------------------------------------
     # Exact predicate queries (RID set algebra over §1 range queries)
     # ------------------------------------------------------------------

@@ -766,6 +766,17 @@ class ShardLeafPlan:
             "cached": self.cached,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardLeafPlan":
+        return cls(
+            shard_id=data["shard_id"],
+            pruned=data["pruned"],
+            backend=data.get("backend"),
+            family=data.get("family"),
+            estimated_cost_bits=data.get("estimated_cost_bits", 0.0),
+            cached=data.get("cached", False),
+        )
+
 
 @dataclass(frozen=True)
 class LeafPlan:
@@ -799,6 +810,24 @@ class LeafPlan:
         if self.shards is not None:
             out["shards"] = [s.to_dict() for s in self.shards]
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LeafPlan":
+        shards = data.get("shards")
+        return cls(
+            column=data["column"],
+            char_lo=data["char_lo"],
+            char_hi=data["char_hi"],
+            backend=data.get("backend"),
+            family=data.get("family"),
+            estimated_cost_bits=data.get("estimated_cost_bits", 0.0),
+            cached=data.get("cached", False),
+            shards=(
+                None
+                if shards is None
+                else tuple(ShardLeafPlan.from_dict(s) for s in shards)
+            ),
+        )
 
     def describe(self) -> str:
         if self.backend is not None:
@@ -857,6 +886,39 @@ class PlanReport:
             "root": node_to_dict(self.root),
             "leaves": [leaf.to_dict() for leaf in self.leaves],
         }
+
+    def to_json(self) -> dict:
+        """Alias of :meth:`to_dict`, matching ``Snapshot``/``GatherStats``."""
+        return self.to_dict()
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PlanReport":
+        """Rebuild a report (operator tuples included) from its dict."""
+
+        def node_from_dict(node: dict) -> tuple:
+            op = node["op"]
+            if op == LEAF:
+                return (LEAF, node["leaf"])
+            if op == NOT:
+                return (NOT, node_from_dict(node["child"]))
+            if op in (AND, OR):
+                return (
+                    op,
+                    tuple(node_from_dict(c) for c in node["children"]),
+                )
+            return (op,)
+
+        return cls(
+            kind=data["kind"],
+            predicate=data["predicate"],
+            universe=data["universe"],
+            root=node_from_dict(data["root"]),
+            leaves=tuple(
+                LeafPlan.from_dict(leaf) for leaf in data["leaves"]
+            ),
+            num_shards=data.get("num_shards"),
+            estimated_total_bits=data.get("estimated_total_bits", 0.0),
+        )
 
     def describe(self) -> str:
         lines = [
