@@ -18,9 +18,10 @@ test:
 # bitmap algebra, counts-not-RIDs over worker pipes, cost-ordered
 # And), and the observability claims (E17: disabled tracing is free,
 # the slow-query log captures offenders, worker spans stitch into one
-# trace whose bits match scatter_io) end-to-end (asserts inside the
-# benchmarks) in well under 120 seconds.  --durations=0 prints the
-# wall time of every benchmark.
+# trace whose bits match scatter_io), and the kernel/transport claims
+# (E18: fast WAH decode >= 3x the reference, bulk payloads off the
+# pipe) end-to-end (asserts inside the benchmarks) in well under 120
+# seconds.  --durations=0 prints the wall time of every benchmark.
 bench-smoke:
 	timeout 120 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
 		benchmarks/bench_e12_cluster.py \
@@ -28,7 +29,8 @@ bench-smoke:
 		benchmarks/bench_e14_parallel.py \
 		benchmarks/bench_e15_predicates.py \
 		benchmarks/bench_e16_aggregates.py \
-		benchmarks/bench_e17_observability.py -q \
+		benchmarks/bench_e17_observability.py \
+		benchmarks/bench_e18_kernels.py -q \
 		-p no:cacheprovider --benchmark-disable --durations=0
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).

@@ -6,15 +6,22 @@ per-shard fetches beat the serial walk on wall clock: the
 worker-resident ``ProcessExecutor`` must clear >1.5x at 4 and 16
 shards — asserted, not just recorded — and the threaded executor
 overlaps too (the sleeps release the GIL).  Latency-off rows are
-recorded for honesty: on the pure in-process substrate the scatter is
-bookkeeping-bound and IPC is overhead, which is exactly why the
-latency model exists.  (b) Parallelism buys no slack on accounting:
-the aggregated per-worker ``IOStats`` totals equal the serial run's
+*asserted* too, not just recorded: with the fast kernels doing the
+decode and the transport speaking grouped per-worker messages plus
+shared-memory bulk payloads, the process scatter must beat the
+serial walk at 16 shards when real cores are available; on a
+single-core host, where parallel decode is physically serialized and
+IPC can only cost, the same row must stay within a small bounded
+overhead of serial (the old regression was unbounded — it *grew*
+with shard count).  (b) Parallelism buys no slack on accounting: the
+aggregated per-worker ``IOStats`` totals equal the serial run's
 exactly, transfer for transfer.  (c) The prefetching streamed gather
 pipelines the next shards' fetches while the current buffer drains —
 faster than the serial walk under latency while ``GatherStats`` still
 proves the O(max shard answer) delivered-buffer bound.
 """
+
+import os
 
 import pytest
 
@@ -22,13 +29,20 @@ from repro.bench import best_of, standard_string
 from repro.bench.workloads import random_ranges
 from repro.cluster import ClusterEngine, ProcessExecutor, ThreadedExecutor
 
-N = 1 << 12
+N = 1 << 15
 SIGMA = 32
-LATENCY_S = 6e-4
+LATENCY_S = 2e-4
 WORKERS = 4
 NUM_QUERIES = 6
 SHARD_COUNTS = [1, 4, 16]
 REQUIRED_SPEEDUP = 1.5
+#: Latency-off bound for hosts without real parallelism (see CORES).
+MAX_SINGLE_CORE_OVERHEAD = 1.75
+
+try:
+    CORES = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux fallback
+    CORES = os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -79,6 +93,7 @@ def test_e14a_process_scatter_beats_serial_under_latency(
 ):
     rows = []
     speedups = {}
+    speedups_off = {}
     for num_shards in SHARD_COUNTS:
         timings = {}
         for label, executor in [
@@ -89,23 +104,26 @@ def test_e14a_process_scatter_beats_serial_under_latency(
             cluster = build_cluster(data, num_shards, executor)
             run = cold_batch(cluster, query_batch)
             reference = run()
-            off_s, total = best_of(run, repeats=2)
+            off_s, total = best_of(run, repeats=3)
             assert total == reference
             cluster.set_io_latency(LATENCY_S)
             on_s, total = best_of(run, repeats=2)
             assert total == reference
             timings[label] = (off_s, on_s)
             cluster.close()
-        serial_on = timings["serial"][1]
+        serial_off, serial_on = timings["serial"]
         for label in ("serial", "threaded", "process"):
             off_s, on_s = timings[label]
             speedup = serial_on / max(on_s, 1e-9)
+            speedup_off = serial_off / max(off_s, 1e-9)
             speedups[(num_shards, label)] = speedup
+            speedups_off[(num_shards, label)] = speedup_off
             rows.append(
                 [
                     num_shards,
                     label,
                     f"{off_s * 1e3:.1f}ms",
+                    f"{speedup_off:.2f}x",
                     f"{on_s * 1e3:.1f}ms",
                     f"{speedup:.2f}x",
                 ]
@@ -117,15 +135,36 @@ def test_e14a_process_scatter_beats_serial_under_latency(
             f"process executor {got:.2f}x at {num_shards} shards "
             f"(need > {REQUIRED_SPEEDUP}x with latency on)"
         )
+    # The fixed regression row: latency OFF, 16 shards.  With real
+    # cores the resident scatter must now win outright; a single-core
+    # host serializes the workers' decode by definition, so the win
+    # is impossible there and the assertion is the bounded-overhead
+    # form (the regression this replaces grew with shard count).
+    off_16 = speedups_off[(16, "process")]
+    if CORES >= 2:
+        assert off_16 > 1.0, (
+            f"process executor {off_16:.2f}x vs serial at 16 shards "
+            f"with latency off ({CORES} cores available: must win)"
+        )
+    else:
+        assert off_16 > 1.0 / MAX_SINGLE_CORE_OVERHEAD, (
+            f"process executor {1 / off_16:.2f}x overhead vs serial at "
+            f"16 shards with latency off (single-core bound "
+            f"{MAX_SINGLE_CORE_OVERHEAD}x)"
+        )
     report.table(
         f"E14a  scatter wall clock: {NUM_QUERIES} cold queries over "
-        f"n={N} (latency {LATENCY_S * 1e3:.1f}ms/block, {WORKERS} workers)",
-        ["shards", "executor", "latency off", "latency on", "speedup (on)"],
+        f"n={N} (latency {LATENCY_S * 1e3:.1f}ms/block, {WORKERS} workers, "
+        f"{CORES} cores)",
+        ["shards", "executor", "lat off", "off speedup", "lat on",
+         "on speedup"],
         rows,
-        note="speedup is serial/on vs executor/on at the same shard "
-        "count; >1.5x asserted for the process executor at 4 and 16 "
-        "shards.  Latency-off rows show the honest IPC/bookkeeping "
-        "overhead the latency model exists to dominate.",
+        note="speedups are serial vs executor at the same shard count "
+        "and latency setting; >1.5x asserted for the process executor "
+        "at 4 and 16 shards with latency on, and the latency-off "
+        "16-shard row (the old regression) is asserted too: an "
+        "outright win with >= 2 cores, bounded overhead "
+        f"(< {MAX_SINGLE_CORE_OVERHEAD}x) on a single-core host.",
     )
     cluster = build_cluster(data, 4, process_pool)
     benchmark(cold_batch(cluster, query_batch))

@@ -4,6 +4,12 @@ All codecs in this package (§1.2's gamma-coded run lengths, the gap
 lists of §4.2, fixed-width directory fields) are built on these two
 classes.  The bit order is MSB-first within each byte: the first bit
 written is the most significant bit of the first byte.
+
+``BitReader``'s window is the triple ``(_buf, _pos, _end)`` of buffer
+and absolute bit positions.  The fast kernels in
+:mod:`repro.bits.kernels` read and restore that window directly to
+batch whole streams per call, so the representation is a package-level
+contract, not a private detail of this module.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 
 from ..errors import CodecError, InvalidParameterError
+from . import kernels
 from .bitio import BitReader, BitWriter
 from .gamma import gamma_length, read_gamma, write_gamma
 
@@ -36,7 +37,16 @@ def encode_gaps(writer: BitWriter, positions: Sequence[int]) -> None:
 
 
 def decode_gaps(reader: BitReader, count: int) -> list[int]:
-    """Decode ``count`` gap codes back into absolute positions."""
+    """Decode ``count`` gap codes back into absolute positions.
+
+    Consumes exactly the gamma bits of the ``count`` codes and leaves
+    the reader positioned after them (callers decode several runs
+    sequentially from one reader).  Dispatches to the batched
+    accumulator kernel (:func:`repro.bits.kernels.decode_gaps_fast`)
+    under ``REPRO_KERNEL=fast``; the loop below is the reference.
+    """
+    if kernels.USE_FAST:
+        return kernels.decode_gaps_fast(reader, count)
     positions: list[int] = []
     append = positions.append
     prev = -1

@@ -6,6 +6,11 @@ the dynamic structures (§4.2).  A gamma code for ``v >= 1`` spends
 ``2*floor(lg v) + 1`` bits: the length of ``v`` in unary, then the low
 bits of ``v``.  Delta codes (gamma-coded length) are provided for
 completeness and for the directory fields where values can be large.
+
+These per-code readers are the reference decode path; the batch hot
+path (``ebitmap.decode_gaps``) dispatches whole gap *streams* to the
+chunked accumulator kernel in :mod:`repro.bits.kernels` under
+``REPRO_KERNEL=fast``.
 """
 
 from __future__ import annotations

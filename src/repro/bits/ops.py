@@ -6,12 +6,23 @@ position sets of canonical subtrees; the RID-intersection application of
 a large answer into the complement of two small ones.  These helpers
 implement that algebra on plain sorted ``list[int]`` values, which is
 the decoded form every bitmap class can produce.
+
+Each base operation dispatches on :data:`repro.bits.kernels.USE_FAST`:
+the loops written out below are the pure-Python *reference* kernels
+(``REPRO_KERNEL=python``), and :mod:`.kernels` holds their
+block-oriented twins built on C-backed ``set``/``sorted`` primitives
+(``REPRO_KERNEL=fast``, the default).  The complement-aware and
+counting combinators further down compose these base operations, so
+they accelerate through the same switch without dispatching
+themselves.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Iterable, Sequence
+
+from . import kernels
 
 
 def is_strictly_increasing(seq: Sequence[int]) -> bool:
@@ -27,6 +38,8 @@ def union_disjoint_sorted(lists: Iterable[Sequence[int]]) -> list[int]:
     deduplication is needed because canonical subtrees partition the
     answer.
     """
+    if kernels.USE_FAST:
+        return kernels.union_disjoint_sorted(lists)
     lists = [lst for lst in lists if lst]
     if not lists:
         return []
@@ -37,6 +50,8 @@ def union_disjoint_sorted(lists: Iterable[Sequence[int]]) -> list[int]:
 
 def union_sorted(lists: Iterable[Sequence[int]]) -> list[int]:
     """Union of sorted lists, deduplicating equal elements."""
+    if kernels.USE_FAST:
+        return kernels.union_sorted(lists)
     merged = union_disjoint_sorted(lists)
     if not merged:
         return []
@@ -62,6 +77,8 @@ def union_many(lists: Sequence[Sequence[int]]) -> list[int]:
 
 def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Intersection of two sorted duplicate-free lists (two pointers)."""
+    if kernels.USE_FAST:
+        return kernels.intersect_sorted(a, b)
     out: list[int] = []
     append = out.append
     i = j = 0
@@ -89,6 +106,8 @@ def intersect_many(lists: Sequence[Sequence[int]]) -> list[int]:
     layers are responsible for rejecting condition-free selects.  The
     result is always a fresh list, never an alias of an input.
     """
+    if kernels.USE_FAST:
+        return kernels.intersect_many(lists)
     if not lists:
         return []
     ordered = sorted(lists, key=len)
@@ -102,6 +121,8 @@ def intersect_many(lists: Sequence[Sequence[int]]) -> list[int]:
 
 def difference_sorted(a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Elements of sorted ``a`` not present in sorted ``b``."""
+    if kernels.USE_FAST:
+        return kernels.difference_sorted(a, b)
     out: list[int] = []
     append = out.append
     i = j = 0
@@ -188,6 +209,8 @@ def difference_aware(
 
 def intersect_count(a: Sequence[int], b: Sequence[int]) -> int:
     """``|A & B|`` of two sorted duplicate-free lists, no output list."""
+    if kernels.USE_FAST:
+        return kernels.intersect_count(a, b)
     count = 0
     i = j = 0
     la, lb = len(a), len(b)
@@ -275,6 +298,8 @@ def complement_sorted(positions: Sequence[int], universe: int) -> list[int]:
     more than half the string, the structure answers the two flanking
     queries and returns their complement.
     """
+    if kernels.USE_FAST:
+        return kernels.complement_sorted(positions, universe)
     out: list[int] = []
     append = out.append
     prev = -1

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from ..errors import CodecError, InvalidParameterError
+from . import kernels
 
 WORD_BITS = 32
 GROUP_BITS = 31
@@ -107,10 +108,18 @@ class WahBitmap:
 
     def positions(self) -> list[int]:
         """Decompress to the sorted list of 1-positions."""
+        if kernels.USE_FAST:
+            return kernels.wah_decode(self.words, self.universe)
         return list(self.iter_positions())
 
     def iter_positions(self) -> Iterator[int]:
-        """Iterate 1-positions in increasing order."""
+        """Iterate 1-positions in increasing order (reference decoder).
+
+        :meth:`positions` is the batch entry point and dispatches to
+        the block-oriented kernel (:func:`repro.bits.kernels.\
+wah_decode`) under ``REPRO_KERNEL=fast``; this generator is the
+        pure-Python reference both are tested against.
+        """
         base = 0
         for word in self.words:
             if word >> 31:

@@ -124,6 +124,11 @@ _UID_SOURCE = itertools.count()
 #: Sentinel for "no entry" when re-keying sparse per-shard mappings.
 _ABSENT = object()
 
+#: Sentinel returned by a deferred :meth:`ClusterEngine._submit_fetch`:
+#: the fetch was collected for a grouped per-worker shipment and its
+#: real future arrives when the group is submitted.
+_DEFERRED = object()
+
 
 def _remap_shard_dict(
     d: dict[int, object], at: int, width: int, replacement: list
@@ -780,6 +785,7 @@ class ClusterEngine:
         lo: int,
         hi: int,
         trace=None,
+        defer: "list | None" = None,
     ):
         """Launch one shard fetch; resolves to ``(positions, io)``.
 
@@ -795,6 +801,13 @@ class ClusterEngine:
         workers ship theirs back on the widened pipelined reply, and a
         coordinator-side shared-cache hit records a synchronous
         ``cache_lookup`` event (span slot ``None``).
+
+        With ``defer`` (a list) a resident cache *miss* is not sent
+        yet: its ``((uid, name, lo, hi), absorb)`` pair is appended
+        and :data:`_DEFERRED` returned, so the caller can ship the
+        whole scatter grouped per worker
+        (:meth:`~repro.cluster.executor.ProcessExecutor.\
+submit_query_group`) instead of one message per shard.
         """
         if not self._resident:
             if trace is None:
@@ -818,10 +831,6 @@ class ClusterEngine:
             )
             return CompletedFuture((hit, Snapshot(), None))
         self._note_flush(trace, uid)
-        future = self.executor.submit_query(
-            uid, name, lo, hi,
-            trace=None if trace is None else trace.trace_id,
-        )
 
         if trace is None:
 
@@ -837,6 +846,13 @@ class ClusterEngine:
                 self.shared_cache.put(key, positions)
                 return positions, io, span
 
+        if defer is not None:
+            defer.append(((uid, name, lo, hi), absorb))
+            return _DEFERRED
+        future = self.executor.submit_query(
+            uid, name, lo, hi,
+            trace=None if trace is None else trace.trace_id,
+        )
         return MappedFuture(future, absorb)
 
     @staticmethod
@@ -1524,17 +1540,34 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                 # canonicalizes the cache key and prunes shards the
                 # range cannot touch at all.
                 futures = []
+                deferred: list = [] if self._resident else None
+                deferred_slots: list[int] = []
                 for shard_id in range(self.num_shards):
                     local = self._translate_range(
                         meta, shard_id, char_lo, char_hi
                     )
-                    futures.append(
+                    fetched = (
                         None
                         if local is None
                         else self._submit_fetch(
-                            name, meta, shard_id, *local, trace=trace
+                            name, meta, shard_id, *local,
+                            trace=trace, defer=deferred,
                         )
                     )
+                    if fetched is _DEFERRED:
+                        deferred_slots.append(shard_id)
+                    futures.append(fetched)
+                if deferred_slots:
+                    # Ship the resident misses grouped per worker: a
+                    # 16-shard scatter costs one round-trip per worker.
+                    group = self.executor.submit_query_group(
+                        [request for request, _ in deferred],
+                        trace=None if trace is None else trace.trace_id,
+                    )
+                    for slot, (_, absorb), future in zip(
+                        deferred_slots, deferred, group
+                    ):
+                        futures[slot] = MappedFuture(future, absorb)
                 # Gather: shard i's global RIDs all precede shard
                 # i+1's, so the k-way merge of these sorted disjoint
                 # runs is a concatenation.
@@ -2038,7 +2071,7 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             return Migration(name, shard_id, old, old)
         column.rebuild(spec)
         if self.io_latency_s:
-            column.index.disk.latency_s = self.io_latency_s
+            column.apply_latency(self.io_latency_s)
         self._ship_delta(shard_id, ("rebuild", name, spec.name))
         # rebuild() bumped the version; evict the dead entries from
         # both tiers eagerly.
@@ -2215,7 +2248,7 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         self.io_latency_s = latency_s
         for shard_id, engine in enumerate(self.shards):
             for column in engine.columns.values():
-                column.index.disk.latency_s = latency_s
+                column.apply_latency(latency_s)
             self._ship_delta(shard_id, ("set_latency", latency_s))
 
     def drop_caches(self) -> None:
@@ -2227,11 +2260,13 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         unaffected.
         """
         self.shared_cache.invalidate()
-        for shard_id, engine in enumerate(self.shards):
+        for engine in self.shards:
             engine.cache.invalidate()
             for column in engine.columns.values():
-                column.index.disk.flush_cache()
-            self._ship_delta(shard_id, ("drop_caches",))
+                column.flush_disk_cache()
+        if self._resident:
+            # One broadcast per worker, not one delta per shard.
+            self.executor.drop_caches_all()
 
     def close(self) -> None:
         """Retire this cluster's resident shard replicas, if any.
@@ -2307,14 +2342,20 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             # the rest of its update contract (mirrors migrate()).
             require_delete=meta.require_delete and meta.dynamism != "static",
             backend=pin,
+            # Under a resident executor the worker replica serves every
+            # query, so the coordinator keeps control-plane state only
+            # (codes + stats + the advisor's verdict); the local index
+            # builds lazily if something ever queries it directly.
+            defer_index=self._resident,
         )
+        column = engine.column(meta.name)
         if self.io_latency_s:
-            engine.column(meta.name).index.disk.latency_s = self.io_latency_s
+            column.apply_latency(self.io_latency_s)
         if self.metrics is not None:
             # Local shard disks report transfer counts into the
             # cluster's registry; resident replicas count worker-side
             # (their snapshots still fold into scatter_io here).
-            engine.column(meta.name).index.disk.metrics = self.metrics
+            column.apply_metrics(self.metrics)
         return domain
 
     def split_shard(self, shard_id: int) -> ShardSplit:

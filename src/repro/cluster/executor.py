@@ -31,6 +31,24 @@ back into cluster totals.  Workers answer requests in FIFO order per
 pipe, which is what makes the cheap pipelined future
 (:class:`_PipeFuture`) correct.
 
+Pipes carry control messages and replies only.  Bulk request
+payloads — build snapshots of ``SHM_MIN_CODES`` or more codes and
+coalesced delta batches of ``SHM_MIN_DELTAS`` or more entries —
+travel as flat ``int64`` arrays through
+:mod:`multiprocessing.shared_memory` segments, so shipping a shard or
+a write burst costs a few hundred pipe bytes of names and counts
+regardless of payload size.  (Position replies stay pickled lists on
+the pipe deliberately: pickle encodes small ints in ~3 bytes where an
+``int64`` blob spends 8, and measured pack+unpack time favors the
+list too.)
+The coordinator owns every segment: each is registered in a
+per-executor table and released when its request resolves (success,
+error, or worker death all fire the same ``on_resolve`` hook), with
+``close()`` and a ``weakref.finalize`` GC backstop sweeping anything
+abandoned mid-stream.  A worker that dies mid-request surfaces as
+:class:`~repro.errors.WorkerDiedError` carrying the failing shard
+uid on every outstanding future — never a hang on the pipe.
+
 The ``kind`` attribute ("local" / "resident") tells the cluster which
 dialect to speak; ``supports_prefetch`` tells the gather whether
 submitting a fetch ahead of the drain actually buys overlap.
@@ -40,11 +58,14 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import weakref
+from array import array
 from collections import Counter, deque
 from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import resource_tracker, shared_memory
 from typing import Callable, Iterable, TypeVar
 
-from ..errors import InvalidParameterError, StorageError
+from ..errors import InvalidParameterError, StorageError, WorkerDiedError
 from ..iomodel.stats import Snapshot
 
 T = TypeVar("T")
@@ -81,6 +102,26 @@ class MappedFuture:
 
     def result(self):
         return self._fn(self._future.result())
+
+
+class _SliceFuture:
+    """One request's view of a grouped (multi-request) reply.
+
+    A ``query_multi`` shipment resolves its single pipe future to a
+    list of per-request replies; each slice future indexes into it,
+    so callers see one future per request regardless of how requests
+    were packed onto the wire.  A failed group re-raises the same
+    exception from every slice.
+    """
+
+    __slots__ = ("_parent", "_index")
+
+    def __init__(self, parent, index: int) -> None:
+        self._parent = parent
+        self._index = index
+
+    def result(self):
+        return self._parent.result()[self._index]
 
 
 class SerialExecutor:
@@ -147,20 +188,32 @@ class _PipeFuture:
     means pumping replies off the pipe into the pending queue's heads
     until this one is reached.  ``result()`` re-raises any exception
     the worker shipped back.
+
+    ``uid`` is the shard the request was addressed to (error
+    attribution when the worker dies).  ``on_resolve`` fires exactly
+    once when the future resolves — success, worker error, or worker
+    death alike — which is what ties shared-memory segment lifetime to
+    the request that shipped it: the pump path, the drain path, and
+    the dead-worker path all go through :meth:`_resolve`.
     """
 
-    __slots__ = ("_worker", "_done", "_value", "_exc")
+    __slots__ = ("_worker", "_done", "_value", "_exc", "uid", "on_resolve")
 
-    def __init__(self, worker: "_Worker") -> None:
+    def __init__(self, worker: "_Worker", uid: int | None = None) -> None:
         self._worker = worker
         self._done = False
         self._value = None
         self._exc: BaseException | None = None
+        self.uid = uid
+        self.on_resolve = None
 
     def _resolve(self, value, exc: BaseException | None) -> None:
         self._done = True
         self._value = value
         self._exc = exc
+        if self.on_resolve is not None:
+            callback, self.on_resolve = self.on_resolve, None
+            callback()
 
     def result(self):
         if not self._done:
@@ -188,6 +241,7 @@ class _Worker:
         from .worker import shard_worker_main
 
         self.index = index
+        self.dead = False
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
         self.pending: deque[_PipeFuture] = deque()
@@ -201,16 +255,58 @@ class _Worker:
         self.process.start()
         child_conn.close()
 
+    @staticmethod
+    def _uid_of(message: tuple) -> int | None:
+        # Every shard-addressed op carries its uid as the second
+        # element; pool-wide ops ("stats", "close") do not.
+        return message[1] if len(message) > 1 and isinstance(message[1], int) else None
+
+    def _fail_all(self) -> None:
+        """The pipe broke: fail every outstanding future, typed.
+
+        Resolving (not abandoning) the pending queue matters twice
+        over: callers get :class:`WorkerDiedError` with the shard uid
+        they addressed instead of a hang, and each future's
+        ``on_resolve`` still fires, releasing any shared-memory
+        segment its request shipped.
+        """
+        self.dead = True
+        while self.pending:
+            head = self.pending.popleft()
+            head._resolve(None, WorkerDiedError(self.index, head.uid))
+
     def request(self, message: tuple) -> _PipeFuture:
+        if self.dead:
+            raise WorkerDiedError(self.index, self._uid_of(message))
         while len(self.pending) >= self.MAX_PIPELINE:
             self.pump_until(self.pending[0])  # keeps its value for result()
-        self.conn.send(message)
-        future = _PipeFuture(self)
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, EOFError, OSError):
+            self._fail_all()
+            raise WorkerDiedError(self.index, self._uid_of(message)) from None
+        future = _PipeFuture(self, self._uid_of(message))
         self.pending.append(future)
         return future
 
     def call(self, message: tuple):
         return self.request(message).result()
+
+    def send_silent(self, message: tuple) -> None:
+        """Ship a no-reply op: one send, no future, no round-trip.
+
+        Only for ops the worker loop explicitly answers with silence
+        (``drop_caches_all``) — anything else would desynchronize the
+        FIFO reply pipe.  Ordering still holds: the worker processes
+        the silent op before any later request on the same pipe.
+        """
+        if self.dead:
+            raise WorkerDiedError(self.index, self._uid_of(message))
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, EOFError, OSError):
+            self._fail_all()
+            raise WorkerDiedError(self.index, self._uid_of(message)) from None
 
     def pump_until(self, future: _PipeFuture) -> None:
         while not future._done:
@@ -218,7 +314,13 @@ class _Worker:
                 raise StorageError(
                     "worker reply pipe out of sync (future not pending)"
                 )
-            status, payload = self.conn.recv()
+            try:
+                status, payload = self.conn.recv()
+            except (EOFError, OSError):
+                # Worker death mid-reply: every outstanding request —
+                # this one included — resolves to a typed error.
+                self._fail_all()
+                return
             head = self.pending.popleft()
             if status == "ok":
                 head._resolve(payload, None)
@@ -251,6 +353,80 @@ class _Worker:
                 self.process.terminate()
                 self.process.join(timeout=timeout)
             self.conn.close()
+
+
+def _release_segments(segments: dict) -> None:
+    """Close and unlink every segment in the registry (idempotent)."""
+    for name in list(segments):
+        shm = segments.pop(name, None)
+        if shm is None:
+            continue
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone
+            pass
+
+
+def _segment_releaser(segments: dict, name: str):
+    """One-shot release of a single named segment from the registry.
+
+    Holds the registry dict, never the executor, so a leaked closure
+    cannot keep the executor alive past its GC finalizer.
+    """
+
+    def release() -> None:
+        shm = segments.pop(name, None)
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+    return release
+
+
+def _pack_delta_batch(buffer: list[tuple]) -> tuple[tuple, array]:
+    """Flatten coalescable deltas to (names, int64 quads).
+
+    Each delta packs to four signed 64-bit ints:
+    ``(0, name_index, ch, 0)`` for ``append`` and
+    ``(1, name_index, pos, ch)`` for ``change``.  Raises ``TypeError``
+    / ``OverflowError`` on values ``array('q')`` cannot hold — the
+    caller falls back to the pickled batch.
+    """
+    names: list[str] = []
+    name_idx: dict[str, int] = {}
+    packed = array("q")
+    for delta in buffer:
+        idx = name_idx.setdefault(delta[1], len(names))
+        if idx == len(names):
+            names.append(delta[1])
+        if delta[0] == "append":
+            packed.extend((0, idx, delta[2], 0))
+        else:
+            packed.extend((1, idx, delta[2], delta[3]))
+    return tuple(names), packed
+
+
+def _pack_codes_flat(columns: list) -> tuple[array, list]:
+    """Flatten build-payload column codes to one int64 array + metas.
+
+    ``None`` holes encode as ``-1``; the metas keep every column field
+    except the codes themselves, with the code *count* in their
+    place.  Raises ``TypeError``/``OverflowError`` on values
+    ``array('q')`` cannot hold — the caller falls back to the pickled
+    build.
+    """
+    codes = array("q")
+    metas = []
+    for name, col_codes, sigma, dyn, sel, exact, delete, backend in columns:
+        codes.extend(-1 if c is None else c for c in col_codes)
+        metas.append(
+            (name, len(col_codes), sigma, dyn, sel, exact, delete, backend)
+        )
+    return codes, metas
 
 
 def _default_start_method() -> str:
@@ -305,6 +481,15 @@ class ProcessExecutor:
     #: whose worker-side application order within one shard is all
     #: that matters.
     _COALESCABLE = ("append", "change")
+    #: Build snapshots whose flattened code count reaches this ship
+    #: their codes through a ``multiprocessing.shared_memory`` segment
+    #: (one flat ``array('q')``, ``None`` holes as ``-1``) and send
+    #: only name/offset metadata down the pipe; smaller builds are not
+    #: worth a segment.
+    SHM_MIN_CODES = 2048
+    #: Coalesced delta batches at least this long ship flat through a
+    #: segment instead of as a pickled list-of-tuples.
+    SHM_MIN_DELTAS = 32
 
     def __init__(
         self,
@@ -319,11 +504,27 @@ class ProcessExecutor:
         ctx = multiprocessing.get_context(
             start_method if start_method is not None else _default_start_method()
         )
+        # Start the resource tracker *before* forking workers so they
+        # inherit it: segment registrations then land in one shared
+        # tracker, where the worker's attach-time register is an
+        # idempotent set-add balanced by the coordinator's unlink.
+        # (Spawned workers start their own tracker and balance their
+        # attach registrations themselves — see worker._attach_segment.)
+        resource_tracker.ensure_running()
         self._workers = [_Worker(ctx, i) for i in range(max_workers)]
         self._by_uid: dict[int, _Worker] = {}
         self._pending_deltas: dict[int, list[tuple]] = {}
         self._batch_futures: list[_PipeFuture] = []
         self._closed = False
+        #: Live shared-memory segments by name.  Each is released by
+        #: the ``on_resolve`` of the request that shipped it; whatever
+        #: remains is unlinked by :meth:`close`, with a GC finalizer
+        #: as the last-resort backstop (the finalizer holds only the
+        #: dict, never the executor).
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._segments_finalizer = weakref.finalize(
+            self, _release_segments, self._segments
+        )
         #: Pipe messages sent per query-side op ("query" / "leaves" /
         #: "fold") — the accounting the aggregate-pushdown tests and
         #: benchmarks read to prove which wire shape a path used.
@@ -357,14 +558,55 @@ class ProcessExecutor:
                 f"shard uid {uid} is not resident in this executor"
             ) from None
 
+    def _new_segment(self, payload: bytes) -> shared_memory.SharedMemory:
+        shm = shared_memory.SharedMemory(create=True, size=len(payload))
+        shm.buf[: len(payload)] = payload
+        self._segments[shm.name] = shm
+        return shm
+
+    def segment_count(self) -> int:
+        """Live (not yet released) shared-memory segments — tests only."""
+        return len(self._segments)
+
     def build_shard(self, uid: int, payload: tuple) -> None:
-        """Ship one shard's build snapshot to the least loaded worker."""
+        """Ship one shard's build snapshot to the least loaded worker.
+
+        Large snapshots (``SHM_MIN_CODES`` flattened codes or more) lay
+        their codes flat in a shared-memory segment — one
+        ``array('q')`` per build, ``None`` holes as ``-1`` — and the
+        pipe carries only ``("build_shm", uid, segment, cache_size,
+        latency_s, column metas)``.  The segment is released as soon
+        as the worker's reply resolves, successful or not.
+        """
         if self._closed:
             raise StorageError("executor is closed")
         if uid in self._by_uid:
             raise InvalidParameterError(f"shard uid {uid} already resident")
         worker = min(self._workers, key=lambda w: (len(w.uids), w.index))
-        worker.call(("build", uid, payload))
+        cache_size, latency_s, columns = payload
+        total_codes = sum(len(column[1]) for column in columns)
+        release = None
+        message = ("build", uid, payload)
+        if total_codes >= self.SHM_MIN_CODES:
+            try:
+                codes, metas = _pack_codes_flat(columns)
+            except (TypeError, OverflowError):
+                pass  # exotic codes: the pickled path still works
+            else:
+                shm = self._new_segment(codes.tobytes())
+                release = _segment_releaser(self._segments, shm.name)
+                message = (
+                    "build_shm", uid, shm.name, cache_size, latency_s, metas,
+                )
+        try:
+            future = worker.request(message)
+        except BaseException:
+            if release is not None:
+                release()
+            raise
+        if release is not None:
+            future.on_resolve = release
+        future.result()
         worker.uids.add(uid)
         self._by_uid[uid] = worker
 
@@ -385,9 +627,14 @@ class ProcessExecutor:
 
         ``append``/``change`` deltas coalesce per shard and ship later
         as one ``delta_batch`` message; every other delta first
-        flushes that shard's buffer ahead of itself, then applies
-        synchronously (round-trip included), preserving per-shard
-        order exactly.
+        flushes that shard's buffer ahead of itself, then ships as its
+        own pipelined message — per-shard order is exact (one FIFO
+        pipe per worker), and nothing blocks on the reply, so a
+        broadcast delta (``drop_caches``, ``set_latency``) costs one
+        send per shard instead of one round-trip per shard.  Worker
+        errors surface at the next harvest point: a later
+        ``apply_delta``, :meth:`flush_deltas`, or a blocking call on
+        the same shard.
         """
         worker = self._worker_of(uid)
         self._harvest_batches()
@@ -398,26 +645,51 @@ class ProcessExecutor:
                 self._flush_uid(uid)
             return
         self._flush_uid(uid)
-        worker.call(("delta", uid, delta))
+        self._batch_futures.append(worker.request(("delta", uid, delta)))
 
     def pending_delta_count(self, uid: int) -> int:
         """Buffered (not yet shipped) coalescable deltas for one shard."""
         return len(self._pending_deltas.get(uid, ()))
 
     def _flush_uid(self, uid: int) -> None:
-        """Ship a shard's buffered deltas as one pipelined message."""
+        """Ship a shard's buffered deltas as one pipelined message.
+
+        Batches of ``SHM_MIN_DELTAS`` or more flatten into a
+        shared-memory segment (released when the shipment's reply
+        resolves — including via the drain path and the dead-worker
+        path); shorter batches stay pickled on the pipe.
+        """
         buffer = self._pending_deltas.pop(uid, None)
         if not buffer:
             return
         if self.metrics is not None:
             self.metrics.observe("delta.flush_size", len(buffer))
         worker = self._by_uid[uid]
-        message = (
-            ("delta", uid, buffer[0])
-            if len(buffer) == 1
-            else ("delta_batch", uid, buffer)
-        )
-        self._batch_futures.append(worker.request(message))
+        release = None
+        if len(buffer) == 1:
+            message = ("delta", uid, buffer[0])
+        else:
+            message = ("delta_batch", uid, buffer)
+            if len(buffer) >= self.SHM_MIN_DELTAS:
+                try:
+                    names, packed = _pack_delta_batch(buffer)
+                except (TypeError, OverflowError):
+                    pass  # non-int64 payloads: pickled batch fallback
+                else:
+                    shm = self._new_segment(packed.tobytes())
+                    release = _segment_releaser(self._segments, shm.name)
+                    message = (
+                        "delta_batch_shm", uid, shm.name, len(buffer), names,
+                    )
+        try:
+            future = worker.request(message)
+        except BaseException:
+            if release is not None:
+                release()
+            raise
+        if release is not None:
+            future.on_resolve = release
+        self._batch_futures.append(future)
 
     def _harvest_batches(self, block: bool = False) -> None:
         """Surface errors from already-answered batch shipments.
@@ -441,6 +713,22 @@ class ProcessExecutor:
         for uid in list(self._pending_deltas):
             self._flush_uid(uid)
         self._harvest_batches(block=True)
+
+    def drop_caches_all(self) -> None:
+        """Flush every resident engine's caches: one message per worker.
+
+        Buffered deltas flush first (per-shard order), then each
+        *worker* gets a single fire-and-forget ``drop_caches_all`` —
+        a cluster-wide cache drop costs ``max_workers`` sends (no
+        replies, no round-trips), not one round-trip per shard.  The
+        FIFO pipe still orders the drop ahead of any later query.
+        """
+        for uid in list(self._pending_deltas):
+            self._flush_uid(uid)
+        self._harvest_batches()
+        for worker in self._workers:
+            if worker.uids:
+                worker.send_silent(("drop_caches_all",))
 
     # ------------------------------------------------------------------
     # Queries
@@ -470,6 +758,50 @@ class ProcessExecutor:
         if trace is not None:
             message += (trace,)
         return worker.request(message)
+
+    def submit_query_group(
+        self,
+        requests: "list[tuple[int, str, int, int]]",
+        trace: str | None = None,
+    ) -> list:
+        """Pipeline many shard range queries, one message per *worker*.
+
+        ``requests`` is ``[(uid, name, char_lo, char_hi), ...]``; the
+        return value is a list of futures aligned with it, each
+        resolving to the same shape :meth:`submit_query` produces.
+        Requests for shards resident in the same worker ride a single
+        ``query_multi`` pipe message (answered as a list, fanned back
+        out through per-request views), so a 16-shard scatter over 4
+        workers costs 4 round-trips instead of 16.  A worker error
+        fails every request in its group — the scatter's first-error
+        drain treats that exactly like a lone failed shard.
+        """
+        groups: dict[int, list[int]] = {}
+        for i, (uid, *_rest) in enumerate(requests):
+            worker = self._worker_of(uid)
+            self._flush_uid(uid)
+            groups.setdefault(worker.index, []).append(i)
+        futures: list = [None] * len(requests)
+        for index, slots in groups.items():
+            worker = self._workers[index]
+            if len(slots) == 1:
+                i = slots[0]
+                uid, name, lo, hi = requests[i]
+                self.op_counts["query"] += 1
+                message = ("query", uid, name, lo, hi)
+                if trace is not None:
+                    message += (trace,)
+                futures[i] = worker.request(message)
+                continue
+            batch = [requests[i] for i in slots]
+            self.op_counts["query"] += 1
+            message = ("query_multi", batch[0][0], batch)
+            if trace is not None:
+                message += (trace,)
+            parent = worker.request(message)
+            for pos, i in enumerate(slots):
+                futures[i] = _SliceFuture(parent, pos)
+        return futures
 
     def submit_leaves(
         self,
@@ -545,6 +877,10 @@ class ProcessExecutor:
         self._by_uid.clear()
         self._pending_deltas.clear()
         self._batch_futures.clear()
+        # Shutdown drained every pipe, so per-request releases have
+        # already fired; whatever segments remain (abandoned streams,
+        # dead workers killed before replying) are unlinked here.
+        _release_segments(self._segments)
 
     def __enter__(self) -> "ProcessExecutor":
         return self

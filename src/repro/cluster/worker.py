@@ -24,7 +24,22 @@ delta               effect on the resident engine
 Coalescable deltas (``append``/``change``) may arrive wholesale as one
 ``("delta_batch", uid, [delta, ...])`` message — the coordinator's
 round-trip amortization under write-heavy load — applied strictly in
-list order.  The query side speaks three ops: ``query`` (one range),
+list order.
+
+Bulk payloads ride shared memory, not the pipe.  A large build
+arrives as ``("build_shm", uid, segment, cache_size, latency_s,
+metas)`` — the codes of every column packed as one flat ``int64``
+array in a :mod:`multiprocessing.shared_memory` segment (``None``
+encoded as ``-1``), with only names and per-column counts on the
+pipe; a long coalescable batch arrives as ``("delta_batch_shm", uid,
+segment, count, names)`` with each delta packed as an ``int64`` quad.
+The worker attaches, copies the payload out, closes its mapping, and
+replies — the coordinator owns the unlink, tied to the resolution of
+the request that shipped the segment, so segment lifetime is bounded
+by the request round-trip.  The query side speaks four ops: ``query`` (one range),
+``query_multi`` (a grouped scatter: every range the coordinator wants
+from this worker's shards in one message, answered as a list of
+per-request replies in order),
 ``leaves`` (the compiled-leaf fetch op: every interval a predicate
 plan needs from one column, answered as a list of
 ``(positions, Snapshot)`` pairs in order — one round-trip per shard
@@ -50,6 +65,8 @@ them with a plain deque.
 from __future__ import annotations
 
 import time
+from array import array
+from multiprocessing import resource_tracker, shared_memory
 
 from ..engine.engine import QueryEngine
 from ..engine.registry import get_spec
@@ -228,6 +245,18 @@ class ShardHost:
         for delta in deltas:
             self.delta(uid, delta)
 
+    def drop_caches_all(self) -> None:
+        """Flush every resident engine's caches, one broadcast message.
+
+        The per-shard ``drop_caches`` delta stays for targeted drops;
+        this is the whole-worker form, so a cluster-wide cache drop
+        costs one message per worker instead of one per shard.
+        """
+        for engine in self.engines.values():
+            engine.cache.invalidate()
+            for column in engine.columns.values():
+                column.index.disk.flush_cache()
+
     def _worker_span(
         self, kind: str, trace: str, uid: int, engine: QueryEngine, fn
     ) -> tuple[object, Snapshot, dict]:
@@ -370,10 +399,97 @@ class ShardHost:
         return total
 
 
+# ----------------------------------------------------------------------
+# Shared-memory transport (the worker half)
+# ----------------------------------------------------------------------
+#
+# Large build snapshots and long delta batches arrive as flat
+# ``array('q')`` payloads in a coordinator-created shared-memory
+# segment; the pipe message carries only the segment name plus
+# metadata.  The worker attaches read-only, copies what it needs, and
+# closes immediately — the *coordinator* owns the unlink, tied to the
+# resolution of the request that shipped the segment.
+
+
+def _tracker_is_inherited() -> bool:
+    # Forked workers inherit the coordinator's resource-tracker fd
+    # (the executor starts the tracker before forking); spawned
+    # workers import fresh and lazily start a tracker of their own.
+    return getattr(resource_tracker._resource_tracker, "_fd", None) is not None
+
+
+#: Fixed at worker startup, before any segment is attached.
+_SHARED_TRACKER = True
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    # Attaching registers the segment with the resource tracker
+    # (CPython <= 3.12 behavior).  With the coordinator's inherited
+    # tracker that register is an idempotent set-add balanced by the
+    # coordinator's unlink, and unregistering here would strip the
+    # parent's own registration.  A spawn-mode worker runs its own
+    # tracker, which never sees the unlink — balance the attach
+    # registration locally or the worker warns about (and
+    # double-unlinks) segments it never owned.
+    shm = shared_memory.SharedMemory(name=name)
+    if not _SHARED_TRACKER:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    return shm
+
+
+def _unpack_build_shm(
+    name: str, cache_size: int, latency_s: float, metas: list
+) -> tuple:
+    """Rebuild a ``build`` payload from its flat-codes segment."""
+    shm = _attach_segment(name)
+    try:
+        codes = array("q")
+        total = sum(meta[1] for meta in metas)
+        codes.frombytes(bytes(shm.buf[: total * codes.itemsize]))
+    finally:
+        shm.close()
+    columns = []
+    offset = 0
+    for (col_name, count, sigma, dyn, sel, exact, delete, backend) in metas:
+        col_codes = [
+            None if c < 0 else c for c in codes[offset : offset + count]
+        ]
+        offset += count
+        columns.append(
+            (col_name, col_codes, sigma, dyn, sel, exact, delete, backend)
+        )
+    return (cache_size, latency_s, columns)
+
+
+def _unpack_delta_batch_shm(
+    name: str, count: int, names: tuple
+) -> list[tuple]:
+    """Rebuild a delta batch from its int64-quad segment."""
+    shm = _attach_segment(name)
+    try:
+        packed = array("q")
+        packed.frombytes(bytes(shm.buf[: count * 4 * packed.itemsize]))
+    finally:
+        shm.close()
+    deltas: list[tuple] = []
+    for i in range(0, 4 * count, 4):
+        op, idx, a, b = packed[i : i + 4]
+        if op == 0:
+            deltas.append(("append", names[idx], a))
+        else:
+            deltas.append(("change", names[idx], a, b))
+    return deltas
+
+
 def shard_worker_main(conn) -> None:
     """The worker loop: one reply per request, FIFO, until ``close``."""
     from .executor import ship_exception  # late: avoid an import cycle
 
+    global _SHARED_TRACKER
+    _SHARED_TRACKER = _tracker_is_inherited()
     host = ShardHost()
     while True:
         try:
@@ -381,12 +497,25 @@ def shard_worker_main(conn) -> None:
         except (EOFError, OSError):  # parent died; nothing left to serve
             return
         op = message[0]
+        if op == "drop_caches_all":
+            # The one *silent* op: shipped fire-and-forget, so no
+            # reply may be sent — not even an error — or the FIFO
+            # reply pipe desynchronizes.  Cache drops cannot fail in
+            # a way the coordinator could act on.
+            try:
+                host.drop_caches_all()
+            except Exception:
+                pass
+            continue
         try:
             if op == "close":
                 conn.send(("ok", None))
                 return
             if op == "build":
                 host.build(message[1], message[2])
+                reply = None
+            elif op == "build_shm":
+                host.build(message[1], _unpack_build_shm(*message[2:]))
                 reply = None
             elif op == "retire":
                 host.retire(message[1])
@@ -397,8 +526,21 @@ def shard_worker_main(conn) -> None:
             elif op == "delta_batch":
                 host.delta_batch(message[1], message[2])
                 reply = None
+            elif op == "delta_batch_shm":
+                host.delta_batch(
+                    message[1], _unpack_delta_batch_shm(*message[2:])
+                )
+                reply = None
             elif op == "query":
                 reply = host.query(*message[1:])
+            elif op == "query_multi":
+                # message: (op, first_uid, [(uid, name, lo, hi), ...])
+                # with an optional trailing trace id; one reply per
+                # request, in order.
+                trace = message[3:4]
+                reply = [
+                    host.query(*request, *trace) for request in message[2]
+                ]
             elif op == "leaves":
                 reply = host.leaves(*message[1:])
             elif op == "fold":

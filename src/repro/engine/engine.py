@@ -143,6 +143,17 @@ class EngineColumn:
     ``codes`` mirrors the backend's logical string through every
     update: deleted positions hold ``None`` until the backend compacts
     its position space, at which point the mirror compacts with it.
+
+    A column may be *deferred* (``index=None``): the advisor's verdict
+    and the codes are held, but no index structure exists until
+    something touches :attr:`index` — the control-plane mode a cluster
+    coordinator uses for worker-resident shards, where the replica
+    that serves queries lives in another process and the coordinator
+    needs only codes + stats for planning, routing, and rebuilds.  The
+    first local query or update forces the build (from codes identical
+    to the shipped snapshot, so a forced replica stays bit-identical
+    to its worker twin); latency/metrics applied while deferred stick
+    and take effect at force time.
     """
 
     def __init__(
@@ -150,23 +161,88 @@ class EngineColumn:
         name: str,
         codes: Sequence[int],
         spec: IndexSpec,
-        index: SecondaryIndex,
+        index: "SecondaryIndex | None",
         stats: WorkloadStats,
     ) -> None:
         self.name = name
         self.codes = list(codes)
         self.spec = spec
-        self.index = index
+        self._index = index
         self.stats = stats
         self.version = 0
+        self._pending_latency: float | None = None
+        self._pending_metrics = None
+
+    @property
+    def deferred(self) -> bool:
+        """True while no index structure has been built."""
+        return self._index is None
+
+    @property
+    def index(self) -> SecondaryIndex:
+        if self._index is None:
+            self._force_build()
+        return self._index
+
+    @index.setter
+    def index(self, value: SecondaryIndex) -> None:
+        self._index = value
+
+    def _force_build(self) -> None:
+        live = [c for c in self.codes if c is not None]
+        self._index = self.spec.build(live, self.stats.sigma)
+        if len(live) != len(self.codes):
+            self.codes = live
+        disk = getattr(self._index, "disk", None)
+        if disk is not None:
+            if self._pending_latency is not None:
+                disk.latency_s = self._pending_latency
+            if self._pending_metrics is not None:
+                disk.metrics = self._pending_metrics
 
     @property
     def sigma(self) -> int:
-        return self.index.sigma
+        if self._index is None:
+            return self.stats.sigma
+        return self._index.sigma
 
     @property
     def n(self) -> int:
-        return self.index.n
+        if self._index is None:
+            return len(self.codes)
+        return self._index.n
+
+    def io_snapshot(self) -> "Snapshot":
+        """This column's device counters; zero while deferred."""
+        if self._index is None:
+            return Snapshot()
+        return self._index.stats.snapshot()
+
+    def apply_latency(self, latency_s: float) -> None:
+        """Set the disk latency model without forcing a deferred build."""
+        if self._index is None:
+            self._pending_latency = latency_s
+            return
+        disk = getattr(self._index, "disk", None)
+        if disk is not None:
+            disk.latency_s = latency_s
+
+    def apply_metrics(self, metrics) -> None:
+        """Attach a metrics registry without forcing a deferred build."""
+        if self._index is None:
+            self._pending_metrics = metrics
+            return
+        disk = getattr(self._index, "disk", None)
+        if disk is not None:
+            disk.metrics = metrics
+
+    def flush_disk_cache(self) -> None:
+        """Drop the device block cache; a no-op while deferred."""
+        if self._index is None:
+            return
+        disk = getattr(self._index, "disk", None)
+        if disk is not None:
+            disk.flush_cache()
 
     def _bump(self) -> None:
         self.version += 1
@@ -218,6 +294,14 @@ class EngineColumn:
                 f"{self.name!r} declares require_exact=True"
             )
         live = [c for c in self.codes if c is not None]
+        if self._index is None:
+            # Deferred rebuild: record the new verdict and compact the
+            # mirror exactly as the built path would; the column stays
+            # deferred (the worker replica does the real rebuild).
+            self.spec = spec
+            self.codes = live
+            self._bump()
+            return
         old_disk = getattr(self.index, "disk", None)
         self.index = spec.build(live, self.stats.sigma)
         new_disk = getattr(self.index, "disk", None)
@@ -313,6 +397,7 @@ class QueryEngine:
         require_exact: bool = True,
         require_delete: bool = False,
         backend: str | None = None,
+        defer_index: bool = False,
     ) -> EngineColumn:
         """Build a column, letting the advisor choose the backend.
 
@@ -321,6 +406,11 @@ class QueryEngine:
         ``require_exact=False`` admits approximate (Theorem 3) backends
         to the ranking, where their false-positive verification cost is
         scored against exact structures' larger answer reads.
+
+        ``defer_index=True`` records the verdict and the codes but
+        builds no index structure until first local use — the
+        control-plane mode for coordinators whose resident worker
+        replicas do the serving.
         """
         if name in self.columns:
             raise InvalidParameterError(f"column {name!r} already exists")
@@ -343,12 +433,10 @@ class QueryEngine:
                 )
         else:
             spec = self.advisor.pick(stats)
-        index = spec.build(list(codes), stats.sigma)
-        if self.metrics is not None:
-            disk = getattr(index, "disk", None)
-            if disk is not None:
-                disk.metrics = self.metrics
+        index = None if defer_index else spec.build(list(codes), stats.sigma)
         column = EngineColumn(name, codes, spec, index, stats)
+        if self.metrics is not None:
+            column.apply_metrics(self.metrics)
         self.columns[name] = column
         return column
 
@@ -515,7 +603,7 @@ class QueryEngine:
         """
         io = Snapshot()
         for col in self.columns.values():
-            io = io + col.index.stats.snapshot()
+            io = io + col.io_snapshot()
         return EngineStats(
             columns=tuple(
                 ColumnStats(

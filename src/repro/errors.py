@@ -39,3 +39,25 @@ class UpdateError(ReproError):
     character outside the index alphabet when growth is disabled, or
     deleting an already-deleted position.
     """
+
+
+class WorkerDiedError(StorageError):
+    """A shard worker process died with requests still outstanding.
+
+    Raised coordinator-side by the process executor when a worker's
+    pipe breaks — mid delta-batch flush, mid shared-memory attach, or
+    mid query — instead of hanging on the dead pipe.  ``worker_index``
+    names the worker; ``uid`` is the shard the failed request was
+    addressed to (``None`` for pool-wide requests such as ``stats``).
+    """
+
+    def __init__(self, worker_index: int, uid: "int | None" = None) -> None:
+        target = f"shard uid {uid}" if uid is not None else "a pool-wide request"
+        super().__init__(
+            f"worker {worker_index} died with {target} outstanding"
+        )
+        self.worker_index = worker_index
+        self.uid = uid
+
+    def __reduce__(self):
+        return (type(self), (self.worker_index, self.uid))

@@ -30,6 +30,7 @@ Design notes
 
 from __future__ import annotations
 
+import struct
 import time
 from dataclasses import dataclass
 
@@ -72,6 +73,49 @@ class DiskState:
     data: bytes
     alloc_bits: int
     latency_s: float = 0.0
+
+    #: Flat-layout header: geometry ints, the latency double, and the
+    #: page payload's byte length, immediately followed by the raw
+    #: pages.  This is the shared-memory wire form — a segment holds
+    #: ``pack()`` output and ``unpack`` rehydrates without copying the
+    #: page bytes (the ``data`` field is a memoryview into the buffer,
+    #: which ``Disk.from_state`` copies into its own bytearray).
+    _HEADER = struct.Struct("<qqqdq")
+
+    def pack(self) -> bytes:
+        """Serialize to the flat header + raw pages layout."""
+        return self._HEADER.pack(
+            self.block_bits,
+            self.mem_blocks,
+            self.alloc_bits,
+            self.latency_s,
+            len(self.data),
+        ) + bytes(self.data)
+
+    @classmethod
+    def unpack(cls, buf) -> "DiskState":
+        """Rehydrate from :meth:`pack` output (bytes or a buffer).
+
+        The returned state's ``data`` is a zero-copy view into
+        ``buf``; hold the underlying buffer (e.g. the attached
+        shared-memory segment) alive until the state is consumed.
+        """
+        view = memoryview(buf)
+        header = cls._HEADER
+        if len(view) < header.size:
+            raise StorageError("packed DiskState shorter than its header")
+        block_bits, mem_blocks, alloc_bits, latency_s, nbytes = header.unpack(
+            view[: header.size]
+        )
+        if len(view) < header.size + nbytes:
+            raise StorageError("packed DiskState truncated")
+        return cls(
+            block_bits=block_bits,
+            mem_blocks=mem_blocks,
+            data=view[header.size : header.size + nbytes],
+            alloc_bits=alloc_bits,
+            latency_s=latency_s,
+        )
 
 
 class Disk:

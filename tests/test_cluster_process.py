@@ -569,3 +569,177 @@ class TestDeltaBatching:
             )
         finally:
             proc.close()
+
+
+class TestSharedMemoryTransport:
+    """Big snapshots and long batches ride shared memory, bit-exact."""
+
+    def test_large_build_ships_codes_through_a_segment(self):
+        rng_codes = [(7 * i) % SIGMA for i in range(3000)]
+        with ProcessExecutor(max_workers=1) as pool:
+            assert len(rng_codes) >= pool.SHM_MIN_CODES
+            pool.build_shard(7_100_001, _payload(rng_codes, SIGMA))
+            # The build is synchronous, so its segment is already gone.
+            assert pool.segment_count() == 0
+            positions, _ = pool.query_shard(7_100_001, "c", 2, 9)
+            assert positions == brute_range(rng_codes, 2, 9)
+
+    def test_long_delta_batch_ships_through_a_segment(self):
+        codes = list(range(8)) * 300
+        with ProcessExecutor(max_workers=1) as pool:
+            pool.build_shard(7_100_002, _payload(codes, 8))
+            model = list(codes)
+            for i in range(pool.SHM_MIN_DELTAS + 9):
+                ch = (3 * i) % 8
+                if i % 3 == 0:
+                    pos = (11 * i) % len(model)
+                    pool.apply_delta(7_100_002, ("change", "c", pos, ch))
+                    model[pos] = ch
+                else:
+                    pool.apply_delta(7_100_002, ("append", "c", ch))
+                    model.append(ch)
+            assert pool.pending_delta_count(7_100_002) > 0
+            pool.flush_deltas()
+            # Blocking flush resolved the shipment: segment released.
+            assert pool.segment_count() == 0
+            positions, _ = pool.query_shard(7_100_002, "c", 2, 5)
+            assert positions == brute_range(model, 2, 5)
+
+    def test_large_resident_cluster_matches_serial(self, process_pool):
+        from repro.model.distributions import zipf
+
+        x = zipf(6000, SIGMA, theta=1.1, seed=91)
+        serial = ClusterEngine(num_shards=2, drift_window=None)
+        proc = ClusterEngine(
+            num_shards=2, drift_window=None, executor=process_pool
+        )
+        try:
+            for cluster in (serial, proc):
+                cluster.add_column("c", x, SIGMA, dynamism="fully_dynamic")
+            assert (
+                proc.query("c", 3, 10).positions()
+                == serial.query("c", 3, 10).positions()
+                == brute_range(x, 3, 10)
+            )
+            assert proc.stats().scatter_io == serial.stats().scatter_io
+        finally:
+            serial.close()
+            proc.close()
+
+    def test_no_segments_survive_close(self):
+        import os
+
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+        pool = ProcessExecutor(max_workers=1)
+        codes = [(5 * i) % 8 for i in range(4000)]
+        pool.build_shard(7_100_003, _payload(codes, 8))
+        for i in range(pool.SHM_MIN_DELTAS):
+            pool.apply_delta(7_100_003, ("append", "c", i % 8))
+        # Close without flushing or draining: the abandoned-shipment
+        # path must still release every segment.
+        pool.close()
+        assert pool.segment_count() == 0
+        if before is not None:
+            assert set(os.listdir("/dev/shm")) - before == set()
+
+    def test_coordinator_keeps_codes_and_stats_only(self, process_pool):
+        from repro.model.distributions import uniform as _uniform
+
+        x = _uniform(200, 8, seed=51)
+        serial = ClusterEngine(num_shards=2, drift_window=None)
+        proc = ClusterEngine(
+            num_shards=2, drift_window=None, executor=process_pool
+        )
+        try:
+            for cluster in (serial, proc):
+                cluster.add_column("c", x, 8, dynamism="fully_dynamic")
+            # Resident coordinators defer their local index structures
+            # (the worker replica serves); serial clusters build them.
+            assert all(
+                engine.column("c").deferred for engine in proc.shards
+            )
+            assert not any(
+                engine.column("c").deferred for engine in serial.shards
+            )
+            # Planning still works from codes + stats alone.
+            assert proc.query("c", 1, 4).positions() == brute_range(x, 1, 4)
+            assert all(
+                engine.column("c").deferred for engine in proc.shards
+            )
+        finally:
+            serial.close()
+            proc.close()
+
+
+class TestWorkerDeath:
+    """A dead worker surfaces typed errors, never a hang or a leak."""
+
+    def _fresh_pool_with_shard(self, uid, codes=(0, 1, 2, 3)):
+        pool = ProcessExecutor(max_workers=1)
+        pool.build_shard(uid, _payload(list(codes), 8))
+        return pool
+
+    def test_query_after_kill_raises_worker_died(self):
+        from repro.errors import WorkerDiedError
+
+        uid = 7_200_001
+        pool = self._fresh_pool_with_shard(uid)
+        try:
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=10)
+            with pytest.raises(WorkerDiedError) as exc_info:
+                pool.query_shard(uid, "c", 0, 1)
+            assert exc_info.value.uid == uid
+            assert exc_info.value.worker_index == 0
+        finally:
+            pool.close()
+
+    def test_kill_mid_delta_batch_flush(self):
+        from repro.errors import WorkerDiedError
+
+        uid = 7_200_002
+        pool = self._fresh_pool_with_shard(uid)
+        try:
+            for i in range(5):
+                pool.apply_delta(uid, ("append", "c", i % 8))
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=10)
+            with pytest.raises(WorkerDiedError) as exc_info:
+                pool.flush_deltas()
+                # The send can win the race with the pipe teardown; the
+                # reply never comes, so the blocking harvest raises.
+            assert exc_info.value.uid == uid
+        finally:
+            pool.close()
+
+    def test_kill_before_shm_build_releases_segment(self):
+        from repro.errors import WorkerDiedError
+
+        uid = 7_200_003
+        pool = self._fresh_pool_with_shard(uid)
+        try:
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=10)
+            codes = [(3 * i) % 8 for i in range(4000)]
+            with pytest.raises(WorkerDiedError):
+                pool.build_shard(7_200_004, _payload(codes, 8))
+            # The segment created for the doomed build must not leak.
+            assert pool.segment_count() == 0
+        finally:
+            pool.close()
+
+    def test_pipelined_futures_all_resolve_on_death(self):
+        from repro.errors import WorkerDiedError
+
+        uid = 7_200_005
+        pool = self._fresh_pool_with_shard(uid)
+        try:
+            futures = [pool.submit_query(uid, "c", 0, 1) for _ in range(6)]
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=10)
+            for future in futures:
+                with pytest.raises(WorkerDiedError) as exc_info:
+                    future.result()
+                assert exc_info.value.uid == uid
+        finally:
+            pool.close()

@@ -6,6 +6,7 @@ from repro.bits.ebitmap import decode_gaps, encode_gaps
 from repro.bits.bitio import BitWriter
 from repro.errors import InvalidParameterError, StorageError
 from repro.iomodel import Disk, IOStats
+from repro.iomodel.disk import DiskState
 from repro.iomodel.cache import LRUBlockCache
 
 
@@ -278,6 +279,54 @@ class TestDiskStateSplit:
         with pytest.raises(InvalidParameterError):
             Disk(latency_s=-0.1)
 
+
+
+class TestDiskStatePacking:
+    """The flat header + raw pages wire form used by shared memory."""
+
+    def test_pack_unpack_roundtrip(self):
+        d = Disk(block_bits=256, mem_blocks=3, latency_s=0.125)
+        extent = d.store(b"\xca\xfe\xba\xbe", 32)
+        state = d.snapshot_state()
+        packed = state.pack()
+        assert isinstance(packed, bytes)
+        rehydrated = DiskState.unpack(packed)
+        assert rehydrated.block_bits == state.block_bits
+        assert rehydrated.mem_blocks == state.mem_blocks
+        assert rehydrated.alloc_bits == state.alloc_bits
+        assert rehydrated.latency_s == state.latency_s
+        assert bytes(rehydrated.data) == bytes(state.data)
+        clone = Disk.from_state(rehydrated)
+        assert clone.read_bits(extent.offset, 32) == 0xCAFEBABE
+
+    def test_unpack_is_zero_copy_but_from_state_copies(self):
+        d = Disk(block_bits=256, mem_blocks=0)
+        extent = d.store(b"\x41", 8)
+        buf = bytearray(d.snapshot_state().pack())
+        rehydrated = DiskState.unpack(buf)
+        assert isinstance(rehydrated.data, memoryview)
+        clone = Disk.from_state(rehydrated)
+        # The clone owns its pages: scribbling on the source buffer
+        # afterwards must not reach through.
+        buf[-1] ^= 0xFF
+        assert clone.read_bits(extent.offset, 8) == 0x41
+
+    def test_unpack_rejects_short_header(self):
+        with pytest.raises(StorageError):
+            DiskState.unpack(b"\x00" * 8)
+
+    def test_unpack_rejects_truncated_pages(self):
+        d = Disk(block_bits=256, mem_blocks=1)
+        d.store(b"\x55" * 8, 64)
+        packed = d.snapshot_state().pack()
+        with pytest.raises(StorageError):
+            DiskState.unpack(packed[:-1])
+
+    def test_empty_disk_packs(self):
+        d = Disk(block_bits=512, mem_blocks=2)
+        clone = Disk.from_state(DiskState.unpack(d.snapshot_state().pack()))
+        assert clone.block_bits == 512
+        assert clone.size_bits == d.size_bits
 
 class TestMergeableStats:
     def test_snapshot_addition(self):
