@@ -18,10 +18,14 @@ test:
 # bitmap algebra, counts-not-RIDs over worker pipes, cost-ordered
 # And), and the observability claims (E17: disabled tracing is free,
 # the slow-query log captures offenders, worker spans stitch into one
-# trace whose bits match scatter_io), and the kernel/transport claims
+# trace whose bits match scatter_io), the kernel/transport claims
 # (E18: fast WAH decode >= 3x the reference, bulk payloads off the
-# pipe) end-to-end (asserts inside the benchmarks) in well under 120
-# seconds.  --durations=0 prints the wall time of every benchmark.
+# pipe), and the serving front-end claims (E19: single-flight
+# coalescing lifts QPS >= 1.5x on a Zipf mix, admission control
+# bounds admitted p99 under 2x offered load, hot-shard replicas
+# answer scatter reads) end-to-end (asserts inside the benchmarks)
+# in well under 120 seconds.  --durations=0 prints the wall time of
+# every benchmark.
 bench-smoke:
 	timeout 120 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
 		benchmarks/bench_e12_cluster.py \
@@ -30,7 +34,8 @@ bench-smoke:
 		benchmarks/bench_e15_predicates.py \
 		benchmarks/bench_e16_aggregates.py \
 		benchmarks/bench_e17_observability.py \
-		benchmarks/bench_e18_kernels.py -q \
+		benchmarks/bench_e18_kernels.py \
+		benchmarks/bench_e19_qps.py -q \
 		-p no:cacheprovider --benchmark-disable --durations=0
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).

@@ -170,20 +170,35 @@ class TTLStore(CacheStore):
     only unexpired entries and ``expirations`` counts every entry
     that aged out, however it was discovered (lazy ``get``, periodic
     sweep, or overwrite of an already-dead entry).
+
+    ``max_entries`` (optional) bounds the store: sustained
+    unique-query traffic — the front-end's coalescing keys are
+    effectively unique under an adversarial mix — would otherwise
+    grow the TTL window without limit between sweeps.  When a put
+    would exceed the bound, expired entries are reclaimed first;
+    live entries are then evicted soonest-expiring first (insertion
+    order equals expiry order because every put rewrites its slot),
+    counted in ``evictions`` — distinct from ``expirations``.
     """
 
     _SWEEP_EVERY = 256
 
-    def __init__(self, ttl_s: float, clock=None) -> None:
+    def __init__(
+        self, ttl_s: float, clock=None, max_entries: int | None = None
+    ) -> None:
         if ttl_s <= 0:
             raise InvalidParameterError("ttl_s must be > 0")
+        if max_entries is not None and max_entries <= 0:
+            raise InvalidParameterError("max_entries must be > 0")
         self.ttl_s = ttl_s
+        self.max_entries = max_entries
         self._clock = clock if clock is not None else time.monotonic
         self._data: dict[SharedKey, tuple[float, list[int]]] = {}
         self._puts = 0
         self.hits = 0
         self.misses = 0
         self.expirations = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         # Expired-but-unswept entries are invisible to get/contains,
@@ -214,16 +229,31 @@ class TTLStore(CacheStore):
         # Overwriting an entry that already aged out is an expiration
         # the periodic sweep will never see — count it here, or the
         # stat undercounts entries that die between sweeps.
-        prior = self._data.get(key)
+        prior = self._data.pop(key, None)
         if prior is not None and prior[0] <= now:
             self.expirations += 1
+        # The pop-then-insert keeps dict iteration order equal to
+        # expiry order (a monotonic clock plus one fixed TTL), which
+        # is what lets the bound below evict soonest-expiring first
+        # without scanning.
         self._data[key] = (now + self.ttl_s, positions)
         self._puts += 1
         if self._puts % self._SWEEP_EVERY == 0:
-            doomed = [k for k, (exp, _) in self._data.items() if exp <= now]
-            for k in doomed:
-                del self._data[k]
-            self.expirations += len(doomed)
+            self._sweep(now)
+        if (
+            self.max_entries is not None
+            and len(self._data) > self.max_entries
+        ):
+            self._sweep(now)
+            while len(self._data) > self.max_entries:
+                del self._data[next(iter(self._data))]
+                self.evictions += 1
+
+    def _sweep(self, now: float) -> None:
+        doomed = [k for k, (exp, _) in self._data.items() if exp <= now]
+        for k in doomed:
+            del self._data[k]
+        self.expirations += len(doomed)
 
 
 class SharedResultCache(ABC):

@@ -63,13 +63,24 @@ across executors on the same workload.
 Concurrency contract: scatter tasks may run in parallel (they touch
 disjoint shard engines and the lock-protected shared cache), but the
 cluster is single-writer — updates and lifecycle operations must not
-interleave with queries.
+interleave with queries.  Top-level operations (queries, aggregates,
+updates, lifecycle, ``stats``) enforce that contract themselves with a
+reentrant per-cluster lock, so several threads — e.g. the asyncio
+front-end's worker bridge (:mod:`repro.serve`) — may call one cluster
+concurrently and are serialized per engine; cross-engine parallelism
+comes from running several clusters.  The lock is reentrant because
+operations nest (``topk`` runs ``count_by``; auto-split runs inside
+an append).  Streaming iterators (``query_iter``/``select_iter``)
+are the exception: they pull outside the lock, so an open stream must
+still not interleave with writers — the materialized forms take the
+lock for their whole run and are what the front-end serves.
 """
 
 from __future__ import annotations
 
 import bisect
 import itertools
+import threading
 import time
 import uuid
 from collections import deque
@@ -314,6 +325,8 @@ class ClusterStats:
     merges: int
     metrics: dict | None = None
     slow_queries: int = 0
+    worker_deaths: int = 0
+    replicas: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -334,6 +347,8 @@ class ClusterStats:
             "merges": self.merges,
             "metrics": self.metrics,
             "slow_queries": self.slow_queries,
+            "worker_deaths": self.worker_deaths,
+            "replicas": self.replicas,
         }
 
 
@@ -448,6 +463,22 @@ class ClusterEngine:
         self.slow_log = slow_log
         self._active_trace = None
         self._op_depth = 0
+        #: The module-docstring concurrency contract, enforced: every
+        #: top-level operation holds this while it runs, serializing
+        #: concurrent callers (the serve bridge's worker threads)
+        #: per engine.  Reentrant — operations nest.
+        self._serve_lock = threading.RLock()
+        #: Monotone count of answer-changing operations (updates,
+        #: column/lifecycle changes).  Single-flight coalescing keys
+        #: include it so a request admitted *after* a mutation
+        #: completed can never be served a scatter dispatched before
+        #: it — the coalescing window closes at every write.
+        self.mutations = 0
+        #: Optional hot-shard read replicas
+        #: (:class:`repro.serve.ReplicaSet`), attached via
+        #: :meth:`attach_replicas`.  ``None`` costs one attribute
+        #: check on the fetch path.
+        self.replicas = None
         if metrics is not None:
             if getattr(self.shared_cache, "metrics", False) is None:
                 self.shared_cache.metrics = metrics
@@ -501,12 +532,59 @@ class ClusterEngine:
             )
 
     def _ship_retire(self, uid: int) -> None:
+        if self.replicas is not None:
+            self.replicas.retire(uid)
         if self._resident:
             self.executor.retire_shard(uid)
 
     def _ship_delta(self, shard_id: int, delta: tuple) -> None:
+        if self.replicas is not None:
+            self.replicas.on_delta(self.shard_uids[shard_id], delta)
         if self._resident:
             self.executor.apply_delta(self.shard_uids[shard_id], delta)
+
+    # ------------------------------------------------------------------
+    # Hot-shard read replicas
+    # ------------------------------------------------------------------
+
+    def attach_replicas(self, replica_set) -> None:
+        """Attach a :class:`repro.serve.ReplicaSet` to this cluster.
+
+        The set rides the same routed-delta stream the resident
+        executor does (:meth:`_ship_delta` / :meth:`_ship_retire`), so
+        replicas stay in sync however updates arrive; scatter fetches
+        consult it after a shared-cache miss and fall back to the
+        primary whenever the replica is absent or stale.
+        """
+        with self._serve_lock:
+            if self.replicas is not None:
+                raise InvalidParameterError(
+                    "a ReplicaSet is already attached; detach it first"
+                )
+            self.replicas = replica_set
+            replica_set.bind(self)
+
+    def detach_replicas(self) -> None:
+        """Drop the attached replica set (a no-op when none is)."""
+        with self._serve_lock:
+            replicas, self.replicas = self.replicas, None
+            if replicas is not None:
+                replicas.unbind()
+
+    def _replica_fetch(self, name: str, shard_id: int, lo: int, hi: int):
+        """One shard range from a fresh replica, or ``None``.
+
+        Returns ``(positions, io_snapshot)`` exactly like a primary
+        fetch; freshness is fenced by the shard-local column version,
+        so a replica that missed a delta can only ever *miss*, never
+        answer stale.
+        """
+        replicas = self.replicas
+        if replicas is None:
+            return None
+        uid = self.shard_uids[shard_id]
+        version = self.shards[shard_id].column(name).version
+        return replicas.fetch(uid, name, lo, hi, version)
 
     # ------------------------------------------------------------------
     # Column management
@@ -544,6 +622,25 @@ class ClusterEngine:
         shard's stats are measured from its own slice, which is how
         different shards of one column end up on different backends.
         """
+        with self._serve_lock:
+            meta = self._add_column_impl(
+                name, codes, sigma, dynamism, expected_selectivity,
+                require_exact, require_delete, backend,
+            )
+            self.mutations += 1
+            return meta
+
+    def _add_column_impl(
+        self,
+        name: str,
+        codes: Sequence[int],
+        sigma: int | None,
+        dynamism: str,
+        expected_selectivity: float,
+        require_exact: bool,
+        require_delete: bool,
+        backend: str | None,
+    ) -> ColumnMeta:
         if name in self.columns:
             raise InvalidParameterError(f"column {name!r} already exists")
         if not len(codes):
@@ -675,12 +772,14 @@ class ClusterEngine:
         return self.shards[shard_id].column(name)
 
     def drop_column(self, name: str) -> None:
-        self._meta(name)
-        for shard_id, shard in enumerate(self.shards):
-            shard.drop_column(name)
-            self._ship_delta(shard_id, ("drop_column", name))
-        self.shared_cache.invalidate(column=name)
-        del self.columns[name]
+        with self._serve_lock:
+            self._meta(name)
+            for shard_id, shard in enumerate(self.shards):
+                shard.drop_column(name)
+                self._ship_delta(shard_id, ("drop_column", name))
+            self.shared_cache.invalidate(column=name)
+            del self.columns[name]
+            self.mutations += 1
 
     # ------------------------------------------------------------------
     # RID bookkeeping
@@ -729,6 +828,11 @@ class ClusterEngine:
         hit = self.shared_cache.get(key)
         if hit is not None:
             return hit, Snapshot()
+        replica = self._replica_fetch(name, shard_id, lo, hi)
+        if replica is not None:
+            positions, io = replica
+            self.shared_cache.put(key, positions)
+            return positions, io
         result, io = self.shards[shard_id].query_measured(name, lo, hi)
         positions = result.positions()
         self.shared_cache.put(key, positions)
@@ -765,6 +869,17 @@ class ClusterEngine:
                 column=name, shard_uid=uid, bits_read=0,
             )
             return hit, Snapshot(), span.to_dict()
+        replica = self._replica_fetch(name, shard_id, lo, hi)
+        if replica is not None:
+            positions, io = replica
+            self.shared_cache.put(key, positions)
+            span = Span("replica_fetch", t0=t0, t1=clock())
+            span.tags.update(
+                trace_id=trace_id, shard_uid=uid, column=name,
+                char_lo=lo, char_hi=hi, bits_read=io.bits_read,
+                rids=len(positions),
+            )
+            return positions, io, span.to_dict()
         result, io = self.shards[shard_id].query_measured(name, lo, hi)
         positions = result.positions()
         self.shared_cache.put(key, positions)
@@ -830,6 +945,17 @@ submit_query_group`) instead of one message per shard.
                 column=name, shard_uid=uid, bits_read=0,
             )
             return CompletedFuture((hit, Snapshot(), None))
+        replica = self._replica_fetch(name, shard_id, lo, hi)
+        if replica is not None:
+            positions, io = replica
+            self.shared_cache.put(key, positions)
+            if trace is None:
+                return CompletedFuture((positions, io))
+            trace.event(
+                "replica_fetch", column=name, shard_uid=uid,
+                char_lo=lo, char_hi=hi, bits_read=io.bits_read,
+            )
+            return CompletedFuture((positions, io, None))
         self._note_flush(trace, uid)
 
         if trace is None:
@@ -888,40 +1014,41 @@ submit_query_group`) instead of one message per shard.
         :class:`~repro.query.PlanReport` lazily — only queries that
         actually cross the slow threshold pay for it.
         """
-        if self._op_depth:
-            self._op_depth += 1
+        with self._serve_lock:
+            if self._op_depth:
+                self._op_depth += 1
+                try:
+                    yield self._active_trace
+                finally:
+                    self._op_depth -= 1
+                return
+            tracer = self.tracer
+            trace = (
+                tracer.begin(op)
+                if tracer is not None and tracer.enabled
+                else None
+            )
+            clock = tracer.clock if tracer is not None else time.monotonic
+            self._active_trace = trace
+            self._op_depth = 1
+            t0 = clock()
             try:
-                yield self._active_trace
+                yield trace
             finally:
-                self._op_depth -= 1
-            return
-        tracer = self.tracer
-        trace = (
-            tracer.begin(op)
-            if tracer is not None and tracer.enabled
-            else None
-        )
-        clock = tracer.clock if tracer is not None else time.monotonic
-        self._active_trace = trace
-        self._op_depth = 1
-        t0 = clock()
-        try:
-            yield trace
-        finally:
-            elapsed = clock() - t0
-            self._op_depth = 0
-            self._active_trace = None
-            if trace is not None:
-                tracer.finish(trace)
-            metrics = self.metrics
-            if metrics is not None:
-                metrics.inc("query.count")
-                metrics.observe("query.latency_s", elapsed)
-            slow_log = self.slow_log
-            if slow_log is not None:
-                slow_log.observe(
-                    op, elapsed, trace=trace, report_fn=report_fn
-                )
+                elapsed = clock() - t0
+                self._op_depth = 0
+                self._active_trace = None
+                if trace is not None:
+                    tracer.finish(trace)
+                metrics = self.metrics
+                if metrics is not None:
+                    metrics.inc("query.count")
+                    metrics.observe("query.latency_s", elapsed)
+                slow_log = self.slow_log
+                if slow_log is not None:
+                    slow_log.observe(
+                        op, elapsed, trace=trace, report_fn=report_fn
+                    )
 
     def _clock(self):
         """The span clock: the tracer's when attached, monotonic else."""
@@ -1045,6 +1172,21 @@ submit_query_group`) instead of one message per shard.
                                 bits_read=0,
                             )
                         per_leaf[leaf_idx][shard_id] = hit
+                        continue
+                    replica = self._replica_fetch(col, shard_id, *local)
+                    if replica is not None:
+                        positions, io = replica
+                        self.shared_cache.put(key, positions)
+                        self.scatter_io.add(io)
+                        bits += io.bits_read
+                        self.gather_rids += len(positions)
+                        if trace is not None:
+                            trace.event(
+                                "replica_fetch", column=col,
+                                shard_uid=self.shard_uids[shard_id],
+                                bits_read=io.bits_read,
+                            )
+                        per_leaf[leaf_idx][shard_id] = positions
                     else:
                         batches.setdefault(col, []).append(
                             (leaf_idx, key, local)
@@ -1230,6 +1372,26 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                     values[shard_id] = rows if mode == "count" else rows > 0
                     continue
                 payload = (mode, columns, leaves, root, group)
+                if self.replicas is not None:
+                    versions = {
+                        col: self.shards[shard_id].column(col).version
+                        for col in columns
+                    }
+                    hit = self.replicas.fold(
+                        self.shard_uids[shard_id], payload, versions
+                    )
+                    if hit is not None:
+                        value, io = hit
+                        self.scatter_io.add(io)
+                        bits += io.bits_read
+                        if trace is not None:
+                            trace.event(
+                                "replica_fold", mode=mode,
+                                shard_uid=self.shard_uids[shard_id],
+                                bits_read=io.bits_read,
+                            )
+                        values[shard_id] = value
+                        continue
                 if self._resident:
                     uid = self.shard_uids[shard_id]
                     self._note_flush(trace, uid)
@@ -1328,6 +1490,20 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                             return True
                         continue
                     payload = ("exists", columns, leaves, root, None)
+                    if self.replicas is not None:
+                        versions = {
+                            col: self.shards[shard_id].column(col).version
+                            for col in columns
+                        }
+                        hit = self.replicas.fold(
+                            self.shard_uids[shard_id], payload, versions
+                        )
+                        if hit is not None:
+                            value, io = hit
+                            self.scatter_io.add(io)
+                            if value:
+                                return True
+                            continue
                     if self._resident:
                         uid = self.shard_uids[shard_id]
                         self._note_flush(trace, uid)
@@ -1928,9 +2104,16 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         ``ProcessExecutor.reset_op_counts`` for windowing) — plus
         per-shard rows/heat/backends, the shared cache's tier
         counters, lifecycle history lengths, and, when attached, the
-        metrics registry dump and slow-query-log depth.  Call
-        ``.to_dict()`` to feed ``json.dumps``.
+        metrics registry dump and slow-query-log depth.  Resident
+        executors contribute their ``worker_deaths`` count; an
+        attached :class:`~repro.serve.ReplicaSet` contributes its
+        ``stats().to_dict()`` snapshot.  Call ``.to_dict()`` to feed
+        ``json.dumps``.
         """
+        with self._serve_lock:
+            return self._stats_impl()
+
+    def _stats_impl(self) -> ClusterStats:
         cache = self.shared_cache
         shared = None
         if hasattr(cache, "hits"):
@@ -1980,6 +2163,12 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             slow_queries=(
                 len(self.slow_log) if self.slow_log is not None else 0
             ),
+            worker_deaths=getattr(self.executor, "worker_deaths", 0),
+            replicas=(
+                self.replicas.stats().to_dict()
+                if self.replicas is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -1999,28 +2188,31 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
 
     def append(self, name: str, ch: int) -> None:
         """Append one row to a column (the last shard absorbs growth)."""
-        self._meta(name)
-        self._check_updatable(name)
-        shard_id = self.num_shards - 1
-        self.shards[shard_id].append(name, ch)
-        self._ship_delta(shard_id, ("append", name, ch))
-        self._after_update(name, shard_id)
+        with self._serve_lock:
+            self._meta(name)
+            self._check_updatable(name)
+            shard_id = self.num_shards - 1
+            self.shards[shard_id].append(name, ch)
+            self._ship_delta(shard_id, ("append", name, ch))
+            self._after_update(name, shard_id)
 
     def change(self, name: str, global_pos: int, ch: int) -> None:
-        self._meta(name)
-        self._check_updatable(name)
-        shard_id, local = self._route(name, global_pos)
-        self.shards[shard_id].change(name, local, ch)
-        self._ship_delta(shard_id, ("change", name, local, ch))
-        self._after_update(name, shard_id)
+        with self._serve_lock:
+            self._meta(name)
+            self._check_updatable(name)
+            shard_id, local = self._route(name, global_pos)
+            self.shards[shard_id].change(name, local, ch)
+            self._ship_delta(shard_id, ("change", name, local, ch))
+            self._after_update(name, shard_id)
 
     def delete(self, name: str, global_pos: int) -> None:
-        self._meta(name)
-        self._check_updatable(name)
-        shard_id, local = self._route(name, global_pos)
-        self.shards[shard_id].delete(name, local)
-        self._ship_delta(shard_id, ("delete", name, local))
-        self._after_update(name, shard_id, deleted=True)
+        with self._serve_lock:
+            self._meta(name)
+            self._check_updatable(name)
+            shard_id, local = self._route(name, global_pos)
+            self.shards[shard_id].delete(name, local)
+            self._ship_delta(shard_id, ("delete", name, local))
+            self._after_update(name, shard_id, deleted=True)
 
     def _route(self, name: str, global_pos: int) -> tuple[int, int]:
         lengths = self.shard_lengths(name)
@@ -2032,6 +2224,7 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         # The version bump already made this shard's keys unreachable;
         # eager eviction frees their capacity.  Other shards' entries
         # are untouched — that is the point of per-shard versioning.
+        self.mutations += 1
         self.shared_cache.invalidate(
             column=name, shard_id=self.shard_uids[shard_id]
         )
@@ -2165,37 +2358,42 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                     f"backend {pinned!r} is approximate; column "
                     f"{name!r} declares require_exact=True"
                 )
-        if dynamism is not None:
-            meta.dynamism = dynamism
-        if backend is not None:
-            if shard_id is None:
-                meta.backend = backend
-                meta.shard_pins.clear()
-            else:
-                meta.shard_pins[shard_id] = backend
-        targets = (
-            range(self.num_shards) if shard_id is None else [shard_id]
-        )
-        out = []
-        for target in targets:
-            column = self.shards[target].column(name)
+        with self._serve_lock:
             if dynamism is not None:
-                column.stats = column.stats.with_(
-                    dynamism=dynamism, require_delete=effective_delete
-                )
-                self._ship_delta(
-                    target, ("set_contract", name, dynamism, effective_delete)
-                )
-            # Standing pins govern unless this call named a backend:
-            # explicit argument > shard pin > column pin > advisor.
-            pin = (
-                backend
-                or meta.shard_pins.get(target)
-                or meta.backend
+                meta.dynamism = dynamism
+            if backend is not None:
+                if shard_id is None:
+                    meta.backend = backend
+                    meta.shard_pins.clear()
+                else:
+                    meta.shard_pins[shard_id] = backend
+            targets = (
+                range(self.num_shards) if shard_id is None else [shard_id]
             )
-            target_spec = get_spec(pin) if pin is not None else None
-            out.append(self._maybe_migrate(name, target, spec=target_spec))
-        return out
+            out = []
+            for target in targets:
+                column = self.shards[target].column(name)
+                if dynamism is not None:
+                    column.stats = column.stats.with_(
+                        dynamism=dynamism, require_delete=effective_delete
+                    )
+                    self._ship_delta(
+                        target,
+                        ("set_contract", name, dynamism, effective_delete),
+                    )
+                # Standing pins govern unless this call named a backend:
+                # explicit argument > shard pin > column pin > advisor.
+                pin = (
+                    backend
+                    or meta.shard_pins.get(target)
+                    or meta.backend
+                )
+                target_spec = get_spec(pin) if pin is not None else None
+                out.append(
+                    self._maybe_migrate(name, target, spec=target_spec)
+                )
+            self.mutations += 1
+            return out
 
     def unpin(self, name: str, shard_id: int | None = None) -> None:
         """Release a backend pin, returning control to the advisor.
@@ -2245,11 +2443,12 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         """
         if latency_s < 0:
             raise InvalidParameterError("latency_s must be >= 0")
-        self.io_latency_s = latency_s
-        for shard_id, engine in enumerate(self.shards):
-            for column in engine.columns.values():
-                column.apply_latency(latency_s)
-            self._ship_delta(shard_id, ("set_latency", latency_s))
+        with self._serve_lock:
+            self.io_latency_s = latency_s
+            for shard_id, engine in enumerate(self.shards):
+                for column in engine.columns.values():
+                    column.apply_latency(latency_s)
+                self._ship_delta(shard_id, ("set_latency", latency_s))
 
     def drop_caches(self) -> None:
         """Run the next queries cold: flush every result and block cache.
@@ -2259,14 +2458,17 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         resident replicas.  A benchmarking/repro aid; answers are
         unaffected.
         """
-        self.shared_cache.invalidate()
-        for engine in self.shards:
-            engine.cache.invalidate()
-            for column in engine.columns.values():
-                column.flush_disk_cache()
-        if self._resident:
-            # One broadcast per worker, not one delta per shard.
-            self.executor.drop_caches_all()
+        with self._serve_lock:
+            self.shared_cache.invalidate()
+            for engine in self.shards:
+                engine.cache.invalidate()
+                for column in engine.columns.values():
+                    column.flush_disk_cache()
+            if self.replicas is not None:
+                self.replicas.drop_caches()
+            if self._resident:
+                # One broadcast per worker, not one delta per shard.
+                self.executor.drop_caches_all()
 
     def close(self) -> None:
         """Retire this cluster's resident shard replicas, if any.
@@ -2275,12 +2477,15 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         clusters (shard uids are process-unique, so replicas never
         collide).  Harmless under a local executor.
         """
-        if self._resident:
-            for uid in self.shard_uids:
-                try:
-                    self.executor.retire_shard(uid)
-                except Exception:  # best-effort: executor may be closed
-                    pass
+        with self._serve_lock:
+            if self.replicas is not None:
+                self.replicas.close()
+            if self._resident:
+                for uid in self.shard_uids:
+                    try:
+                        self.executor.retire_shard(uid)
+                    except Exception:  # best-effort: executor may be closed
+                        pass
 
     def _live_rows(self, shard_id: int) -> int:
         """A shard's live row count: the max across its columns.
@@ -2372,6 +2577,12 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         Everything is validated and built before the shard set
         mutates — a failed split leaves the cluster untouched.
         """
+        with self._serve_lock:
+            record = self._split_shard_impl(shard_id)
+            self.mutations += 1
+            return record
+
+    def _split_shard_impl(self, shard_id: int) -> ShardSplit:
         self._check_shard(shard_id)
         if not self.columns:
             raise InvalidParameterError(
@@ -2441,6 +2652,12 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         agree on — under a fresh shard uid, so both retired shards'
         shared-cache entries die while every other shard's survive.
         """
+        with self._serve_lock:
+            record = self._merge_shards_impl(left_id)
+            self.mutations += 1
+            return record
+
+    def _merge_shards_impl(self, left_id: int) -> ShardMerge:
         self._check_shard(left_id)
         if left_id + 1 >= self.num_shards:
             raise InvalidParameterError(
@@ -2580,6 +2797,13 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         cluster be rebalanced by hand.  Returns the number of
         lifecycle operations performed.
         """
+        # Lock only; the nested split/merge calls bump ``mutations``
+        # themselves (the RLock makes the reentry safe), so a no-op
+        # rebalance leaves the coalescing fence untouched.
+        with self._serve_lock:
+            return self._rebalance_impl(target_shard_rows)
+
+    def _rebalance_impl(self, target_shard_rows: int | None = None) -> int:
         target = (
             target_shard_rows
             if target_shard_rows is not None

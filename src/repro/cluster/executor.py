@@ -242,6 +242,10 @@ class _Worker:
 
         self.index = index
         self.dead = False
+        #: Called once at the alive→dead transition (set by the owning
+        #: executor) so deaths are countable in telemetry even when the
+        #: pending queue was empty and no caller ever sees the error.
+        self.on_death = None
         parent_conn, child_conn = ctx.Pipe()
         self.conn = parent_conn
         self.pending: deque[_PipeFuture] = deque()
@@ -270,7 +274,10 @@ class _Worker:
         ``on_resolve`` still fires, releasing any shared-memory
         segment its request shipped.
         """
+        first_death = not self.dead
         self.dead = True
+        if first_death and self.on_death is not None:
+            self.on_death(self)
         while self.pending:
             head = self.pending.popleft()
             head._resolve(None, WorkerDiedError(self.index, head.uid))
@@ -512,6 +519,15 @@ class ProcessExecutor:
         # attach registrations themselves — see worker._attach_segment.)
         resource_tracker.ensure_running()
         self._workers = [_Worker(ctx, i) for i in range(max_workers)]
+        #: Worker processes that died with the pool open (pipe broke or
+        #: EOF mid-reply).  Each death is counted exactly once at the
+        #: alive→dead transition, and mirrored into the
+        #: ``cluster.worker_deaths`` counter when :attr:`metrics` is
+        #: attached — previously a death was only visible to whichever
+        #: caller happened to hold the failing future.
+        self.worker_deaths = 0
+        for worker in self._workers:
+            worker.on_death = self._note_worker_death
         self._by_uid: dict[int, _Worker] = {}
         self._pending_deltas: dict[int, list[tuple]] = {}
         self._batch_futures: list[_PipeFuture] = []
@@ -545,6 +561,11 @@ class ProcessExecutor:
         directly.
         """
         self.op_counts.clear()
+
+    def _note_worker_death(self, worker: _Worker) -> None:
+        self.worker_deaths += 1
+        if self.metrics is not None:
+            self.metrics.inc("cluster.worker_deaths")
 
     # ------------------------------------------------------------------
     # Shard residency

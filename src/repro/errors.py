@@ -41,6 +41,39 @@ class UpdateError(ReproError):
     """
 
 
+class Overloaded(ReproError):
+    """The serving front-end refused a request to protect its tail latency.
+
+    Raised by :class:`~repro.serve.FrontEnd` under the reject-newest
+    admission policy when the number of in-flight requests has reached
+    ``max_concurrency + queue_depth``.  Clients should back off and
+    retry; the request was never dispatched.
+    """
+
+    def __init__(self, inflight: int, capacity: int) -> None:
+        super().__init__(
+            f"front-end overloaded: {inflight} requests in flight "
+            f"(capacity {capacity}); request shed"
+        )
+        self.inflight = inflight
+        self.capacity = capacity
+
+
+class RequestTimeout(ReproError):
+    """A front-end request exceeded its per-request deadline.
+
+    The deadline covers queue wait plus service time.  The underlying
+    scatter (shared by any coalesced requests) is not cancelled — it
+    runs to completion on the worker bridge and settles its own
+    bookkeeping — only this caller gives up waiting.
+    """
+
+    def __init__(self, op: str, timeout_s: float) -> None:
+        super().__init__(f"{op} request exceeded its {timeout_s}s deadline")
+        self.op = op
+        self.timeout_s = timeout_s
+
+
 class WorkerDiedError(StorageError):
     """A shard worker process died with requests still outstanding.
 

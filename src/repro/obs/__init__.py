@@ -7,7 +7,14 @@ each component emits, and the enable/disable cost contract.
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .slowlog import SlowQuery, SlowQueryLog
-from .stats import CacheTierStats, ColumnStats, EngineStats, TableStats
+from .stats import (
+    CacheTierStats,
+    ColumnStats,
+    EngineStats,
+    FrontEndStats,
+    ReplicaSetStats,
+    TableStats,
+)
 from .tracer import ManualClock, Span, Trace, Tracer
 
 __all__ = [
@@ -15,10 +22,12 @@ __all__ = [
     "ColumnStats",
     "Counter",
     "EngineStats",
+    "FrontEndStats",
     "Gauge",
     "Histogram",
     "ManualClock",
     "MetricsRegistry",
+    "ReplicaSetStats",
     "SlowQuery",
     "SlowQueryLog",
     "Span",

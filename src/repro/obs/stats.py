@@ -17,7 +17,14 @@ from dataclasses import dataclass
 
 from ..iomodel.stats import Snapshot
 
-__all__ = ["CacheTierStats", "ColumnStats", "EngineStats", "TableStats"]
+__all__ = [
+    "CacheTierStats",
+    "ColumnStats",
+    "EngineStats",
+    "FrontEndStats",
+    "ReplicaSetStats",
+    "TableStats",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +94,83 @@ class EngineStats:
             "io": self.io.to_json(),
             "metrics": self.metrics,
             "slow_queries": self.slow_queries,
+        }
+
+
+@dataclass(frozen=True)
+class FrontEndStats:
+    """One ``FrontEnd.stats()`` snapshot: admission + coalescing counters.
+
+    ``requests`` counts every call that reached the front end;
+    ``admitted`` the ones that acquired an execution slot (coalesced
+    followers are *not* admitted — they ride the leader's slot);
+    ``coalesced`` the follower count; ``shed`` rejections by the
+    admission gate; ``timeouts`` admitted requests that missed their
+    deadline; ``cancelled`` requests abandoned by their caller before
+    completing.  ``inflight`` / ``inflight_peak`` describe the
+    execution queue at snapshot time and its high-water mark.
+    """
+
+    requests: int
+    admitted: int
+    completed: int
+    coalesced: int
+    shed: int
+    timeouts: int
+    cancelled: int
+    errors: int
+    inflight: int
+    inflight_peak: int
+    max_inflight: int
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "coalesced": self.coalesced,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "inflight": self.inflight,
+            "inflight_peak": self.inflight_peak,
+            "max_inflight": self.max_inflight,
+        }
+
+
+@dataclass(frozen=True)
+class ReplicaSetStats:
+    """One ``ReplicaSet.stats()`` snapshot.
+
+    ``resident`` lists the shard uids currently replicated;
+    ``hits``/``stale``/``absent`` classify fetch consults (a stale
+    consult found the uid resident but version-fenced behind the
+    primary — the caller fell back); ``builds``/``retires``/
+    ``refreshes`` count membership churn.
+    """
+
+    capacity: int
+    resident: tuple[int, ...]
+    hits: int
+    stale: int
+    absent: int
+    builds: int
+    retires: int
+    refreshes: int
+    deltas: int
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "resident": list(self.resident),
+            "hits": self.hits,
+            "stale": self.stale,
+            "absent": self.absent,
+            "builds": self.builds,
+            "retires": self.retires,
+            "refreshes": self.refreshes,
+            "deltas": self.deltas,
         }
 
 

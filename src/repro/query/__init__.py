@@ -46,6 +46,7 @@ from .predicates import (
     Pred,
     Range,
     columns_of,
+    fingerprint_pred,
     normalize,
     translate,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "evaluate_exists",
     "evaluate_fetch",
     "evaluate_iter",
+    "fingerprint_pred",
     "mapping_to_pred",
     "normalize",
     "order_children",

@@ -33,6 +33,7 @@ cache state, and (under a cluster) the per-shard fan-out.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -111,6 +112,28 @@ class Plan:
             return False
 
         return walk(self.root)
+
+    def fingerprint(
+        self, epoch_of: "Callable[[str], object] | None" = None
+    ) -> str:
+        """A stable content hash of the compiled plan.
+
+        ``compile_pred`` canonicalizes (normalized tree, sorted leaf
+        table, renumbered operator tree), so equivalent predicates
+        compile to identical plans and collide here, while any
+        difference in leaves, operator structure, or referenced
+        columns changes the hash.  ``epoch_of(column)`` mixes each
+        column's dictionary epoch into the key so it cannot survive a
+        drop/re-add of a column it touches.  Pairs with
+        :meth:`repro.query.Pred.fingerprint` as a coalescing or
+        result-cache key.
+        """
+        if epoch_of is not None:
+            scope: tuple = tuple((c, str(epoch_of(c))) for c in self.columns)
+        else:
+            scope = self.columns
+        payload = repr(("plan", scope, self.leaves, self.root))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
 
 def resolve_universe(plan: Plan, n_of: Callable[[str], int]) -> int:

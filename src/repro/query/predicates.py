@@ -50,6 +50,7 @@ position semantics coincide.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Iterable
 
 from ..errors import InvalidParameterError, QueryError
@@ -72,6 +73,26 @@ class Pred:
 
     def __invert__(self) -> "Pred":
         return Not(self)
+
+    def fingerprint(
+        self,
+        sigma_of: Callable[[str], int],
+        *,
+        epoch_of: "Callable[[str], Any] | None" = None,
+    ) -> str:
+        """A stable content hash of the normalized predicate.
+
+        Equivalent predicates — ``a & b`` vs ``b & a``, adjacent
+        intervals vs their fusion — normalize to the same canonical
+        tree and therefore collide; non-equivalent ones don't.  The
+        hash also covers the set of columns the *original* predicate
+        mentions (simplified-away leaves still pin their column's row
+        universe) and, when ``epoch_of`` is given, each column's
+        dictionary epoch — so a key minted before a column was dropped
+        and re-added can never alias the new incarnation.  Suitable as
+        a single-flight coalescing or result-cache key.
+        """
+        return fingerprint_pred(self, sigma_of, epoch_of=epoch_of)
 
 
 class _Bool(Pred):
@@ -568,3 +589,46 @@ def _combine_or(
     for col, (lo, hi) in neg.items():
         merged.append(Not(Range(col, lo, hi)))
     return _finish(merged + rest, Or)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints (coalescing / cache keys)
+# ----------------------------------------------------------------------
+
+
+def _fp_token(pred: Pred) -> tuple:
+    """Canonical nested-tuple serialization of a *normalized* tree.
+
+    Only the node types normalization can emit appear here; the tuple
+    contains nothing but strings and ints, so its ``repr`` is stable
+    across processes (no ``PYTHONHASHSEED`` dependence).
+    """
+    if isinstance(pred, _Bool):
+        return ("T",) if pred else ("F",)
+    if isinstance(pred, Range):
+        return ("R", pred.column, pred.lo, pred.hi)
+    if isinstance(pred, Not):
+        return ("N", _fp_token(pred.part))
+    if isinstance(pred, And):
+        return ("A",) + tuple(_fp_token(p) for p in pred.parts)
+    if isinstance(pred, Or):
+        return ("O",) + tuple(_fp_token(p) for p in pred.parts)
+    raise QueryError(f"unknown predicate node {type(pred).__name__}")
+
+
+def fingerprint_pred(
+    pred: Pred,
+    sigma_of: Callable[[str], int],
+    *,
+    epoch_of: "Callable[[str], Any] | None" = None,
+) -> str:
+    """Hash a code-space predicate's canonical form (see
+    :meth:`Pred.fingerprint`)."""
+    normalized = normalize(pred, sigma_of)
+    columns = sorted(columns_of(pred))
+    if epoch_of is not None:
+        scope: tuple = tuple((c, str(epoch_of(c))) for c in columns)
+    else:
+        scope = tuple(columns)
+    payload = repr((scope, _fp_token(normalized)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]

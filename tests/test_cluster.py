@@ -775,6 +775,82 @@ class TestCacheStores:
 
         with pytest.raises(InvalidParameterError):
             TTLStore(ttl_s=0)
+        with pytest.raises(InvalidParameterError):
+            TTLStore(ttl_s=1.0, max_entries=0)
+
+    def test_ttl_store_bound_evicts_soonest_expiring_first(self):
+        from repro.cluster import TTLStore
+
+        clock = [0.0]
+        store = TTLStore(
+            ttl_s=10.0, clock=lambda: clock[0], max_entries=2
+        )
+        k1 = shared_key("a", "e", 0, 0, 0, 0)
+        k2 = shared_key("b", "e", 0, 0, 0, 0)
+        k3 = shared_key("c", "e", 0, 0, 0, 0)
+        store.put(k1, [1])
+        clock[0] = 1.0
+        store.put(k2, [2])
+        clock[0] = 2.0
+        store.put(k3, [3])
+        # k1 expires soonest, so the bound evicted it — live, hence an
+        # eviction, not an expiration.
+        assert store.get(k1) is None
+        assert store.get(k2) == [2] and store.get(k3) == [3]
+        assert store.evictions == 1 and store.expirations == 0
+
+    def test_ttl_store_bound_reclaims_expired_before_evicting_live(self):
+        from repro.cluster import TTLStore
+
+        clock = [0.0]
+        store = TTLStore(
+            ttl_s=5.0, clock=lambda: clock[0], max_entries=2
+        )
+        dead = shared_key("a", "e", 0, 0, 0, 0)
+        store.put(dead, [1])
+        clock[0] = 6.0  # the first entry is now expired
+        store.put(shared_key("b", "e", 0, 0, 0, 0), [2])
+        store.put(shared_key("c", "e", 0, 0, 0, 0), [3])
+        # The sweep reclaimed the dead entry; no live one was evicted.
+        assert store.expirations == 1 and store.evictions == 0
+        assert len(store) == 2
+
+    def test_ttl_store_overwrite_refreshes_eviction_order(self):
+        from repro.cluster import TTLStore
+
+        clock = [0.0]
+        store = TTLStore(
+            ttl_s=10.0, clock=lambda: clock[0], max_entries=2
+        )
+        k1 = shared_key("a", "e", 0, 0, 0, 0)
+        k2 = shared_key("b", "e", 0, 0, 0, 0)
+        store.put(k1, [1])
+        clock[0] = 1.0
+        store.put(k2, [2])
+        clock[0] = 2.0
+        store.put(k1, [10])  # overwrite: k1 now expires *after* k2
+        clock[0] = 3.0
+        store.put(shared_key("c", "e", 0, 0, 0, 0), [3])
+        assert store.get(k2) is None  # k2 became soonest-expiring
+        assert store.get(k1) == [10]
+        assert store.evictions == 1
+
+    def test_cluster_serves_correctly_over_bounded_ttl_store(self):
+        from repro.cluster import TTLStore
+
+        cache = InMemorySharedCache(store=TTLStore(60.0, max_entries=4))
+        cluster = ClusterEngine(
+            num_shards=3, shared_cache=cache, drift_window=None
+        )
+        x = uniform(60, 8, seed=7)
+        cluster.add_column("c", x, 8)
+        for lo in range(8):
+            assert cluster.query("c", lo, 7).positions() == brute_range(
+                x, lo, 7
+            )
+        # The bound held however many distinct queries flowed through.
+        assert len(cache) <= 4
+        assert cache.store.evictions > 0
 
     def test_cluster_serves_correctly_over_ttl_store(self):
         # The deployment the TTL path models: no eager invalidation at

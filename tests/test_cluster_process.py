@@ -728,6 +728,50 @@ class TestWorkerDeath:
         finally:
             pool.close()
 
+    def test_worker_deaths_counted_once_per_worker(self):
+        from repro.errors import WorkerDiedError
+        from repro.obs import MetricsRegistry
+
+        uid = 7_200_006
+        pool = self._fresh_pool_with_shard(uid)
+        pool.metrics = MetricsRegistry()
+        try:
+            assert pool.worker_deaths == 0
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=10)
+            # Several failed calls against one dead worker still count
+            # a single death — the counter tracks the alive->dead
+            # transition, not the error volume.
+            for _ in range(3):
+                with pytest.raises(WorkerDiedError):
+                    pool.query_shard(uid, "c", 0, 1)
+            assert pool.worker_deaths == 1
+            assert (
+                pool.metrics.counter("cluster.worker_deaths").value == 1
+            )
+        finally:
+            pool.close()
+
+    def test_worker_deaths_surface_in_cluster_stats(self):
+        from repro.errors import WorkerDiedError
+
+        pool = ProcessExecutor(max_workers=1)
+        cluster = ClusterEngine(
+            num_shards=1, drift_window=None, executor=pool
+        )
+        try:
+            cluster.add_column("c", [0, 1, 2, 3], 8)
+            assert cluster.stats().worker_deaths == 0
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=10)
+            with pytest.raises(WorkerDiedError):
+                cluster.query("c", 0, 1)
+            stats = cluster.stats()
+            assert stats.worker_deaths == 1
+            assert stats.to_dict()["worker_deaths"] == 1
+        finally:
+            cluster.close()
+
     def test_pipelined_futures_all_resolve_on_death(self):
         from repro.errors import WorkerDiedError
 
