@@ -20,14 +20,17 @@ test:
 # the slow-query log captures offenders, worker spans stitch into one
 # trace whose bits match scatter_io), the kernel/transport claims
 # (E18: fast WAH decode >= 3x the reference, bulk payloads off the
-# pipe), and the serving front-end claims (E19: single-flight
+# pipe), the serving front-end claims (E19: single-flight
 # coalescing lifts QPS >= 1.5x on a Zipf mix, admission control
 # bounds admitted p99 under 2x offered load, hot-shard replicas
-# answer scatter reads) end-to-end (asserts inside the benchmarks)
-# in well under 120 seconds.  --durations=0 prints the wall time of
-# every benchmark.
+# answer scatter reads), and the durability claims (E20: cold restore
+# from snapshot+WAL >= 3x faster than rebuilding from raw codes with
+# identical answers on both executors, WAL replay throughput,
+# checkpoint pause vs the serving path) end-to-end (asserts inside
+# the benchmarks) in well under 150 seconds.  --durations=0 prints
+# the wall time of every benchmark.
 bench-smoke:
-	timeout 120 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
+	timeout 150 $(PYTHON) -m pytest benchmarks/bench_e11_engine.py \
 		benchmarks/bench_e12_cluster.py \
 		benchmarks/bench_e13_lifecycle.py \
 		benchmarks/bench_e14_parallel.py \
@@ -35,7 +38,8 @@ bench-smoke:
 		benchmarks/bench_e16_aggregates.py \
 		benchmarks/bench_e17_observability.py \
 		benchmarks/bench_e18_kernels.py \
-		benchmarks/bench_e19_qps.py -q \
+		benchmarks/bench_e19_qps.py \
+		benchmarks/bench_e20_persistence.py -q \
 		-p no:cacheprovider --benchmark-disable --durations=0
 
 # The full experiment matrix (slow; regenerates benchmarks/results/).

@@ -479,6 +479,21 @@ class ClusterEngine:
         #: :meth:`attach_replicas`.  ``None`` costs one attribute
         #: check on the fetch path.
         self.replicas = None
+        #: Optional write-ahead log (:class:`repro.persist.DeltaLog`),
+        #: attached via :meth:`attach_wal`.  Every acknowledged
+        #: answer-changing operation is journaled before the lock
+        #: releases; derived work (drift auto-migrations, auto-splits)
+        #: is suppressed because replay re-derives it.
+        self.wal = None
+        #: Called with each journaled record's seq (the background
+        #: :class:`repro.persist.Checkpointer` installs itself here).
+        self.wal_listener = None
+        self._wal_suspended = False
+        #: Shard uid -> snapshot path recorded at restore time, while
+        #: the snapshot still equals the live shard.  The replica set
+        #: rehydrates from these instead of rebuilding; any delta or
+        #: retirement invalidates the entry (see :meth:`_ship_delta`).
+        self._snap_sources: dict[int, str] = {}
         if metrics is not None:
             if getattr(self.shared_cache, "metrics", False) is None:
                 self.shared_cache.metrics = metrics
@@ -496,16 +511,19 @@ class ClusterEngine:
     def _resident(self) -> bool:
         return getattr(self.executor, "kind", "local") == "resident"
 
-    @staticmethod
-    def _column_payload(column: EngineColumn) -> tuple:
+    def _column_payload(self, column: EngineColumn) -> tuple:
         """One column's picklable build snapshot for a worker replica.
 
         The backend is pinned to the spec the local advisor already
         chose, so the replica is bit-identical by construction — the
         worker never re-runs (and so can never disagree with) the
-        advisor.
+        advisor.  The trailing epoch is the column's incarnation stamp
+        (see :class:`ColumnMeta`): workers key any durable cache-store
+        entries by it, so a re-added column never reads a
+        predecessor's persisted results.
         """
         stats = column.stats
+        meta = self.columns.get(column.name)
         return (
             column.name,
             list(column.codes),
@@ -515,6 +533,7 @@ class ClusterEngine:
             stats.require_exact,
             stats.require_delete,
             column.spec.name,
+            meta.epoch if meta is not None else "",
         )
 
     def _shard_payload(self, shard_id: int) -> tuple:
@@ -532,16 +551,74 @@ class ClusterEngine:
             )
 
     def _ship_retire(self, uid: int) -> None:
+        self._snap_sources.pop(uid, None)
         if self.replicas is not None:
             self.replicas.retire(uid)
         if self._resident:
             self.executor.retire_shard(uid)
 
     def _ship_delta(self, shard_id: int, delta: tuple) -> None:
+        # The first delta makes any restore-time snapshot stale for
+        # this shard: replicas must build from the live payload again.
+        self._snap_sources.pop(self.shard_uids[shard_id], None)
         if self.replicas is not None:
             self.replicas.on_delta(self.shard_uids[shard_id], delta)
         if self._resident:
             self.executor.apply_delta(self.shard_uids[shard_id], delta)
+
+    # ------------------------------------------------------------------
+    # Write-ahead logging (repro.persist)
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Journal every acknowledged mutation into ``wal``.
+
+        The caller owns the log's placement (usually
+        :func:`repro.persist.init_persistence` or a restore).  Records
+        are appended inside the serve lock, after the operation
+        succeeded and before it is acknowledged, so the log never
+        holds an operation that was refused, and never misses one that
+        was acknowledged.
+        """
+        with self._serve_lock:
+            if self.wal is not None:
+                raise InvalidParameterError(
+                    "a WAL is already attached; detach it first"
+                )
+            self.wal = wal
+
+    def detach_wal(self):
+        """Stop journaling; returns the log (not closed) or ``None``."""
+        with self._serve_lock:
+            wal, self.wal = self.wal, None
+            return wal
+
+    def _log(self, record: tuple) -> None:
+        if self.wal is None or self._wal_suspended:
+            return
+        seq = self.wal.append(record)
+        if self.metrics is not None:
+            self.metrics.counter("persist.wal.records").inc()
+        listener = self.wal_listener
+        if listener is not None:
+            listener(seq)
+
+    @contextmanager
+    def _suppress_wal(self):
+        """Mask derived work out of the journal.
+
+        Drift auto-migrations and lifecycle auto-splits/merges are
+        deterministic consequences of the logical record that
+        triggered them: WAL replay re-runs that record through the
+        public API and re-derives them.  Logging both the trigger and
+        the derivation would double-apply on replay.
+        """
+        previous = self._wal_suspended
+        self._wal_suspended = True
+        try:
+            yield
+        finally:
+            self._wal_suspended = previous
 
     # ------------------------------------------------------------------
     # Hot-shard read replicas
@@ -628,6 +705,11 @@ class ClusterEngine:
                 require_exact, require_delete, backend,
             )
             self.mutations += 1
+            self._log((
+                "add_column", name, list(codes), meta.sigma, dynamism,
+                expected_selectivity, require_exact, require_delete,
+                backend,
+            ))
             return meta
 
     def _add_column_impl(
@@ -684,6 +766,11 @@ class ClusterEngine:
             epoch=uuid.uuid4().hex,
             updates_since_stat={s: 0 for s in range(self.num_shards)},
         )
+        # Register the metadata before building: the worker shipments
+        # below read the column's epoch through it.  The unwind path
+        # removes it again, so a failed add_column still leaves the
+        # name unclaimed.
+        self.columns[name] = meta
         built: list[int] = []
         shipped: list[int] = []
         try:
@@ -729,12 +816,12 @@ class ClusterEngine:
                     pass
             for shard_id in built:
                 self.shards[shard_id].drop_column(name)
+            self.columns.pop(name, None)
             if created_plan:
                 self.plan_ = None
                 self.shards = []
                 self.shard_uids = []
             raise
-        self.columns[name] = meta
         return meta
 
     def _translate_range(
@@ -780,6 +867,7 @@ class ClusterEngine:
             self.shared_cache.invalidate(column=name)
             del self.columns[name]
             self.mutations += 1
+            self._log(("drop_column", name))
 
     # ------------------------------------------------------------------
     # RID bookkeeping
@@ -2194,7 +2282,11 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             shard_id = self.num_shards - 1
             self.shards[shard_id].append(name, ch)
             self._ship_delta(shard_id, ("append", name, ch))
-            self._after_update(name, shard_id)
+            self._log(("append", name, ch))
+            # Journal the logical update only: any auto-split or drift
+            # migration below is re-derived by replaying it.
+            with self._suppress_wal():
+                self._after_update(name, shard_id)
 
     def change(self, name: str, global_pos: int, ch: int) -> None:
         with self._serve_lock:
@@ -2203,7 +2295,9 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             shard_id, local = self._route(name, global_pos)
             self.shards[shard_id].change(name, local, ch)
             self._ship_delta(shard_id, ("change", name, local, ch))
-            self._after_update(name, shard_id)
+            self._log(("change", name, global_pos, ch))
+            with self._suppress_wal():
+                self._after_update(name, shard_id)
 
     def delete(self, name: str, global_pos: int) -> None:
         with self._serve_lock:
@@ -2212,7 +2306,9 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
             shard_id, local = self._route(name, global_pos)
             self.shards[shard_id].delete(name, local)
             self._ship_delta(shard_id, ("delete", name, local))
-            self._after_update(name, shard_id, deleted=True)
+            self._log(("delete", name, global_pos))
+            with self._suppress_wal():
+                self._after_update(name, shard_id, deleted=True)
 
     def _route(self, name: str, global_pos: int) -> tuple[int, int]:
         lengths = self.shard_lengths(name)
@@ -2393,6 +2489,7 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                     self._maybe_migrate(name, target, spec=target_spec)
                 )
             self.mutations += 1
+            self._log(("migrate", name, shard_id, backend, dynamism))
             return out
 
     def unpin(self, name: str, shard_id: int | None = None) -> None:
@@ -2402,13 +2499,17 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         both the column-wide pin and every per-shard pin go.  The next
         drift window (or explicit :meth:`migrate`) re-advises.
         """
-        meta = self._meta(name)
-        if shard_id is None:
-            meta.backend = None
-            meta.shard_pins.clear()
-        else:
-            self._check_shard(shard_id)
-            meta.shard_pins.pop(shard_id, None)
+        with self._serve_lock:
+            meta = self._meta(name)
+            if shard_id is None:
+                meta.backend = None
+                meta.shard_pins.clear()
+            else:
+                self._check_shard(shard_id)
+                meta.shard_pins.pop(shard_id, None)
+            # No mutations bump — answers are unchanged — but pins
+            # steer future auto-migrations, so replay must see it.
+            self._log(("unpin", name, shard_id))
 
     # ------------------------------------------------------------------
     # Shard lifecycle (split / merge / rebalance)
@@ -2449,6 +2550,7 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                 for column in engine.columns.values():
                     column.apply_latency(latency_s)
                 self._ship_delta(shard_id, ("set_latency", latency_s))
+            self._log(("set_latency", latency_s))
 
     def drop_caches(self) -> None:
         """Run the next queries cold: flush every result and block cache.
@@ -2470,14 +2572,45 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
                 # One broadcast per worker, not one delta per shard.
                 self.executor.drop_caches_all()
 
+    # ------------------------------------------------------------------
+    # Durable persistence (repro.persist)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, directory: str, **kwargs):
+        """Write a crash-safe checkpoint of this cluster into ``directory``.
+
+        See :func:`repro.persist.checkpoint_cluster` — snapshots every
+        shard under the serve lock, flips the ``CURRENT`` pointer
+        atomically, then rotates the attached WAL (if any).
+        """
+        from ..persist.checkpoint import checkpoint_cluster
+
+        return checkpoint_cluster(self, directory, **kwargs)
+
+    @classmethod
+    def restore(cls, directory: str, **kwargs) -> "ClusterEngine":
+        """Cold-start a cluster from ``directory``'s checkpoint + WAL.
+
+        See :func:`repro.persist.restore_cluster` for the knobs
+        (executor, advisor, lazy mmap loading, WAL attachment).
+        """
+        from ..persist.checkpoint import restore_cluster
+
+        return restore_cluster(directory, **kwargs)
+
     def close(self) -> None:
         """Retire this cluster's resident shard replicas, if any.
 
         Leaves the executor itself running — it may serve other
         clusters (shard uids are process-unique, so replicas never
-        collide).  Harmless under a local executor.
+        collide).  Harmless under a local executor.  An attached WAL
+        is detached and closed — its last acknowledged record is
+        already on disk, so this adds nothing but the file close.
         """
         with self._serve_lock:
+            wal = self.detach_wal()
+            if wal is not None:
+                wal.close()
             if self.replicas is not None:
                 self.replicas.close()
             if self._resident:
@@ -2580,6 +2713,7 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         with self._serve_lock:
             record = self._split_shard_impl(shard_id)
             self.mutations += 1
+            self._log(("split", shard_id))
             return record
 
     def _split_shard_impl(self, shard_id: int) -> ShardSplit:
@@ -2655,6 +2789,7 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         with self._serve_lock:
             record = self._merge_shards_impl(left_id)
             self.mutations += 1
+            self._log(("merge", left_id))
             return record
 
     def _merge_shards_impl(self, left_id: int) -> ShardMerge:
@@ -2799,9 +2934,15 @@ evaluate_shard_fold` a resident worker runs — including its deliberate
         """
         # Lock only; the nested split/merge calls bump ``mutations``
         # themselves (the RLock makes the reentry safe), so a no-op
-        # rebalance leaves the coalescing fence untouched.
+        # rebalance leaves the coalescing fence untouched.  One
+        # journal record covers the whole reshape: the nested
+        # lifecycle ops are its deterministic expansion.
         with self._serve_lock:
-            return self._rebalance_impl(target_shard_rows)
+            with self._suppress_wal():
+                ops = self._rebalance_impl(target_shard_rows)
+            if ops:
+                self._log(("rebalance", target_shard_rows))
+            return ops
 
     def _rebalance_impl(self, target_shard_rows: int | None = None) -> int:
         target = (

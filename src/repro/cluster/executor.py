@@ -428,10 +428,12 @@ def _pack_codes_flat(columns: list) -> tuple[array, list]:
     """
     codes = array("q")
     metas = []
-    for name, col_codes, sigma, dyn, sel, exact, delete, backend in columns:
+    for (name, col_codes, sigma, dyn, sel, exact, delete, backend,
+         *rest) in columns:
         codes.extend(-1 if c is None else c for c in col_codes)
         metas.append(
-            (name, len(col_codes), sigma, dyn, sel, exact, delete, backend)
+            (name, len(col_codes), sigma, dyn, sel, exact, delete, backend,
+             *rest)
         )
     return codes, metas
 
@@ -503,6 +505,7 @@ class ProcessExecutor:
         max_workers: int = 4,
         start_method: str | None = None,
         shutdown_timeout_s: float = 10.0,
+        cache_store=None,
     ) -> None:
         if max_workers <= 0:
             raise InvalidParameterError("max_workers must be >= 1")
@@ -552,6 +555,9 @@ class ProcessExecutor:
         #: flush sizes are observed into ``delta.flush_size`` when
         #: attached (``None`` costs one attribute check per flush).
         self.metrics = None
+        self.cache_store = None
+        if cache_store is not None:
+            self.attach_cache_store(cache_store)
 
     def reset_op_counts(self) -> None:
         """Zero :attr:`op_counts` — the *only* way it ever resets.
@@ -638,6 +644,58 @@ class ProcessExecutor:
         del self._by_uid[uid]
         worker.uids.discard(uid)
         worker.call(("retire", uid))
+
+    # ------------------------------------------------------------------
+    # Durable persistence (repro.persist)
+    # ------------------------------------------------------------------
+
+    def snap_shard(self, uid: int, path: str) -> int:
+        """Have a shard's worker write its snapshot file to ``path``.
+
+        The worker holds the built indexes (the coordinator's own
+        copies are deferred), so the snapshot is written where the
+        state lives and only the filename crosses the pipe.  Buffered
+        deltas flush first — the snapshot is the acknowledged state.
+        """
+        worker = self._worker_of(uid)
+        self._flush_uid(uid)
+        return worker.call(("snap", uid, path))
+
+    def rehydrate_shard(
+        self,
+        uid: int,
+        path: str,
+        cache_size: int,
+        latency_s: float,
+        epochs: dict,
+    ) -> None:
+        """Adopt one restored shard from its snapshot file — no rebuild.
+
+        The restore-time mirror of :meth:`build_shard`: the least
+        loaded worker mmap-loads the snapshot (index pages fault in on
+        demand) instead of receiving codes and reconstructing indexes.
+        """
+        if self._closed:
+            raise StorageError("executor is closed")
+        if uid in self._by_uid:
+            raise InvalidParameterError(f"shard uid {uid} already resident")
+        worker = min(self._workers, key=lambda w: (len(w.uids), w.index))
+        worker.call(("rehydrate", uid, path, cache_size, latency_s, epochs))
+        worker.uids.add(uid)
+        self._by_uid[uid] = worker
+
+    def attach_cache_store(self, store) -> None:
+        """Broadcast a durable result store to every worker.
+
+        ``store`` must be picklable (``repro.persist.FileCacheStore``
+        is by construction); workers consult it before decoding index
+        pages and feed it on every miss.  Workers started later do not
+        exist — the pool is fixed at construction — so one broadcast
+        covers the executor's lifetime.
+        """
+        for worker in self._workers:
+            worker.call(("cache_store", store))
+        self.cache_store = store
 
     # ------------------------------------------------------------------
     # Routed deltas (batched)

@@ -340,3 +340,90 @@ class ShardedTable:
                 raise QueryError("explain requires at least one condition")
             target = mapping_to_pred(target)
         return self.cluster.explain(self._translate(target))
+
+    # ------------------------------------------------------------------
+    # Durability (delegates to repro.persist with the table's extras)
+    # ------------------------------------------------------------------
+
+    def persist_extra(self) -> dict:
+        """The table-level manifest payload a checkpoint must carry.
+
+        The cluster checkpoint stores codes; the value dictionaries
+        (§1.1) live only here.  Storing each alphabet's occurring
+        values — JSON-serializable by requirement — is complete for
+        all time: the dictionary is fixed at build, so WAL records
+        written after the checkpoint never extend it.  Suitable as a
+        :class:`~repro.persist.Checkpointer` ``extra_fn`` directly.
+        """
+        return {
+            "table": {
+                "format": 1,
+                "order": list(self.columns),
+                "alphabets": {
+                    name: column.alphabet.values()
+                    for name, column in self.columns.items()
+                },
+            }
+        }
+
+    def init_persistence(self, directory: str, **kwargs):
+        """Baseline checkpoint + attached WAL, with the table extras."""
+        from ..persist import init_persistence
+
+        extra = dict(kwargs.pop("extra", None) or {})
+        extra.update(self.persist_extra())
+        return init_persistence(
+            self.cluster, directory, extra=extra, **kwargs
+        )
+
+    def checkpoint(self, directory: str, **kwargs):
+        """Checkpoint the cluster, embedding the value dictionaries."""
+        extra = dict(kwargs.pop("extra", None) or {})
+        extra.update(self.persist_extra())
+        return self.cluster.checkpoint(directory, extra=extra, **kwargs)
+
+    @classmethod
+    def restore(cls, directory: str, **kwargs) -> "ShardedTable":
+        """Cold-start a table: cluster restore + value-mirror rebuild.
+
+        The cluster side (:func:`repro.persist.restore_cluster`, whose
+        knobs ``kwargs`` forwards) restores shards and replays the WAL
+        tail; the value mirror is then *derived*, not stored — each
+        column's live global codes are read back in RID order and
+        decoded through the manifest's alphabet, so the mirror is
+        exact even for rows that only exist in the log.  Restoring a
+        table whose cluster saw engine-level deletions compacts the
+        holes, the same fidelity caveat :meth:`row` already carries.
+        """
+        from ..errors import PersistenceError
+        from ..persist import current_manifest
+
+        cluster = ClusterEngine.restore(directory, **kwargs)
+        try:
+            manifest = current_manifest(directory)
+            info = (manifest.get("extra") or {}).get("table")
+            if info is None:
+                raise PersistenceError(
+                    f"checkpoint in {directory!r} was not written by a "
+                    "ShardedTable (no table extras in its manifest)"
+                )
+            table = cls.__new__(cls)
+            table.cluster = cluster
+            table.columns = {}
+            table.num_rows = 0
+            for name in info["order"]:
+                codes: list[int] = []
+                for shard_id in range(cluster.num_shards):
+                    codes.extend(
+                        cluster._live_global_codes(name, shard_id)
+                    )
+                column = ShardedColumn.__new__(ShardedColumn)
+                column.name = name
+                column.alphabet = Alphabet(info["alphabets"][name])
+                column.values = column.alphabet.decode(codes)
+                table.columns[name] = column
+                table.num_rows = len(codes)
+            return table
+        except BaseException:
+            cluster.close()
+            raise

@@ -80,6 +80,7 @@ from ..query import (
     evaluate_exists,
     resolve_universe,
 )
+from .cache import shared_key
 
 #: Fold payload: (mode, columns, leaves, root, group) — a shard-local
 #: compiled plan (leaves already translated onto this shard's
@@ -141,7 +142,10 @@ _fold_shard_local`), so the aggregate a shard reports — value *and*
 
 #: Build payload: (cache_size, io_latency_s, [column payload, ...]).
 #: Column payload: (name, codes, sigma, dynamism, expected_selectivity,
-#: require_exact, require_delete, backend_name).
+#: require_exact, require_delete, backend_name[, epoch]).  The optional
+#: trailing epoch is the column's cluster-level incarnation stamp —
+#: durable cache-store keys carry it; payloads without one (older
+#: producers, tests) default to "" and simply never match a store.
 
 
 def _apply_latency(engine: QueryEngine, latency_s: float) -> None:
@@ -149,7 +153,8 @@ def _apply_latency(engine: QueryEngine, latency_s: float) -> None:
         column.index.disk.latency_s = latency_s
 
 
-def _add_column(engine: QueryEngine, column_payload: tuple) -> None:
+def _add_column(engine: QueryEngine, column_payload: tuple) -> str:
+    """Build one payload column into ``engine``; returns its epoch."""
     (
         name,
         codes,
@@ -159,6 +164,7 @@ def _add_column(engine: QueryEngine, column_payload: tuple) -> None:
         require_exact,
         require_delete,
         backend,
+        *rest,
     ) = column_payload
     engine.add_column(
         name,
@@ -170,6 +176,7 @@ def _add_column(engine: QueryEngine, column_payload: tuple) -> None:
         require_delete=require_delete,
         backend=backend,
     )
+    return rest[0] if rest else ""
 
 
 class ShardHost:
@@ -179,9 +186,20 @@ class ShardHost:
     id; injectable so in-process tests get deterministic durations.
     """
 
-    def __init__(self, clock=None) -> None:
+    def __init__(self, clock=None, cache_store=None) -> None:
         self.engines: dict[int, QueryEngine] = {}
         self.latencies: dict[int, float] = {}
+        #: Per-shard column epochs (incarnation stamps): durable
+        #: cache-store keys carry them, so a re-added or re-epoched
+        #: column can never read a predecessor's persisted results.
+        self.epochs: dict[int, dict[str, str]] = {}
+        #: Optional durable result store
+        #: (:class:`repro.persist.FileCacheStore` or any
+        #: :class:`~repro.cluster.cache.CacheStore`): consulted on the
+        #: untraced query path *before* decoding index pages, fed on
+        #: every miss.  Version-stamped keys make staleness impossible
+        #: — a mutated column's old entries simply stop matching.
+        self.cache_store = cache_store
         self.clock = clock if clock is not None else time.monotonic
 
     def _engine(self, uid: int) -> QueryEngine:
@@ -195,15 +213,62 @@ class ShardHost:
     def build(self, uid: int, payload: tuple) -> None:
         cache_size, latency_s, columns = payload
         engine = QueryEngine(cache_size=cache_size)
+        epochs: dict[str, str] = {}
         for column_payload in columns:
-            _add_column(engine, column_payload)
+            epochs[column_payload[0]] = _add_column(engine, column_payload)
         _apply_latency(engine, latency_s)
         self.engines[uid] = engine
         self.latencies[uid] = latency_s
+        self.epochs[uid] = epochs
 
     def retire(self, uid: int) -> None:
         self.engines.pop(uid, None)
         self.latencies.pop(uid, None)
+        self.epochs.pop(uid, None)
+
+    def snap(self, uid: int, path: str) -> int:
+        """Write one resident shard's snapshot to ``path`` (checkpoint).
+
+        The worker holds the *built* indexes (the coordinator's are
+        deferred under a resident executor), so it writes the snapshot
+        — over the shared filesystem — and the restore's rehydrate op
+        gets real index pages to mmap rather than a rebuild.  Returns
+        the column count as a cheap success token.
+        """
+        from ..persist.snapshot import write_shard_snapshot  # late: cycle
+
+        engine = self._engine(uid)
+        write_shard_snapshot(path, engine)
+        return len(engine.columns)
+
+    def rehydrate(
+        self,
+        uid: int,
+        path: str,
+        cache_size: int,
+        latency_s: float,
+        epochs: dict,
+    ) -> None:
+        """Adopt a shard from its snapshot file — no index rebuild.
+
+        The mirror image of :meth:`build` for restores: the engine is
+        mmap-loaded from ``path`` (index pages fault in on demand), so
+        bringing a worker back costs file opens, not construction.
+        ``epochs`` carries the restored columns' incarnation stamps so
+        durable cache-store entries from before the restart keep
+        matching.
+        """
+        from ..persist.snapshot import load_shard_engine  # late: cycle
+
+        engine = load_shard_engine(path, cache_size=cache_size)
+        for column in engine.columns.values():
+            # Not _apply_latency: that touches column.index.disk,
+            # which would force-build any deferred column; the
+            # column-level setter is deferred-safe.
+            column.apply_latency(latency_s)
+        self.engines[uid] = engine
+        self.latencies[uid] = latency_s
+        self.epochs[uid] = dict(epochs)
 
     def delta(self, uid: int, delta: tuple) -> None:
         engine = self._engine(uid)
@@ -226,10 +291,12 @@ class ShardHost:
             engine.cache.invalidate(lambda key: key[0] == name)
             _apply_latency(engine, self.latencies.get(uid, 0.0))
         elif op == "add_column":
-            _add_column(engine, delta[1])
+            epoch = _add_column(engine, delta[1])
+            self.epochs.setdefault(uid, {})[delta[1][0]] = epoch
             _apply_latency(engine, self.latencies.get(uid, 0.0))
         elif op == "drop_column":
             engine.drop_column(delta[1])
+            self.epochs.get(uid, {}).pop(delta[1], None)
         elif op == "set_latency":
             self.latencies[uid] = delta[1]
             _apply_latency(engine, delta[1])
@@ -278,6 +345,30 @@ class ShardHost:
         )
         return value, io, span.to_dict()
 
+    def _store_key(self, uid: int, engine: QueryEngine, name, lo, hi):
+        epoch = self.epochs.get(uid, {}).get(name)
+        if not epoch:
+            # No incarnation stamp means no safe durable key: the
+            # payload predates epochs, or the column is local-only.
+            return None
+        return shared_key(name, epoch, uid, engine.column(name).version, lo, hi)
+
+    def _store_get(self, uid, engine, name, lo, hi):
+        if self.cache_store is None:
+            return None
+        key = self._store_key(uid, engine, name, lo, hi)
+        if key is None:
+            return None
+        cached = self.cache_store.get(key)
+        return list(cached) if cached is not None else None
+
+    def _store_put(self, uid, engine, name, lo, hi, positions) -> None:
+        if self.cache_store is None:
+            return
+        key = self._store_key(uid, engine, name, lo, hi)
+        if key is not None:
+            self.cache_store.put(key, positions)
+
     def query(
         self,
         uid: int,
@@ -295,8 +386,13 @@ class ShardHost:
         """
         engine = self._engine(uid)
         if trace is None:
+            cached = self._store_get(uid, engine, name, char_lo, char_hi)
+            if cached is not None:
+                return cached, Snapshot()
             result, io = engine.query_measured(name, char_lo, char_hi)
-            return result.positions(), io
+            positions = result.positions()
+            self._store_put(uid, engine, name, char_lo, char_hi, positions)
+            return positions, io
         col = engine.column(name)
         # Peek before the query: __contains__ skips the LRU counters,
         # so tagging the verdict never perturbs the stats the real
@@ -338,8 +434,18 @@ class ShardHost:
         if trace is None:
             out = []
             for char_lo, char_hi in intervals:
+                cached = self._store_get(
+                    uid, engine, name, char_lo, char_hi
+                )
+                if cached is not None:
+                    out.append((cached, Snapshot()))
+                    continue
                 result, io = engine.query_measured(name, char_lo, char_hi)
-                out.append((result.positions(), io))
+                positions = result.positions()
+                self._store_put(
+                    uid, engine, name, char_lo, char_hi, positions
+                )
+                out.append((positions, io))
             return out
         col = engine.column(name)
         pairs = []
@@ -453,13 +559,15 @@ def _unpack_build_shm(
         shm.close()
     columns = []
     offset = 0
-    for (col_name, count, sigma, dyn, sel, exact, delete, backend) in metas:
+    for (col_name, count, sigma, dyn, sel, exact, delete, backend,
+         *rest) in metas:
         col_codes = [
             None if c < 0 else c for c in codes[offset : offset + count]
         ]
         offset += count
         columns.append(
-            (col_name, col_codes, sigma, dyn, sel, exact, delete, backend)
+            (col_name, col_codes, sigma, dyn, sel, exact, delete, backend,
+             *rest)
         )
     return (cache_size, latency_s, columns)
 
@@ -547,6 +655,14 @@ def shard_worker_main(conn) -> None:
                 reply = host.fold(*message[1:])
             elif op == "stats":
                 reply = host.io_totals()
+            elif op == "snap":
+                reply = host.snap(message[1], message[2])
+            elif op == "rehydrate":
+                host.rehydrate(*message[1:])
+                reply = None
+            elif op == "cache_store":
+                host.cache_store = message[1]
+                reply = None
             else:
                 raise InvalidParameterError(f"unknown worker op {op!r}")
             conn.send(("ok", reply))

@@ -28,6 +28,33 @@ class CodecError(ReproError):
     """A bit-level codec was asked to decode malformed data."""
 
 
+class PersistenceError(StorageError):
+    """The durable persistence tier hit an unusable on-disk artifact."""
+
+
+class CorruptSnapshot(PersistenceError):
+    """A snapshot file failed validation and must not be served.
+
+    Raised on a bad magic/version, a manifest that fails its checksum,
+    or a section whose CRC32 does not match its manifest entry.  The
+    contract is *never silent wrong answers*: a flipped bit in an
+    index page is rejected at restore time, not decoded into a
+    plausible-looking index.
+    """
+
+
+class CorruptWAL(PersistenceError):
+    """A write-ahead log record failed validation mid-file.
+
+    A *torn tail* — a partially written final record — is expected
+    after a crash and is truncated cleanly, not raised.  This error
+    means something worse: a fully present record whose CRC does not
+    match (bit rot, manual tampering) or a corrupt frame in a segment
+    that is not the last.  Replaying past it could apply garbage, so
+    recovery refuses.
+    """
+
+
 class QueryError(ReproError, ValueError):
     """A query was malformed (e.g. an empty or inverted alphabet range)."""
 

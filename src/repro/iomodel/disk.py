@@ -184,13 +184,27 @@ class Disk:
         )
 
     @classmethod
-    def from_state(cls, state: DiskState, stats: IOStats | None = None) -> "Disk":
+    def from_state(
+        cls,
+        state: DiskState,
+        stats: IOStats | None = None,
+        copy: bool = True,
+    ) -> "Disk":
         """Rebuild a runtime handle around a shipped :class:`DiskState`.
 
         The returned disk serves the same bits at the same offsets;
         its cache is cold and its counters start at zero (or share the
         given ``stats``), so the receiving process accounts its own
         I/O from scratch.
+
+        With ``copy=False`` the disk adopts ``state.data`` as its
+        backing buffer *without materializing it*: when the state was
+        unpacked from an ``mmap``-ed snapshot section, reads page
+        bytes in on demand through the OS while the simulated-device
+        accounting stays exactly as before.  The first mutation
+        (``alloc`` / ``write_bytes`` / ``write_bits``) copies the
+        buffer into a private ``bytearray``, so a restored index that
+        is later updated behaves identically to a copied one.
         """
         disk = cls(
             block_bits=state.block_bits,
@@ -198,9 +212,21 @@ class Disk:
             stats=stats,
             latency_s=state.latency_s,
         )
-        disk._data = bytearray(state.data)
+        if copy:
+            disk._data = bytearray(state.data)
+        elif isinstance(state.data, memoryview):
+            disk._data = state.data
+        else:
+            disk._data = memoryview(state.data)
         disk._alloc_bits = state.alloc_bits
         return disk
+
+    def _materialize(self) -> None:
+        # Copy-on-write for lazily adopted (mmap-backed) buffers: every
+        # mutator lands here first, so reads stay zero-copy until the
+        # disk actually changes.
+        if not isinstance(self._data, bytearray):
+            self._data = bytearray(self._data)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -225,6 +251,7 @@ class Disk:
         """
         if nbits < 0:
             raise InvalidParameterError("cannot allocate a negative number of bits")
+        self._materialize()
         if align_block:
             rem = self._alloc_bits % self.block_bits
             if rem:
@@ -327,6 +354,7 @@ class Disk:
             raise StorageError("data shorter than the declared bit length")
         if nbits == 0:
             return
+        self._materialize()
         start = offset // 8
         self._data[start : start + nbytes] = data[:nbytes]
         B = self.block_bits
@@ -354,7 +382,18 @@ class Disk:
             B = self.block_bits
             self._touch(offset // B, (offset + nbits - 1) // B, write=False)
             self.stats.bits_read += nbits
-        return BitReader(bytes(self._data), bit_offset=offset, bit_length=nbits)
+        # Copy only the extent's covering bytes, not the whole device:
+        # the reader's window is position-relative, so shifting the
+        # origin is invisible to every consumer (including the fast
+        # kernels, which read the window triple).  On an mmap-backed
+        # lazy disk this is what makes reads page on demand.
+        first = offset >> 3
+        stop = (offset + nbits + 7) >> 3
+        return BitReader(
+            bytes(self._data[first:stop]),
+            bit_offset=offset - (first << 3),
+            bit_length=nbits,
+        )
 
     def read_extent(self, extent: Extent) -> BitReader:
         """Shorthand for :meth:`reader` on an :class:`Extent`."""
@@ -393,6 +432,7 @@ class Disk:
             raise StorageError("value does not fit in the declared bit width")
         if offset < 0 or offset + nbits > self._alloc_bits:
             raise StorageError("write outside the allocated region")
+        self._materialize()
         first = offset >> 3
         end = offset + nbits
         last = (end - 1) >> 3

@@ -44,6 +44,7 @@ no future or trace span outlives the front end.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -323,6 +324,86 @@ class FrontEnd:
     def _count(self, name: str) -> None:
         if self.metrics is not None:
             self.metrics.inc(name)
+
+    # -- durability ------------------------------------------------------
+
+    def _engine_dir(self, directory: str, index: int) -> str:
+        """Where engine ``index`` checkpoints: the directory itself for
+        a single-engine front end, ``engine-<i>/`` subdirectories for a
+        fleet (the layout :meth:`restore` scans)."""
+        if len(self.engines) == 1:
+            return directory
+        return os.path.join(directory, f"engine-{index:02d}")
+
+    async def checkpoint(self, directory: str, **kwargs):
+        """Checkpoint every engine, off the event loop; returns infos.
+
+        Each engine checkpoints under its own serve lock (queries to
+        the *other* engines proceed; the checkpointing one pauses its
+        own writes, not its mmap'd reads), bridged through the same
+        worker pool the request path uses.
+        """
+        if self._closed:
+            raise InvalidParameterError("this FrontEnd is closed")
+        loop = asyncio.get_running_loop()
+        infos = []
+        for index, engine in enumerate(self.engines):
+            target = self._engine_dir(directory, index)
+            infos.append(
+                await loop.run_in_executor(
+                    self._pool,
+                    lambda e=engine, t=target: e.checkpoint(t, **kwargs),
+                )
+            )
+        return infos
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str,
+        *,
+        restore_kwargs: "dict | None" = None,
+        **front_kwargs,
+    ) -> "FrontEnd":
+        """Cold-start a front end from a :meth:`checkpoint` directory.
+
+        A root-level ``CURRENT`` means one engine; otherwise every
+        ``engine-*/`` subdirectory restores one engine each (sorted,
+        so replica indexes are stable).  ``restore_kwargs`` forwards
+        to :func:`repro.persist.restore_cluster` per engine —
+        multi-engine fleets are read replicas of one logical dataset,
+        so they share whatever executor/advisor is passed there —
+        while ``front_kwargs`` configures the front end itself.
+        """
+        from ..cluster import ClusterEngine
+        from ..persist import read_current
+
+        restore_kwargs = dict(restore_kwargs or {})
+        if read_current(directory) is not None:
+            sources = [directory]
+        else:
+            sources = sorted(
+                os.path.join(directory, name)
+                for name in os.listdir(directory)
+                if name.startswith("engine-")
+                and os.path.isdir(os.path.join(directory, name))
+            )
+            if not sources:
+                raise InvalidParameterError(
+                    f"{directory!r} holds neither a checkpoint nor "
+                    "engine-*/ subdirectories"
+                )
+        engines = []
+        try:
+            for source in sources:
+                engines.append(
+                    ClusterEngine.restore(source, **restore_kwargs)
+                )
+        except BaseException:
+            for engine in engines:
+                engine.close()
+            raise
+        return cls(engines, **front_kwargs)
 
     # -- lifecycle -------------------------------------------------------
 

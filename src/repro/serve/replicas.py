@@ -234,13 +234,41 @@ class ReplicaSet:
                         self._retire_locked(uid)
                 for sid, uid in zip(ranked, want):
                     if uid not in self._synced:
-                        payload = cluster._shard_payload(sid)
-                        cache_size, _latency, columns = payload
-                        self._host.build(uid, (cache_size, 0.0, columns))
+                        if not self._rehydrate_locked(cluster, uid):
+                            payload = cluster._shard_payload(sid)
+                            cache_size, _latency, columns = payload
+                            self._host.build(uid, (cache_size, 0.0, columns))
                         self._resync_locked(uid)
                         self.builds += 1
                 self.refreshes += 1
                 return tuple(want)
+
+    def _rehydrate_locked(self, cluster, uid: int) -> bool:
+        """Adopt a replica from its restore-time snapshot, if still valid.
+
+        A just-restored cluster records each shard's snapshot path in
+        ``_snap_sources`` — dropped again at the first delta or
+        retirement touching the shard (:meth:`ClusterEngine.\
+_ship_delta`), because a stale snapshot would wrongly pass the
+        version fence ``_resync_locked`` records.  While the entry
+        survives, the snapshot *is* the primary's state, and loading
+        it (mmap, no index construction) beats a payload rebuild.
+        """
+        source = cluster._snap_sources.get(uid)
+        if source is None:
+            return False
+        try:
+            self._host.rehydrate(
+                uid, source, cluster.cache_size, 0.0,
+                {name: meta.epoch for name, meta in cluster.columns.items()},
+            )
+        except Exception:
+            # Whatever went wrong (file gone, corrupt), the payload
+            # build below reproduces the same state from memory.
+            self._count("serve.replica.rehydrate_failed")
+            return False
+        self._count("serve.replica.rehydrated")
+        return True
 
     # -- introspection --------------------------------------------------
 

@@ -506,3 +506,96 @@ class TestProcessConformance:
         # path: every scatter reply was an integer or a code->count
         # mapping.
         assert resident.cluster.gather_rids == rids_before
+
+
+# ----------------------------------------------------------------------
+# Snapshot persistence: every backend round-trips through the durable
+# *.snap format (repro.persist.snapshot) byte-exactly.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=spec_id)
+@pytest.mark.parametrize("wname", [w[0] for w in WORKLOADS])
+class TestSnapshotConformance:
+    """Differential: engine answers survive a disk round-trip.
+
+    Two layers per (backend, workload) pair: the raw
+    :class:`~repro.iomodel.disk.DiskState` wire form must round-trip
+    ``pack``/``unpack`` byte-exactly, and a pinned engine written with
+    :func:`repro.persist.write_shard_snapshot` and mmap'd back with
+    :func:`repro.persist.load_shard_engine` must answer every probe
+    range exactly like the original (and the oracle).
+    """
+
+    def _engine(self, spec, wname):
+        x, sigma = next(
+            (gen(), s) for name, gen, s in WORKLOADS if name == wname
+        )
+        engine = QueryEngine()
+        engine.add_column("c", x, sigma, backend=spec.name)
+        return x, sigma, engine
+
+    @staticmethod
+    def _disks(engine):
+        """The column's disks, discovered exactly as the snapshot
+        writer discovers them (identity-lifting pickler walk)."""
+        import io
+
+        from repro.persist.snapshot import _SkeletonPickler
+
+        pickler = _SkeletonPickler(io.BytesIO())
+        pickler.dump(engine.column("c")._index)
+        return pickler.disks
+
+    def test_disk_state_pack_unpack_round_trip(self, spec, wname):
+        from repro.iomodel.disk import DiskState
+
+        x, sigma, engine = self._engine(spec, wname)
+        disks = self._disks(engine)
+        assert disks, "every built index owns >= 1 disk"
+        for disk in disks:
+            state = disk.snapshot_state()
+            back = DiskState.unpack(state.pack())
+            assert back.block_bits == state.block_bits
+            assert back.mem_blocks == state.mem_blocks
+            assert back.alloc_bits == state.alloc_bits
+            assert back.latency_s == state.latency_s
+            assert bytes(back.data) == bytes(state.data)
+
+    def test_snapshot_answers_match_original(self, tmp_path, spec, wname):
+        from repro.persist import load_shard_engine, write_shard_snapshot
+
+        x, sigma, engine = self._engine(spec, wname)
+        path = str(tmp_path / "shard.snap")
+        manifest = write_shard_snapshot(path, engine)
+        (entry,) = manifest["columns"]
+        assert entry["backend"] == spec.name
+        restored = load_shard_engine(path)
+        rng = random.Random(
+            zlib.crc32(f"snap:{spec.name}:{wname}".encode())
+        )
+        for lo, hi in random_ranges(rng, sigma, 8):
+            expected = brute_range(x, lo, hi)
+            assert engine.query("c", lo, hi).positions() == expected
+            assert restored.query("c", lo, hi).positions() == expected
+
+    def test_snapshot_disk_pages_byte_exact(self, tmp_path, spec, wname):
+        """The section bytes ARE the device pages: loading must not
+        re-derive or re-encode anything."""
+        from repro.persist import SnapshotFile, write_shard_snapshot
+
+        x, sigma, engine = self._engine(spec, wname)
+        path = str(tmp_path / "shard.snap")
+        write_shard_snapshot(path, engine)
+        states = [disk.snapshot_state() for disk in self._disks(engine)]
+        snap = SnapshotFile(path)
+        try:
+            (entry,) = snap.manifest["columns"]
+            assert len(entry["disks"]) == len(states)
+            for meta, state in zip(entry["disks"], states):
+                assert meta["block_bits"] == state.block_bits
+                assert meta["alloc_bits"] == state.alloc_bits
+                stored = bytes(snap.section(meta["data"]))
+                assert stored == bytes(state.data)
+        finally:
+            snap.close()
